@@ -1,0 +1,42 @@
+// Ablation for §3.5.1 (LocalCC-Opt): enumerating (k-mer, component-ID)
+// tuples instead of (k-mer, read-ID) from the second pass on.
+//
+// The paper credits this with the LocalCC time drop in Table 3 ("By
+// enumerating component identifiers instead of read identifiers during
+// k-mer enumeration, cache locality improves considerably during LocalCC
+// step") — the Find() random accesses concentrate on the (few) component
+// roots instead of ranging over all R reads.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace metaprep;
+  bench::print_title("Ablation: LocalCC-Opt (component-ID substitution), MM, P=2, T=2");
+
+  bench::ScratchDir dir("ccopt");
+  const auto ds = bench::make_dataset(sim::Preset::MM, dir.str());
+
+  util::TablePrinter table({"Passes", "cc_opt", "KmerGen (ms)", "LocalCC (ms)",
+                            "CC iters", "Components"});
+  for (int s : {2, 4, 8}) {
+    for (const bool opt : {false, true}) {
+      core::MetaprepConfig cfg;
+      cfg.k = 27;
+      cfg.num_ranks = 2;
+      cfg.threads_per_rank = 2;
+      cfg.num_passes = s;
+      cfg.cc_opt = opt;
+      cfg.write_output = false;
+      const auto r = core::run_metaprep(ds.index, cfg);
+      table.add_row({std::to_string(s), opt ? "on" : "off",
+                     util::TablePrinter::fmt(r.step_times.get("KmerGen") * 1e3, 1),
+                     util::TablePrinter::fmt(r.step_times.get("LocalCC") * 1e3, 1),
+                     std::to_string(r.cc_iterations_max),
+                     std::to_string(r.num_components)});
+    }
+  }
+  table.print();
+  std::printf("Note: at container scale the component array fits in cache, so the\n"
+              "locality gain is muted relative to the paper's billion-read runs; the\n"
+              "decomposition must be identical either way (tested in test_pipeline).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared infrastructure for the per-table/per-figure bench binaries.
+//
+// Every bench binary regenerates its input deterministically from a preset
+// (Table 2 stand-ins) at a scale controlled by METAPREP_BENCH_SCALE
+// (default 1.0), runs the relevant configurations, and prints rows mirroring
+// the paper's table or figure.  EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/index_create.hpp"
+#include "core/pipeline.hpp"
+#include "sim/presets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace metaprep::bench {
+
+/// Workload scale multiplier (grows read counts and genome lengths).
+inline double bench_scale() { return util::env_double("METAPREP_BENCH_SCALE", 1.0); }
+
+/// RAII scratch directory for a bench run.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name) {
+    dir_ = std::filesystem::temp_directory_path() / ("metaprep_bench_" + name);
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string str() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+struct BenchDataset {
+  sim::SimulatedDataset data;
+  core::DatasetIndex index;
+};
+
+/// Generate a preset and its index (k defaults to the paper's 27).
+inline BenchDataset make_dataset(sim::Preset preset, const std::string& dir, int k = 27,
+                                 int m = 8, std::uint32_t chunks = 48,
+                                 double extra_scale = 1.0) {
+  BenchDataset out;
+  out.data = sim::make_preset(preset, bench_scale() * extra_scale, dir);
+  core::IndexCreateOptions opt;
+  opt.k = k;
+  opt.m = m;
+  opt.target_chunks = chunks;
+  out.index = core::create_index(out.data.name, out.data.files, /*paired=*/true, opt);
+  return out;
+}
+
+/// The paper's step ordering for stacked-time tables.
+inline const std::vector<std::string>& step_order() {
+  static const std::vector<std::string> steps{
+      "KmerGen-I/O", "KmerGen", "KmerGen-Comm", "LocalSort",
+      "LocalCC",     "Merge-Comm", "MergeCC",   "CC-I/O"};
+  return steps;
+}
+
+/// One row of per-step times (ms) plus the total.
+inline std::vector<std::string> step_time_cells(const util::StepTimes& t) {
+  std::vector<std::string> cells;
+  double total = 0.0;
+  for (const auto& s : step_order()) {
+    const double v = t.get(s);
+    total += v;
+    cells.push_back(util::TablePrinter::fmt(v * 1e3, 1));
+  }
+  cells.push_back(util::TablePrinter::fmt(total * 1e3, 1));
+  return cells;
+}
+
+inline std::vector<std::string> step_headers(std::vector<std::string> prefix) {
+  for (const auto& s : step_order()) prefix.push_back(s + " (ms)");
+  prefix.push_back("Total (ms)");
+  return prefix;
+}
+
+inline void print_title(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace metaprep::bench

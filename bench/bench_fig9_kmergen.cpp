@@ -1,0 +1,53 @@
+// Figure 9: KmerGen time — comparison with KMC 2.
+//
+// Paper: Stage1 of KMC 2 = read FASTQ + enumerate + bin super k-mers;
+// Stage2 = sort + compact bins.  For METAPREP, Stage1 = KmerGen +
+// KmerGen-Comm and Stage2 = LocalSort.  On HG, METAPREP wins Stage1 (no
+// super-k-mer bookkeeping) but loses Stage2 (sorts one record per k-mer
+// occurrence vs KMC 2's compacted bins).
+#include "baseline/kmc_like.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace metaprep;
+  bench::print_title("Figure 9: KmerGen vs KMC2-like counter (single node, k=27)");
+
+  util::TablePrinter table({"Dataset", "Impl", "Stage1 (ms)", "Stage2 (ms)", "Total (ms)",
+                            "Records sorted"});
+  for (const auto preset : {sim::Preset::HG, sim::Preset::LL, sim::Preset::MM}) {
+    bench::ScratchDir dir("fig9");
+    const auto ds = bench::make_dataset(preset, dir.str());
+
+    // METAPREP single node (stages per the paper's mapping).
+    core::MetaprepConfig cfg;
+    cfg.k = 27;
+    cfg.num_ranks = 1;
+    cfg.threads_per_rank = 4;
+    cfg.write_output = false;
+    const auto mp = core::run_metaprep(ds.index, cfg);
+    const double mp_stage1 = mp.step_times.get("KmerGen-I/O") + mp.step_times.get("KmerGen") +
+                             mp.step_times.get("KmerGen-Comm");
+    const double mp_stage2 = mp.step_times.get("LocalSort");
+    table.add_row({ds.index.name, "METAPREP", util::TablePrinter::fmt(mp_stage1 * 1e3, 1),
+                   util::TablePrinter::fmt(mp_stage2 * 1e3, 1),
+                   util::TablePrinter::fmt((mp_stage1 + mp_stage2) * 1e3, 1),
+                   std::to_string(mp.total_tuples)});
+
+    baseline::KmcLikeOptions opt;
+    opt.k = 27;
+    opt.minimizer_len = 9;
+    const auto kmc = baseline::kmc_like_count(ds.data.files, opt);
+    table.add_row({ds.index.name, "KMC2-like",
+                   util::TablePrinter::fmt(kmc.stage1_seconds * 1e3, 1),
+                   util::TablePrinter::fmt(kmc.stage2_seconds * 1e3, 1),
+                   util::TablePrinter::fmt((kmc.stage1_seconds + kmc.stage2_seconds) * 1e3, 1),
+                   std::to_string(kmc.total_kmers) + " (in " +
+                       std::to_string(kmc.super_kmers) + " super k-mers)"});
+  }
+  table.print();
+  std::printf("Paper (HG, single node): METAPREP faster in Stage1 (KMC 2 pays super-k-mer\n"
+              "overhead), slower in Stage2 (more tuples to sort than KMC 2's compacted\n"
+              "bins).  Larger datasets flip Stage1 when METAPREP needs multiple passes.\n");
+  return 0;
+}

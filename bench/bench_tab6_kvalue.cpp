@@ -1,0 +1,40 @@
+// Table 6: impact of k on single-node METAPREP execution time (MM dataset).
+//
+// Paper: k=63 enumerates fewer tuples than k=27 (4.12 vs 8.4 billion) so
+// every step except LocalSort gets cheaper despite the 20-byte tuples
+// (buffers 78.65 vs 91 GB); LocalSort slows down because 63-mers need 16
+// radix passes instead of 8.  Net: the 63-mer run is faster overall.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace metaprep;
+  bench::print_title("Table 6: k=27 vs k=63, MM dataset, single node (T=4)");
+
+  util::TablePrinter table(bench::step_headers(
+      {"k", "Tuples", "Tuple bytes", "Peak buf (MB)", "Radix passes"}));
+  for (int k : {27, 63}) {
+    bench::ScratchDir dir("tab6");
+    const auto ds = bench::make_dataset(sim::Preset::MM, dir.str(), k);
+    core::MetaprepConfig cfg;
+    cfg.k = k;
+    cfg.num_ranks = 1;
+    cfg.threads_per_rank = 4;
+    cfg.write_output = true;
+    cfg.output_dir = dir.str();
+    const auto result = core::run_metaprep(ds.index, cfg);
+    auto cells = bench::step_time_cells(result.step_times);
+    cells.insert(cells.begin(), std::to_string((2 * k + 7) / 8));  // 8-bit digits
+    cells.insert(cells.begin(),
+                 util::TablePrinter::fmt(
+                     static_cast<double>(result.max_tuple_buffer_bytes) / 1e6, 2));
+    cells.insert(cells.begin(), k <= 32 ? "12" : "20");
+    cells.insert(cells.begin(), std::to_string(result.total_tuples));
+    cells.insert(cells.begin(), std::to_string(k));
+    table.add_row(cells);
+  }
+  table.print();
+  std::printf("Paper (MM): total 144.2 s at k=27 vs 137.8 s at k=63; KmerGen 77->60 s,\n"
+              "LocalSort 55->68 s (8 vs 16 radix passes), LocalCC 6.4->5.2 s.\n"
+              "Expect: fewer tuples at k=63, LocalSort the only step that slows.\n");
+  return 0;
+}

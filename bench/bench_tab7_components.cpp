@@ -1,0 +1,69 @@
+// Table 7: largest component size (% of reads) under different k values and
+// k-mer frequency filter (KF) settings.
+//
+// Paper (LC size, % reads):
+//   k=27 none       : HG 95.5, LL 76.3, MM 99.5
+//   k=63 none       : HG 87.1, LL 58.9, MM 97.8
+//   k=27 KF<=30     : HG 73.5, LL 67.6, MM 45.0
+//   k=27 10<=KF<=30 : HG 55.2, LL 45.2, MM 40.0
+//   k=63 10<=KF<=30 : HG 51.6, LL 30.6, MM 59.0
+// Shape to reproduce: larger k shrinks the giant component; the frequency
+// filter shrinks it much more; combining both is strongest for HG/LL.
+#include "bench_common.hpp"
+
+namespace {
+
+struct FilterSetting {
+  std::string label;
+  metaprep::core::KmerFreqFilter filter;
+};
+
+}  // namespace
+
+int main() {
+  using namespace metaprep;
+  bench::print_title("Table 7: largest component size (% reads) vs k and KF filter");
+
+  const std::vector<FilterSetting> settings{
+      {"none", {}},
+      {"KF<=30", {0, 30}},
+      {"10<=KF<=30", {10, 30}},
+  };
+  const std::vector<int> ks{27, 63};
+
+  util::TablePrinter table({"k", "Filter", "HG LC%", "LL LC%", "MM LC%", "HG #comp",
+                            "LL #comp", "MM #comp"});
+
+  // Index each dataset once per k.
+  for (int k : ks) {
+    bench::ScratchDir dir("tab7_k" + std::to_string(k));
+    std::vector<bench::BenchDataset> datasets;
+    for (const auto preset : {sim::Preset::HG, sim::Preset::LL, sim::Preset::MM}) {
+      datasets.push_back(bench::make_dataset(preset, dir.str(), k));
+    }
+    for (const auto& setting : settings) {
+      // The paper reports (27,none), (63,none), (27,KF<=30), (27,10..30),
+      // (63,10..30); skip the one combination it omits.
+      if (k == 63 && setting.label == "KF<=30") continue;
+      std::vector<std::string> row{std::to_string(k), setting.label};
+      std::vector<std::string> comps;
+      for (const auto& ds : datasets) {
+        core::MetaprepConfig cfg;
+        cfg.k = k;
+        cfg.num_ranks = 2;
+        cfg.threads_per_rank = 2;
+        cfg.filter = setting.filter;
+        cfg.write_output = false;
+        const auto result = core::run_metaprep(ds.index, cfg);
+        row.push_back(util::TablePrinter::fmt(result.largest_fraction * 100.0, 1));
+        comps.push_back(std::to_string(result.num_components));
+      }
+      row.insert(row.end(), comps.begin(), comps.end());
+      table.add_row(row);
+    }
+  }
+  table.print();
+  std::printf("Paper: k=27/none HG 95.5 LL 76.3 MM 99.5; k=63/none 87.1/58.9/97.8;\n"
+              "k=27/KF<=30 73.5/67.6/45.0; k=27/10..30 55.2/45.2/40.0; k=63/10..30 51.6/30.6/59.0.\n");
+  return 0;
+}

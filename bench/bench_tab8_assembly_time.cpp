@@ -1,0 +1,97 @@
+// Table 8: MEGAHIT (here: MiniHit) assembly time with and without METAPREP
+// preprocessing.
+//
+// Paper: assembling the largest component (LC) and the rest ("Other")
+// separately — possible in parallel on 2 nodes — plus the KF<=30 filter
+// shrinking LC yields end-to-end speedups of 1.22x (HG), 1.31x (LL),
+// 1.36x (MM); METAPREP preprocessing time is small next to assembly time.
+// Speedup = full-assembly time / (METAPREP time + filtered-LC assembly).
+#include <algorithm>
+
+#include "assembler/minihit.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace metaprep;
+
+struct PartitionedFiles {
+  std::vector<std::string> lc;
+  std::vector<std::string> other;
+};
+
+PartitionedFiles split_outputs(const std::vector<std::string>& files) {
+  PartitionedFiles out;
+  for (const auto& f : files) {
+    if (f.find(".lc.") != std::string::npos) {
+      out.lc.push_back(f);
+    } else {
+      out.other.push_back(f);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Table 8: MiniHit assembly time with and without preprocessing");
+
+  assembler::AssemblyOptions aopt;
+  aopt.k_list = {21, 27, 31};  // MEGAHIT-style multi-k iteration
+  aopt.tip_clip_bases = 2 * 27;    // MEGAHIT-style tip clipping
+  aopt.bubble_pop_bases = 2 * 27;  // MEGAHIT-style bubble popping
+  aopt.min_kmer_count = 2;
+
+  util::TablePrinter table({"Dataset", "No-preproc (ms)", "LC no-filter (ms)",
+                            "Other no-filter (ms)", "LC KF<=30 (ms)", "Other KF<=30 (ms)",
+                            "METAPREP (ms)", "Speedup"});
+  for (const auto preset : {sim::Preset::HG, sim::Preset::LL, sim::Preset::MM}) {
+    bench::ScratchDir dir("tab8");
+    const auto ds = bench::make_dataset(preset, dir.str());
+
+    const auto full = assembler::assemble_fastq(ds.data.files, aopt);
+
+    auto run_partition = [&](core::KmerFreqFilter filter, const std::string& tag) {
+      core::MetaprepConfig cfg;
+      cfg.k = 27;
+      cfg.num_ranks = 1;
+      cfg.threads_per_rank = 4;
+      cfg.filter = filter;
+      cfg.write_output = true;
+      cfg.output_dir = dir.str() + "/" + tag;
+      std::filesystem::create_directories(cfg.output_dir);
+      util::WallTimer timer;
+      auto result = core::run_metaprep(ds.index, cfg);
+      return std::pair{timer.seconds(), split_outputs(result.output_files)};
+    };
+
+    const auto [prep_nf_seconds, nf_files] = run_partition({}, "nofilter");
+    const auto nf_lc = assembler::assemble_fastq(nf_files.lc, aopt);
+    const auto nf_other = assembler::assemble_fastq(nf_files.other, aopt);
+
+    const auto [prep_kf_seconds, kf_files] = run_partition({0, 30}, "kf30");
+    const auto kf_lc = assembler::assemble_fastq(kf_files.lc, aopt);
+    const auto kf_other = assembler::assemble_fastq(kf_files.other, aopt);
+
+    // The paper's speedup definition: "the time for MEGAHIT assembly on the
+    // full data set divided by the sum of METAPREP time and the time to
+    // assemble the largest component reads (with filtering)" — Other runs
+    // concurrently on a second node and is not on the critical path.
+    const double prep = prep_kf_seconds;
+    const double critical = prep + kf_lc.seconds;
+    table.add_row({ds.index.name, util::TablePrinter::fmt(full.seconds * 1e3, 1),
+                   util::TablePrinter::fmt(nf_lc.seconds * 1e3, 1),
+                   util::TablePrinter::fmt(nf_other.seconds * 1e3, 1),
+                   util::TablePrinter::fmt(kf_lc.seconds * 1e3, 1),
+                   util::TablePrinter::fmt(kf_other.seconds * 1e3, 1),
+                   util::TablePrinter::fmt(prep * 1e3, 1),
+                   util::TablePrinter::fmt(full.seconds / critical, 2) + "x"});
+  }
+  table.print();
+  std::printf("Paper: speedups 1.22x (HG), 1.31x (LL), 1.36x (MM); METAPREP time 39-168 s\n"
+              "vs MEGAHIT 1082-2857 s.  Expect: LC assembly below full assembly, biggest\n"
+              "gain where the filter shrinks LC most (MM).\n");
+  return 0;
+}

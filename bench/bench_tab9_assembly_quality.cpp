@@ -1,0 +1,77 @@
+// Table 9: assembly quality comparison (contigs, total bp, max contig, N50)
+// with and without METAPREP preprocessing, with and without the KF filter.
+//
+// Paper shape: "No Preproc" and "No Filter" (LC + Other) give near-identical
+// quality — the same largest contig and very similar N50 — because the
+// partition keeps genome-coherent reads together; KF<=30 improves total
+// assembled bases and N50 for HG/LL but is too aggressive for MM.
+#include "assembler/minihit.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace metaprep;
+
+std::vector<std::string> pick(const std::vector<std::string>& files, bool lc) {
+  std::vector<std::string> out;
+  for (const auto& f : files) {
+    if ((f.find(".lc.") != std::string::npos) == lc) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<std::string> row_for(const std::string& dataset, const std::string& type,
+                                 const assembler::ContigStats& s) {
+  return {dataset, type, std::to_string(s.num_contigs),
+          util::TablePrinter::fmt(static_cast<double>(s.total_bp) / 1e3, 1),
+          std::to_string(s.max_bp), std::to_string(s.n50_bp)};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("Table 9: assembly quality with and without preprocessing");
+
+  assembler::AssemblyOptions aopt;
+  aopt.k_list = {21, 27, 31};  // MEGAHIT-style multi-k iteration
+  aopt.tip_clip_bases = 2 * 27;    // MEGAHIT-style tip clipping
+  aopt.bubble_pop_bases = 2 * 27;  // MEGAHIT-style bubble popping
+  aopt.min_kmer_count = 2;
+
+  util::TablePrinter table({"Dataset", "Type", "Contigs", "Total (kbp)", "Max (bp)",
+                            "N50 (bp)"});
+  for (const auto preset : {sim::Preset::HG, sim::Preset::LL, sim::Preset::MM}) {
+    bench::ScratchDir dir("tab9");
+    const auto ds = bench::make_dataset(preset, dir.str());
+
+    const auto full = assembler::assemble_fastq(ds.data.files, aopt);
+    table.add_row(row_for(ds.index.name, "No Preproc", full.stats));
+
+    for (const auto& [label, filter] :
+         std::vector<std::pair<std::string, core::KmerFreqFilter>>{
+             {"No Filter", {}}, {"KF<=30", {0, 30}}}) {
+      core::MetaprepConfig cfg;
+      cfg.k = 27;
+      cfg.num_ranks = 1;
+      cfg.threads_per_rank = 4;
+      cfg.filter = filter;
+      cfg.write_output = true;
+      cfg.output_dir = dir.str() + "/" + label;
+      std::filesystem::create_directories(cfg.output_dir);
+      const auto result = core::run_metaprep(ds.index, cfg);
+
+      const auto lc = assembler::assemble_fastq(pick(result.output_files, true), aopt);
+      const auto other = assembler::assemble_fastq(pick(result.output_files, false), aopt);
+      table.add_row(row_for(ds.index.name, label + " (LC+Other)",
+                            assembler::combined_stats(lc.contigs, other.contigs)));
+      table.add_row(row_for(ds.index.name, "  " + label + " LC", lc.stats));
+      table.add_row(row_for(ds.index.name, "  " + label + " Other", other.stats));
+    }
+  }
+  table.print();
+  std::printf("Paper shape: No-Preproc vs No-Filter rows nearly identical (same Max,\n"
+              "N50 within ~1%%); the largest contig is recovered inside LC; KF<=30 keeps\n"
+              "quality for HG/LL but degrades MM (filter too aggressive there).\n");
+  return 0;
+}

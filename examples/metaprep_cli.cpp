@@ -1,0 +1,198 @@
+// metaprep_cli: the command-line front end for real FASTQ data.
+//
+// Subcommands:
+//   index  --out=INDEX.bin [--k=27] [--m=10] [--chunks=384] [--single-end]
+//          R1.fastq R2.fastq [R1b.fastq R2b.fastq ...]
+//       Build and save the merHist/FASTQPart index for a dataset.
+//
+//   run    --index=INDEX.bin [--ranks=1] [--threads=4] [--passes=1]
+//          [--memory-gb=0] [--filter-min=0] [--filter-max=0] [--out=DIR]
+//          [--no-output] [--verify]
+//       Run the preprocessing pipeline.  --passes=0 with --memory-gb picks
+//       the minimum pass count fitting the per-task budget (§3.7).
+//       --filter-min/--filter-max enable the k-mer frequency filter (§4.4).
+//       --verify recomputes the partition with a brute-force in-memory
+//       reference and compares (small datasets only — quadratic memory).
+//
+//   info   --index=INDEX.bin
+//       Print index statistics and the memory-model table.
+//
+//   diginorm --out=PREFIX [--k=20] [--cutoff=20] R1.fastq R2.fastq
+//       Digital normalization (the companion Howe et al. strategy): stream
+//       the pairs, keep those whose estimated median k-mer abundance is
+//       below the cutoff, write PREFIX_1.fastq / PREFIX_2.fastq.
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "core/index_create.hpp"
+#include "core/manifest.hpp"
+#include "core/memory_model.hpp"
+#include "core/pipeline.hpp"
+#include "norm/diginorm.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace metaprep;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: metaprep_cli index --out=INDEX.bin [--k --m --chunks --single-end] "
+               "FASTQ...\n"
+               "       metaprep_cli run --index=INDEX.bin [--ranks --threads --passes "
+               "--memory-gb --filter-min --filter-max --out --no-output]\n"
+               "       metaprep_cli info --index=INDEX.bin\n"
+               "       metaprep_cli diginorm --out=PREFIX [--k --cutoff] R1.fastq R2.fastq\n");
+  return 2;
+}
+
+int cmd_diginorm(const util::Args& args) {
+  if (args.positional().size() != 3 || !args.has("out")) return usage();
+  norm::DiginormOptions opt;
+  opt.k = static_cast<int>(args.get_int("k", 20));
+  opt.cutoff = static_cast<std::uint32_t>(args.get_int("cutoff", 20));
+  const auto stats = norm::normalize_fastq_pair(args.positional()[1], args.positional()[2],
+                                                args.get("out", ""), opt);
+  std::printf("diginorm C=%u k=%d: kept %llu / %llu pairs (%.1f%%)\n", opt.cutoff, opt.k,
+              static_cast<unsigned long long>(stats.pairs_kept),
+              static_cast<unsigned long long>(stats.pairs_in),
+              stats.keep_fraction() * 100.0);
+  return 0;
+}
+
+int cmd_index(const util::Args& args) {
+  if (args.positional().size() < 2 || !args.has("out")) return usage();
+  const std::vector<std::string> files(args.positional().begin() + 1,
+                                       args.positional().end());
+  core::IndexCreateOptions opt;
+  opt.k = static_cast<int>(args.get_int("k", 27));
+  opt.m = static_cast<int>(args.get_int("m", 10));
+  opt.target_chunks = static_cast<std::uint32_t>(args.get_int("chunks", 384));
+  const bool paired = !args.has("single-end");
+  core::IndexCreateTiming timing;
+  const auto index = core::create_index(
+      std::filesystem::path(files[0]).stem().string(), files, paired, opt, &timing);
+  core::save_index(index, args.get("out", ""));
+  std::printf("Indexed %u reads (%0.2f Mbp) into %u chunks; chunking %.2f s, "
+              "histograms %.2f s. Saved to %s\n",
+              index.total_reads, static_cast<double>(index.total_bases) / 1e6,
+              index.part.num_chunks(), timing.chunking_seconds, timing.histogram_seconds,
+              args.get("out", "").c_str());
+  return 0;
+}
+
+int cmd_run(const util::Args& args) {
+  if (!args.has("index")) return usage();
+  const auto index = core::load_index(args.get("index", ""));
+  core::MetaprepConfig cfg;
+  cfg.k = index.k;
+  cfg.num_ranks = static_cast<int>(args.get_int("ranks", 1));
+  cfg.threads_per_rank = static_cast<int>(args.get_int("threads", 4));
+  cfg.num_passes = static_cast<int>(args.get_int("passes", 1));
+  const double memory_gb = args.get_double("memory-gb", 0.0);
+  if (memory_gb > 0.0) {
+    cfg.num_passes = 0;
+    cfg.memory_budget_bytes = static_cast<std::uint64_t>(memory_gb * 1e9);
+  }
+  cfg.filter.min_freq = static_cast<std::uint32_t>(args.get_int("filter-min", 0));
+  const auto fmax = args.get_int("filter-max", 0);
+  if (fmax > 0) cfg.filter.max_freq = static_cast<std::uint32_t>(fmax);
+  cfg.write_output = !args.has("no-output");
+  cfg.output_dir = args.get("out", ".");
+  std::filesystem::create_directories(cfg.output_dir);
+
+  const auto result = core::run_metaprep(index, cfg);
+  std::printf("Partitioned %u reads into %llu components using %d pass(es); largest "
+              "component: %llu reads (%.1f%%).\n",
+              result.num_reads, static_cast<unsigned long long>(result.num_components),
+              result.passes_used, static_cast<unsigned long long>(result.largest_size),
+              result.largest_fraction * 100.0);
+  util::TablePrinter table({"Step", "ms (max over ranks)"});
+  for (const auto& [step, seconds] : result.step_times.map()) {
+    table.add_row({step, util::TablePrinter::fmt(seconds * 1e3, 2)});
+  }
+  table.print();
+  if (args.has("verify")) {
+    const auto reference = core::reference_components(index, cfg.filter);
+    // Compare as partitions (labels may differ by renaming).
+    auto normalize = [](const std::vector<std::uint32_t>& labels) {
+      std::vector<std::uint32_t> out(labels.size());
+      std::map<std::uint32_t, std::uint32_t> rep;
+      for (std::uint32_t i = 0; i < labels.size(); ++i) {
+        auto [it, ins] = rep.try_emplace(labels[i], i);
+        (void)ins;
+        out[i] = it->second;
+      }
+      return out;
+    };
+    if (normalize(result.labels) == normalize(reference)) {
+      std::printf("verify: OK — partition matches the brute-force reference.\n");
+    } else {
+      std::printf("verify: MISMATCH against the brute-force reference!\n");
+      return 1;
+    }
+  }
+  if (cfg.write_output) {
+    const auto manifest = core::build_manifest(index, result);
+    core::save_manifest(manifest, cfg.output_dir + "/manifest.tsv");
+    std::printf("%zu output FASTQ files under %s (see manifest.tsv)\n",
+                result.output_files.size(), cfg.output_dir.c_str());
+  }
+  return 0;
+}
+
+int cmd_info(const util::Args& args) {
+  if (!args.has("index")) return usage();
+  const auto index = core::load_index(args.get("index", ""));
+  std::printf("Dataset %s: %zu files (%s), k=%d, m=%d\n", index.name.c_str(),
+              index.files.size(), index.paired ? "paired-end" : "single-end", index.k,
+              index.mer_hist.m);
+  std::printf("Reads: %u, bases: %llu, canonical k-mers: %llu, chunks: %u (max %llu B)\n",
+              index.total_reads, static_cast<unsigned long long>(index.total_bases),
+              static_cast<unsigned long long>(index.mer_hist.total()),
+              index.part.num_chunks(),
+              static_cast<unsigned long long>(index.max_chunk_bytes()));
+
+  core::MemoryModelInput mm;
+  mm.total_tuples = index.mer_hist.total();
+  mm.total_reads = index.total_reads;
+  mm.num_chunks = index.part.num_chunks();
+  mm.max_chunk_bytes = index.max_chunk_bytes();
+  mm.m = index.mer_hist.m;
+  mm.num_ranks = static_cast<int>(args.get_int("ranks", 1));
+  mm.threads_per_rank = static_cast<int>(args.get_int("threads", 4));
+  mm.tuple_bytes = index.k <= 32 ? 12 : 20;
+
+  util::TablePrinter table({"Passes", "kmerOut+kmerIn (MB)", "Total/task (MB)"});
+  for (int s : {1, 2, 4, 8}) {
+    mm.num_passes = s;
+    const auto b = core::estimate_memory(mm);
+    table.add_row({std::to_string(s),
+                   util::TablePrinter::fmt(static_cast<double>(b.kmer_out + b.kmer_in) / 1e6, 2),
+                   util::TablePrinter::fmt(static_cast<double>(b.total) / 1e6, 2)});
+  }
+  std::printf("Per-task memory model (P=%d, T=%d):\n", mm.num_ranks, mm.threads_per_rank);
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string& cmd = args.positional()[0];
+  try {
+    if (cmd == "index") return cmd_index(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "diginorm") return cmd_diginorm(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metaprep_cli: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

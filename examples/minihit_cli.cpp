@@ -1,0 +1,73 @@
+// minihit_cli: the bundled assembler as a standalone tool.
+//
+// Assembles FASTQ reads into contigs with MEGAHIT-style options (multi-k
+// iteration, solid-k-mer filtering, tip clipping, bubble popping) and
+// writes a FASTA.  Intended for assembling the partitions METAPREP writes:
+//
+//   metaprep_cli run --index=ds.idx --filter-max=30 --out=parts
+//   minihit_cli --out=lc.fasta parts/*.lc.fastq
+//
+// Usage: minihit_cli --out=CONTIGS.fasta [--k-list=21,27,31 | --k=27]
+//                    [--min-count=2] [--min-contig=100]
+//                    [--tip-clip=54] [--bubble-pop=54] FASTQ...
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "assembler/minihit.hpp"
+#include "io/fasta.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+std::vector<int> parse_k_list(const std::string& text) {
+  std::vector<int> ks;
+  std::istringstream is(text);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) ks.push_back(std::stoi(tok));
+  }
+  return ks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace metaprep;
+  const util::Args args(argc, argv);
+  if (args.positional().empty() || !args.has("out")) {
+    std::fprintf(stderr,
+                 "usage: minihit_cli --out=CONTIGS.fasta [--k-list=21,27,31 | --k=27] "
+                 "[--min-count=2] [--min-contig=100] [--tip-clip=54] [--bubble-pop=54] "
+                 "FASTQ...\n");
+    return 2;
+  }
+
+  assembler::AssemblyOptions opt;
+  opt.k = static_cast<int>(args.get_int("k", 27));
+  if (args.has("k-list")) opt.k_list = parse_k_list(args.get("k-list", ""));
+  opt.min_kmer_count = static_cast<std::uint32_t>(args.get_int("min-count", 2));
+  opt.min_contig_len = static_cast<std::size_t>(args.get_int("min-contig", 100));
+  opt.tip_clip_bases = static_cast<std::size_t>(args.get_int("tip-clip", 2 * opt.k));
+  opt.bubble_pop_bases = static_cast<std::size_t>(args.get_int("bubble-pop", 2 * opt.k));
+
+  try {
+    const auto result = assembler::assemble_fastq(args.positional(), opt);
+    io::write_contigs_fasta(args.get("out", ""), result.contigs);
+    std::printf("Assembled %llu reads -> %llu contigs, %llu bp total, max %llu, N50 %llu "
+                "(%.1f ms; %llu solid k-mers of %llu distinct).\n",
+                static_cast<unsigned long long>(result.reads_in),
+                static_cast<unsigned long long>(result.stats.num_contigs),
+                static_cast<unsigned long long>(result.stats.total_bp),
+                static_cast<unsigned long long>(result.stats.max_bp),
+                static_cast<unsigned long long>(result.stats.n50_bp), result.seconds * 1e3,
+                static_cast<unsigned long long>(result.solid_kmers),
+                static_cast<unsigned long long>(result.distinct_kmers));
+    std::printf("Contigs written to %s\n", args.get("out", "").c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "minihit_cli: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

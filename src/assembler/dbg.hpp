@@ -1,0 +1,293 @@
+// De Bruijn graph and contig extraction for MiniHit.
+//
+// The graph is implicit over the set of solid canonical k-mers: vertex = a
+// canonical k-mer, and a (k-1)-overlap extension by base b exists when the
+// canonical form of (suffix + b) is also solid.  Contigs are built by
+// greedy unique-extension walks in both directions from unvisited seeds,
+// stopping at branches, tips, and visited vertices — the classic unitig-
+// style compaction that every dBG assembler (including MEGAHIT) performs
+// before its more sophisticated stages.  Tip clipping (short dangling
+// paths, the footprint of errors near read ends) runs before extraction
+// when requested.
+//
+// Templated over the k-mer representation (64-bit k <= 32, 128-bit k <= 63).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "assembler/kmer_count.hpp"
+#include "kmer/traits.hpp"
+
+namespace metaprep::assembler {
+
+template <typename K>
+class BasicDeBruijnGraph {
+ public:
+  using Traits = kmer::KmerTraits<K>;
+
+  /// Build the solid-k-mer vertex set from a count table.
+  BasicDeBruijnGraph(const BasicKmerCountTable<K>& counts, std::uint32_t min_count)
+      : k_(counts.k()), mask_(Traits::mask(counts.k())) {
+    kmers_ = counts.solid_kmers(min_count);
+    live_.assign(kmers_.size(), true);
+    live_count_ = kmers_.size();
+    coverage_.reserve(kmers_.size());
+    for (const K& km : kmers_) coverage_.push_back(counts.count(km));
+    index_.reserve(kmers_.size());
+    for (std::uint32_t i = 0; i < kmers_.size(); ++i) index_[kmers_[i]] = i;
+  }
+
+  /// k-mer count of a live vertex (0 for unknown/clipped).
+  [[nodiscard]] std::uint32_t coverage(K canonical_kmer) const {
+    const auto it = index_.find(canonical_kmer);
+    return it != index_.end() && live_[it->second] ? coverage_[it->second] : 0;
+  }
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return kmers_.size(); }
+  [[nodiscard]] std::size_t num_live_vertices() const noexcept { return live_count_; }
+
+  [[nodiscard]] bool contains(K canonical_kmer) const {
+    const auto it = index_.find(canonical_kmer);
+    return it != index_.end() && live_[it->second];
+  }
+
+  /// Forward extensions of the (oriented, non-canonical) k-mer value: bases
+  /// b such that suffix(k-1)+b is a (live) solid vertex.  4-bit mask.
+  [[nodiscard]] unsigned forward_extensions(K oriented_kmer) const {
+    unsigned mask = 0;
+    for (std::uint8_t b = 0; b < 4; ++b) {
+      const K next = Traits::shift_in(oriented_kmer, b, mask_);
+      if (contains(Traits::canonical(next, k_))) mask |= 1u << b;
+    }
+    return mask;
+  }
+
+  /// Backward extensions of an oriented k-mer (== forward extensions of its
+  /// reverse complement).  4-bit mask.
+  [[nodiscard]] unsigned backward_extensions(K oriented_kmer) const {
+    return forward_extensions(Traits::reverse_complement(oriented_kmer, k_));
+  }
+
+  /// Remove *tips*: non-branching paths of total length < @p max_tip_bases
+  /// that dangle off the graph (one free end, the other at a branch).
+  /// Runs up to @p rounds sweeps; returns the number of vertices removed.
+  std::size_t remove_tips(std::size_t max_tip_bases, int rounds = 3) {
+    std::size_t removed_total = 0;
+    for (int round = 0; round < rounds; ++round) {
+      std::vector<std::size_t> to_remove;
+      for (std::size_t i = 0; i < kmers_.size(); ++i) {
+        if (!live_[i]) continue;
+        const K start = kmers_[i];
+        const K start_rc = Traits::reverse_complement(start, k_);
+        for (const K oriented : {start, start_rc}) {
+          if (backward_extensions(oriented) != 0) continue;
+          // Walk forward along the unique, unambiguous path.
+          std::vector<std::size_t> path{i};
+          K cur = oriented;
+          bool ends_at_junction = false;
+          while (path.size() + static_cast<std::size_t>(k_) - 1 < max_tip_bases) {
+            const unsigned fwd = forward_extensions(cur);
+            if (fwd == 0) break;  // dangling both ends: isolated path, not a tip
+            if (std::popcount(fwd) > 1) {
+              ends_at_junction = true;  // we ARE the branch's dead arm
+              break;
+            }
+            const auto b = static_cast<std::uint8_t>(std::countr_zero(fwd));
+            const K next = Traits::shift_in(cur, b, mask_);
+            const K canon = Traits::canonical(next, k_);
+            // If the continuation merges with other paths, the tip ends here.
+            if (std::popcount(backward_extensions(next)) > 1) {
+              ends_at_junction = true;
+              break;
+            }
+            path.push_back(index_.at(canon));
+            cur = next;
+          }
+          if (ends_at_junction &&
+              path.size() + static_cast<std::size_t>(k_) - 1 < max_tip_bases) {
+            to_remove.insert(to_remove.end(), path.begin(), path.end());
+          }
+          if (oriented == start_rc) break;  // palindromic guard
+        }
+      }
+      if (to_remove.empty()) break;
+      std::size_t removed_this_round = 0;
+      for (std::size_t idx : to_remove) {
+        if (live_[idx]) {
+          live_[idx] = false;
+          ++removed_this_round;
+        }
+      }
+      live_count_ -= removed_this_round;
+      removed_total += removed_this_round;
+    }
+    return removed_total;
+  }
+
+  /// Pop simple *bubbles*: a vertex with exactly two forward branches whose
+  /// non-branching arms reconverge at the same vertex within
+  /// @p max_bubble_bases.  SNP-like sequencing errors in mid-read (and real
+  /// strain variants) create these; MEGAHIT merges them, keeping the
+  /// higher-coverage arm.  Returns the number of vertices removed.
+  std::size_t pop_bubbles(std::size_t max_bubble_bases, int rounds = 3) {
+    std::size_t removed_total = 0;
+    for (int round = 0; round < rounds; ++round) {
+      std::size_t removed_this_round = 0;
+      for (std::size_t i = 0; i < kmers_.size(); ++i) {
+        if (!live_[i]) continue;
+        const K start = kmers_[i];
+        const K start_rc = Traits::reverse_complement(start, k_);
+        for (const K oriented : {start, start_rc}) {
+          const unsigned fwd = forward_extensions(oriented);
+          if (std::popcount(fwd) != 2) continue;
+          Arm arms[2];
+          int n_arms = 0;
+          for (std::uint8_t b = 0; b < 4; ++b) {
+            if ((fwd & (1u << b)) == 0) continue;
+            arms[n_arms] = walk_arm(Traits::shift_in(oriented, b, mask_), max_bubble_bases);
+            ++n_arms;
+          }
+          if (!arms[0].reconverges || !arms[1].reconverges) continue;
+          if (!(arms[0].merge_vertex == arms[1].merge_vertex)) continue;
+          if (arms[0].vertices.empty() || arms[1].vertices.empty()) continue;
+          if (arms_overlap(arms[0], arms[1])) continue;
+          // Keep the higher-mean-coverage arm; ties keep arm 0.
+          const int victim = mean_coverage(arms[0]) >= mean_coverage(arms[1]) ? 1 : 0;
+          for (std::size_t idx : arms[victim].vertices) {
+            if (live_[idx]) {
+              live_[idx] = false;
+              ++removed_this_round;
+            }
+          }
+          if (oriented == start_rc) break;
+        }
+      }
+      if (removed_this_round == 0) break;
+      live_count_ -= removed_this_round;
+      removed_total += removed_this_round;
+    }
+    return removed_total;
+  }
+
+  /// Extract contigs.  Deterministic: seeds are visited in ascending
+  /// canonical k-mer order.  Contigs shorter than @p min_contig_len are
+  /// dropped.
+  [[nodiscard]] std::vector<std::string> extract_contigs(std::size_t min_contig_len) const {
+    std::vector<std::string> contigs;
+    std::vector<bool> visited(kmers_.size(), false);
+
+    // Extend an oriented k-mer rightward as long as the extension is unique
+    // and unvisited.  Appends bases to `contig`.
+    auto extend_right = [&](K oriented, std::string& contig) {
+      for (;;) {
+        unsigned candidates = 0;
+        std::uint8_t chosen = 0;
+        K chosen_next{};
+        std::size_t chosen_index = 0;
+        for (std::uint8_t b = 0; b < 4; ++b) {
+          const K next = Traits::shift_in(oriented, b, mask_);
+          const K canon = Traits::canonical(next, k_);
+          const auto it = index_.find(canon);
+          if (it == index_.end() || !live_[it->second] || visited[it->second]) continue;
+          ++candidates;
+          chosen = b;
+          chosen_next = next;
+          chosen_index = it->second;
+        }
+        if (candidates != 1) return;  // branch or dead end
+        visited[chosen_index] = true;
+        contig.push_back(kmer::base_char(chosen));
+        oriented = chosen_next;
+      }
+    };
+
+    for (std::size_t seed = 0; seed < kmers_.size(); ++seed) {
+      if (visited[seed] || !live_[seed]) continue;
+      visited[seed] = true;
+      const K seed_kmer = kmers_[seed];
+
+      // Start with the seed's forward string, extend right, then extend the
+      // reverse complement right (== extend the contig left) and stitch.
+      std::string right = Traits::decode(seed_kmer, k_);
+      extend_right(seed_kmer, right);
+
+      std::string left;  // bases to prepend, built in reverse-complement space
+      extend_right(Traits::reverse_complement(seed_kmer, k_), left);
+
+      std::string contig = kmer::revcomp_string(left);
+      contig += right;
+      if (contig.size() >= min_contig_len) contigs.push_back(std::move(contig));
+    }
+    return contigs;
+  }
+
+ private:
+  /// One branch arm of a potential bubble: the interior vertices of a
+  /// non-branching path from (but excluding) the branch vertex up to (but
+  /// excluding) a reconvergence vertex.
+  struct Arm {
+    std::vector<std::size_t> vertices;
+    K merge_vertex{};       ///< canonical form of the reconvergence vertex
+    bool reconverges = false;
+  };
+
+  /// Follow the unique path starting at oriented k-mer @p first until it
+  /// merges back into the graph (next vertex has in-degree 2), branches,
+  /// dead-ends, or exceeds @p max_bases.
+  [[nodiscard]] Arm walk_arm(K first, std::size_t max_bases) const {
+    Arm arm;
+    K cur = first;
+    // The first vertex itself must be a plain interior vertex.
+    for (;;) {
+      const K canon = Traits::canonical(cur, k_);
+      const auto it = index_.find(canon);
+      if (it == index_.end() || !live_[it->second]) return arm;
+      if (std::popcount(backward_extensions(cur)) > 1) {
+        // Reconvergence point reached; arm interior ends before it.
+        arm.merge_vertex = canon;
+        arm.reconverges = true;
+        return arm;
+      }
+      arm.vertices.push_back(it->second);
+      if (arm.vertices.size() + static_cast<std::size_t>(k_) - 1 > max_bases) return arm;
+      const unsigned fwd = forward_extensions(cur);
+      if (std::popcount(fwd) != 1) return arm;  // dead end or new branch
+      const auto b = static_cast<std::uint8_t>(std::countr_zero(fwd));
+      cur = Traits::shift_in(cur, b, mask_);
+    }
+  }
+
+  [[nodiscard]] static bool arms_overlap(const Arm& a, const Arm& b) {
+    for (std::size_t x : a.vertices) {
+      for (std::size_t y : b.vertices) {
+        if (x == y) return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] double mean_coverage(const Arm& arm) const {
+    double total = 0.0;
+    for (std::size_t idx : arm.vertices) total += coverage_[idx];
+    return arm.vertices.empty() ? 0.0 : total / static_cast<double>(arm.vertices.size());
+  }
+
+  int k_;
+  K mask_;
+  std::vector<K> kmers_;    ///< sorted canonical solid k-mers
+  std::vector<bool> live_;  ///< false after tip clipping / bubble popping
+  std::vector<std::uint32_t> coverage_;  ///< k-mer counts, aligned with kmers_
+  std::size_t live_count_ = 0;
+  std::unordered_map<K, std::uint32_t> index_;
+};
+
+using DeBruijnGraph = BasicDeBruijnGraph<std::uint64_t>;
+using WideDeBruijnGraph = BasicDeBruijnGraph<kmer::Kmer128>;
+
+}  // namespace metaprep::assembler

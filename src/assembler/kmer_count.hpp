@@ -1,0 +1,91 @@
+// k-mer counting for the MiniHit assembler.
+//
+// Assemblers filter the de Bruijn graph on k-mer frequency before building
+// contigs ("Most de Bruijn graph-based assemblers include such filters in
+// the graph construction step", paper §4.4); MiniHit keeps canonical k-mers
+// whose count is >= min_count, which drops most sequencing-error k-mers.
+//
+// Templated over the k-mer representation: 64-bit for k <= 32 and 128-bit
+// for k <= 63 (the paper's §4.4 k=63 exploration applies to assembly k-lists
+// too — MEGAHIT's default list reaches k=99).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "io/fastq.hpp"
+#include "kmer/traits.hpp"
+
+namespace metaprep::assembler {
+
+template <typename K>
+class BasicKmerCountTable {
+ public:
+  using Traits = kmer::KmerTraits<K>;
+
+  explicit BasicKmerCountTable(int k) : k_(k) {
+    if (k < 1 || k > Traits::kMaxK)
+      throw std::invalid_argument("KmerCountTable: k out of range for this k-mer width");
+  }
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+  /// Count all canonical k-mers of a read.
+  void add_read(std::string_view seq) { add_read_weighted(seq, 1); }
+
+  /// Count all canonical k-mers of a sequence with multiplicity @p weight.
+  /// Used to feed previous-round contigs into the next k iteration of a
+  /// multi-k assembly so they survive the solid-k-mer filter.
+  void add_read_weighted(std::string_view seq, std::uint32_t weight) {
+    Traits::for_each_canonical(seq, k_, [&](K km, std::size_t) {
+      counts_[km] += weight;
+      total_ += weight;
+    });
+  }
+
+  /// Count all reads of a FASTQ file.
+  void add_fastq(const std::string& path) {
+    io::FastqReader reader(path);
+    io::FastqRecord rec;
+    while (reader.next(rec)) add_read(rec.seq);
+  }
+
+  [[nodiscard]] std::uint32_t count(K canonical_kmer) const {
+    auto it = counts_.find(canonical_kmer);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Canonical k-mers with count >= min_count, sorted ascending (gives the
+  /// assembler a deterministic traversal order).
+  [[nodiscard]] std::vector<K> solid_kmers(std::uint32_t min_count) const {
+    std::vector<K> out;
+    out.reserve(counts_.size());
+    for (const auto& [km, c] : counts_) {
+      if (c >= min_count) out.push_back(km);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  [[nodiscard]] const std::unordered_map<K, std::uint32_t>& map() const { return counts_; }
+
+ private:
+  int k_;
+  std::unordered_map<K, std::uint32_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// The k <= 32 table used throughout (12-byte keys).
+using KmerCountTable = BasicKmerCountTable<std::uint64_t>;
+/// The 32 < k <= 63 table (20-byte keys), for wide assembly k-lists.
+using WideKmerCountTable = BasicKmerCountTable<kmer::Kmer128>;
+
+}  // namespace metaprep::assembler

@@ -1,0 +1,59 @@
+// MiniHit: a from-scratch single-k de Bruijn graph assembler.
+//
+// Substitute for MEGAHIT in the paper's §4.4 experiments (Tables 8 and 9).
+// The properties those experiments rely on are: (a) assembly time grows
+// with input size, so partitioning the reads and assembling the largest
+// component separately is faster; and (b) output quality (contig count,
+// total bp, max contig, N50) is comparable when the partition keeps
+// genome-coherent reads together, and degrades when aggressive filtering
+// severs them.  Any correct dBG assembler exhibits both; MiniHit is the
+// minimal one (count -> solid-kmer graph -> unique-extension contigs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "assembler/stats.hpp"
+
+namespace metaprep::assembler {
+
+struct AssemblyOptions {
+  int k = 27;
+  std::uint32_t min_kmer_count = 2;  ///< solid-k-mer threshold (error filter)
+  std::size_t min_contig_len = 100;  ///< drop shorter contigs from output
+  /// Tip clipping: remove dangling non-branching paths shorter than this
+  /// many bases before contig extraction (0 = disabled).  MEGAHIT clips
+  /// tips of up to 2k bases by default; sequencing errors near read ends
+  /// are the usual cause.
+  std::size_t tip_clip_bases = 0;
+  /// Bubble popping: merge two-arm bubbles whose arms are shorter than this
+  /// many bases, keeping the higher-coverage arm (0 = disabled).  Mid-read
+  /// sequencing errors and strain SNPs are the usual cause.
+  std::size_t bubble_pop_bases = 0;
+  /// Multi-k iteration, the defining MEGAHIT strategy ("assemblers such as
+  /// MEGAHIT use multiple k-mer lengths", paper §2): when non-empty, the
+  /// assembly runs one round per k (ascending), feeding each round's contigs
+  /// into the next round's graph; `k` is ignored.  Small k recovers
+  /// low-coverage genomes, large k resolves repeats.
+  std::vector<int> k_list;
+};
+
+struct AssemblyResult {
+  std::vector<std::string> contigs;
+  ContigStats stats;
+  double seconds = 0.0;              ///< wall time of the whole assembly
+  std::uint64_t reads_in = 0;
+  std::uint64_t distinct_kmers = 0;
+  std::uint64_t solid_kmers = 0;
+};
+
+/// Assemble a set of FASTQ files.
+AssemblyResult assemble_fastq(const std::vector<std::string>& files,
+                              const AssemblyOptions& options);
+
+/// Assemble in-memory reads (unit tests).
+AssemblyResult assemble_reads(const std::vector<std::string>& reads,
+                              const AssemblyOptions& options);
+
+}  // namespace metaprep::assembler

@@ -1,0 +1,44 @@
+#include "assembler/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace metaprep::assembler {
+
+FilterSuggestion suggest_filter(const Spectrum& spectrum, double peak_multiple) {
+  FilterSuggestion s;
+  if (spectrum.empty()) return s;
+
+  // Densify into a vector up to the last observed frequency (bounded).
+  const std::uint32_t max_freq = std::min<std::uint32_t>(spectrum.rbegin()->first, 100'000);
+  std::vector<std::uint64_t> dense(max_freq + 1, 0);
+  for (const auto& [f, n] : spectrum) {
+    if (f <= max_freq) dense[f] = n;
+  }
+
+  // Valley: first frequency (>= 2) where the count stops decreasing.
+  std::uint32_t valley = 0;
+  for (std::uint32_t f = 2; f < max_freq; ++f) {
+    if (dense[f] <= dense[f + 1]) {
+      valley = f;
+      break;
+    }
+  }
+  if (valley == 0) return s;  // monotone spectrum: no error/coverage split
+
+  // Peak: maximum after the valley.
+  std::uint32_t peak = valley;
+  for (std::uint32_t f = valley; f <= max_freq; ++f) {
+    if (dense[f] > dense[peak]) peak = f;
+  }
+  if (peak <= valley) return s;
+
+  s.min_freq = valley;
+  s.peak_freq = peak;
+  s.max_freq = static_cast<std::uint32_t>(std::llround(peak_multiple * peak));
+  s.confident = true;
+  return s;
+}
+
+}  // namespace metaprep::assembler

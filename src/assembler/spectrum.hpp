@@ -1,0 +1,45 @@
+// k-mer frequency spectrum analysis.
+//
+// The paper chooses its frequency-filter bounds ad hoc ("We chose the
+// values 10, 30, and 63 arbitrarily.  An extensive evaluation of filtering
+// strategies ... is left for future work", §4.4).  The standard way to pick
+// them in practice is the k-mer frequency spectrum: sequencing errors pile
+// up at frequency 1-2, true genomic k-mers form a peak near the coverage
+// depth, and repeats form a high-frequency tail.  The valley between the
+// error spike and the coverage peak gives the lower bound; a multiple of
+// the peak gives the upper bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "assembler/kmer_count.hpp"
+
+namespace metaprep::assembler {
+
+/// frequency -> number of distinct canonical k-mers with that count.
+using Spectrum = std::map<std::uint32_t, std::uint64_t>;
+
+template <typename K>
+Spectrum frequency_spectrum(const BasicKmerCountTable<K>& counts) {
+  Spectrum spectrum;
+  for (const auto& [km, c] : counts.map()) {
+    (void)km;
+    ++spectrum[c];
+  }
+  return spectrum;
+}
+
+struct FilterSuggestion {
+  std::uint32_t min_freq = 0;  ///< valley between error spike and peak
+  std::uint32_t max_freq = 0;  ///< repeat cutoff (multiple of the peak)
+  std::uint32_t peak_freq = 0; ///< coverage peak location
+  bool confident = false;      ///< false when no valley/peak is discernible
+};
+
+/// Heuristic filter bounds from a spectrum: walk up from frequency 1 to the
+/// first local minimum (the valley), then to the following maximum (the
+/// coverage peak); max_freq = peak_multiple * peak.
+FilterSuggestion suggest_filter(const Spectrum& spectrum, double peak_multiple = 3.0);
+
+}  // namespace metaprep::assembler

@@ -1,0 +1,44 @@
+#include "assembler/stats.hpp"
+
+#include <algorithm>
+
+namespace metaprep::assembler {
+
+namespace {
+ContigStats stats_from_lengths(std::vector<std::uint64_t> lengths) {
+  ContigStats s;
+  s.num_contigs = lengths.size();
+  for (std::uint64_t l : lengths) {
+    s.total_bp += l;
+    s.max_bp = std::max(s.max_bp, l);
+  }
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  std::uint64_t acc = 0;
+  for (std::uint64_t l : lengths) {
+    acc += l;
+    if (2 * acc >= s.total_bp) {
+      s.n50_bp = l;
+      break;
+    }
+  }
+  return s;
+}
+}  // namespace
+
+ContigStats contig_stats(const std::vector<std::string>& contigs) {
+  std::vector<std::uint64_t> lengths;
+  lengths.reserve(contigs.size());
+  for (const auto& c : contigs) lengths.push_back(c.size());
+  return stats_from_lengths(std::move(lengths));
+}
+
+ContigStats combined_stats(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  std::vector<std::uint64_t> lengths;
+  lengths.reserve(a.size() + b.size());
+  for (const auto& c : a) lengths.push_back(c.size());
+  for (const auto& c : b) lengths.push_back(c.size());
+  return stats_from_lengths(std::move(lengths));
+}
+
+}  // namespace metaprep::assembler

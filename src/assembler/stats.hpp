@@ -1,0 +1,27 @@
+// Assembly quality statistics (the Table 9 columns: Contigs, Total (Mbp),
+// Max (bp), N50 (bp)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metaprep::assembler {
+
+struct ContigStats {
+  std::uint64_t num_contigs = 0;
+  std::uint64_t total_bp = 0;
+  std::uint64_t max_bp = 0;
+  std::uint64_t n50_bp = 0;
+};
+
+/// Compute contig statistics.  N50: the largest length L such that contigs
+/// of length >= L cover at least half of total_bp.
+ContigStats contig_stats(const std::vector<std::string>& contigs);
+
+/// Merge statistics of two contig sets (e.g. LC + Other assemblies): counts
+/// and totals add; max is the max; N50 is recomputed from the combined
+/// length multiset.
+ContigStats combined_stats(const std::vector<std::string>& a, const std::vector<std::string>& b);
+
+}  // namespace metaprep::assembler

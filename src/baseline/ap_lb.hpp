@@ -1,0 +1,36 @@
+// AP_LB-style read-graph partitioner (the Table 4 comparison baseline).
+//
+// Flick et al. (SC'15) partition metagenomic reads with a distributed
+// Shiloach-Vishkin connectivity algorithm whose iterative structure needs
+// O(log M) sort-and-propagate rounds (the paper reports 19-21 iterations on
+// HG/LL/MM).  This baseline reproduces that algorithmic shape: enumerate
+// (k-mer, read) tuples, sort them, materialize explicit read-graph edges,
+// and run Shiloach-Vishkin to convergence — versus METAPREP's Union-Find,
+// which needs only ceil(log P) merge rounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/indices.hpp"
+
+namespace metaprep::baseline {
+
+struct ApLbResult {
+  std::vector<std::uint32_t> labels;  ///< component label per read
+  int sv_iterations = 0;              ///< Shiloach-Vishkin rounds
+  double enumerate_seconds = 0.0;
+  double sort_seconds = 0.0;
+  double edges_seconds = 0.0;
+  double cc_seconds = 0.0;
+  std::uint64_t num_edges = 0;
+  [[nodiscard]] double total_seconds() const {
+    return enumerate_seconds + sort_seconds + edges_seconds + cc_seconds;
+  }
+};
+
+/// Partition the reads of an indexed dataset (k <= 32).
+ApLbResult ap_lb_partition(const core::DatasetIndex& index);
+
+}  // namespace metaprep::baseline

@@ -1,0 +1,47 @@
+// Howe-style de Bruijn graph WCC partitioning (the original method).
+//
+// Howe et al. partition metagenomes by computing weakly connected components
+// of the de Bruijn graph (paper §1-2).  Flick et al. (and METAPREP) replace
+// this with read-graph CC, relying on the equivalence the paper sketches:
+// "if two k-mers k1 and k2 belong to a WCC of the de Bruijn graph, then the
+// reads containing these k-mers also belong to a CC in the read graph", and
+// conversely for distinct WCCs.  This module implements the dBG side
+// directly — vertices are the canonical k-mers observed in the reads, edges
+// the (k-1)-overlaps *observed within reads* — so the equivalence theorem
+// can be verified end-to-end, and the memory trade METAPREP makes (never
+// materializing the k-mer set) can be quantified.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/indices.hpp"
+
+namespace metaprep::baseline {
+
+struct DbgWccResult {
+  /// Canonical k-mer -> WCC label.
+  std::unordered_map<std::uint64_t, std::uint32_t> kmer_wcc;
+  std::uint64_t num_kmers = 0;
+  std::uint64_t num_wcc = 0;
+  /// Read -> WCC label of its k-mers (one entry per read; reads whose
+  /// k-mers span no valid window get label UINT32_MAX).
+  std::vector<std::uint32_t> read_wcc;
+  /// Approximate resident bytes of the k-mer structures (the memory METAPREP
+  /// avoids by its implicit representation).
+  std::uint64_t kmer_table_bytes = 0;
+  double seconds = 0.0;
+};
+
+/// Compute dBG WCCs over in-memory reads (k <= 32).  Each read must have all
+/// its k-mers in one WCC by construction (consecutive k-mers share an edge);
+/// this is asserted in debug builds.
+DbgWccResult howe_dbg_wcc(const std::vector<std::string>& reads, int k);
+
+/// Compute over an indexed dataset (reads streamed from the chunks).
+DbgWccResult howe_dbg_wcc(const core::DatasetIndex& index);
+
+}  // namespace metaprep::baseline

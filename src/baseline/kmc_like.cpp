@@ -1,0 +1,85 @@
+#include "baseline/kmc_like.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "io/fastq.hpp"
+#include "kmer/minimizer.hpp"
+#include "kmer/scanner.hpp"
+#include "util/timer.hpp"
+
+namespace metaprep::baseline {
+
+namespace {
+
+struct Bins {
+  /// Per bin: concatenated super-k-mer substrings, with lengths.
+  std::vector<std::vector<std::string>> super;
+  std::uint64_t super_count = 0;
+  std::uint64_t super_bases = 0;
+};
+
+void bin_read(std::string_view seq, const KmcLikeOptions& opt, Bins& bins) {
+  for (const auto& sk : kmer::super_kmers(seq, opt.k, opt.minimizer_len)) {
+    const std::size_t len = static_cast<std::size_t>(sk.kmer_count) +
+                            static_cast<std::size_t>(opt.k) - 1;
+    const auto bin = static_cast<std::size_t>(sk.minimizer %
+                                              static_cast<std::uint64_t>(opt.num_bins));
+    bins.super[bin].emplace_back(seq.substr(sk.start, len));
+    ++bins.super_count;
+    bins.super_bases += len;
+  }
+}
+
+KmcLikeResult finish(Bins& bins, const KmcLikeOptions& opt, double stage1_seconds) {
+  KmcLikeResult result;
+  result.stage1_seconds = stage1_seconds;
+  result.super_kmers = bins.super_count;
+  result.super_kmer_bases = bins.super_bases;
+
+  util::WallTimer stage2;
+  std::vector<std::uint64_t> kmers;
+  for (auto& bin : bins.super) {
+    kmers.clear();
+    for (const auto& sk : bin) {
+      kmer::scan_canonical_kmers64(sk, opt.k, kmers);
+    }
+    std::sort(kmers.begin(), kmers.end());
+    result.total_kmers += kmers.size();
+    for (std::size_t i = 0; i < kmers.size(); ++i) {
+      if (i == 0 || kmers[i] != kmers[i - 1]) ++result.distinct_kmers;
+    }
+  }
+  result.stage2_seconds = stage2.seconds();
+  return result;
+}
+
+}  // namespace
+
+KmcLikeResult kmc_like_count(const std::vector<std::string>& files,
+                             const KmcLikeOptions& options) {
+  if (options.minimizer_len > options.k)
+    throw std::invalid_argument("kmc_like: minimizer_len must be <= k");
+  Bins bins;
+  bins.super.resize(static_cast<std::size_t>(options.num_bins));
+  util::WallTimer stage1;
+  for (const auto& path : files) {
+    io::FastqReader reader(path);
+    io::FastqRecord rec;
+    while (reader.next(rec)) bin_read(rec.seq, options, bins);
+  }
+  return finish(bins, options, stage1.seconds());
+}
+
+KmcLikeResult kmc_like_count_reads(const std::vector<std::string>& reads,
+                                   const KmcLikeOptions& options) {
+  if (options.minimizer_len > options.k)
+    throw std::invalid_argument("kmc_like: minimizer_len must be <= k");
+  Bins bins;
+  bins.super.resize(static_cast<std::size_t>(options.num_bins));
+  util::WallTimer stage1;
+  for (const auto& r : reads) bin_read(r, options, bins);
+  return finish(bins, options, stage1.seconds());
+}
+
+}  // namespace metaprep::baseline

@@ -1,0 +1,73 @@
+// METAPREP run configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpsim/comm.hpp"
+
+namespace metaprep::core {
+
+/// k-mer frequency filter (paper §4.4): only read-graph edges whose shared
+/// canonical k-mer has a global frequency in [min_freq, max_freq] are used.
+/// "High frequency k-mers may occur due to repeated sequences in the
+/// metagenome.  Low frequency k-mers may occur due to sequencing errors."
+struct KmerFreqFilter {
+  std::uint32_t min_freq = 0;                       ///< 0 = no lower bound
+  std::uint32_t max_freq = 0xFFFFFFFFu;             ///< UINT32_MAX = no upper bound
+  [[nodiscard]] bool enabled() const noexcept {
+    return min_freq > 0 || max_freq != 0xFFFFFFFFu;
+  }
+  [[nodiscard]] bool accepts(std::uint64_t freq) const noexcept {
+    return freq >= min_freq && freq <= max_freq;
+  }
+};
+
+/// How rank-local component arrays are combined (paper §3.6 + §5).
+enum class MergeStrategy {
+  /// The paper's method (Figure 4): ceil(log P) pairwise rounds; each round
+  /// ships a full 4R-byte component array down the tree.
+  kPairwiseTree,
+  /// The paper's future-work direction ("adopting the component graph
+  /// contraction methods described in [16]"): each rank contracts its local
+  /// forest to the non-trivial (vertex, root) pairs and ships only those to
+  /// rank 0 in one round — bytes proportional to merged vertices, not R.
+  kContraction,
+};
+
+struct MetaprepConfig {
+  int k = 27;                 ///< k-mer length (<= 63; > 32 uses 128-bit k-mers)
+  int num_ranks = 1;          ///< P: simulated MPI tasks
+  int threads_per_rank = 1;   ///< T: OpenMP-style threads per task
+  int num_passes = 1;         ///< S: I/O passes (0 = derive from memory_budget)
+  std::uint64_t memory_budget_bytes = 0;  ///< per-task budget when num_passes == 0
+
+  KmerFreqFilter filter;
+
+  /// Multipass optimization (paper §3.5.1): from the second pass on,
+  /// enumerate (k-mer, component-ID) tuples instead of (k-mer, read-ID).
+  bool cc_opt = true;
+
+  /// Radix digit width for LocalSort (§3.4).  The paper uses 8 ("sorting 8
+  /// bits per pass is faster than sorting a higher number of bits ... better
+  /// temporal locality"); exposed so the trade-off is measurable.
+  int sort_digit_bits = 8;
+
+  /// Write partitioned FASTQ output (largest component vs the rest, §3.6).
+  /// When false the pipeline stops after component labeling.
+  bool write_output = true;
+  std::string output_dir = ".";
+
+  /// Number of top components written to individual files.  1 reproduces
+  /// the paper's split (".lc" + ".other"); N > 1 writes ".c0".."".cN-1"
+  /// plus ".other" (the future-work "alternate component-splitting
+  /// strategies").
+  int output_top_components = 1;
+
+  MergeStrategy merge_strategy = MergeStrategy::kPairwiseTree;
+
+  /// Interconnect cost model for the simulated-comm-seconds report.
+  mpsim::CostModelParams cost_model;
+};
+
+}  // namespace metaprep::core

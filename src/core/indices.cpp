@@ -1,0 +1,96 @@
+#include "core/indices.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "io/binary.hpp"
+
+namespace metaprep::core {
+
+namespace {
+constexpr std::uint32_t kIndexMagic = 0x4D505249;  // "MPRI"
+constexpr std::uint32_t kIndexVersion = 3;
+}  // namespace
+
+std::uint64_t MerHist::total() const {
+  std::uint64_t t = 0;
+  for (std::uint32_t c : counts) t += c;
+  return t;
+}
+
+std::uint64_t FastqPartTable::range_count(std::uint32_t c, std::uint32_t bin_begin,
+                                          std::uint32_t bin_end) const {
+  const std::uint32_t* r = row(c);
+  std::uint64_t t = 0;
+  for (std::uint32_t b = bin_begin; b < bin_end; ++b) t += r[b];
+  return t;
+}
+
+std::uint64_t DatasetIndex::max_chunk_bytes() const {
+  std::uint64_t mx = 0;
+  for (const auto& c : part.chunks) mx = std::max(mx, c.size);
+  return mx;
+}
+
+void save_index(const DatasetIndex& index, const std::string& path) {
+  io::BinaryWriter w(path, kIndexMagic, kIndexVersion);
+  w.write_string(index.name);
+  w.write_u64(index.files.size());
+  for (const auto& f : index.files) w.write_string(f);
+  w.write_u32(index.paired ? 1 : 0);
+  w.write_u32(static_cast<std::uint32_t>(index.k));
+  w.write_u32(index.total_reads);
+  w.write_u64(index.total_bases);
+  w.write_u64(index.total_file_bytes);
+
+  w.write_u32(static_cast<std::uint32_t>(index.mer_hist.m));
+  w.write_u32(static_cast<std::uint32_t>(index.mer_hist.k));
+  w.write_vector<std::uint32_t>(index.mer_hist.counts);
+
+  w.write_u32(static_cast<std::uint32_t>(index.part.m));
+  w.write_u64(index.part.chunks.size());
+  for (const auto& c : index.part.chunks) {
+    w.write_u32(c.file);
+    w.write_u64(c.offset);
+    w.write_u64(c.size);
+    w.write_u32(c.first_read_id);
+    w.write_u32(c.record_count);
+  }
+  w.write_vector<std::uint32_t>(index.part.histograms);
+}
+
+DatasetIndex load_index(const std::string& path) {
+  io::BinaryReader r(path, kIndexMagic, kIndexVersion);
+  DatasetIndex index;
+  index.name = r.read_string();
+  const std::uint64_t nfiles = r.read_u64();
+  for (std::uint64_t i = 0; i < nfiles; ++i) index.files.push_back(r.read_string());
+  index.paired = r.read_u32() != 0;
+  index.k = static_cast<int>(r.read_u32());
+  index.total_reads = r.read_u32();
+  index.total_bases = r.read_u64();
+  index.total_file_bytes = r.read_u64();
+
+  index.mer_hist.m = static_cast<int>(r.read_u32());
+  index.mer_hist.k = static_cast<int>(r.read_u32());
+  index.mer_hist.counts = r.read_vector<std::uint32_t>();
+
+  index.part.m = static_cast<int>(r.read_u32());
+  const std::uint64_t nchunks = r.read_u64();
+  index.part.chunks.resize(nchunks);
+  for (auto& c : index.part.chunks) {
+    c.file = r.read_u32();
+    c.offset = r.read_u64();
+    c.size = r.read_u64();
+    c.first_read_id = r.read_u32();
+    c.record_count = r.read_u32();
+  }
+  index.part.histograms = r.read_vector<std::uint32_t>();
+
+  if (index.part.histograms.size() !=
+      index.part.chunks.size() * (std::size_t{1} << (2 * index.part.m)))
+    throw std::runtime_error("load_index: inconsistent FASTQPart histogram size");
+  return index;
+}
+
+}  // namespace metaprep::core

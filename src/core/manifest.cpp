@@ -1,0 +1,113 @@
+#include "core/manifest.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/fastq.hpp"
+
+namespace metaprep::core {
+
+std::uint64_t Manifest::total_records() const {
+  std::uint64_t total = 0;
+  for (const auto& e : entries) total += e.records;
+  return total;
+}
+
+std::string partition_class_of(const std::string& path) {
+  if (path.find(".lc.") != std::string::npos) return "lc";
+  if (path.find(".other.") != std::string::npos) return "other";
+  // ".c<digits>." between rank/thread tags and "fastq".
+  for (std::size_t pos = path.find(".c"); pos != std::string::npos;
+       pos = path.find(".c", pos + 1)) {
+    std::size_t end = pos + 2;
+    while (end < path.size() && std::isdigit(static_cast<unsigned char>(path[end]))) ++end;
+    if (end > pos + 2 && end < path.size() && path[end] == '.') {
+      return path.substr(pos + 1, end - pos - 1);
+    }
+  }
+  return "unknown";
+}
+
+Manifest build_manifest(const DatasetIndex& index, const PipelineResult& result) {
+  Manifest m;
+  m.dataset = index.name;
+  m.k = index.k;
+  m.num_reads = result.num_reads;
+  m.num_components = result.num_components;
+  m.largest_size = result.largest_size;
+  for (const auto& path : result.output_files) {
+    ManifestEntry e;
+    e.path = path;
+    e.partition = partition_class_of(path);
+    io::FastqReader reader(path);
+    io::FastqRecord rec;
+    while (reader.next(rec)) {
+      ++e.records;
+      e.bases += rec.seq.size();
+    }
+    m.entries.push_back(std::move(e));
+  }
+  return m;
+}
+
+void save_manifest(const Manifest& m, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("manifest: cannot write " + path);
+  std::fprintf(f, "#dataset\t%s\n", m.dataset.c_str());
+  std::fprintf(f, "#k\t%d\n", m.k);
+  std::fprintf(f, "#reads\t%u\n", m.num_reads);
+  std::fprintf(f, "#components\t%llu\n",
+               static_cast<unsigned long long>(m.num_components));
+  std::fprintf(f, "#largest\t%llu\n", static_cast<unsigned long long>(m.largest_size));
+  std::fprintf(f, "path\tpartition\trecords\tbases\n");
+  for (const auto& e : m.entries) {
+    std::fprintf(f, "%s\t%s\t%llu\t%llu\n", e.path.c_str(), e.partition.c_str(),
+                 static_cast<unsigned long long>(e.records),
+                 static_cast<unsigned long long>(e.bases));
+  }
+  std::fclose(f);
+}
+
+Manifest load_manifest(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) throw std::runtime_error("manifest: cannot read " + path);
+  Manifest m;
+  char line[4096];
+  bool header_seen = false;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    std::string s(line);
+    while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+    if (s.empty()) continue;
+    std::istringstream is(s);
+    if (s[0] == '#') {
+      std::string key, value;
+      std::getline(is, key, '\t');
+      std::getline(is, value, '\t');
+      if (key == "#dataset") m.dataset = value;
+      if (key == "#k") m.k = std::stoi(value);
+      if (key == "#reads") m.num_reads = static_cast<std::uint32_t>(std::stoul(value));
+      if (key == "#components") m.num_components = std::stoull(value);
+      if (key == "#largest") m.largest_size = std::stoull(value);
+      continue;
+    }
+    if (!header_seen) {  // column header row
+      header_seen = true;
+      continue;
+    }
+    ManifestEntry e;
+    std::string records, bases;
+    std::getline(is, e.path, '\t');
+    std::getline(is, e.partition, '\t');
+    std::getline(is, records, '\t');
+    std::getline(is, bases, '\t');
+    e.records = std::stoull(records);
+    e.bases = std::stoull(bases);
+    m.entries.push_back(std::move(e));
+  }
+  std::fclose(f);
+  return m;
+}
+
+}  // namespace metaprep::core

@@ -1,0 +1,50 @@
+// Partition manifest: a machine-readable description of a METAPREP run's
+// output, written next to the partitioned FASTQ files.
+//
+// Downstream automation (one assembler job per partition, §4.4's parallel
+// assembly) needs to know which files belong to which component class and
+// how much work each holds.  The manifest is a TSV with one row per output
+// file plus a header of run-level metadata, so a job scheduler can consume
+// it without re-scanning FASTQ.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace metaprep::core {
+
+struct ManifestEntry {
+  std::string path;
+  std::string partition;        ///< "lc", "c<N>", or "other"
+  std::uint64_t records = 0;    ///< FASTQ records in the file
+  std::uint64_t bases = 0;
+};
+
+struct Manifest {
+  std::string dataset;
+  int k = 0;
+  std::uint32_t num_reads = 0;
+  std::uint64_t num_components = 0;
+  std::uint64_t largest_size = 0;
+  std::vector<ManifestEntry> entries;
+
+  /// Total records across all entries (2 * num_reads for paired data when
+  /// the split is lossless).
+  [[nodiscard]] std::uint64_t total_records() const;
+};
+
+/// Build a manifest by scanning the run's output files.
+Manifest build_manifest(const DatasetIndex& index, const PipelineResult& result);
+
+/// Serialize to TSV ("#key\tvalue" metadata lines, then one row per file).
+void save_manifest(const Manifest& manifest, const std::string& path);
+Manifest load_manifest(const std::string& path);
+
+/// Partition class of an output path ("lc", "c<N>", "other"), derived from
+/// the file-name suffix convention the pipeline uses.
+std::string partition_class_of(const std::string& path);
+
+}  // namespace metaprep::core

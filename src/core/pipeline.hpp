@@ -1,0 +1,60 @@
+// The METAPREP pipeline (paper §3, Figure 1 / Table 1):
+//
+//   IndexCreate -> [ KmerGen -> KmerGen-Comm -> LocalSort -> LocalCC ] x S
+//               -> MergeCC -> partitioned FASTQ output
+//
+// run_metaprep executes the whole pipeline over P simulated MPI ranks with
+// T threads each and S I/O passes.  Each pass processes a disjoint k-mer
+// bin range; all per-thread buffer offsets are precomputed from the
+// FASTQPart chunk histograms so the hot loops run without synchronization
+// (§3.2.2).  Components accumulate in one rank-local Union-Find across
+// passes and are merged once at the end over ceil(log P) rounds (§3.6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/indices.hpp"
+#include "util/timer.hpp"
+
+namespace metaprep::core {
+
+struct PipelineResult {
+  std::uint32_t num_reads = 0;           ///< R (paired-end read count)
+  std::vector<std::uint32_t> labels;     ///< final component root per read
+  std::uint64_t num_components = 0;
+  std::uint32_t largest_root = 0;
+  std::uint64_t largest_size = 0;        ///< reads in the largest component
+  double largest_fraction = 0.0;         ///< largest_size / num_reads
+
+  util::StepTimes step_times;            ///< per step, max over ranks
+  std::vector<util::StepTimes> rank_times;  ///< per rank (Figure 8 data)
+  int passes_used = 0;
+
+  std::uint64_t total_tuples = 0;        ///< enumerated across all passes
+  std::uint64_t max_tuple_buffer_bytes = 0;  ///< peak kmerIn+kmerOut, any rank
+  std::uint64_t merge_comm_bytes = 0;    ///< bytes shipped during MergeCC (all ranks)
+  std::vector<std::uint64_t> traffic_matrix;  ///< P x P bytes src->dest (whole run)
+  std::uint64_t total_traffic_bytes = 0;
+  std::uint64_t message_count = 0;
+  double sim_comm_seconds = 0.0;         ///< modeled interconnect time (max rank)
+  int cc_iterations_max = 0;             ///< Algorithm 1 iterations (max thread)
+
+  std::vector<std::string> output_files; ///< partitioned FASTQ paths (if written)
+  std::vector<std::uint64_t> top_component_sizes;  ///< up to 10, descending
+};
+
+/// Run the full preprocessing pipeline.  @p index must have been created
+/// with the same k as @p config.k.
+PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& config);
+
+/// Reference implementation for testing: brute-force read-graph connected
+/// components computed from an in-memory map of canonical k-mer -> reads.
+/// Applies the same frequency filter semantics as the pipeline.  Quadratic
+/// memory in dataset size; test-scale only.
+std::vector<std::uint32_t> reference_components(const DatasetIndex& index,
+                                                const KmerFreqFilter& filter);
+
+}  // namespace metaprep::core

@@ -1,0 +1,69 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace metaprep::core {
+
+namespace {
+std::vector<std::uint64_t> component_sizes(std::span<const std::uint32_t> labels) {
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  counts.reserve(labels.size() / 4 + 1);
+  for (std::uint32_t l : labels) ++counts[l];
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(counts.size());
+  for (const auto& [root, n] : counts) sizes.push_back(n);
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return sizes;
+}
+}  // namespace
+
+ComponentSummary summarize_components(std::span<const std::uint32_t> labels) {
+  ComponentSummary s;
+  s.num_reads = labels.size();
+  s.sizes_desc = component_sizes(labels);
+  s.num_components = s.sizes_desc.size();
+  if (s.sizes_desc.empty()) return s;
+  s.largest = s.sizes_desc.front();
+  s.largest_fraction = static_cast<double>(s.largest) / static_cast<double>(s.num_reads);
+  for (std::uint64_t size : s.sizes_desc) {
+    if (size == 1) ++s.singletons;
+    const double p = static_cast<double>(size) / static_cast<double>(s.num_reads);
+    s.entropy_bits -= p * std::log2(p);
+  }
+  return s;
+}
+
+std::map<int, std::uint64_t> size_histogram_log2(std::span<const std::uint32_t> labels) {
+  std::map<int, std::uint64_t> hist;
+  for (std::uint64_t size : component_sizes(labels)) {
+    hist[std::bit_width(size) - 1] += 1;
+  }
+  return hist;
+}
+
+std::vector<std::uint64_t> pack_components(std::span<const std::uint32_t> labels, int bins) {
+  if (bins < 1) throw std::invalid_argument("pack_components: bins must be >= 1");
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(bins), 0);
+  // Largest-first onto the least-loaded bin (LPT heuristic).
+  for (std::uint64_t size : component_sizes(labels)) {
+    auto it = std::min_element(load.begin(), load.end());
+    *it += size;
+  }
+  return load;
+}
+
+std::string component_report(const ComponentSummary& s) {
+  std::ostringstream os;
+  os << s.num_reads << " reads in " << s.num_components << " components; largest "
+     << s.largest << " (" << static_cast<int>(s.largest_fraction * 1000) / 10.0
+     << "%), " << s.singletons << " singletons, entropy "
+     << static_cast<int>(s.entropy_bits * 100) / 100.0 << " bits";
+  return os.str();
+}
+
+}  // namespace metaprep::core

@@ -1,0 +1,45 @@
+// Component-decomposition statistics.
+//
+// The evaluation reasons about the component size distribution throughout
+// §4.4 ("read-based preprocessing results in a single giant component and
+// numerous extremely small components ... We instead desire a balanced
+// decomposition").  These helpers turn a label array into the numbers that
+// discussion uses: size histogram, giant-component share, and a balance
+// measure for candidate splits.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace metaprep::core {
+
+struct ComponentSummary {
+  std::uint64_t num_reads = 0;
+  std::uint64_t num_components = 0;
+  std::uint64_t largest = 0;          ///< reads in the largest component
+  double largest_fraction = 0.0;
+  std::uint64_t singletons = 0;       ///< components of size 1
+  double entropy_bits = 0.0;          ///< Shannon entropy of the size distribution
+  std::vector<std::uint64_t> sizes_desc;  ///< all component sizes, descending
+};
+
+/// Full summary of a component labeling.
+ComponentSummary summarize_components(std::span<const std::uint32_t> labels);
+
+/// Histogram of component sizes bucketed by powers of two:
+/// bucket b holds components with size in [2^b, 2^(b+1)).
+std::map<int, std::uint64_t> size_histogram_log2(std::span<const std::uint32_t> labels);
+
+/// Greedy bin-packing of components onto @p bins assemblers (largest first);
+/// returns the read count per bin.  Models the "assemble partitions in
+/// parallel" use and quantifies how (im)balanced a decomposition is: with a
+/// giant component one bin gets nearly everything.
+std::vector<std::uint64_t> pack_components(std::span<const std::uint32_t> labels, int bins);
+
+/// Render a short human-readable report.
+std::string component_report(const ComponentSummary& summary);
+
+}  // namespace metaprep::core

@@ -1,0 +1,106 @@
+// Disjoint-set (Union-Find) structures for connected components.
+//
+// LocalCC (paper §3.5) runs a shared-memory parallel Union-Find combining
+// ideas from Cybenko et al. and Patwary et al.:
+//  * Find uses the *path splitting* optimization (Tarjan & van Leeuwen);
+//  * Union uses *union-by-index* — "the parent pointer of the root element
+//    with lower index is set to the root element with higher index" — which
+//    cannot create cycles even under concurrent updates;
+//  * threads process edges without synchronization, buffering the edges that
+//    caused a Union and re-verifying them in a next iteration (Algorithm 1).
+//
+// The paper's plain concurrent stores are a data race (UB in C++), so parent
+// entries here are relaxed atomics and the root update is a single CAS; a
+// failed CAS leaves the edge "possibly unmerged", which is exactly the state
+// Algorithm 1's re-verification loop repairs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace metaprep::dsu {
+
+/// Sequential Union-Find with path splitting and union-by-index.  Reference
+/// implementation for tests and the single-threaded code paths.
+class SerialDSU {
+ public:
+  explicit SerialDSU(std::uint32_t n);
+
+  /// Adopt an existing parent-pointer forest (e.g. a component array
+  /// received from another rank during MergeCC).  Every entry must be a
+  /// valid index.
+  explicit SerialDSU(std::vector<std::uint32_t> parents) : parent_(std::move(parents)) {}
+
+  /// Move the parent array back out (ends this object's usefulness).
+  [[nodiscard]] std::vector<std::uint32_t> take_parents() { return std::move(parent_); }
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(parent_.size());
+  }
+
+  std::uint32_t find(std::uint32_t x);
+
+  /// Returns true if a and b were in different components (now merged).
+  bool unite(std::uint32_t a, std::uint32_t b);
+
+  /// Component label (root) per element; also usable as an edge list
+  /// (i -> label[i]) for the MergeCC step.
+  [[nodiscard]] std::vector<std::uint32_t> labels();
+
+  /// Number of distinct components.
+  std::uint32_t component_count();
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+/// Concurrent Union-Find used by LocalCC.  All methods are safe to call from
+/// multiple threads simultaneously.
+class AtomicDSU {
+ public:
+  explicit AtomicDSU(std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(parent_.size());
+  }
+
+  /// Find with path splitting (each node on the path is re-pointed at its
+  /// grandparent); wait-free in practice under concurrent unions.
+  std::uint32_t find(std::uint32_t x);
+
+  /// Linearizable union (CAS retry loop).  Returns true if this call merged
+  /// two distinct components.
+  bool unite(std::uint32_t a, std::uint32_t b);
+
+  /// Single-attempt union used by Algorithm 1: one CAS try, no retry.
+  /// Returns true if the CAS succeeded or the roots were already equal;
+  /// false means "contended, re-verify later".
+  bool unite_once(std::uint32_t a, std::uint32_t b);
+
+  /// Snapshot of parent pointers (quiescent use only).
+  [[nodiscard]] std::vector<std::uint32_t> parents() const;
+
+  /// Fully-compressed component label per element (quiescent use only).
+  std::vector<std::uint32_t> labels();
+
+  std::uint32_t component_count();
+
+  /// Reset to singleton components.
+  void reset();
+
+ private:
+  std::vector<std::atomic<std::uint32_t>> parent_;
+};
+
+/// Algorithm 1 of the paper, for one thread's share of the edges: process
+/// all edges; edges whose union succeeded are buffered and re-verified in
+/// subsequent iterations until no verification produces further work.
+/// Returns the number of iterations executed (the paper observes the total
+/// time is dominated by the first).
+int process_edges_algorithm1(AtomicDSU& dsu,
+                             std::span<const std::pair<std::uint32_t, std::uint32_t>> edges);
+
+}  // namespace metaprep::dsu

@@ -1,0 +1,63 @@
+#include "dsu/shiloach_vishkin.hpp"
+
+#include <numeric>
+
+namespace metaprep::dsu {
+
+SVResult shiloach_vishkin(std::uint32_t n,
+                          std::span<const std::pair<std::uint32_t, std::uint32_t>> edges) {
+  SVResult result;
+  auto& p = result.labels;
+  p.resize(n);
+  std::iota(p.begin(), p.end(), 0U);
+  if (n == 0) return result;
+
+  // Synchronous (PRAM-style) iteration: hooking decisions in each round read
+  // only the previous round's parent array, exactly as the parallel
+  // algorithm would.  A sequential in-place variant would propagate labels
+  // along the edge order and collapse long paths in one sweep, hiding the
+  // O(log n) round behavior that the AP_LB comparison (Table 4) is about.
+  std::vector<std::uint32_t> old_p(n);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.iterations;
+    old_p = p;
+
+    // Hooking: roots (in the snapshot) hook onto the smallest neighboring
+    // label; conflicting hooks resolve to the minimum.
+    for (const auto& [u, v] : edges) {
+      const std::uint32_t lu = old_p[u];
+      const std::uint32_t lv = old_p[v];
+      if (lu == lv) continue;
+      if (old_p[lu] == lu && lv < lu && lv < p[lu]) {
+        p[lu] = lv;
+        changed = true;
+      }
+      if (old_p[lv] == lv && lu < lv && lu < p[lv]) {
+        p[lv] = lu;
+        changed = true;
+      }
+    }
+
+    // Pointer jumping: halve tree heights.  Also snapshot-consistent — an
+    // in-place sequential sweep would cascade (p[i] reads already-jumped
+    // parents) and flatten any chain in a single round.
+    old_p = p;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t pp = old_p[old_p[i]];
+      if (p[i] != pp) {
+        p[i] = pp;
+        changed = true;
+      }
+    }
+  }
+
+  // Final flatten so labels are roots.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    while (p[i] != p[p[i]]) p[i] = p[p[i]];
+  }
+  return result;
+}
+
+}  // namespace metaprep::dsu

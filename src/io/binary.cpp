@@ -1,0 +1,81 @@
+#include "io/binary.hpp"
+
+#include <stdexcept>
+
+namespace metaprep::io {
+
+namespace {
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("binary index: " + path + ": " + what);
+}
+}  // namespace
+
+BinaryWriter::BinaryWriter(const std::string& path, std::uint32_t magic, std::uint32_t version)
+    : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) fail(path_, "cannot open for writing");
+  write_u32(magic);
+  write_u32(version);
+}
+
+BinaryWriter::~BinaryWriter() { close(); }
+
+void BinaryWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void BinaryWriter::write_bytes(const void* data, std::size_t size) {
+  if (file_ == nullptr) fail(path_, "write after close");
+  if (std::fwrite(data, 1, size, file_) != size) fail(path_, "short write");
+}
+
+void BinaryWriter::write_u32(std::uint32_t v) { write_bytes(&v, sizeof(v)); }
+void BinaryWriter::write_u64(std::uint64_t v) { write_bytes(&v, sizeof(v)); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  write_bytes(s.data(), s.size());
+}
+
+BinaryReader::BinaryReader(const std::string& path, std::uint32_t magic, std::uint32_t version)
+    : path_(path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) fail(path_, "cannot open for reading");
+  if (read_u32() != magic) fail(path_, "bad magic (not a metaprep index?)");
+  const std::uint32_t got = read_u32();
+  if (got != version)
+    fail(path_, "version mismatch (file v" + std::to_string(got) + ", expected v" +
+                    std::to_string(version) + ")");
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryReader::read_bytes(void* data, std::size_t size) {
+  if (std::fread(data, 1, size, file_) != size) fail(path_, "truncated file");
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  read_bytes(&v, sizeof(v));
+  return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v;
+  read_bytes(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  std::string s(n, '\0');
+  read_bytes(s.data(), n);
+  return s;
+}
+
+}  // namespace metaprep::io

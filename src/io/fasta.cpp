@@ -1,0 +1,72 @@
+#include "io/fasta.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace metaprep::io {
+
+std::vector<FastaRecord> read_fasta(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("fasta: " + path + ": cannot open for reading");
+  std::vector<FastaRecord> records;
+  std::string line;
+  char buf[1 << 16];
+  auto flush_line = [&] {
+    if (line.empty()) return;
+    if (line[0] == '>') {
+      records.push_back({line.substr(1), ""});
+    } else {
+      if (records.empty()) {
+        std::fclose(f);
+        throw std::runtime_error("fasta: " + path + ": sequence before first header");
+      }
+      records.back().seq += line;
+    }
+    line.clear();
+  };
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    for (std::size_t i = 0; i < got; ++i) {
+      if (buf[i] == '\n' || buf[i] == '\r') {
+        flush_line();
+      } else {
+        line.push_back(buf[i]);
+      }
+    }
+  }
+  flush_line();
+  std::fclose(f);
+  return records;
+}
+
+void write_fasta(const std::string& path, const std::vector<FastaRecord>& records,
+                 std::size_t line_width) {
+  if (line_width == 0) throw std::invalid_argument("fasta: line_width must be > 0");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("fasta: " + path + ": cannot open for writing");
+  for (const auto& rec : records) {
+    std::fputc('>', f);
+    std::fwrite(rec.id.data(), 1, rec.id.size(), f);
+    std::fputc('\n', f);
+    for (std::size_t pos = 0; pos < rec.seq.size(); pos += line_width) {
+      const std::size_t n = std::min(line_width, rec.seq.size() - pos);
+      std::fwrite(rec.seq.data() + pos, 1, n, f);
+      std::fputc('\n', f);
+    }
+  }
+  std::fclose(f);
+}
+
+void write_contigs_fasta(const std::string& path, const std::vector<std::string>& contigs,
+                         const std::string& prefix) {
+  std::vector<FastaRecord> records;
+  records.reserve(contigs.size());
+  for (std::size_t i = 0; i < contigs.size(); ++i) {
+    records.push_back({prefix + "_" + std::to_string(i) + " len=" +
+                           std::to_string(contigs[i].size()),
+                       contigs[i]});
+  }
+  write_fasta(path, records);
+}
+
+}  // namespace metaprep::io

@@ -1,0 +1,31 @@
+// FASTA reading and writing (assembler output, reference genomes).
+//
+// Contigs are conventionally exchanged as FASTA; MiniHit's outputs and the
+// simulator's reference genomes use these helpers.  Multi-line sequences
+// are supported on read; writes wrap at a fixed column width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metaprep::io {
+
+struct FastaRecord {
+  std::string id;   ///< header without the leading '>'
+  std::string seq;
+};
+
+/// Read all records of a FASTA file.  Throws on open failure or malformed
+/// content (text before the first header).
+std::vector<FastaRecord> read_fasta(const std::string& path);
+
+/// Write records, wrapping sequence lines at @p line_width columns.
+void write_fasta(const std::string& path, const std::vector<FastaRecord>& records,
+                 std::size_t line_width = 80);
+
+/// Convenience: write contigs with generated headers "<prefix>_<i> len=N".
+void write_contigs_fasta(const std::string& path, const std::vector<std::string>& contigs,
+                         const std::string& prefix = "contig");
+
+}  // namespace metaprep::io

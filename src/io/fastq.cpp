@@ -1,0 +1,157 @@
+#include "io/fastq.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace metaprep::io {
+
+namespace {
+constexpr std::size_t kReadBufferSize = 1 << 20;
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("fastq: " + path + ": " + what);
+}
+}  // namespace
+
+FastqReader::FastqReader(const std::string& path) : path_(path), buffer_(kReadBufferSize) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) fail(path_, "cannot open for reading");
+}
+
+FastqReader::~FastqReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool FastqReader::read_line(std::string& line) {
+  line.clear();
+  for (;;) {
+    if (buf_pos_ == buf_len_) {
+      buf_len_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
+      buf_pos_ = 0;
+      if (buf_len_ == 0) return !line.empty();
+    }
+    const char* start = buffer_.data() + buf_pos_;
+    const char* nl = static_cast<const char*>(std::memchr(start, '\n', buf_len_ - buf_pos_));
+    if (nl == nullptr) {
+      line.append(start, buf_len_ - buf_pos_);
+      buf_pos_ = buf_len_;
+      continue;
+    }
+    line.append(start, static_cast<std::size_t>(nl - start));
+    buf_pos_ += static_cast<std::size_t>(nl - start) + 1;
+    return true;
+  }
+}
+
+bool FastqReader::next(FastqRecord& out) {
+  std::string line;
+  if (!read_line(line)) return false;
+  if (line.empty() || line[0] != '@') fail(path_, "expected '@' header line");
+  out.id.assign(line, 1, line.size() - 1);
+  std::uint64_t consumed = line.size() + 1;
+
+  if (!read_line(out.seq)) fail(path_, "truncated record (missing sequence)");
+  consumed += out.seq.size() + 1;
+
+  if (!read_line(line)) fail(path_, "truncated record (missing '+')");
+  if (line.empty() || line[0] != '+') fail(path_, "expected '+' separator line");
+  consumed += line.size() + 1;
+
+  if (!read_line(out.qual)) fail(path_, "truncated record (missing quality)");
+  if (out.qual.size() != out.seq.size()) fail(path_, "quality length != sequence length");
+  consumed += out.qual.size() + 1;
+
+  offset_ += consumed;
+  return true;
+}
+
+FastqWriter::FastqWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) fail(path_, "cannot open for writing");
+}
+
+FastqWriter::~FastqWriter() { close(); }
+
+void FastqWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void FastqWriter::write(const FastqRecord& record) { write(record.id, record.seq, record.qual); }
+
+void FastqWriter::write(std::string_view id, std::string_view seq, std::string_view qual) {
+  if (file_ == nullptr) fail(path_, "write after close");
+  if (qual.size() != seq.size()) fail(path_, "quality length != sequence length");
+  std::fputc('@', file_);
+  std::fwrite(id.data(), 1, id.size(), file_);
+  std::fputc('\n', file_);
+  std::fwrite(seq.data(), 1, seq.size(), file_);
+  std::fwrite("\n+\n", 1, 3, file_);
+  std::fwrite(qual.data(), 1, qual.size(), file_);
+  std::fputc('\n', file_);
+  bytes_ += 1 + id.size() + 1 + seq.size() + 3 + qual.size() + 1;
+}
+
+std::vector<char> read_file_range(const std::string& path, std::uint64_t offset,
+                                  std::uint64_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail(path, "cannot open for reading");
+  std::vector<char> buf(size);
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+    std::fclose(f);
+    fail(path, "seek failed");
+  }
+  const std::size_t got = std::fread(buf.data(), 1, size, f);
+  std::fclose(f);
+  if (got != size) fail(path, "short read");
+  return buf;
+}
+
+void for_each_record_in_buffer(
+    std::string_view buffer,
+    const std::function<void(std::string_view, std::string_view, std::string_view)>& fn) {
+  std::size_t pos = 0;
+  auto next_line = [&](std::string_view& line) -> bool {
+    if (pos >= buffer.size()) return false;
+    const std::size_t nl = buffer.find('\n', pos);
+    const std::size_t end = nl == std::string_view::npos ? buffer.size() : nl;
+    line = buffer.substr(pos, end - pos);
+    pos = end + 1;
+    return true;
+  };
+  std::string_view header, seq, plus, qual;
+  while (next_line(header)) {
+    if (header.empty() && pos >= buffer.size()) break;  // trailing newline
+    if (header.empty() || header[0] != '@')
+      throw std::runtime_error("fastq buffer: expected '@' header");
+    if (!next_line(seq) || !next_line(plus) || !next_line(qual))
+      throw std::runtime_error("fastq buffer: truncated record");
+    if (plus.empty() || plus[0] != '+')
+      throw std::runtime_error("fastq buffer: expected '+' separator");
+    if (qual.size() != seq.size())
+      throw std::runtime_error("fastq buffer: quality length != sequence length");
+    fn(header.substr(1), seq, qual);
+  }
+}
+
+std::uint64_t count_records_in_buffer(std::string_view buffer) {
+  std::uint64_t n = 0;
+  for_each_record_in_buffer(buffer,
+                            [&](std::string_view, std::string_view, std::string_view) { ++n; });
+  return n;
+}
+
+std::uint64_t file_size_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) fail(path, "cannot open for reading");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  if (size < 0) fail(path, "ftell failed");
+  return static_cast<std::uint64_t>(size);
+}
+
+}  // namespace metaprep::io

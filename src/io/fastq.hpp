@@ -1,0 +1,90 @@
+// FASTQ reading, writing, and in-buffer parsing.
+//
+// METAPREP's KmerGen step reads *logical chunks* (byte ranges aligned to
+// record boundaries) of FASTQ files into per-thread buffers and parses
+// records out of the buffer (paper §3.1.2, §3.2).  We support the standard
+// 4-line record form (@id / sequence / + / quality), which is what both the
+// paper's Illumina datasets and our simulator produce.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metaprep::io {
+
+struct FastqRecord {
+  std::string id;    ///< header without the leading '@'
+  std::string seq;   ///< base sequence (ACGTN)
+  std::string qual;  ///< per-base quality string, same length as seq
+};
+
+/// Streaming reader over one FASTQ file.  Throws std::runtime_error on open
+/// failure or malformed records.
+class FastqReader {
+ public:
+  explicit FastqReader(const std::string& path);
+  FastqReader(const FastqReader&) = delete;
+  FastqReader& operator=(const FastqReader&) = delete;
+  ~FastqReader();
+
+  /// Read the next record.  Returns false at clean EOF.
+  bool next(FastqRecord& out);
+
+  /// Byte offset of the start of the next record (for chunking).
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  bool read_line(std::string& line);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<char> buffer_;
+  std::size_t buf_pos_ = 0;
+  std::size_t buf_len_ = 0;
+  std::uint64_t offset_ = 0;
+};
+
+/// Buffered FASTQ writer.
+class FastqWriter {
+ public:
+  explicit FastqWriter(const std::string& path);
+  FastqWriter(const FastqWriter&) = delete;
+  FastqWriter& operator=(const FastqWriter&) = delete;
+  ~FastqWriter();
+
+  void write(const FastqRecord& record);
+  void write(std::string_view id, std::string_view seq, std::string_view qual);
+
+  /// Flush and close; subsequent writes are invalid.  Called by the
+  /// destructor if not called explicitly.
+  void close();
+
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Read the byte range [offset, offset + size) of a file into a buffer.
+std::vector<char> read_file_range(const std::string& path, std::uint64_t offset,
+                                  std::uint64_t size);
+
+/// Parse whole FASTQ records out of a memory buffer (a logical chunk).
+/// Invokes fn(id, seq, qual) per record; string_views alias the buffer.
+/// Throws on malformed input; the buffer must contain complete records.
+void for_each_record_in_buffer(
+    std::string_view buffer,
+    const std::function<void(std::string_view, std::string_view, std::string_view)>& fn);
+
+/// Count records in a buffer without invoking a callback.
+std::uint64_t count_records_in_buffer(std::string_view buffer);
+
+/// Total size of a file in bytes.
+std::uint64_t file_size_bytes(const std::string& path);
+
+}  // namespace metaprep::io

@@ -1,0 +1,36 @@
+#include "kmer/codec.hpp"
+
+#include <cassert>
+
+namespace metaprep::kmer {
+
+std::uint64_t encode64(std::string_view s) {
+  assert(s.size() <= static_cast<std::size_t>(kMaxK64));
+  std::uint64_t v = 0;
+  for (char c : s) {
+    const std::uint8_t code = base_code(c);
+    assert(code != kInvalidBase);
+    v = (v << 2) | code;
+  }
+  return v;
+}
+
+std::string decode64(std::uint64_t v, int k) {
+  std::string s(static_cast<std::size_t>(k), 'A');
+  for (int i = k - 1; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = base_char(static_cast<std::uint8_t>(v & 3));
+    v >>= 2;
+  }
+  return s;
+}
+
+std::string revcomp_string(std::string_view s) {
+  std::string out(s.size(), 'N');
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::uint8_t code = base_code(s[s.size() - 1 - i]);
+    out[i] = code == kInvalidBase ? 'N' : base_char(complement_code(code));
+  }
+  return out;
+}
+
+}  // namespace metaprep::kmer

@@ -1,0 +1,94 @@
+// 2-bit DNA encoding and canonical k-mer primitives.
+//
+// Encoding: A=0, C=1, G=2, T=3 with the FIRST base in the most significant
+// position, so numeric order on encoded values equals lexicographic order on
+// the strings.  This matters twice in METAPREP:
+//  * the canonical k-mer is the lexicographically smaller of a k-mer and its
+//    reverse complement (paper §3), which becomes a simple integer min;
+//  * the m-mer *prefix* of a canonical k-mer (the merHist histogram bin,
+//    §3.1.1) is just the top 2m bits, so sorting by k-mer value groups all
+//    k-mers of a histogram bin contiguously and bin ranges partition the
+//    k-mer space.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace metaprep::kmer {
+
+/// Sentinel for non-ACGT characters (N, etc.).
+inline constexpr std::uint8_t kInvalidBase = 0xFF;
+
+namespace detail {
+consteval std::array<std::uint8_t, 256> make_base_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (auto& v : t) v = kInvalidBase;
+  t['A'] = 0; t['a'] = 0;
+  t['C'] = 1; t['c'] = 1;
+  t['G'] = 2; t['g'] = 2;
+  t['T'] = 3; t['t'] = 3;
+  return t;
+}
+inline constexpr std::array<std::uint8_t, 256> kBaseTable = make_base_table();
+inline constexpr std::array<char, 4> kBaseChar = {'A', 'C', 'G', 'T'};
+}  // namespace detail
+
+/// 2-bit code for a base character, or kInvalidBase for non-ACGT.
+constexpr std::uint8_t base_code(char c) noexcept {
+  return detail::kBaseTable[static_cast<unsigned char>(c)];
+}
+
+/// Character for a 2-bit base code (code must be < 4).
+constexpr char base_char(std::uint8_t code) noexcept { return detail::kBaseChar[code & 3]; }
+
+/// Complement of a 2-bit base code (A<->T, C<->G).
+constexpr std::uint8_t complement_code(std::uint8_t code) noexcept {
+  return static_cast<std::uint8_t>(3 - code);
+}
+
+/// Maximum k representable in a single 64-bit word.
+inline constexpr int kMaxK64 = 32;
+
+/// Mask selecting the low 2k bits.
+constexpr std::uint64_t kmer_mask64(int k) noexcept {
+  return k >= 32 ? ~0ULL : ((1ULL << (2 * k)) - 1);
+}
+
+/// Reverse-complement of all 32 2-bit groups of @p v (no length shift).
+constexpr std::uint64_t revcomp_full64(std::uint64_t v) noexcept {
+  v = ~v;
+  v = ((v >> 2) & 0x3333333333333333ULL) | ((v & 0x3333333333333333ULL) << 2);
+  v = ((v >> 4) & 0x0F0F0F0F0F0F0F0FULL) | ((v & 0x0F0F0F0F0F0F0F0FULL) << 4);
+  return __builtin_bswap64(v);
+}
+
+/// Reverse-complement of a k-mer stored in the low 2k bits.
+constexpr std::uint64_t revcomp64(std::uint64_t v, int k) noexcept {
+  return revcomp_full64(v) >> (64 - 2 * k);
+}
+
+/// Canonical form: the numerically (== lexicographically) smaller of the
+/// k-mer and its reverse complement.
+constexpr std::uint64_t canonical64(std::uint64_t v, int k) noexcept {
+  const std::uint64_t rc = revcomp64(v, k);
+  return v < rc ? v : rc;
+}
+
+/// Encode an ACGT string (length <= 32) into a 64-bit k-mer.  Behaviour is
+/// undefined for non-ACGT input (asserted in debug builds).
+std::uint64_t encode64(std::string_view s);
+
+/// Decode a 64-bit k-mer of length k back into its string form.
+std::string decode64(std::uint64_t v, int k);
+
+/// m-mer prefix (top 2m bits) of a k-mer of length k; the merHist bin.
+constexpr std::uint32_t prefix_bin64(std::uint64_t v, int k, int m) noexcept {
+  return static_cast<std::uint32_t>(v >> (2 * (k - m)));
+}
+
+/// Reverse complement of a whole sequence string.
+std::string revcomp_string(std::string_view s);
+
+}  // namespace metaprep::kmer

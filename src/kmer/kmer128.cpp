@@ -1,0 +1,30 @@
+#include "kmer/kmer128.hpp"
+
+#include <cassert>
+
+namespace metaprep::kmer {
+
+Kmer128 encode128(std::string_view s) {
+  assert(s.size() <= static_cast<std::size_t>(kMaxK128));
+  const Kmer128 mask = kmer_mask128(static_cast<int>(s.size()));
+  Kmer128 v;
+  for (char c : s) {
+    const std::uint8_t code = base_code(c);
+    assert(code != kInvalidBase);
+    v = push_base128(v, code, mask);
+  }
+  return v;
+}
+
+std::string decode128(Kmer128 v, int k) {
+  std::string s(static_cast<std::size_t>(k), 'A');
+  for (int i = k - 1; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = base_char(static_cast<std::uint8_t>(v.lo & 3));
+    // 128-bit right shift by 2.
+    v.lo = (v.lo >> 2) | (v.hi << 62);
+    v.hi >>= 2;
+  }
+  return s;
+}
+
+}  // namespace metaprep::kmer

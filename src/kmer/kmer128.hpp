@@ -1,0 +1,90 @@
+// 128-bit k-mer for 32 < k <= 63 (the paper's §4.4 extension: "We modify the
+// METAPREP k-mer enumeration code to support k-mer sizes up to 63", making a
+// tuple 20 bytes: 16-byte k-mer + 4-byte read ID).
+//
+// Layout mirrors the paper's Figure 3: `hi` holds the most significant bits
+// (kmerH) and `lo` the least significant (kmerL).  Numeric order on (hi, lo)
+// equals lexicographic order on the decoded string.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "kmer/codec.hpp"
+
+namespace metaprep::kmer {
+
+inline constexpr int kMaxK128 = 63;
+
+struct Kmer128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend constexpr auto operator<=>(const Kmer128&, const Kmer128&) = default;
+};
+
+/// Mask pair selecting the low 2k bits of a 128-bit value.
+constexpr Kmer128 kmer_mask128(int k) noexcept {
+  if (k <= 32) return {0, kmer_mask64(k)};
+  return {(1ULL << (2 * k - 64)) - 1, ~0ULL};
+}
+
+/// Appends a base code at the least significant end, keeping 2k bits.
+constexpr Kmer128 push_base128(Kmer128 v, std::uint8_t code, Kmer128 mask) noexcept {
+  v.hi = ((v.hi << 2) | (v.lo >> 62)) & mask.hi;
+  v.lo = ((v.lo << 2) | code) & mask.lo;
+  return v;
+}
+
+/// Reverse-complement of a k-mer of length k (32 < k <= 63 supported; also
+/// correct for k <= 32 where the value lives entirely in lo).
+constexpr Kmer128 revcomp128(Kmer128 v, int k) noexcept {
+  // Reverse+complement all 64 groups: low word maps to the high side.
+  const std::uint64_t rhi = revcomp_full64(v.lo);
+  const std::uint64_t rlo = revcomp_full64(v.hi);
+  // Shift the 128-bit value (rhi:rlo) right by 128 - 2k.
+  const int s = 128 - 2 * k;
+  Kmer128 out;
+  if (s == 0) {
+    out = {rhi, rlo};
+  } else if (s < 64) {
+    out.hi = rhi >> s;
+    out.lo = (rlo >> s) | (rhi << (64 - s));
+  } else if (s == 64) {
+    out.hi = 0;
+    out.lo = rhi;
+  } else {
+    out.hi = 0;
+    out.lo = rhi >> (s - 64);
+  }
+  return out;
+}
+
+constexpr Kmer128 canonical128(Kmer128 v, int k) noexcept {
+  const Kmer128 rc = revcomp128(v, k);
+  return v < rc ? v : rc;
+}
+
+/// m-mer prefix (top 2m bits) of a k-mer of length k.
+constexpr std::uint32_t prefix_bin128(Kmer128 v, int k, int m) noexcept {
+  const int shift = 2 * (k - m);  // 128-bit right shift amount
+  std::uint64_t r;
+  if (shift >= 64) {
+    r = v.hi >> (shift - 64);
+  } else if (shift == 0) {
+    r = v.lo;
+  } else {
+    r = (v.lo >> shift) | (v.hi << (64 - shift));
+  }
+  return static_cast<std::uint32_t>(r & ((1ULL << (2 * m)) - 1));
+}
+
+/// Encode a string of length 33..63 (also valid for <= 32).
+Kmer128 encode128(std::string_view s);
+
+/// Decode a 128-bit k-mer of length k.
+std::string decode128(Kmer128 v, int k);
+
+}  // namespace metaprep::kmer

@@ -1,0 +1,32 @@
+// Minimizers and super-k-mer decomposition.
+//
+// Substrate for the KMC 2 comparison baseline (paper §4.2.1): KMC 2 bins
+// *super k-mers* — maximal runs of consecutive k-mers sharing the same
+// minimizer — instead of individual k-mers.  The minimizer of a k-mer is the
+// smallest canonical m-mer among its m-length substrings; consecutive
+// k-mers usually share it, so a super k-mer stores a run of k-mers in
+// (run_length + k - 1) bases instead of run_length * k.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace metaprep::kmer {
+
+struct SuperKmer {
+  std::uint32_t start = 0;      ///< base offset of the first k-mer in the read
+  std::uint32_t kmer_count = 0; ///< number of consecutive k-mers in the run
+  std::uint64_t minimizer = 0;  ///< shared canonical m-mer value
+};
+
+/// Decompose a read into super k-mers.  Windows containing non-ACGT bases
+/// are skipped (consistent with the k-mer scanner).  Requires m <= k.
+std::vector<SuperKmer> super_kmers(std::string_view seq, int k, int m);
+
+/// Minimizer (smallest canonical m-mer) of the k-length window starting at
+/// @p pos.  Returns false if the window contains an invalid base.
+bool window_minimizer(std::string_view seq, std::size_t pos, int k, int m,
+                      std::uint64_t& out);
+
+}  // namespace metaprep::kmer

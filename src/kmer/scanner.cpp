@@ -1,0 +1,177 @@
+#include "kmer/scanner.hpp"
+
+#include <algorithm>
+
+#if defined(__SSE4_2__)
+#include <emmintrin.h>
+#include <smmintrin.h>
+#endif
+
+namespace metaprep::kmer {
+
+void scan_canonical_kmers64(std::string_view seq, int k, std::vector<std::uint64_t>& out) {
+  for_each_canonical_kmer64(seq, k, [&](std::uint64_t c, std::size_t) { out.push_back(c); });
+}
+
+std::uint64_t count_valid_kmers(std::string_view seq, int k) {
+  std::uint64_t n = 0;
+  int valid = 0;
+  if (static_cast<int>(seq.size()) < k) return 0;
+  for (char ch : seq) {
+    if (base_code(ch) == kInvalidBase) {
+      valid = 0;
+      continue;
+    }
+    if (++valid >= k) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+bool has_invalid_base(std::string_view seq) {
+  for (char ch : seq) {
+    if (base_code(ch) == kInvalidBase) return true;
+  }
+  return false;
+}
+
+#if defined(__SSE4_2__)
+// Unsigned 64-bit min via the sign-flip trick (_mm_cmpgt_epi64 is signed).
+// This is the explicit form of the paper's Figure 3 step: "output four
+// canonical k-mers by comparing the original and the reverse complemented
+// k-mers and selecting the lexicographically smaller of the two".
+inline __m128i min_epu64(__m128i a, __m128i b) {
+  const __m128i sign = _mm_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m128i a_gt_b = _mm_cmpgt_epi64(_mm_xor_si128(a, sign), _mm_xor_si128(b, sign));
+  return _mm_blendv_epi8(a, b, a_gt_b);
+}
+#endif
+
+}  // namespace
+
+void scan_canonical_kmers64_x4(std::string_view seq, int k, std::vector<std::uint64_t>& out) {
+  const auto len = static_cast<std::int64_t>(seq.size());
+  const std::int64_t nkmers = len - k + 1;
+  if (nkmers <= 0) return;
+  // Lanes only pay off on clean reads long enough to amortize the warm-up;
+  // reads containing N take the scalar path (rare, and N resets break the
+  // lockstep schedule).
+  if (nkmers < 16 || has_invalid_base(seq)) {
+    scan_canonical_kmers64(seq, k, out);
+    return;
+  }
+
+  const std::uint64_t mask = kmer_mask64(k);
+  const int rc_shift = 2 * (k - 1);
+
+  // Figure 3: "four k-mers are generated from four equidistant points".
+  // Lane `lane` owns k-mer start positions [seg[lane], seg[lane+1]).
+  std::int64_t seg[5];
+  for (int lane = 0; lane <= 4; ++lane) seg[lane] = nkmers * lane / 4;
+
+  alignas(16) std::uint64_t fwd[4];
+  alignas(16) std::uint64_t rc[4];
+
+  // Warm-up: load the first k-1 bases of each lane's window.
+  for (int lane = 0; lane < 4; ++lane) {
+    std::uint64_t f = 0;
+    std::uint64_t r = 0;
+    for (std::int64_t j = seg[lane]; j < seg[lane] + k - 1; ++j) {
+      const std::uint8_t code = base_code(seq[static_cast<std::size_t>(j)]);
+      f = (f << 2) | code;
+      r = (r >> 2) | (static_cast<std::uint64_t>(3 - code) << rc_shift);
+    }
+    fwd[lane] = f & mask;
+    rc[lane] = r;
+  }
+
+  // Steady state: every lane emits one canonical k-mer per step for
+  // `common` steps (segments differ in length by at most one).
+  std::int64_t seg_len[4];
+  for (int lane = 0; lane < 4; ++lane) seg_len[lane] = seg[lane + 1] - seg[lane];
+  const std::int64_t common = *std::min_element(seg_len, seg_len + 4);
+
+  const std::size_t out_base = out.size();
+  out.resize(out_base + static_cast<std::size_t>(nkmers));
+  std::uint64_t* dst = out.data() + out_base;
+  // Lane emission offsets so output is grouped per lane (a permutation of
+  // the scalar order; the pipeline never depends on tuple order).
+  std::size_t emit[4];
+  {
+    std::size_t acc = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      emit[lane] = acc;
+      acc += static_cast<std::size_t>(seg_len[lane]);
+    }
+  }
+
+#if defined(__SSE4_2__)
+  {
+    // Two 128-bit registers hold the 4 forward k-mers; two more hold the
+    // reverse complements (the 64-bit-k-mer analogue of kmerH/kmerL and
+    // rcH/rcL in Figure 3).  Lane state lives in registers across the whole
+    // steady loop; only the canonical results are stored.
+    __m128i f01 = _mm_load_si128(reinterpret_cast<const __m128i*>(fwd));
+    __m128i f23 = _mm_load_si128(reinterpret_cast<const __m128i*>(fwd + 2));
+    __m128i r01 = _mm_load_si128(reinterpret_cast<const __m128i*>(rc));
+    __m128i r23 = _mm_load_si128(reinterpret_cast<const __m128i*>(rc + 2));
+    const __m128i vmask = _mm_set1_epi64x(static_cast<long long>(mask));
+    const __m128i vthree = _mm_set1_epi64x(3);
+    const __m128i vshift = _mm_cvtsi32_si128(rc_shift);
+    const char* __restrict in0 = seq.data() + seg[0] + k - 1;
+    const char* __restrict in1 = seq.data() + seg[1] + k - 1;
+    const char* __restrict in2 = seq.data() + seg[2] + k - 1;
+    const char* __restrict in3 = seq.data() + seg[3] + k - 1;
+    std::uint64_t* __restrict d0 = dst + emit[0];
+    std::uint64_t* __restrict d1 = dst + emit[1];
+    std::uint64_t* __restrict d2 = dst + emit[2];
+    std::uint64_t* __restrict d3 = dst + emit[3];
+    for (std::int64_t step = 0; step < common; ++step) {
+      const __m128i c01 = _mm_set_epi64x(base_code(in1[step]), base_code(in0[step]));
+      const __m128i c23 = _mm_set_epi64x(base_code(in3[step]), base_code(in2[step]));
+      f01 = _mm_and_si128(_mm_or_si128(_mm_slli_epi64(f01, 2), c01), vmask);
+      f23 = _mm_and_si128(_mm_or_si128(_mm_slli_epi64(f23, 2), c23), vmask);
+      r01 = _mm_or_si128(_mm_srli_epi64(r01, 2),
+                         _mm_sll_epi64(_mm_sub_epi64(vthree, c01), vshift));
+      r23 = _mm_or_si128(_mm_srli_epi64(r23, 2),
+                         _mm_sll_epi64(_mm_sub_epi64(vthree, c23), vshift));
+      const __m128i canon01 = min_epu64(f01, r01);
+      const __m128i canon23 = min_epu64(f23, r23);
+      d0[step] = static_cast<std::uint64_t>(_mm_extract_epi64(canon01, 0));
+      d1[step] = static_cast<std::uint64_t>(_mm_extract_epi64(canon01, 1));
+      d2[step] = static_cast<std::uint64_t>(_mm_extract_epi64(canon23, 0));
+      d3[step] = static_cast<std::uint64_t>(_mm_extract_epi64(canon23, 1));
+    }
+    _mm_store_si128(reinterpret_cast<__m128i*>(fwd), f01);
+    _mm_store_si128(reinterpret_cast<__m128i*>(fwd + 2), f23);
+    _mm_store_si128(reinterpret_cast<__m128i*>(rc), r01);
+    _mm_store_si128(reinterpret_cast<__m128i*>(rc + 2), r23);
+  }
+#else
+  for (std::int64_t step = 0; step < common; ++step) {
+    for (int lane = 0; lane < 4; ++lane) {
+      const std::uint64_t code =
+          base_code(seq[static_cast<std::size_t>(seg[lane] + k - 1 + step)]);
+      fwd[lane] = ((fwd[lane] << 2) | code) & mask;
+      rc[lane] = (rc[lane] >> 2) | ((3 - code) << rc_shift);
+      dst[emit[lane] + static_cast<std::size_t>(step)] =
+          fwd[lane] < rc[lane] ? fwd[lane] : rc[lane];
+    }
+  }
+#endif
+
+  // Drain: lanes whose segment is one longer than `common`.
+  for (int lane = 0; lane < 4; ++lane) {
+    for (std::int64_t step = common; step < seg_len[lane]; ++step) {
+      const std::uint64_t code =
+          base_code(seq[static_cast<std::size_t>(seg[lane] + k - 1 + step)]);
+      fwd[lane] = ((fwd[lane] << 2) | code) & mask;
+      rc[lane] = (rc[lane] >> 2) | ((3 - code) << rc_shift);
+      dst[emit[lane] + static_cast<std::size_t>(step)] =
+          fwd[lane] < rc[lane] ? fwd[lane] : rc[lane];
+    }
+  }
+}
+
+}  // namespace metaprep::kmer

@@ -1,0 +1,91 @@
+// Canonical k-mer enumeration from read sequences (paper §3.2).
+//
+// Two implementations with identical output *sets*:
+//  * a scalar rolling scanner (one k-mer per step), and
+//  * the paper's Figure-3 vectorized scheme: the read's k-mer start
+//    positions are split into 4 equidistant segments and 4 rolling
+//    (forward, reverse-complement) lane pairs advance in lockstep, emitting
+//    4 canonical k-mers per step with a branch-free lexicographic select.
+//    Lanes are plain arrays so the compiler vectorizes the shifts/selects;
+//    an explicit SSE4.2 select is used when available.
+//
+// k-mers containing non-ACGT symbols (N) are skipped, matching §3.2 ("We do
+// not enumerate k-mers that contain the N symbol").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "kmer/codec.hpp"
+#include "kmer/kmer128.hpp"
+
+namespace metaprep::kmer {
+
+/// Invoke fn(canonical_kmer, start_position) for every valid k-mer window.
+/// Requires 1 <= k <= kMaxK64.
+template <typename Fn>
+void for_each_canonical_kmer64(std::string_view seq, int k, Fn&& fn) {
+  if (static_cast<int>(seq.size()) < k) return;
+  const std::uint64_t mask = kmer_mask64(k);
+  const int rc_shift = 2 * (k - 1);
+  std::uint64_t fwd = 0;
+  std::uint64_t rc = 0;
+  int valid = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const std::uint8_t code = base_code(seq[i]);
+    if (code == kInvalidBase) {
+      valid = 0;
+      fwd = 0;
+      rc = 0;
+      continue;
+    }
+    fwd = ((fwd << 2) | code) & mask;
+    rc = (rc >> 2) | (static_cast<std::uint64_t>(3 - code) << rc_shift);
+    if (++valid >= k) fn(fwd < rc ? fwd : rc, i + 1 - static_cast<std::size_t>(k));
+  }
+}
+
+/// Invoke fn(canonical_kmer128, start_position) for every valid k-mer
+/// window.  Requires 1 <= k <= kMaxK128.
+template <typename Fn>
+void for_each_canonical_kmer128(std::string_view seq, int k, Fn&& fn) {
+  if (static_cast<int>(seq.size()) < k) return;
+  const Kmer128 mask = kmer_mask128(k);
+  const int top = 2 * (k - 1);
+  Kmer128 fwd{};
+  Kmer128 rc{};
+  int valid = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const std::uint8_t code = base_code(seq[i]);
+    if (code == kInvalidBase) {
+      valid = 0;
+      fwd = {};
+      rc = {};
+      continue;
+    }
+    fwd = push_base128(fwd, code, mask);
+    rc.lo = (rc.lo >> 2) | (rc.hi << 62);
+    rc.hi >>= 2;
+    const std::uint64_t comp = static_cast<std::uint64_t>(3 - code);
+    if (top >= 64) {
+      rc.hi |= comp << (top - 64);
+    } else {
+      rc.lo |= comp << top;
+    }
+    if (++valid >= k) fn(fwd < rc ? fwd : rc, i + 1 - static_cast<std::size_t>(k));
+  }
+}
+
+/// Append all canonical k-mers of @p seq to @p out (scalar path).
+void scan_canonical_kmers64(std::string_view seq, int k, std::vector<std::uint64_t>& out);
+
+/// Append all canonical k-mers of @p seq to @p out using the 4-way
+/// vectorized scheme of Figure 3.  Output is a permutation of the scalar
+/// path's output (lane-major instead of position-major).
+void scan_canonical_kmers64_x4(std::string_view seq, int k, std::vector<std::uint64_t>& out);
+
+/// Count valid (N-free) k-mer windows in a sequence without emitting them.
+std::uint64_t count_valid_kmers(std::string_view seq, int k);
+
+}  // namespace metaprep::kmer

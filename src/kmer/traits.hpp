@@ -1,0 +1,71 @@
+// KmerTraits: one compile-time interface over the two k-mer representations
+// (64-bit for k <= 32, 128-bit for k <= 63), so components that must work at
+// any k — the MiniHit assembler in particular — can be written once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "kmer/codec.hpp"
+#include "kmer/kmer128.hpp"
+#include "kmer/scanner.hpp"
+
+namespace metaprep::kmer {
+
+template <typename K>
+struct KmerTraits;
+
+template <>
+struct KmerTraits<std::uint64_t> {
+  static constexpr int kMaxK = kMaxK64;
+
+  static std::uint64_t mask(int k) { return kmer_mask64(k); }
+  static std::uint64_t canonical(std::uint64_t v, int k) { return canonical64(v, k); }
+  static std::uint64_t reverse_complement(std::uint64_t v, int k) { return revcomp64(v, k); }
+  /// Append base code b at the 3' end: ((v << 2) | b) & mask.
+  static std::uint64_t shift_in(std::uint64_t v, std::uint8_t b, std::uint64_t m) {
+    return ((v << 2) | b) & m;
+  }
+  static std::string decode(std::uint64_t v, int k) { return decode64(v, k); }
+
+  template <typename Fn>
+  static void for_each_canonical(std::string_view seq, int k, Fn&& fn) {
+    for_each_canonical_kmer64(seq, k, std::forward<Fn>(fn));
+  }
+};
+
+template <>
+struct KmerTraits<Kmer128> {
+  static constexpr int kMaxK = kMaxK128;
+
+  static Kmer128 mask(int k) { return kmer_mask128(k); }
+  static Kmer128 canonical(Kmer128 v, int k) { return canonical128(v, k); }
+  static Kmer128 reverse_complement(Kmer128 v, int k) { return revcomp128(v, k); }
+  static Kmer128 shift_in(Kmer128 v, std::uint8_t b, Kmer128 m) {
+    return push_base128(v, b, m);
+  }
+  static std::string decode(Kmer128 v, int k) { return decode128(v, k); }
+
+  template <typename Fn>
+  static void for_each_canonical(std::string_view seq, int k, Fn&& fn) {
+    for_each_canonical_kmer128(seq, k, std::forward<Fn>(fn));
+  }
+};
+
+}  // namespace metaprep::kmer
+
+namespace std {
+/// Hash for 128-bit k-mers (hash-map keys in the wide-k assembler path).
+template <>
+struct hash<metaprep::kmer::Kmer128> {
+  size_t operator()(const metaprep::kmer::Kmer128& v) const noexcept {
+    // SplitMix-style mix of the two words.
+    std::uint64_t z = v.hi ^ (v.lo * 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+}  // namespace std

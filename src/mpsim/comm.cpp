@@ -1,0 +1,244 @@
+#include "mpsim/comm.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace metaprep::mpsim {
+
+int Comm::size() const noexcept { return world_->size(); }
+
+World::World(int num_ranks, CostModelParams cost) : num_ranks_(num_ranks), cost_(cost) {
+  if (num_ranks < 1) throw std::invalid_argument("World: num_ranks must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int i = 0; i < num_ranks; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+  sim_comm_seconds_.assign(static_cast<std::size_t>(num_ranks), 0.0);
+  traffic_bytes_.assign(static_cast<std::size_t>(num_ranks) * static_cast<std::size_t>(num_ranks),
+                        0);
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  // Clear any poison left by a previous failed run.
+  for (auto& mb : mailboxes_) {
+    std::lock_guard lock(mb->mutex);
+    mb->poisoned = false;
+    mb->queues.clear();
+  }
+
+  std::exception_ptr first_exception;
+  std::mutex exception_mutex;
+  auto body = [&](int rank) {
+    Comm comm(*this, rank);
+    try {
+      fn(comm);
+    } catch (...) {
+      {
+        std::lock_guard lock(exception_mutex);
+        if (!first_exception) first_exception = std::current_exception();
+      }
+      poison_all();
+    }
+  };
+
+  if (num_ranks_ == 1) {
+    body(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_ranks_ - 1));
+    for (int rank = 1; rank < num_ranks_; ++rank) threads.emplace_back(body, rank);
+    body(0);
+    for (auto& t : threads) t.join();
+  }
+  if (first_exception) std::rethrow_exception(first_exception);
+}
+
+void World::poison_all() {
+  for (auto& mb : mailboxes_) {
+    {
+      std::lock_guard lock(mb->mutex);
+      mb->poisoned = true;
+    }
+    mb->cv.notify_all();
+  }
+  barrier_cv_.notify_all();
+}
+
+void World::deliver(int src, int dest, int tag, const void* data, std::size_t bytes) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
+  Message msg;
+  msg.payload.resize(bytes);
+  std::memcpy(msg.payload.data(), data, bytes);
+  {
+    std::lock_guard lock(mb.mutex);
+    mb.queues[{src, tag}].push_back(std::move(msg));
+  }
+  mb.cv.notify_all();
+  // Simulated interconnect time is charged to the receiver when the message
+  // crosses "the wire" (self-sends are free: MPI implementations short-cut
+  // them through shared memory, and the paper's stage-0 block is a local
+  // copy).
+  if (src != dest) {
+    std::lock_guard lock(cost_mutex_);
+    sim_comm_seconds_[static_cast<std::size_t>(dest)] +=
+        cost_.latency_s + static_cast<double>(bytes) / cost_.link_bandwidth_Bps;
+    traffic_bytes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_ranks_) +
+                   static_cast<std::size_t>(dest)] += bytes;
+    ++message_count_;
+  }
+}
+
+World::Message World::take(int src, int dest, int tag) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
+  std::unique_lock lock(mb.mutex);
+  const std::pair<int, int> key{src, tag};
+  mb.cv.wait(lock, [&] {
+    if (mb.poisoned) return true;
+    auto it = mb.queues.find(key);
+    return it != mb.queues.end() && !it->second.empty();
+  });
+  if (mb.poisoned) throw std::runtime_error("mpsim: world poisoned by a failed rank");
+  auto it = mb.queues.find(key);
+  Message msg = std::move(it->second.front());
+  it->second.pop_front();
+  return msg;
+}
+
+void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
+  if (dest < 0 || dest >= size()) throw std::out_of_range("mpsim send: bad dest rank");
+  world_->deliver(rank_, dest, tag, data, bytes);
+}
+
+void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
+  World::Message msg = world_->take(src, rank_, tag);
+  if (msg.payload.size() != bytes)
+    throw std::runtime_error("mpsim recv: size mismatch (got " +
+                             std::to_string(msg.payload.size()) + ", expected " +
+                             std::to_string(bytes) + ")");
+  std::memcpy(data, msg.payload.data(), bytes);
+}
+
+std::vector<std::byte> Comm::recv_any_size(int src, int tag) {
+  return world_->take(src, rank_, tag).payload;
+}
+
+void Comm::barrier() {
+  if (size() == 1) return;
+  std::unique_lock lock(world_->barrier_mutex_);
+  const std::uint64_t phase = world_->barrier_phase_;
+  if (++world_->barrier_count_ == size()) {
+    world_->barrier_count_ = 0;
+    ++world_->barrier_phase_;
+    world_->barrier_cv_.notify_all();
+  } else {
+    world_->barrier_cv_.wait(lock, [&] { return world_->barrier_phase_ != phase; });
+  }
+}
+
+void Comm::broadcast(void* data, std::size_t bytes, int root) {
+  if (size() == 1) return;
+  constexpr int kBcastTag = -424242;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, kBcastTag, data, bytes);
+    }
+  } else {
+    recv(root, kBcastTag, data, bytes);
+  }
+}
+
+void Comm::gather(const void* data, std::size_t bytes, void* out, int root) {
+  constexpr int kGatherTag = -434343;
+  if (rank_ == root) {
+    auto* dst = static_cast<std::byte*>(out);
+    std::memcpy(dst + static_cast<std::size_t>(root) * bytes, data, bytes);
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) recv(r, kGatherTag, dst + static_cast<std::size_t>(r) * bytes, bytes);
+    }
+  } else {
+    send(root, kGatherTag, data, bytes);
+  }
+}
+
+std::uint64_t Comm::allreduce_sum(std::uint64_t value) {
+  if (size() == 1) return value;
+  std::vector<std::uint64_t> all(static_cast<std::size_t>(size()), 0);
+  gather(&value, sizeof(value), all.data(), 0);
+  std::uint64_t total = 0;
+  if (rank_ == 0) {
+    for (std::uint64_t v : all) total += v;
+  }
+  broadcast(&total, sizeof(total), 0);
+  return total;
+}
+
+void Comm::alltoallv_staged(const void* sendbuf, std::span<const std::uint64_t> send_offsets,
+                            void* recvbuf, std::span<const std::uint64_t> recv_offsets,
+                            int tag) {
+  const int P = size();
+  if (send_offsets.size() != static_cast<std::size_t>(P) + 1 ||
+      recv_offsets.size() != static_cast<std::size_t>(P) + 1)
+    throw std::invalid_argument("alltoallv_staged: offset arrays must have P+1 entries");
+
+  const auto* sbytes = static_cast<const std::byte*>(sendbuf);
+  auto* rbytes = static_cast<std::byte*>(recvbuf);
+
+  // Stage 0: local block, plain copy (src == dest).
+  std::memcpy(rbytes + recv_offsets[static_cast<std::size_t>(rank_)],
+              sbytes + send_offsets[static_cast<std::size_t>(rank_)],
+              send_offsets[static_cast<std::size_t>(rank_) + 1] -
+                  send_offsets[static_cast<std::size_t>(rank_)]);
+
+  // Stages 1..P-1: in stage i, rank p sends to (p+i) mod P and receives
+  // from (p-i+P) mod P (paper §3.3).
+  for (int stage = 1; stage < P; ++stage) {
+    const int dest = (rank_ + stage) % P;
+    const int src = (rank_ - stage + P) % P;
+    const std::uint64_t send_begin = send_offsets[static_cast<std::size_t>(dest)];
+    const std::uint64_t send_len = send_offsets[static_cast<std::size_t>(dest) + 1] - send_begin;
+    send(dest, tag + stage, sbytes + send_begin, send_len);
+    const std::uint64_t recv_begin = recv_offsets[static_cast<std::size_t>(src)];
+    const std::uint64_t recv_len = recv_offsets[static_cast<std::size_t>(src) + 1] - recv_begin;
+    recv(src, tag + stage, rbytes + recv_begin, recv_len);
+  }
+}
+
+double Comm::simulated_comm_seconds() const { return world_->simulated_comm_seconds(rank_); }
+
+double World::simulated_comm_seconds(int rank) const {
+  std::lock_guard lock(cost_mutex_);
+  return sim_comm_seconds_[static_cast<std::size_t>(rank)];
+}
+
+double World::max_simulated_comm_seconds() const {
+  std::lock_guard lock(cost_mutex_);
+  double mx = 0.0;
+  for (double v : sim_comm_seconds_) mx = std::max(mx, v);
+  return mx;
+}
+
+void World::reset_cost_model() {
+  std::lock_guard lock(cost_mutex_);
+  for (auto& v : sim_comm_seconds_) v = 0.0;
+  for (auto& v : traffic_bytes_) v = 0;
+  message_count_ = 0;
+}
+
+std::vector<std::uint64_t> World::traffic_matrix() const {
+  std::lock_guard lock(cost_mutex_);
+  return traffic_bytes_;
+}
+
+std::uint64_t World::total_traffic_bytes() const {
+  std::lock_guard lock(cost_mutex_);
+  std::uint64_t total = 0;
+  for (auto v : traffic_bytes_) total += v;
+  return total;
+}
+
+std::uint64_t World::message_count() const {
+  std::lock_guard lock(cost_mutex_);
+  return message_count_;
+}
+
+}  // namespace metaprep::mpsim

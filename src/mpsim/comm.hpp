@@ -1,0 +1,162 @@
+// mpsim: an in-process message-passing substrate standing in for MPI.
+//
+// METAPREP uses MPI for distributed memory parallelism (1 task per node) and
+// OpenMP within a task.  This container has no MPI and no network, so we run
+// each "rank" on its own thread with mailbox-based point-to-point messages
+// and the collectives the pipeline needs (barrier, broadcast, gather).  The
+// pipeline code is written against this interface exactly as it would be
+// against MPI: ranks own disjoint state, exchange k-mer tuples through the
+// paper's custom P-stage All-to-all (§3.3: "In stage i, task p sends tuples
+// to task (p+i) mod P"), and merge components pairwise over ⌈log P⌉ rounds.
+//
+// A CostModel accumulates *simulated* interconnect seconds per rank
+// (latency + bytes / link bandwidth, defaults from the paper's Edison
+// measurements) so the scaling benches can report modeled multi-node
+// communication time alongside measured compute time.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace metaprep::mpsim {
+
+/// Interconnect parameters; defaults follow the paper's Edison numbers
+/// (§4: "point-to-point link bandwidth of large messages is 8 GB/s").
+struct CostModelParams {
+  double latency_s = 2e-6;
+  double link_bandwidth_Bps = 8e9;
+};
+
+class World;
+
+/// Per-rank communicator handle, valid only inside World::run.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Blocking-send semantics of a buffered MPI send: copies @p bytes into
+  /// the destination mailbox and returns immediately.
+  void send(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Blocking receive of the message (src, tag).  Message sizes are always
+  /// known in advance in METAPREP (precomputed from the index tables), so
+  /// the caller passes the expected byte count; a mismatch throws.
+  void recv(int src, int tag, void* data, std::size_t bytes);
+
+  /// Receive without a size expectation (returns the payload).
+  std::vector<std::byte> recv_any_size(int src, int tag);
+
+  template <typename T>
+  void send_span(int dest, int tag, std::span<const T> data) {
+    send(dest, tag, data.data(), data.size_bytes());
+  }
+
+  template <typename T>
+  void recv_span(int src, int tag, std::span<T> data) {
+    recv(src, tag, data.data(), data.size_bytes());
+  }
+
+  /// Sense-reversing barrier over all ranks.
+  void barrier();
+
+  /// Broadcast @p bytes from @p root into every rank's @p data.
+  void broadcast(void* data, std::size_t bytes, int root);
+
+  /// Gather @p bytes from every rank into @p out on @p root (rank-major
+  /// order, P * bytes total).  @p out may be null on non-root ranks.
+  void gather(const void* data, std::size_t bytes, void* out, int root);
+
+  /// Sum a 64-bit value across all ranks; every rank receives the total.
+  std::uint64_t allreduce_sum(std::uint64_t value);
+
+  /// The paper's custom staged All-to-all (§3.3).  Rank p's send buffer
+  /// holds the block for destination d at byte range
+  /// [send_offsets[d], send_offsets[d+1]); the block from source s is
+  /// received at [recv_offsets[s], recv_offsets[s+1]).  Both offset arrays
+  /// have P+1 entries and are precomputed from the FASTQPart table, which is
+  /// how METAPREP avoids MPI_Alltoallv's 32-bit count limitation.
+  void alltoallv_staged(const void* sendbuf, std::span<const std::uint64_t> send_offsets,
+                        void* recvbuf, std::span<const std::uint64_t> recv_offsets, int tag);
+
+  /// Simulated interconnect seconds accumulated by this rank so far.
+  [[nodiscard]] double simulated_comm_seconds() const;
+
+ private:
+  friend class World;
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+  World* world_;
+  int rank_;
+};
+
+/// Owns P ranks; run(fn) executes fn(comm) once per rank concurrently.
+class World {
+ public:
+  explicit World(int num_ranks, CostModelParams cost = {});
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  ~World();
+
+  [[nodiscard]] int size() const noexcept { return num_ranks_; }
+
+  /// Execute fn(comm) on every rank; returns when all ranks finish.  If a
+  /// rank throws, the first exception is rethrown after all ranks complete
+  /// (remaining ranks may deadlock only if they wait on the failed rank; a
+  /// failure poisons all mailboxes to unblock them).
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Max over ranks of simulated comm seconds recorded so far.
+  [[nodiscard]] double max_simulated_comm_seconds() const;
+  [[nodiscard]] double simulated_comm_seconds(int rank) const;
+  void reset_cost_model();
+
+  /// Traffic matrix: bytes shipped from src to dest over the lifetime of
+  /// this world (self-sends excluded; row-major P x P).  Lets the exchange
+  /// pattern of the staged all-to-all (§3.3) be inspected directly.
+  [[nodiscard]] std::vector<std::uint64_t> traffic_matrix() const;
+  [[nodiscard]] std::uint64_t total_traffic_bytes() const;
+  [[nodiscard]] std::uint64_t message_count() const;
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    std::vector<std::byte> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<Message>> queues;  // (src, tag)
+    bool poisoned = false;
+  };
+
+  void deliver(int src, int dest, int tag, const void* data, std::size_t bytes);
+  Message take(int src, int dest, int tag);
+  void poison_all();
+
+  int num_ranks_;
+  CostModelParams cost_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<double> sim_comm_seconds_;
+  std::vector<std::uint64_t> traffic_bytes_;  ///< P x P, row-major (src, dest)
+  std::uint64_t message_count_ = 0;
+  mutable std::mutex cost_mutex_;
+
+  // Barrier state.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_phase_ = 0;
+};
+
+}  // namespace metaprep::mpsim

@@ -1,0 +1,54 @@
+#include "norm/count_min.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace metaprep::norm {
+
+namespace {
+/// Mix a key with a row seed (xor-multiply-shift; full avalanche).
+std::uint64_t mix(std::uint64_t key, std::uint64_t seed) {
+  std::uint64_t z = key ^ seed;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::size_t width, int depth, std::uint64_t seed) {
+  if (width < 2 || depth < 1) throw std::invalid_argument("CountMinSketch: width>=2, depth>=1");
+  const std::size_t pow2 = std::bit_ceil(width);
+  mask_ = pow2 - 1;
+  util::SplitMix64 sm(seed);
+  seeds_.resize(static_cast<std::size_t>(depth));
+  for (auto& s : seeds_) s = sm.next();
+  counters_.assign(static_cast<std::size_t>(depth) * pow2, 0);
+}
+
+std::size_t CountMinSketch::slot(int row, std::uint64_t key) const {
+  return static_cast<std::size_t>(row) * (mask_ + 1) +
+         (mix(key, seeds_[static_cast<std::size_t>(row)]) & mask_);
+}
+
+std::uint32_t CountMinSketch::estimate(std::uint64_t key) const {
+  std::uint32_t best = UINT32_MAX;
+  for (int row = 0; row < depth(); ++row) best = std::min(best, counters_[slot(row, key)]);
+  return best;
+}
+
+std::uint32_t CountMinSketch::add(std::uint64_t key) {
+  const std::uint32_t current = estimate(key);
+  if (current == UINT32_MAX) return current;  // saturated
+  const std::uint32_t updated = current + 1;
+  // Conservative update: only rows still at the minimum are raised.
+  for (int row = 0; row < depth(); ++row) {
+    std::uint32_t& c = counters_[slot(row, key)];
+    c = std::max(c, updated);
+  }
+  return updated;
+}
+
+}  // namespace metaprep::norm

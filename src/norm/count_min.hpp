@@ -1,0 +1,45 @@
+// Count-min sketch for streaming k-mer abundance estimation.
+//
+// Substrate for digital normalization (Howe et al. / Pell et al., the
+// companion preprocessing strategy named in the paper's introduction:
+// "two preprocessing strategies, digital normalization and partitioning").
+// khmer uses probabilistic counting for exactly this purpose ("Scaling
+// metagenome sequence assembly with probabilistic de Bruijn graphs").
+//
+// Properties: estimates never undercount (count(x) <= estimate(x)); with
+// conservative update the overcount is tight in practice.  Fixed memory:
+// depth * width counters, independent of the number of distinct k-mers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace metaprep::norm {
+
+class CountMinSketch {
+ public:
+  /// @p width counters per row (rounded up to a power of two), @p depth rows.
+  CountMinSketch(std::size_t width, int depth, std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Increment the count of @p key using conservative update (only rows at
+  /// the current minimum are bumped), and return the new estimate.
+  std::uint32_t add(std::uint64_t key);
+
+  /// Current estimate (an upper bound on the true count).
+  [[nodiscard]] std::uint32_t estimate(std::uint64_t key) const;
+
+  [[nodiscard]] std::size_t width() const noexcept { return mask_ + 1; }
+  [[nodiscard]] int depth() const noexcept { return static_cast<int>(seeds_.size()); }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept {
+    return counters_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  [[nodiscard]] std::size_t slot(int row, std::uint64_t key) const;
+
+  std::size_t mask_;
+  std::vector<std::uint64_t> seeds_;
+  std::vector<std::uint32_t> counters_;  ///< depth rows of (mask_+1) counters
+};
+
+}  // namespace metaprep::norm

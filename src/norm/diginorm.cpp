@@ -1,0 +1,77 @@
+#include "norm/diginorm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "io/fastq.hpp"
+#include "kmer/scanner.hpp"
+
+namespace metaprep::norm {
+
+Normalizer::Normalizer(const DiginormOptions& options)
+    : options_(options),
+      sketch_(options.sketch_width, options.sketch_depth, options.sketch_seed) {}
+
+std::uint32_t Normalizer::median_abundance(std::string_view read,
+                                           std::vector<std::uint32_t>& scratch) {
+  scratch.clear();
+  kmer::for_each_canonical_kmer64(read, options_.k, [&](std::uint64_t km, std::size_t) {
+    scratch.push_back(sketch_.estimate(km));
+  });
+  if (scratch.empty()) return 0;
+  const auto mid = scratch.begin() + static_cast<std::ptrdiff_t>(scratch.size() / 2);
+  std::nth_element(scratch.begin(), mid, scratch.end());
+  return *mid;
+}
+
+void Normalizer::count(std::string_view read) {
+  kmer::for_each_canonical_kmer64(read, options_.k,
+                                  [&](std::uint64_t km, std::size_t) { sketch_.add(km); });
+}
+
+bool Normalizer::offer(std::string_view read) {
+  ++stats_.pairs_in;
+  if (median_abundance(read, scratch_) >= options_.cutoff) return false;
+  count(read);
+  ++stats_.pairs_kept;
+  return true;
+}
+
+bool Normalizer::offer_pair(std::string_view r1, std::string_view r2) {
+  ++stats_.pairs_in;
+  // Keep the pair unless BOTH mates are already saturated (khmer's
+  // paired-mode rule: a pair survives if either read is novel).
+  const std::uint32_t m1 = median_abundance(r1, scratch_);
+  const std::uint32_t m2 = median_abundance(r2, scratch_);
+  if (m1 >= options_.cutoff && m2 >= options_.cutoff) return false;
+  count(r1);
+  count(r2);
+  ++stats_.pairs_kept;
+  return true;
+}
+
+DiginormStats normalize_fastq_pair(const std::string& r1_path, const std::string& r2_path,
+                                   const std::string& out_prefix,
+                                   const DiginormOptions& options) {
+  Normalizer normalizer(options);
+  io::FastqReader in1(r1_path);
+  io::FastqReader in2(r2_path);
+  io::FastqWriter out1(out_prefix + "_1.fastq");
+  io::FastqWriter out2(out_prefix + "_2.fastq");
+  io::FastqRecord rec1, rec2;
+  while (in1.next(rec1)) {
+    if (!in2.next(rec2)) {
+      throw std::runtime_error("normalize_fastq_pair: " + r2_path + " has fewer records");
+    }
+    if (normalizer.offer_pair(rec1.seq, rec2.seq)) {
+      out1.write(rec1);
+      out2.write(rec2);
+    }
+  }
+  if (in2.next(rec2)) {
+    throw std::runtime_error("normalize_fastq_pair: " + r2_path + " has more records");
+  }
+  return normalizer.stats();
+}
+
+}  // namespace metaprep::norm

@@ -1,0 +1,75 @@
+// Digital normalization (Brown et al. / Howe et al.).
+//
+// The paper's introduction describes Howe et al.'s two preprocessing
+// strategies for large metagenomes: *digital normalization* and
+// *partitioning*; METAPREP implements the partitioning half, and this
+// module implements the normalization half so the full Howe-style pipeline
+// (normalize -> partition -> assemble) can be reproduced.
+//
+// Algorithm: stream the reads; estimate the median abundance of a read's
+// k-mers against a streaming count-min sketch; if the median is already
+// >= the coverage cutoff C the read is redundant and is dropped, otherwise
+// it is kept and its k-mers are counted.  Paired-end reads are kept or
+// dropped as a unit (both mates' k-mers vote).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "norm/count_min.hpp"
+
+namespace metaprep::norm {
+
+struct DiginormOptions {
+  int k = 20;                     ///< khmer's traditional diginorm k
+  std::uint32_t cutoff = 20;      ///< target coverage C
+  std::size_t sketch_width = 1 << 22;
+  int sketch_depth = 4;
+  std::uint64_t sketch_seed = 42;
+};
+
+struct DiginormStats {
+  std::uint64_t pairs_in = 0;
+  std::uint64_t pairs_kept = 0;
+  [[nodiscard]] double keep_fraction() const {
+    return pairs_in == 0 ? 0.0
+                         : static_cast<double>(pairs_kept) / static_cast<double>(pairs_in);
+  }
+};
+
+/// Streaming normalizer; feed read (pairs) in any order, ask keep/drop.
+class Normalizer {
+ public:
+  explicit Normalizer(const DiginormOptions& options);
+
+  /// Decide for a single read; if kept (true), its k-mers are counted.
+  bool offer(std::string_view read);
+
+  /// Decide for a read pair as a unit.
+  bool offer_pair(std::string_view r1, std::string_view r2);
+
+  [[nodiscard]] const DiginormStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t sketch_memory_bytes() const {
+    return sketch_.memory_bytes();
+  }
+
+ private:
+  /// Median count-min estimate over the read's canonical k-mers.
+  std::uint32_t median_abundance(std::string_view read, std::vector<std::uint32_t>& scratch);
+  void count(std::string_view read);
+
+  DiginormOptions options_;
+  CountMinSketch sketch_;
+  DiginormStats stats_;
+  std::vector<std::uint32_t> scratch_;
+};
+
+/// Normalize paired FASTQ files; writes "<out_prefix>_1.fastq"/"_2.fastq"
+/// with the kept pairs and returns the statistics.
+DiginormStats normalize_fastq_pair(const std::string& r1_path, const std::string& r2_path,
+                                   const std::string& out_prefix,
+                                   const DiginormOptions& options);
+
+}  // namespace metaprep::norm

@@ -1,0 +1,49 @@
+#include "norm/trim.hpp"
+
+#include <stdexcept>
+
+#include "io/fastq.hpp"
+
+namespace metaprep::norm {
+
+std::size_t trimmed_length(std::string_view seq, std::string_view qual,
+                           const TrimOptions& options) {
+  if (seq.size() != qual.size())
+    throw std::invalid_argument("trimmed_length: quality length != sequence length");
+  std::size_t len = seq.size();
+  while (len > 0 &&
+         static_cast<int>(qual[len - 1]) - options.phred_offset < options.min_phred) {
+    --len;
+  }
+  return len;
+}
+
+TrimStats trim_fastq_pair(const std::string& r1_path, const std::string& r2_path,
+                          const std::string& out_prefix, const TrimOptions& options) {
+  TrimStats stats;
+  io::FastqReader in1(r1_path);
+  io::FastqReader in2(r2_path);
+  io::FastqWriter out1(out_prefix + "_1.fastq");
+  io::FastqWriter out2(out_prefix + "_2.fastq");
+  io::FastqRecord rec1, rec2;
+  while (in1.next(rec1)) {
+    if (!in2.next(rec2))
+      throw std::runtime_error("trim_fastq_pair: " + r2_path + " has fewer records");
+    ++stats.pairs_in;
+    stats.bases_in += rec1.seq.size() + rec2.seq.size();
+    const std::size_t len1 = trimmed_length(rec1.seq, rec1.qual, options);
+    const std::size_t len2 = trimmed_length(rec2.seq, rec2.qual, options);
+    if (len1 < options.min_length || len2 < options.min_length) continue;
+    ++stats.pairs_kept;
+    stats.bases_kept += len1 + len2;
+    out1.write(rec1.id, std::string_view(rec1.seq).substr(0, len1),
+               std::string_view(rec1.qual).substr(0, len1));
+    out2.write(rec2.id, std::string_view(rec2.seq).substr(0, len2),
+               std::string_view(rec2.qual).substr(0, len2));
+  }
+  if (in2.next(rec2))
+    throw std::runtime_error("trim_fastq_pair: " + r2_path + " has more records");
+  return stats;
+}
+
+}  // namespace metaprep::norm

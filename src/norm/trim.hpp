@@ -1,0 +1,39 @@
+// Quality trimming — the preprocessing step upstream of everything else.
+//
+// The Howe et al. pipelines the paper builds on operate on quality-trimmed
+// reads (the paper's §4.3 even notes the chunking overhead "in case of
+// paired-end FASTQ files containing trimmed reads").  This module provides
+// the standard 3' trim: cut trailing bases whose Phred quality falls below
+// a threshold, and drop pairs whose surviving mates are too short.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace metaprep::norm {
+
+struct TrimOptions {
+  int min_phred = 20;          ///< trim trailing bases with quality < this
+  std::size_t min_length = 50; ///< drop reads shorter than this after trim
+  int phred_offset = 33;       ///< Sanger/Illumina 1.8+ encoding
+};
+
+struct TrimStats {
+  std::uint64_t pairs_in = 0;
+  std::uint64_t pairs_kept = 0;
+  std::uint64_t bases_in = 0;
+  std::uint64_t bases_kept = 0;
+};
+
+/// Length of @p seq after trimming trailing low-quality bases.
+std::size_t trimmed_length(std::string_view seq, std::string_view qual,
+                           const TrimOptions& options);
+
+/// Trim paired FASTQ files; pairs where either mate falls below min_length
+/// are dropped entirely (both mates), preserving pairing.  Writes
+/// "<out_prefix>_1.fastq" / "_2.fastq".
+TrimStats trim_fastq_pair(const std::string& r1_path, const std::string& r2_path,
+                          const std::string& out_prefix, const TrimOptions& options);
+
+}  // namespace metaprep::norm

@@ -1,0 +1,92 @@
+#include "sim/genome.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "kmer/codec.hpp"
+#include "util/rng.hpp"
+
+namespace metaprep::sim {
+
+using util::SplitMix64;
+using util::Xoshiro256;
+
+std::string random_genome(std::uint64_t len, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::string g(len, 'A');
+  // Draw 32 bases (2 bits each) per 64-bit random value.
+  std::size_t i = 0;
+  while (i < g.size()) {
+    std::uint64_t bits = rng.next();
+    const std::size_t n = std::min<std::size_t>(32, g.size() - i);
+    for (std::size_t j = 0; j < n; ++j) {
+      g[i + j] = kmer::base_char(static_cast<std::uint8_t>(bits & 3));
+      bits >>= 2;
+    }
+    i += n;
+  }
+  return g;
+}
+
+namespace {
+
+/// Overwrite ~fraction of @p genome with copies of units drawn from @p pool.
+void paste_units(std::string& genome, const std::vector<std::string>& pool, double fraction,
+                 Xoshiro256& rng) {
+  if (pool.empty() || fraction <= 0.0 || genome.empty()) return;
+  const auto target = static_cast<std::uint64_t>(fraction * static_cast<double>(genome.size()));
+  std::uint64_t pasted = 0;
+  while (pasted < target) {
+    const std::string& unit = pool[rng.next_below(pool.size())];
+    if (unit.size() >= genome.size()) break;
+    const std::uint64_t pos = rng.next_below(genome.size() - unit.size());
+    std::copy(unit.begin(), unit.end(), genome.begin() + static_cast<std::ptrdiff_t>(pos));
+    pasted += unit.size();
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> generate_genomes(const GenomeSetConfig& config) {
+  if (config.num_species < 1) throw std::invalid_argument("generate_genomes: num_species < 1");
+  if (config.min_genome_len > config.max_genome_len)
+    throw std::invalid_argument("generate_genomes: min_genome_len > max_genome_len");
+  SplitMix64 seeder(config.seed);
+  Xoshiro256 rng(seeder.next());
+
+  // Shared pool: a handful of segments any species may carry (conserved
+  // genes / mobile elements).  Kept small so sharing is the exception.
+  std::vector<std::string> shared_pool;
+  if (config.shared_fraction > 0.0) {
+    const int pool_size = std::max(2, config.num_species / 2);
+    for (int i = 0; i < pool_size; ++i) {
+      shared_pool.push_back(random_genome(config.shared_unit_len, seeder.next()));
+    }
+  }
+
+  std::vector<std::string> genomes;
+  genomes.reserve(static_cast<std::size_t>(config.num_species));
+  for (int s = 0; s < config.num_species; ++s) {
+    const std::uint64_t span = config.max_genome_len - config.min_genome_len;
+    const std::uint64_t len = config.min_genome_len + (span == 0 ? 0 : rng.next_below(span + 1));
+    std::string g = random_genome(len, seeder.next());
+
+    // Species-private repeat units, pasted multiple times within the genome.
+    if (config.repeat_fraction > 0.0 && len > 2 * config.repeat_unit_len) {
+      std::vector<std::string> repeats;
+      const int nunits = 2;
+      for (int u = 0; u < nunits; ++u) {
+        const std::uint64_t pos = rng.next_below(len - config.repeat_unit_len);
+        repeats.push_back(g.substr(pos, config.repeat_unit_len));
+      }
+      paste_units(g, repeats, config.repeat_fraction, rng);
+    }
+    if (!shared_pool.empty() && len > 2 * config.shared_unit_len) {
+      paste_units(g, shared_pool, config.shared_fraction, rng);
+    }
+    genomes.push_back(std::move(g));
+  }
+  return genomes;
+}
+
+}  // namespace metaprep::sim

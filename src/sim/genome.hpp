@@ -1,0 +1,42 @@
+// Synthetic genome generation.
+//
+// Stands in for the paper's NCBI/JGI metagenomes (Table 2).  The read-graph
+// behaviour METAPREP measures is driven by three structural knobs that we
+// control directly:
+//  * distinct species genomes => distinct read-graph components;
+//  * intra-genome repeats => high-frequency k-mers (what the KF<30 filter
+//    removes, Table 7);
+//  * segments shared between species (conserved genes / near-identical
+//    strains) => inter-species read-graph edges, i.e. the giant component
+//    the paper observes ("99.5% of the reads belong to the giant
+//    component" for MM at k=27).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metaprep::sim {
+
+struct GenomeSetConfig {
+  int num_species = 8;
+  std::uint64_t min_genome_len = 20'000;
+  std::uint64_t max_genome_len = 80'000;
+  /// Fraction of each genome overwritten with copies of its own repeat
+  /// units (creates high-frequency k-mers).
+  double repeat_fraction = 0.05;
+  std::uint64_t repeat_unit_len = 400;
+  /// Fraction of each genome overwritten with segments drawn from a pool
+  /// shared across all species (creates inter-species read-graph edges).
+  double shared_fraction = 0.02;
+  std::uint64_t shared_unit_len = 300;
+  std::uint64_t seed = 1;
+};
+
+/// A generated community: one genome string per species.
+std::vector<std::string> generate_genomes(const GenomeSetConfig& config);
+
+/// Uniform random ACGT string of length @p len.
+std::string random_genome(std::uint64_t len, std::uint64_t seed);
+
+}  // namespace metaprep::sim

@@ -1,0 +1,162 @@
+#include "sim/read_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "io/fastq.hpp"
+#include "kmer/codec.hpp"
+#include "util/rng.hpp"
+
+namespace metaprep::sim {
+
+using util::SplitMix64;
+using util::Xoshiro256;
+
+std::vector<double> lognormal_abundances(int num_species, double sigma, std::uint64_t seed) {
+  std::vector<double> w(static_cast<std::size_t>(num_species), 1.0);
+  if (sigma > 0.0) {
+    Xoshiro256 rng(seed);
+    for (auto& v : w) v = std::exp(sigma * rng.next_gaussian());
+  }
+  double total = 0.0;
+  for (double v : w) total += v;
+  for (auto& v : w) v /= total;
+  return w;
+}
+
+namespace {
+
+struct PairSim {
+  const std::vector<std::string>& genomes;
+  const ReadSimConfig& cfg;
+  Xoshiro256 rng;
+
+  explicit PairSim(const std::vector<std::string>& g, const ReadSimConfig& c)
+      : genomes(g), cfg(c), rng(c.seed) {}
+
+  void mutate(std::string& read) {
+    const auto len = static_cast<double>(read.size());
+    for (std::size_t i = 0; i < read.size(); ++i) {
+      char& ch = read[i];
+      // 3' degradation: error probability ramps up along the read.
+      const double boost =
+          cfg.end_error_boost * (len > 1 ? static_cast<double>(i) / (len - 1) : 0.0);
+      if (rng.next_bool(cfg.n_rate)) {
+        ch = 'N';
+      } else if (rng.next_bool(cfg.error_rate + boost)) {
+        const std::uint8_t orig = kmer::base_code(ch);
+        // Substitute with one of the three other bases.
+        const auto shift = static_cast<std::uint8_t>(1 + rng.next_below(3));
+        ch = kmer::base_char(static_cast<std::uint8_t>((orig + shift) & 3));
+      }
+    }
+  }
+
+  /// Simulate one pair from species @p s.  Returns false if the genome is
+  /// too short for the insert (caller retries with another position/species).
+  bool simulate(std::uint32_t s, std::string& r1, std::string& r2) {
+    const std::string& g = genomes[s];
+    const double gauss = rng.next_gaussian();
+    auto insert = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(cfg.insert_mean) +
+                     gauss * static_cast<double>(cfg.insert_sd)));
+    insert = std::max<std::int64_t>(insert, cfg.read_len);
+    if (static_cast<std::uint64_t>(insert) > g.size()) return false;
+    const std::uint64_t pos = rng.next_below(g.size() - static_cast<std::uint64_t>(insert) + 1);
+    r1 = g.substr(pos, cfg.read_len);
+    const std::uint64_t mate_start = pos + static_cast<std::uint64_t>(insert) - cfg.read_len;
+    r2 = kmer::revcomp_string(std::string_view(g).substr(mate_start, cfg.read_len));
+    mutate(r1);
+    mutate(r2);
+    return true;
+  }
+};
+
+std::string quality_string(std::uint32_t len, int end_quality_drop, Xoshiro256& rng) {
+  // Phred ~30-40 ASCII ('?' .. 'I') with an optional linear 3' decline that
+  // mirrors ReadSimConfig::end_error_boost, so quality trimming removes the
+  // genuinely error-rich tail.
+  std::string q(len, 'I');
+  for (std::uint32_t i = 0; i < len; ++i) {
+    const int drop =
+        len > 1 ? static_cast<int>(static_cast<double>(end_quality_drop) * i / (len - 1)) : 0;
+    const int phred33 = '?' + static_cast<int>(rng.next_below(11)) - drop;
+    q[i] = static_cast<char>(std::max(phred33, '!' + 1));
+  }
+  return q;
+}
+
+}  // namespace
+
+InMemoryDataset simulate_in_memory(const DatasetConfig& config) {
+  const auto genomes = generate_genomes(config.genomes);
+  SplitMix64 seeder(config.reads.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  const auto weights =
+      lognormal_abundances(config.genomes.num_species, config.abundance_sigma, seeder.next());
+  std::vector<double> cdf(weights.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    cdf[i] = acc;
+  }
+
+  PairSim sim(genomes, config.reads);
+  Xoshiro256 pick(seeder.next());
+
+  InMemoryDataset out;
+  out.r1.reserve(config.num_pairs);
+  out.r2.reserve(config.num_pairs);
+  out.pair_species.reserve(config.num_pairs);
+  std::string r1, r2;
+  for (std::uint64_t i = 0; i < config.num_pairs; ++i) {
+    for (int attempt = 0;; ++attempt) {
+      const double u = pick.next_double();
+      const auto s = static_cast<std::uint32_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+      const std::uint32_t species = std::min<std::uint32_t>(s, static_cast<std::uint32_t>(cdf.size() - 1));
+      if (sim.simulate(species, r1, r2)) {
+        out.r1.push_back(r1);
+        out.r2.push_back(r2);
+        out.pair_species.push_back(species);
+        break;
+      }
+      if (attempt > 1000)
+        throw std::runtime_error("simulate_dataset: genomes too short for insert size");
+    }
+  }
+  return out;
+}
+
+SimulatedDataset simulate_dataset(const DatasetConfig& config, const std::string& out_prefix) {
+  const auto genomes = generate_genomes(config.genomes);
+  InMemoryDataset mem = simulate_in_memory(config);
+
+  SimulatedDataset ds;
+  ds.name = config.name;
+  ds.num_pairs = config.num_pairs;
+  ds.pair_species = std::move(mem.pair_species);
+  for (const auto& g : genomes) ds.genome_lengths.push_back(g.size());
+
+  const std::string p1 = out_prefix + "_1.fastq";
+  const std::string p2 = out_prefix + "_2.fastq";
+  Xoshiro256 qrng(config.reads.seed ^ 0x5151515151515151ULL);
+  {
+    io::FastqWriter w1(p1);
+    io::FastqWriter w2(p2);
+    for (std::uint64_t i = 0; i < config.num_pairs; ++i) {
+      const std::string id = config.name + "." + std::to_string(i);
+      w1.write(id + "/1",
+               mem.r1[i], quality_string(config.reads.read_len,
+                                         config.reads.end_quality_drop, qrng));
+      w2.write(id + "/2",
+               mem.r2[i], quality_string(config.reads.read_len,
+                                         config.reads.end_quality_drop, qrng));
+      ds.total_bases += mem.r1[i].size() + mem.r2[i].size();
+    }
+  }
+  ds.files = {p1, p2};
+  return ds;
+}
+
+}  // namespace metaprep::sim

@@ -1,0 +1,67 @@
+// Illumina-style paired-end read simulation over a synthetic community.
+//
+// Produces the FASTQ inputs for every experiment: read pairs are drawn from
+// species chosen by an abundance profile, fragments are sampled uniformly
+// within the genome, both ends get substitution errors and occasional N's
+// (sequencing errors create the low-frequency k-mers that the 10 <= KF
+// filter bound targets in Table 7).  Output is deterministic in the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/genome.hpp"
+
+namespace metaprep::sim {
+
+struct ReadSimConfig {
+  std::uint32_t read_len = 100;
+  std::uint32_t insert_mean = 280;
+  std::uint32_t insert_sd = 20;
+  double error_rate = 0.004;  ///< per-base substitution probability
+  double n_rate = 0.0004;     ///< per-base probability of an N call
+  /// Illumina-style 3' degradation: extra substitution probability ramping
+  /// linearly from 0 at the 5' end to this value at the last base.  Gives
+  /// quality trimming (norm/trim) realistic work to do.
+  double end_error_boost = 0.0;
+  /// Phred-score drop at the 3' end (linear ramp), mirrored in the quality
+  /// strings so trimming correlates with the real error positions.
+  int end_quality_drop = 0;
+  std::uint64_t seed = 7;
+};
+
+struct DatasetConfig {
+  std::string name = "dataset";
+  GenomeSetConfig genomes;
+  ReadSimConfig reads;
+  std::uint64_t num_pairs = 50'000;
+  /// Log-normal abundance skew (sigma of underlying gaussian); 0 = uniform.
+  double abundance_sigma = 1.0;
+};
+
+/// A simulated dataset on disk plus its ground truth.
+struct SimulatedDataset {
+  std::string name;
+  std::vector<std::string> files;         ///< {R1 path, R2 path}
+  std::uint64_t num_pairs = 0;
+  std::uint64_t total_bases = 0;          ///< across both ends
+  std::vector<std::uint32_t> pair_species;  ///< ground-truth species per pair
+  std::vector<std::uint64_t> genome_lengths;
+};
+
+/// Generate the dataset and write "<out_prefix>_1.fastq" / "_2.fastq".
+SimulatedDataset simulate_dataset(const DatasetConfig& config, const std::string& out_prefix);
+
+/// In-memory variant used by unit tests: returns the two mates per pair
+/// without touching the filesystem.
+struct InMemoryDataset {
+  std::vector<std::string> r1, r2;
+  std::vector<std::uint32_t> pair_species;
+};
+InMemoryDataset simulate_in_memory(const DatasetConfig& config);
+
+/// Species sampling weights from a log-normal profile (normalized).
+std::vector<double> lognormal_abundances(int num_species, double sigma, std::uint64_t seed);
+
+}  // namespace metaprep::sim

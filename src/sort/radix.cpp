@@ -1,0 +1,160 @@
+#include "sort/radix.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace metaprep::sort {
+
+namespace {
+
+/// One LSD counting pass: stable-scatter (keys, vals) into (out_keys,
+/// out_vals) by the digit at bit offset @p shift of digit_key(i).
+template <typename Val, typename DigitFn>
+void counting_pass(std::span<const std::uint64_t> keys, std::span<const Val> vals,
+                   std::span<std::uint64_t> out_keys, std::span<Val> out_vals, int digit_bits,
+                   const DigitFn& digit_of) {
+  const std::size_t nbuckets = std::size_t{1} << digit_bits;
+  std::vector<std::size_t> count(nbuckets, 0);
+  for (std::size_t i = 0; i < keys.size(); ++i) ++count[digit_of(i)];
+  std::size_t acc = 0;
+  for (std::size_t b = 0; b < nbuckets; ++b) {
+    const std::size_t c = count[b];
+    count[b] = acc;
+    acc += c;
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::size_t dst = count[digit_of(i)]++;
+    out_keys[dst] = keys[i];
+    out_vals[dst] = vals[i];
+  }
+}
+
+int pass_count(int key_bits, int digit_bits) {
+  if (digit_bits < 1 || digit_bits > 16) throw std::invalid_argument("radix: digit_bits in [1,16]");
+  if (key_bits < 1) throw std::invalid_argument("radix: key_bits >= 1");
+  return (key_bits + digit_bits - 1) / digit_bits;
+}
+
+template <typename Val>
+void radix_sort_impl(std::span<std::uint64_t> keys, std::span<Val> vals,
+                     std::span<std::uint64_t> tmp_keys, std::span<Val> tmp_vals, int key_bits,
+                     int digit_bits) {
+  if (keys.size() != vals.size() || tmp_keys.size() < keys.size() ||
+      tmp_vals.size() < vals.size())
+    throw std::invalid_argument("radix: buffer size mismatch");
+  if (keys.size() <= 1) return;
+  key_bits = std::min(key_bits, 64);
+  const int passes = pass_count(key_bits, digit_bits);
+  const std::uint64_t digit_mask = (std::uint64_t{1} << digit_bits) - 1;
+
+  std::span<std::uint64_t> src_k = keys;
+  std::span<Val> src_v = vals;
+  std::span<std::uint64_t> dst_k = tmp_keys.subspan(0, keys.size());
+  std::span<Val> dst_v = tmp_vals.subspan(0, vals.size());
+
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = pass * digit_bits;
+    counting_pass<Val>(src_k, src_v, dst_k, dst_v, digit_bits, [&](std::size_t i) {
+      return static_cast<std::size_t>((src_k[i] >> shift) & digit_mask);
+    });
+    std::swap(src_k, dst_k);
+    std::swap(src_v, dst_v);
+  }
+  // After an odd number of passes the sorted data lives in the scratch.
+  if (passes % 2 == 1) {
+    std::memcpy(keys.data(), src_k.data(), keys.size_bytes());
+    std::memcpy(vals.data(), src_v.data(), vals.size_bytes());
+  }
+}
+
+}  // namespace
+
+void radix_sort_kv64(std::span<std::uint64_t> keys, std::span<std::uint32_t> vals,
+                     std::span<std::uint64_t> tmp_keys, std::span<std::uint32_t> tmp_vals,
+                     int key_bits, int digit_bits) {
+  radix_sort_impl<std::uint32_t>(keys, vals, tmp_keys, tmp_vals, key_bits, digit_bits);
+}
+
+void radix_sort_kv64(std::vector<std::uint64_t>& keys, std::vector<std::uint32_t>& vals,
+                     int key_bits, int digit_bits) {
+  std::vector<std::uint64_t> tk(keys.size());
+  std::vector<std::uint32_t> tv(vals.size());
+  radix_sort_kv64(keys, vals, tk, tv, key_bits, digit_bits);
+}
+
+void radix_sort_kv64x64(std::span<std::uint64_t> keys, std::span<std::uint64_t> vals,
+                        std::span<std::uint64_t> tmp_keys, std::span<std::uint64_t> tmp_vals,
+                        int key_bits, int digit_bits) {
+  radix_sort_impl<std::uint64_t>(keys, vals, tmp_keys, tmp_vals, key_bits, digit_bits);
+}
+
+void radix_sort_kv128(std::span<std::uint64_t> keys_hi, std::span<std::uint64_t> keys_lo,
+                      std::span<std::uint32_t> vals, std::span<std::uint64_t> tmp_hi,
+                      std::span<std::uint64_t> tmp_lo, std::span<std::uint32_t> tmp_vals,
+                      int key_bits, int digit_bits) {
+  const std::size_t n = keys_hi.size();
+  if (keys_lo.size() != n || vals.size() != n || tmp_hi.size() < n || tmp_lo.size() < n ||
+      tmp_vals.size() < n)
+    throw std::invalid_argument("radix128: buffer size mismatch");
+  if (n <= 1) return;
+
+  // LSD across the full 128-bit key: low-word digits first, then high-word
+  // digits.  Each pass permutes all three arrays together.
+  const int lo_bits = std::min(key_bits, 64);
+  const int hi_bits = key_bits > 64 ? key_bits - 64 : 0;
+  const std::uint64_t digit_mask = (std::uint64_t{1} << digit_bits) - 1;
+
+  std::span<std::uint64_t> sh = keys_hi, sl = keys_lo;
+  std::span<std::uint32_t> sv = vals;
+  std::span<std::uint64_t> dh = tmp_hi.subspan(0, n), dl = tmp_lo.subspan(0, n);
+  std::span<std::uint32_t> dv = tmp_vals.subspan(0, n);
+
+  int total_passes = 0;
+  auto do_passes = [&](bool use_lo, int bits) {
+    const int passes = bits == 0 ? 0 : (bits + digit_bits - 1) / digit_bits;
+    for (int pass = 0; pass < passes; ++pass) {
+      const int shift = pass * digit_bits;
+      const std::size_t nbuckets = std::size_t{1} << digit_bits;
+      std::vector<std::size_t> count(nbuckets, 0);
+      auto digit_of = [&](std::size_t i) {
+        const std::uint64_t w = use_lo ? sl[i] : sh[i];
+        return static_cast<std::size_t>((w >> shift) & digit_mask);
+      };
+      for (std::size_t i = 0; i < n; ++i) ++count[digit_of(i)];
+      std::size_t acc = 0;
+      for (std::size_t b = 0; b < nbuckets; ++b) {
+        const std::size_t c = count[b];
+        count[b] = acc;
+        acc += c;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t dst = count[digit_of(i)]++;
+        dh[dst] = sh[i];
+        dl[dst] = sl[i];
+        dv[dst] = sv[i];
+      }
+      std::swap(sh, dh);
+      std::swap(sl, dl);
+      std::swap(sv, dv);
+      ++total_passes;
+    }
+  };
+  do_passes(/*use_lo=*/true, lo_bits);
+  do_passes(/*use_lo=*/false, hi_bits);
+
+  if (total_passes % 2 == 1) {
+    std::memcpy(keys_hi.data(), sh.data(), n * sizeof(std::uint64_t));
+    std::memcpy(keys_lo.data(), sl.data(), n * sizeof(std::uint64_t));
+    std::memcpy(vals.data(), sv.data(), n * sizeof(std::uint32_t));
+  }
+}
+
+bool is_sorted_keys(std::span<const std::uint64_t> keys) {
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i - 1] > keys[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace metaprep::sort

@@ -1,0 +1,54 @@
+// Out-of-place LSD radix sort for (k-mer, read-ID) tuples.
+//
+// LocalSort (paper §3.4) sorts each thread's k-mer sub-range with a *serial*
+// out-of-place radix sort — parallelism comes from the range partitioning
+// step, not from the sort itself.  The paper sorts 8 bits per pass (256
+// buckets), having found that the better temporal locality of 256 bucket
+// counters beats the fewer passes of 16-bit digits; digit width is a
+// parameter here so the ablation bench can reproduce that finding.
+//
+// Tuples are stored SoA (separate key and payload arrays): same 12 bytes per
+// tuple as the paper's packed layout, but radix passes stream each array
+// linearly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace metaprep::sort {
+
+/// Serial LSD radix sort of (key, value) pairs by key.
+/// @p keys / @p vals are sorted in place; @p tmp_keys / @p tmp_vals must be
+/// the same size and are used as the out-of-place buffer ("We reuse the send
+/// buffer of KmerGen-Comm step for storing the sorted tuples").
+/// @p key_bits limits the passes to the low key_bits bits (2k for k-mers);
+/// @p digit_bits selects the bucket count (8 -> 256 buckets).
+void radix_sort_kv64(std::span<std::uint64_t> keys, std::span<std::uint32_t> vals,
+                     std::span<std::uint64_t> tmp_keys, std::span<std::uint32_t> tmp_vals,
+                     int key_bits = 64, int digit_bits = 8);
+
+/// Convenience wrapper that allocates scratch internally.
+void radix_sort_kv64(std::vector<std::uint64_t>& keys, std::vector<std::uint32_t>& vals,
+                     int key_bits = 64, int digit_bits = 8);
+
+/// 128-bit-key variant for 32 < k <= 63 (keys split into hi/lo words; the
+/// paper's 63-mer runs use 16 radix passes).  Sorts by (hi, lo) numeric
+/// order.
+void radix_sort_kv128(std::span<std::uint64_t> keys_hi, std::span<std::uint64_t> keys_lo,
+                      std::span<std::uint32_t> vals, std::span<std::uint64_t> tmp_hi,
+                      std::span<std::uint64_t> tmp_lo, std::span<std::uint32_t> tmp_vals,
+                      int key_bits = 128, int digit_bits = 8);
+
+/// Baseline for the §4.2.2 comparison: LSD radix sort with 64-bit key AND
+/// 64-bit payload (the NUMA-aware implementation of Polychroniou & Ross
+/// "requires that both the key and payload be 64 bits").
+void radix_sort_kv64x64(std::span<std::uint64_t> keys, std::span<std::uint64_t> vals,
+                        std::span<std::uint64_t> tmp_keys, std::span<std::uint64_t> tmp_vals,
+                        int key_bits = 64, int digit_bits = 8);
+
+/// Check that keys are non-decreasing (test/bench helper).
+bool is_sorted_keys(std::span<const std::uint64_t> keys);
+
+}  // namespace metaprep::sort

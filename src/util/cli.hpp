@@ -1,0 +1,34 @@
+// Minimal command-line parsing for the examples and bench binaries.
+// Accepts "--name=value" and "--flag" forms; everything else is positional.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace metaprep::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> named_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads an environment variable as double, returning fallback when unset or
+/// malformed.  Bench binaries use METAPREP_BENCH_SCALE to grow workloads.
+double env_double(const char* name, double fallback);
+
+}  // namespace metaprep::util

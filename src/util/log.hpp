@@ -1,0 +1,33 @@
+// Leveled stderr logging.  Quiet by default so bench output stays clean;
+// set METAPREP_LOG=debug|info|warn|error or call set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace metaprep::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single log line if @p level passes the current threshold.
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace metaprep::util
+
+#define METAPREP_LOG(level, expr)                                        \
+  do {                                                                   \
+    if (static_cast<int>(level) >=                                       \
+        static_cast<int>(::metaprep::util::log_level())) {               \
+      std::ostringstream metaprep_log_os;                                \
+      metaprep_log_os << expr;                                           \
+      ::metaprep::util::log_line(level, metaprep_log_os.str());          \
+    }                                                                    \
+  } while (0)
+
+#define LOG_DEBUG(expr) METAPREP_LOG(::metaprep::util::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) METAPREP_LOG(::metaprep::util::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) METAPREP_LOG(::metaprep::util::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) METAPREP_LOG(::metaprep::util::LogLevel::kError, expr)

@@ -1,0 +1,29 @@
+#include "util/memusage.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace metaprep::util {
+
+namespace {
+std::uint64_t read_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  const std::size_t keylen = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, keylen) == 0) {
+      std::sscanf(line + keylen, " %lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+}  // namespace
+
+std::uint64_t peak_rss_bytes() { return read_status_kb("VmHWM:"); }
+std::uint64_t current_rss_bytes() { return read_status_kb("VmRSS:"); }
+
+}  // namespace metaprep::util

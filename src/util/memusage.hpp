@@ -1,0 +1,17 @@
+// Process memory probes (Linux).  Table 3 reports memory per node vs the
+// number of I/O passes; benches combine the analytic model (core/memory_model)
+// with these measured values.
+#pragma once
+
+#include <cstdint>
+
+namespace metaprep::util {
+
+/// Peak resident set size of the current process in bytes (VmHWM), or 0 when
+/// /proc is unavailable.
+std::uint64_t peak_rss_bytes();
+
+/// Current resident set size in bytes (VmRSS), or 0 when unavailable.
+std::uint64_t current_rss_bytes();
+
+}  // namespace metaprep::util

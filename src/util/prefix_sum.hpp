@@ -1,0 +1,50 @@
+// Prefix sums over count arrays.
+//
+// METAPREP's synchronization-free writes hinge on exclusive prefix sums over
+// histogram counts: thread/rank write offsets into shared buffers are the
+// prefix sums of per-(chunk, k-mer-range) tuple counts (paper §3.2.2, §3.3,
+// §3.4).  These helpers are the single implementation used everywhere.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace metaprep::util {
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i), out.size() == in.size()+1,
+/// so out.back() is the grand total.
+template <typename T>
+std::vector<std::uint64_t> exclusive_prefix_sum(std::span<const T> in) {
+  std::vector<std::uint64_t> out(in.size() + 1, 0);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc += static_cast<std::uint64_t>(in[i]);
+  }
+  out[in.size()] = acc;
+  return out;
+}
+
+/// In-place exclusive prefix sum; returns the grand total.
+template <typename T>
+T exclusive_prefix_sum_inplace(std::span<T> data) {
+  T acc = 0;
+  for (auto& v : data) {
+    const T count = v;
+    v = acc;
+    acc += count;
+  }
+  return acc;
+}
+
+/// Sum of a count span as uint64 (histogram bins are 32-bit, totals are not).
+template <typename T>
+std::uint64_t sum_u64(std::span<const T> in) {
+  std::uint64_t acc = 0;
+  for (const auto& v : in) acc += static_cast<std::uint64_t>(v);
+  return acc;
+}
+
+}  // namespace metaprep::util

@@ -1,0 +1,16 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace metaprep::util {
+
+double Xoshiro256::next_gaussian() noexcept {
+  // Box-Muller. Guard against log(0) by nudging u1 away from zero.
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace metaprep::util

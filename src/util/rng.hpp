@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for simulators and tests.
+//
+// We deliberately avoid std::mt19937 / std::uniform_int_distribution in the
+// data simulators: their output is not guaranteed to be identical across
+// standard library implementations, and dataset determinism is part of the
+// reproduction contract (every bench regenerates byte-identical input from a
+// seed). SplitMix64 is used for seeding, xoshiro256** for bulk generation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace metaprep::util {
+
+/// SplitMix64: tiny, statistically solid generator used to expand a single
+/// 64-bit seed into independent stream seeds.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast all-purpose 64-bit generator (Blackman & Vigna).
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : state_{} {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // 128-bit multiply keeps the mapping unbiased enough for simulation use.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Standard normal via Box-Muller on two uniforms (polar-free variant is
+  /// not needed; this is used only for abundance profiles).
+  double next_gaussian() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace metaprep::util

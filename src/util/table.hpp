@@ -1,0 +1,38 @@
+// Plain-text table rendering for the bench harness.  Every bench binary
+// prints rows mirroring one of the paper's tables/figures; TablePrinter
+// keeps the formatting consistent and machine-greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace metaprep::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; includes a header separator line.
+  [[nodiscard]] std::string str() const;
+
+  /// Render as CSV (RFC-4180-ish: fields containing commas/quotes are
+  /// quoted), for plotting pipelines.
+  [[nodiscard]] std::string csv() const;
+
+  /// Render to stdout.  When the METAPREP_TABLE_CSV_DIR environment
+  /// variable is set, additionally export the table as CSV into that
+  /// directory as "<program>_<n>.csv" (n = per-process table counter), so
+  /// every bench table is machine-readable without call-site changes.
+  void print() const;
+
+  /// Format a double with the given precision (helper for cells).
+  static std::string fmt(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace metaprep::util

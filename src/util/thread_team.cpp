@@ -1,0 +1,111 @@
+#include "util/thread_team.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace metaprep::util {
+
+ThreadTeam::ThreadTeam(int num_threads) : num_threads_(num_threads) {
+  if (num_threads < 1) throw std::invalid_argument("ThreadTeam: num_threads must be >= 1");
+  // Worker 0 is the calling thread; only tids 1..T-1 get dedicated threads.
+  threads_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int tid = 1; tid < num_threads; ++tid) {
+    threads_.emplace_back([this, tid] { worker_loop(tid); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadTeam::execute(int tid) {
+  try {
+    (*job_)(tid);
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    if (!first_exception_) first_exception_ = std::current_exception();
+  }
+}
+
+void ThreadTeam::worker_loop(int tid) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    execute(tid);
+    {
+      std::lock_guard lock(mutex_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadTeam::run(const std::function<void(int)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &fn;
+    pending_ = num_threads_ - 1;
+    first_exception_ = nullptr;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  execute(0);  // Caller participates as tid 0.
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    if (first_exception_) std::rethrow_exception(first_exception_);
+  }
+}
+
+void ThreadTeam::arrive_and_wait() {
+  if (num_threads_ == 1) return;
+  std::unique_lock lock(barrier_mutex_);
+  const std::uint64_t phase = barrier_phase_;
+  if (++barrier_count_ == num_threads_) {
+    barrier_count_ = 0;
+    ++barrier_phase_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_phase_ != phase; });
+  }
+}
+
+std::vector<std::size_t> split_range(std::size_t n, int nchunks) {
+  assert(nchunks >= 1);
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(nchunks) + 1);
+  const std::size_t base = n / static_cast<std::size_t>(nchunks);
+  const std::size_t rem = n % static_cast<std::size_t>(nchunks);
+  std::size_t pos = 0;
+  for (int i = 0; i <= nchunks; ++i) {
+    bounds[static_cast<std::size_t>(i)] = pos;
+    if (i < nchunks) pos += base + (static_cast<std::size_t>(i) < rem ? 1 : 0);
+  }
+  return bounds;
+}
+
+void parallel_for(ThreadTeam& team, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  const auto bounds = split_range(end - begin, team.size());
+  team.run([&](int tid) {
+    const std::size_t lo = begin + bounds[static_cast<std::size_t>(tid)];
+    const std::size_t hi = begin + bounds[static_cast<std::size_t>(tid) + 1];
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+}  // namespace metaprep::util

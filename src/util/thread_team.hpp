@@ -1,0 +1,75 @@
+// ThreadTeam: a persistent worker pool modelling the paper's "T threads per
+// MPI task" (OpenMP team).  METAPREP's hot loops are structured as "thread
+// tid processes its precomputed range and writes at its precomputed offset",
+// i.e. an SPMD region.  ThreadTeam::run(fn) executes fn(tid) on every worker
+// concurrently and returns when all complete; arrive_and_wait() provides an
+// in-region barrier.
+//
+// A persistent pool (rather than spawn-per-region) keeps region launch cheap:
+// the pipeline enters hundreds of parallel regions per pass.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace metaprep::util {
+
+class ThreadTeam {
+ public:
+  /// Creates a team of @p num_threads workers.  num_threads >= 1.
+  /// With num_threads == 1, run() executes inline on the caller.
+  explicit ThreadTeam(int num_threads);
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+  ~ThreadTeam();
+
+  [[nodiscard]] int size() const noexcept { return num_threads_; }
+
+  /// Run fn(tid) for tid in [0, size()) concurrently; blocks until all
+  /// workers finish.  If any worker throws, one of the exceptions is
+  /// rethrown on the caller after all workers have completed.
+  void run(const std::function<void(int)>& fn);
+
+  /// Barrier usable by workers inside a run() region.  All size() workers
+  /// must call it the same number of times.
+  void arrive_and_wait();
+
+ private:
+  void worker_loop(int tid);
+  void execute(int tid);
+
+  int num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_exception_;
+
+  // In-region barrier state (sense-reversing).
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_phase_ = 0;
+};
+
+/// Chunked parallel for over [begin, end): splits the range into size()
+/// contiguous chunks and invokes body(i) for each index.  Static schedule,
+/// matching METAPREP's index-precomputed load balancing.
+void parallel_for(ThreadTeam& team, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+/// Splits [0, n) into nchunks near-equal contiguous ranges; returns the
+/// (nchunks + 1) boundaries.  Chunk i is [bounds[i], bounds[i+1]).
+std::vector<std::size_t> split_range(std::size_t n, int nchunks);
+
+}  // namespace metaprep::util

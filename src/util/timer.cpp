@@ -1,0 +1,34 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metaprep::util {
+
+namespace {
+// Linear-interpolated quantile on a sorted sample (type-7, the common
+// spreadsheet/NumPy default), adequate for box plots over 16 rank timings.
+double quantile_sorted(const std::vector<double>& s, double q) {
+  if (s.empty()) return 0.0;
+  if (s.size() == 1) return s[0];
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+}  // namespace
+
+BoxStats box_stats(std::vector<double> samples) {
+  BoxStats b;
+  if (samples.empty()) return b;
+  std::sort(samples.begin(), samples.end());
+  b.min = samples.front();
+  b.max = samples.back();
+  b.q1 = quantile_sorted(samples, 0.25);
+  b.median = quantile_sorted(samples, 0.5);
+  b.q3 = quantile_sorted(samples, 0.75);
+  return b;
+}
+
+}  // namespace metaprep::util

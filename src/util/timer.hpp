@@ -1,0 +1,95 @@
+// Wall-clock timing and per-step time accounting.
+//
+// The METAPREP evaluation reports stacked per-step execution times
+// (KmerGen-I/O, KmerGen, KmerGen-Comm, LocalSort, LocalCC-Opt, Merge-Comm,
+// MergeCC, CC-I/O).  StepTimes accumulates named durations across passes and
+// ranks so the bench harness can print the same rows as the paper's figures.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace metaprep::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named step durations.  Keys follow the paper's step names.
+class StepTimes {
+ public:
+  void add(const std::string& step, double seconds) { times_[step] += seconds; }
+
+  /// Merge another accumulator into this one (summing shared keys).
+  void merge(const StepTimes& other) {
+    for (const auto& [k, v] : other.times_) times_[k] += v;
+  }
+
+  /// Keep, per key, the maximum of the two values.  Used to combine per-rank
+  /// timings into a critical-path estimate (slowest rank determines the
+  /// step's wall time when ranks run concurrently).
+  void merge_max(const StepTimes& other) {
+    for (const auto& [k, v] : other.times_) {
+      auto it = times_.find(k);
+      if (it == times_.end() || it->second < v) times_[k] = v;
+    }
+  }
+
+  [[nodiscard]] double get(const std::string& step) const {
+    auto it = times_.find(step);
+    return it == times_.end() ? 0.0 : it->second;
+  }
+
+  [[nodiscard]] double total() const {
+    double t = 0.0;
+    for (const auto& [k, v] : times_) t += v;
+    return t;
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& map() const { return times_; }
+
+  void clear() { times_.clear(); }
+
+ private:
+  std::map<std::string, double> times_;
+};
+
+/// RAII helper: adds elapsed time to a StepTimes entry on destruction.
+class ScopedStepTimer {
+ public:
+  ScopedStepTimer(StepTimes& sink, std::string step)
+      : sink_(sink), step_(std::move(step)) {}
+  ScopedStepTimer(const ScopedStepTimer&) = delete;
+  ScopedStepTimer& operator=(const ScopedStepTimer&) = delete;
+  ~ScopedStepTimer() { sink_.add(step_, timer_.seconds()); }
+
+ private:
+  StepTimes& sink_;
+  std::string step_;
+  WallTimer timer_;
+};
+
+/// Five-number summary used by the load-balance experiment (Figure 8).
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+
+/// Compute box-plot statistics over a sample (sorted internally).
+BoxStats box_stats(std::vector<double> samples);
+
+}  // namespace metaprep::util

@@ -1,0 +1,523 @@
+// Tests for the MiniHit assembler substrate.
+#include "assembler/minihit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "assembler/dbg.hpp"
+#include "assembler/kmer_count.hpp"
+#include "assembler/spectrum.hpp"
+#include "assembler/stats.hpp"
+#include "kmer/codec.hpp"
+#include "sim/genome.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace metaprep::assembler {
+namespace {
+
+/// Tile a genome with overlapping error-free reads (every position covered).
+std::vector<std::string> perfect_reads(const std::string& genome, std::size_t read_len,
+                                       std::size_t stride) {
+  std::vector<std::string> reads;
+  for (std::size_t pos = 0; pos + read_len <= genome.size(); pos += stride) {
+    reads.push_back(genome.substr(pos, read_len));
+  }
+  reads.push_back(genome.substr(genome.size() - read_len));
+  return reads;
+}
+
+TEST(KmerCountTable, CountsMatchManualEnumeration) {
+  KmerCountTable t(3);
+  // 3-mers of ACGTA: ACG (rc CGT -> canonical ACG), CGT (rc ACG -> ACG),
+  // GTA (rc TAC; "GTA" < "TAC" -> canonical GTA).
+  t.add_read("ACGTA");
+  EXPECT_EQ(t.total(), 3u);
+  EXPECT_EQ(t.count(kmer::encode64("ACG")), 2u);
+  EXPECT_EQ(t.count(kmer::encode64("GTA")), 1u);
+  EXPECT_EQ(t.count(kmer::encode64("TAC")), 0u);
+  EXPECT_EQ(t.count(kmer::encode64("AAA")), 0u);
+}
+
+TEST(KmerCountTable, RejectsWideK) {
+  EXPECT_THROW(KmerCountTable(33), std::invalid_argument);
+  EXPECT_THROW(KmerCountTable(0), std::invalid_argument);
+}
+
+TEST(KmerCountTable, SolidKmersSortedAndFiltered) {
+  KmerCountTable t(3);
+  t.add_read("AAAAA");  // AAA x3 (canonical AAA)
+  t.add_read("CCGGT");  // CCG, CGG, GGT each once-ish in canonical space
+  const auto solid2 = t.solid_kmers(3);
+  EXPECT_EQ(solid2, std::vector<std::uint64_t>{kmer::encode64("AAA")});
+  const auto all = t.solid_kmers(1);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(ContigStats, KnownValues) {
+  const std::vector<std::string> contigs{std::string(100, 'A'), std::string(300, 'C'),
+                                         std::string(200, 'G')};
+  const auto s = contig_stats(contigs);
+  EXPECT_EQ(s.num_contigs, 3u);
+  EXPECT_EQ(s.total_bp, 600u);
+  EXPECT_EQ(s.max_bp, 300u);
+  // Sorted desc: 300 (acc 300 >= 300) -> N50 = 300.
+  EXPECT_EQ(s.n50_bp, 300u);
+}
+
+TEST(ContigStats, N50HalfwayCase) {
+  const std::vector<std::string> contigs{std::string(50, 'A'), std::string(40, 'C'),
+                                         std::string(30, 'G'), std::string(20, 'T'),
+                                         std::string(10, 'A')};
+  // total 150; desc 50 (50), 40 (90 >= 75) -> N50 = 40.
+  EXPECT_EQ(contig_stats(contigs).n50_bp, 40u);
+}
+
+TEST(ContigStats, EmptyInput) {
+  const auto s = contig_stats({});
+  EXPECT_EQ(s.num_contigs, 0u);
+  EXPECT_EQ(s.total_bp, 0u);
+  EXPECT_EQ(s.n50_bp, 0u);
+}
+
+TEST(ContigStats, CombinedMatchesConcatenation) {
+  const std::vector<std::string> a{std::string(100, 'A')};
+  const std::vector<std::string> b{std::string(60, 'C'), std::string(40, 'G')};
+  std::vector<std::string> both = a;
+  both.insert(both.end(), b.begin(), b.end());
+  const auto combined = combined_stats(a, b);
+  const auto direct = contig_stats(both);
+  EXPECT_EQ(combined.num_contigs, direct.num_contigs);
+  EXPECT_EQ(combined.total_bp, direct.total_bp);
+  EXPECT_EQ(combined.n50_bp, direct.n50_bp);
+}
+
+TEST(MiniHit, ReassemblesASingleGenomeFromPerfectReads) {
+  const auto genome = sim::random_genome(5000, 77);
+  const auto reads = perfect_reads(genome, 100, 25);  // 4x coverage, dense overlap
+  AssemblyOptions opt;
+  opt.k = 21;
+  opt.min_kmer_count = 1;
+  const auto result = assemble_reads(reads, opt);
+  ASSERT_FALSE(result.contigs.empty());
+  // A random 5 kb genome with k=21 has essentially no repeats: MiniHit
+  // should recover nearly the whole genome in one contig.
+  EXPECT_GT(result.stats.max_bp, 4500u);
+  EXPECT_NEAR(static_cast<double>(result.stats.total_bp), 5000.0, 300.0);
+  // The biggest contig is a substring of the genome or its reverse
+  // complement.
+  std::string largest;
+  for (const auto& c : result.contigs) {
+    if (c.size() > largest.size()) largest = c;
+  }
+  const bool forward = genome.find(largest) != std::string::npos;
+  const bool reverse = genome.find(kmer::revcomp_string(largest)) != std::string::npos;
+  EXPECT_TRUE(forward || reverse);
+}
+
+TEST(MiniHit, MinCountFilterRemovesErrorKmers) {
+  const auto genome = sim::random_genome(3000, 33);
+  auto reads = perfect_reads(genome, 100, 10);  // 10x coverage
+  // Inject one read with heavy errors.
+  util::Xoshiro256 rng(5);
+  std::string bad = genome.substr(100, 100);
+  for (std::size_t i = 0; i < bad.size(); i += 7) {
+    bad[i] = kmer::base_char(static_cast<std::uint8_t>(rng.next_below(4)));
+  }
+  reads.push_back(bad);
+
+  AssemblyOptions no_filter;
+  no_filter.k = 21;
+  no_filter.min_kmer_count = 1;
+  AssemblyOptions with_filter = no_filter;
+  with_filter.min_kmer_count = 2;
+
+  const auto unfiltered = assemble_reads(reads, no_filter);
+  const auto filtered = assemble_reads(reads, with_filter);
+  // The error k-mers are unique; the filter removes them from the graph,
+  // and the main contig stays essentially intact (within a couple of k-mer
+  // lengths at the damaged region's boundary).
+  EXPECT_LT(filtered.solid_kmers, unfiltered.solid_kmers);
+  EXPECT_GE(filtered.stats.max_bp + 2 * static_cast<std::uint64_t>(with_filter.k),
+            unfiltered.stats.max_bp);
+  // Error k-mers inflate the unfiltered contig count with junk fragments.
+  EXPECT_LE(filtered.stats.num_contigs, unfiltered.stats.num_contigs);
+}
+
+TEST(MiniHit, TwoDistinctGenomesYieldTwoBigContigs) {
+  const auto g1 = sim::random_genome(3000, 101);
+  const auto g2 = sim::random_genome(3000, 202);
+  auto reads = perfect_reads(g1, 100, 20);
+  const auto reads2 = perfect_reads(g2, 100, 20);
+  reads.insert(reads.end(), reads2.begin(), reads2.end());
+  AssemblyOptions opt;
+  opt.k = 21;
+  opt.min_kmer_count = 1;
+  const auto result = assemble_reads(reads, opt);
+  std::vector<std::uint64_t> lengths;
+  for (const auto& c : result.contigs) lengths.push_back(c.size());
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  ASSERT_GE(lengths.size(), 2u);
+  EXPECT_GT(lengths[0], 2500u);
+  EXPECT_GT(lengths[1], 2500u);
+}
+
+TEST(MiniHit, AssembleFastqMatchesInMemory) {
+  test::TempDir dir;
+  const auto genome = sim::random_genome(2000, 55);
+  const auto reads = perfect_reads(genome, 80, 20);
+  test::write_fastq(dir.file("r.fastq"), reads);
+  AssemblyOptions opt;
+  opt.k = 17;
+  opt.min_kmer_count = 1;
+  const auto from_file = assemble_fastq({dir.file("r.fastq")}, opt);
+  const auto from_memory = assemble_reads(reads, opt);
+  EXPECT_EQ(from_file.contigs, from_memory.contigs);
+  EXPECT_EQ(from_file.reads_in, from_memory.reads_in);
+}
+
+TEST(MiniHit, ContigsNeverShorterThanMinLength) {
+  const auto genome = sim::random_genome(2000, 66);
+  const auto reads = perfect_reads(genome, 60, 30);
+  AssemblyOptions opt;
+  opt.k = 15;
+  opt.min_kmer_count = 1;
+  opt.min_contig_len = 120;
+  const auto result = assemble_reads(reads, opt);
+  for (const auto& c : result.contigs) EXPECT_GE(c.size(), 120u);
+}
+
+TEST(MiniHit, DeterministicOutput) {
+  const auto genome = sim::random_genome(2500, 88);
+  const auto reads = perfect_reads(genome, 90, 15);
+  AssemblyOptions opt;
+  opt.k = 19;
+  const auto a = assemble_reads(reads, opt);
+  const auto b = assemble_reads(reads, opt);
+  EXPECT_EQ(a.contigs, b.contigs);
+}
+
+TEST(MiniHit, MultiKListRunsAllRounds) {
+  const auto genome = sim::random_genome(3000, 99);
+  const auto reads = perfect_reads(genome, 100, 20);
+  AssemblyOptions single;
+  single.k = 31;
+  single.min_kmer_count = 1;
+  AssemblyOptions multi = single;
+  multi.k_list = {21, 27, 31};
+  const auto s = assemble_reads(reads, single);
+  const auto m = assemble_reads(reads, multi);
+  // Multi-k must still recover (at least) the single-k result on clean data.
+  EXPECT_GE(m.stats.max_bp, s.stats.max_bp * 9 / 10);
+  EXPECT_GT(m.stats.total_bp, 0u);
+}
+
+TEST(MiniHit, MultiKRescuesLowCoverageRegions) {
+  // Sparse tiling: adjacent reads overlap by 20 bp, so k=31 windows break
+  // between reads but k=21 windows survive.  Multi-k starting at 21 carries
+  // the assembled sequence into the k=31 round.
+  const auto genome = sim::random_genome(2000, 111);
+  std::vector<std::string> reads;
+  for (std::size_t pos = 0; pos + 50 <= genome.size(); pos += 25) {
+    reads.push_back(genome.substr(pos, 50));  // 25 bp overlap
+  }
+  AssemblyOptions big_k;
+  big_k.k = 31;
+  big_k.min_kmer_count = 1;
+  big_k.min_contig_len = 60;
+  AssemblyOptions multi = big_k;
+  multi.k_list = {21, 31};
+  const auto single = assemble_reads(reads, big_k);
+  const auto multi_result = assemble_reads(reads, multi);
+  EXPECT_GT(multi_result.stats.max_bp, single.stats.max_bp);
+}
+
+TEST(MiniHit, WeightedReadsSurviveSolidFilter) {
+  KmerCountTable t(5);
+  // All six 5-mer windows of AAAAACCCCC are distinct even after
+  // canonicalization (each is its own canonical form).
+  t.add_read_weighted("AAAAACCCCC", 3);
+  ASSERT_EQ(t.map().size(), 10u - 5 + 1);
+  for (const auto& [km, count] : t.map()) {
+    (void)km;
+    EXPECT_EQ(count, 3u);
+  }
+  EXPECT_EQ(t.total(), 3u * (10 - 5 + 1));
+}
+
+TEST(Spectrum, CountsEveryDistinctKmerOnce) {
+  KmerCountTable t(5);
+  t.add_read("AAAAACCCCC");  // 6 distinct 5-mers, once each
+  t.add_read("AAAAACCCCC");  // now twice each
+  t.add_read("AAAAAA");      // AAAAA twice more -> 4
+  const auto spectrum = assembler::frequency_spectrum(t);
+  std::uint64_t total = 0;
+  for (const auto& [f, n] : spectrum) total += n;
+  EXPECT_EQ(total, t.distinct());
+  EXPECT_EQ(spectrum.at(2), 5u);  // five 5-mers seen twice
+  EXPECT_EQ(spectrum.at(4), 1u);  // AAAAA seen four times
+}
+
+TEST(Spectrum, SuggestsValleyAndPeakOnBimodalData) {
+  // Synthetic bimodal spectrum: error spike at 1-2, coverage peak at 20.
+  assembler::Spectrum spectrum;
+  spectrum[1] = 10'000;
+  spectrum[2] = 2'000;
+  spectrum[3] = 300;
+  spectrum[4] = 120;
+  spectrum[5] = 150;
+  for (std::uint32_t f = 6; f <= 40; ++f) {
+    const double d = static_cast<double>(f) - 20.0;
+    spectrum[f] = static_cast<std::uint64_t>(3000.0 * std::exp(-d * d / 40.0)) + 50;
+  }
+  const auto s = assembler::suggest_filter(spectrum, 3.0);
+  ASSERT_TRUE(s.confident);
+  EXPECT_EQ(s.min_freq, 4u);   // local minimum before the peak
+  EXPECT_EQ(s.peak_freq, 20u);
+  EXPECT_EQ(s.max_freq, 60u);  // 3x peak
+}
+
+TEST(Spectrum, MonotoneSpectrumNotConfident) {
+  assembler::Spectrum spectrum;
+  for (std::uint32_t f = 1; f <= 30; ++f) spectrum[f] = 1000 / f;
+  const auto s = assembler::suggest_filter(spectrum);
+  EXPECT_FALSE(s.confident);
+  EXPECT_FALSE(assembler::suggest_filter({}).confident);
+}
+
+TEST(Spectrum, RealisticCoverageDataFindsPeakNearDepth) {
+  // 30x coverage of a genome: peak should land near 30 * (l-k+1)/l ~ 26.
+  const auto genome = sim::random_genome(3000, 811);
+  util::Xoshiro256 rng(812);
+  KmerCountTable t(15);
+  const int reads = 3000 * 30 / 100;
+  for (int i = 0; i < reads; ++i) {
+    const std::uint64_t pos = rng.next_below(genome.size() - 100);
+    t.add_read(genome.substr(pos, 100));
+  }
+  const auto s = assembler::suggest_filter(assembler::frequency_spectrum(t));
+  ASSERT_TRUE(s.confident);
+  EXPECT_GT(s.peak_freq, 15u);
+  EXPECT_LT(s.peak_freq, 45u);
+}
+
+TEST(WideK, CountTableMatchesNarrowForSmallK) {
+  // k <= 32 must count identically through both representations.
+  const auto genome = sim::random_genome(1000, 501);
+  const auto reads = perfect_reads(genome, 80, 40);
+  KmerCountTable narrow(27);
+  WideKmerCountTable wide(27);
+  for (const auto& r : reads) {
+    narrow.add_read(r);
+    wide.add_read(r);
+  }
+  EXPECT_EQ(narrow.total(), wide.total());
+  EXPECT_EQ(narrow.distinct(), wide.distinct());
+  for (const auto& [km, c] : narrow.map()) {
+    EXPECT_EQ(wide.count({0, km}), c);
+  }
+}
+
+TEST(WideK, RejectsOutOfRangeK) {
+  EXPECT_THROW(KmerCountTable(33), std::invalid_argument);
+  EXPECT_THROW(WideKmerCountTable(64), std::invalid_argument);
+  EXPECT_NO_THROW(WideKmerCountTable(63));
+}
+
+TEST(WideK, ReassemblesGenomeAtK45) {
+  const auto genome = sim::random_genome(4000, 601);
+  const auto reads = perfect_reads(genome, 120, 30);
+  AssemblyOptions opt;
+  opt.k = 45;
+  opt.min_kmer_count = 1;
+  const auto result = assemble_reads(reads, opt);
+  ASSERT_FALSE(result.contigs.empty());
+  EXPECT_GT(result.stats.max_bp, 3600u);
+  std::string largest;
+  for (const auto& c : result.contigs) {
+    if (c.size() > largest.size()) largest = c;
+  }
+  EXPECT_TRUE(genome.find(largest) != std::string::npos ||
+              genome.find(kmer::revcomp_string(largest)) != std::string::npos);
+}
+
+TEST(WideK, MixedKListCrossesThe32Boundary) {
+  // {21, 45}: the whole list runs through the 128-bit representation; small
+  // k rounds must still work there.
+  const auto genome = sim::random_genome(3000, 602);
+  const auto reads = perfect_reads(genome, 100, 25);
+  AssemblyOptions opt;
+  opt.k_list = {21, 45};
+  opt.min_kmer_count = 1;
+  const auto result = assemble_reads(reads, opt);
+  EXPECT_GT(result.stats.max_bp, 2500u);
+}
+
+TEST(WideK, SameContigsAsNarrowAtK31) {
+  const auto genome = sim::random_genome(2500, 603);
+  const auto reads = perfect_reads(genome, 90, 30);
+  AssemblyOptions narrow;
+  narrow.k = 31;
+  narrow.min_kmer_count = 1;
+  AssemblyOptions wide = narrow;
+  // A k=33 round forces the whole list through the 128-bit representation;
+  // ending at k=31 makes the final graph comparable to the narrow run.
+  wide.k_list = {33, 31};
+  const auto n = assemble_reads(reads, narrow);
+  const auto w = assemble_reads(reads, wide);
+  // Both end with a k=31 graph over the same sequence content (the k=33
+  // round on clean data assembles the same genome, which feeds round 2),
+  // so the dominant contig must agree.
+  EXPECT_NEAR(static_cast<double>(w.stats.max_bp), static_cast<double>(n.stats.max_bp),
+              static_cast<double>(n.stats.max_bp) * 0.05);
+}
+
+TEST(WideK, TipClippingWorksAtWideK) {
+  const auto genome = sim::random_genome(2000, 604);
+  auto reads = perfect_reads(genome, 120, 25);
+  std::string bad = genome.substr(500, 120);
+  bad[119] = bad[119] == 'A' ? 'C' : 'A';
+  reads.push_back(bad);
+  AssemblyOptions opt;
+  opt.k = 41;
+  opt.min_kmer_count = 1;
+  opt.tip_clip_bases = 2 * 41;
+  const auto clipped = assemble_reads(reads, opt);
+  EXPECT_GT(clipped.stats.max_bp, 1800u);
+}
+
+TEST(TipRemoval, ClipsErrorBranchAndRestoresContig) {
+  // Clean genome reads plus one read whose last base is wrong: the error
+  // creates a short dead-end branch (a tip) at a junction.  Tip clipping
+  // must remove it and let the main path extend straight through.
+  const auto genome = sim::random_genome(1500, 313);
+  auto reads = perfect_reads(genome, 100, 20);
+  std::string bad = genome.substr(700, 100);
+  bad[99] = bad[99] == 'A' ? 'C' : 'A';
+  reads.push_back(bad);
+
+  AssemblyOptions no_clip;
+  no_clip.k = 21;
+  no_clip.min_kmer_count = 1;
+  AssemblyOptions clip = no_clip;
+  clip.tip_clip_bases = 2 * 21;
+
+  const auto raw = assemble_reads(reads, no_clip);
+  const auto clipped = assemble_reads(reads, clip);
+  EXPECT_LT(clipped.solid_kmers, raw.solid_kmers);  // tip vertices removed
+  EXPECT_GE(clipped.stats.max_bp, raw.stats.max_bp);
+  EXPECT_LE(clipped.stats.num_contigs, raw.stats.num_contigs);
+  // With the single error clipped, the full genome should assemble into one
+  // contig again.
+  EXPECT_GT(clipped.stats.max_bp, 1400u);
+}
+
+TEST(TipRemoval, DoesNotTouchCleanGraphs) {
+  const auto genome = sim::random_genome(2000, 99);
+  const auto reads = perfect_reads(genome, 90, 30);
+  KmerCountTable counts(21);
+  for (const auto& r : reads) counts.add_read(r);
+  DeBruijnGraph graph(counts, 1);
+  const auto before = graph.num_live_vertices();
+  EXPECT_EQ(graph.remove_tips(2 * 21), 0u);
+  EXPECT_EQ(graph.num_live_vertices(), before);
+}
+
+TEST(TipRemoval, LeavesIsolatedShortPathsAlone) {
+  // An isolated short path (both ends free) is a tiny contig, not a tip.
+  KmerCountTable counts(15);
+  counts.add_read(sim::random_genome(40, 5));
+  DeBruijnGraph graph(counts, 1);
+  EXPECT_EQ(graph.remove_tips(100), 0u);
+  EXPECT_FALSE(graph.extract_contigs(20).empty());
+}
+
+TEST(BubblePopping, RemovesLowCoverageSnpArm) {
+  // Major allele at 8x, minor (SNP in mid-read) at 2x: a classic bubble.
+  const auto genome = sim::random_genome(1200, 777);
+  std::string variant = genome;
+  variant[600] = variant[600] == 'A' ? 'G' : 'A';
+
+  std::vector<std::string> reads;
+  for (int copy = 0; copy < 8; ++copy) {
+    for (std::size_t pos = 0; pos + 100 <= genome.size(); pos += 50) {
+      reads.push_back(genome.substr(pos, 100));
+    }
+  }
+  for (int copy = 0; copy < 2; ++copy) {
+    reads.push_back(variant.substr(550, 100));  // covers the SNP only
+  }
+
+  AssemblyOptions no_pop;
+  no_pop.k = 21;
+  no_pop.min_kmer_count = 1;
+  AssemblyOptions pop = no_pop;
+  pop.bubble_pop_bases = 2 * 21 + 10;
+
+  const auto raw = assemble_reads(reads, no_pop);
+  const auto popped = assemble_reads(reads, pop);
+  // Without popping the bubble breaks the contig at the branch; with
+  // popping the full genome assembles through the major allele.
+  EXPECT_GT(popped.stats.max_bp, raw.stats.max_bp);
+  EXPECT_GT(popped.stats.max_bp, 1100u);
+  EXPECT_LT(popped.solid_kmers, raw.solid_kmers);
+  // The kept path carries the major allele.
+  std::string largest;
+  for (const auto& c : popped.contigs) {
+    if (c.size() > largest.size()) largest = c;
+  }
+  const std::string major_window = genome.substr(590, 21);
+  const bool has_major = largest.find(major_window) != std::string::npos ||
+                         kmer::revcomp_string(largest).find(major_window) != std::string::npos;
+  EXPECT_TRUE(has_major);
+}
+
+TEST(BubblePopping, CleanGraphUntouched) {
+  const auto genome = sim::random_genome(1500, 778);
+  const auto reads = perfect_reads(genome, 90, 30);
+  KmerCountTable counts(21);
+  for (const auto& r : reads) counts.add_read(r);
+  DeBruijnGraph graph(counts, 1);
+  const auto before = graph.num_live_vertices();
+  EXPECT_EQ(graph.pop_bubbles(60), 0u);
+  EXPECT_EQ(graph.num_live_vertices(), before);
+}
+
+TEST(BubblePopping, CoverageAccessorReflectsCounts) {
+  KmerCountTable counts(5);
+  counts.add_read("AAAAACCCCC");
+  counts.add_read("AAAAACCCCC");
+  DeBruijnGraph graph(counts, 1);
+  EXPECT_EQ(graph.coverage(kmer::encode64("AAAAA")), 2u);
+  EXPECT_EQ(graph.coverage(kmer::encode64("GGGGG")), 0u);  // absent
+}
+
+TEST(DeBruijnGraph, BackwardExtensionsMirrorForward) {
+  KmerCountTable counts(5);
+  counts.add_read("AACCGGTTACGGA");
+  DeBruijnGraph graph(counts, 1);
+  // For every live vertex, forward extensions of the revcomp equal the
+  // backward extensions of the forward orientation by definition.
+  for (const auto& [km, c] : counts.map()) {
+    (void)c;
+    EXPECT_EQ(graph.backward_extensions(km),
+              graph.forward_extensions(kmer::revcomp64(km, 5)));
+  }
+}
+
+TEST(DeBruijnGraph, ForwardExtensionsDetected) {
+  KmerCountTable t(3);
+  t.add_read("ACGTA");
+  DeBruijnGraph g(t, 1);
+  // From ACG, the extension ACG->CGT exists (CGT canonical = ACG? CGT's rc
+  // is ACG so canonical(CGT)=ACG which IS in the graph).
+  const unsigned mask = g.forward_extensions(kmer::encode64("ACG"));
+  EXPECT_NE(mask, 0u);
+}
+
+}  // namespace
+}  // namespace metaprep::assembler

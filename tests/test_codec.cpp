@@ -1,0 +1,162 @@
+// Unit + property tests for the 2-bit codec and 64-bit canonical k-mers.
+#include "kmer/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace metaprep::kmer {
+namespace {
+
+std::string random_dna(int len, util::Xoshiro256& rng) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (auto& c : s) c = base_char(static_cast<std::uint8_t>(rng.next_below(4)));
+  return s;
+}
+
+/// Reference reverse complement on strings.
+std::string rc_ref(const std::string& s) {
+  std::string out(s.rbegin(), s.rend());
+  for (auto& c : out) {
+    switch (c) {
+      case 'A': c = 'T'; break;
+      case 'T': c = 'A'; break;
+      case 'C': c = 'G'; break;
+      case 'G': c = 'C'; break;
+      default: break;
+    }
+  }
+  return out;
+}
+
+TEST(Codec, BaseCodeRoundTrip) {
+  for (char c : {'A', 'C', 'G', 'T'}) {
+    const auto code = base_code(c);
+    ASSERT_NE(code, kInvalidBase);
+    EXPECT_EQ(base_char(code), c);
+  }
+}
+
+TEST(Codec, LowercaseAccepted) {
+  EXPECT_EQ(base_code('a'), base_code('A'));
+  EXPECT_EQ(base_code('t'), base_code('T'));
+}
+
+TEST(Codec, InvalidCharacters) {
+  for (char c : {'N', 'n', 'X', '-', ' ', '@', '0'}) {
+    EXPECT_EQ(base_code(c), kInvalidBase) << "char " << c;
+  }
+}
+
+TEST(Codec, ComplementPairs) {
+  EXPECT_EQ(complement_code(base_code('A')), base_code('T'));
+  EXPECT_EQ(complement_code(base_code('C')), base_code('G'));
+  EXPECT_EQ(complement_code(base_code('G')), base_code('C'));
+  EXPECT_EQ(complement_code(base_code('T')), base_code('A'));
+}
+
+TEST(Codec, EncodeDecodeRoundTripFixed) {
+  const std::string s = "ACGTACGTACGTACGTACGTACGTACG";  // 27-mer
+  EXPECT_EQ(decode64(encode64(s), 27), s);
+}
+
+TEST(Codec, EncodingPreservesLexOrder) {
+  // Numeric order on encodings equals lexicographic order on strings.
+  EXPECT_LT(encode64("AAC"), encode64("AAT"));
+  EXPECT_LT(encode64("ACG"), encode64("CAA"));
+  EXPECT_LT(encode64("TTA"), encode64("TTT"));
+}
+
+TEST(Codec, RevComp64KnownValues) {
+  EXPECT_EQ(decode64(revcomp64(encode64("AAA"), 3), 3), "TTT");
+  EXPECT_EQ(decode64(revcomp64(encode64("ACG"), 3), 3), "CGT");
+  EXPECT_EQ(decode64(revcomp64(encode64("ACGT"), 4), 4), "ACGT");  // palindrome
+}
+
+class CodecPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecPropertyTest, EncodeDecodeRoundTripRandom) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(100 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 50; ++i) {
+    const std::string s = random_dna(k, rng);
+    EXPECT_EQ(decode64(encode64(s), k), s);
+  }
+}
+
+TEST_P(CodecPropertyTest, RevCompMatchesStringReference) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(200 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 50; ++i) {
+    const std::string s = random_dna(k, rng);
+    EXPECT_EQ(decode64(revcomp64(encode64(s), k), k), rc_ref(s));
+  }
+}
+
+TEST_P(CodecPropertyTest, RevCompIsAnInvolution) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(300 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t v = encode64(random_dna(k, rng));
+    EXPECT_EQ(revcomp64(revcomp64(v, k), k), v);
+  }
+}
+
+TEST_P(CodecPropertyTest, CanonicalIsMinAndStable) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(400 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t v = encode64(random_dna(k, rng));
+    const std::uint64_t rc = revcomp64(v, k);
+    const std::uint64_t canon = canonical64(v, k);
+    EXPECT_EQ(canon, std::min(v, rc));
+    // Canonicalization is idempotent and orientation-independent.
+    EXPECT_EQ(canonical64(canon, k), canon);
+    EXPECT_EQ(canonical64(rc, k), canon);
+  }
+}
+
+TEST_P(CodecPropertyTest, CanonicalStringIsLexSmaller) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(500 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 30; ++i) {
+    const std::string s = random_dna(k, rng);
+    const std::string canon = decode64(canonical64(encode64(s), k), k);
+    EXPECT_EQ(canon, std::min(s, rc_ref(s)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousK, CodecPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 11, 15, 16, 17, 21, 27, 31, 32));
+
+TEST(Codec, PrefixBinExtractsTopBits) {
+  // k=5, m=2: prefix of "CGTAC" is "CG".
+  EXPECT_EQ(prefix_bin64(encode64("CGTAC"), 5, 2), encode64("CG"));
+  EXPECT_EQ(prefix_bin64(encode64("AAAAA"), 5, 2), 0u);
+  EXPECT_EQ(prefix_bin64(encode64("TTTTT"), 5, 3), encode64("TTT"));
+}
+
+TEST(Codec, PrefixBinFullWidth) {
+  // m == k: the bin is the whole k-mer.
+  const std::uint64_t v = encode64("ACGTACGT");
+  EXPECT_EQ(prefix_bin64(v, 8, 8), static_cast<std::uint32_t>(v));
+}
+
+TEST(Codec, KmerMaskWidths) {
+  EXPECT_EQ(kmer_mask64(1), 0x3ull);
+  EXPECT_EQ(kmer_mask64(4), 0xFFull);
+  EXPECT_EQ(kmer_mask64(32), ~0ull);
+}
+
+TEST(Codec, RevCompStringHandlesN) {
+  EXPECT_EQ(revcomp_string("AACGT"), "ACGTT");
+  EXPECT_EQ(revcomp_string("ACNGT"), "ACNGT");  // happens to be its own RC
+  EXPECT_EQ(revcomp_string("NA"), "TN");
+  EXPECT_EQ(revcomp_string(""), "");
+}
+
+}  // namespace
+}  // namespace metaprep::kmer

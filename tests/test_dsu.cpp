@@ -1,0 +1,210 @@
+// Tests for the Union-Find structures and Shiloach-Vishkin baseline.
+#include "dsu/dsu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dsu/shiloach_vishkin.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+#include "util/thread_team.hpp"
+
+namespace metaprep::dsu {
+namespace {
+
+using Edge = std::pair<std::uint32_t, std::uint32_t>;
+
+std::vector<Edge> random_edges(std::uint32_t n, std::size_t count, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Edge> edges(count);
+  for (auto& e : edges) {
+    e.first = static_cast<std::uint32_t>(rng.next_below(n));
+    e.second = static_cast<std::uint32_t>(rng.next_below(n));
+  }
+  return edges;
+}
+
+/// Reference CC via repeated label relaxation (slow but obviously correct).
+std::vector<std::uint32_t> reference_cc(std::uint32_t n, const std::vector<Edge>& edges) {
+  std::vector<std::uint32_t> label(n);
+  for (std::uint32_t i = 0; i < n; ++i) label[i] = i;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [u, v] : edges) {
+      const std::uint32_t m = std::min(label[u], label[v]);
+      if (label[u] != m) {
+        label[u] = m;
+        changed = true;
+      }
+      if (label[v] != m) {
+        label[v] = m;
+        changed = true;
+      }
+    }
+  }
+  return label;
+}
+
+TEST(SerialDSU, SingletonsInitially) {
+  SerialDSU dsu(5);
+  EXPECT_EQ(dsu.component_count(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(dsu.find(i), i);
+}
+
+TEST(SerialDSU, UniteReturnsWhetherMerged) {
+  SerialDSU dsu(4);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_TRUE(dsu.unite(1, 2));
+  EXPECT_EQ(dsu.component_count(), 1u);
+}
+
+TEST(SerialDSU, UnionByIndexKeepsHigherIndexAsRoot) {
+  SerialDSU dsu(10);
+  dsu.unite(2, 7);
+  EXPECT_EQ(dsu.find(2), 7u);
+  dsu.unite(7, 3);
+  EXPECT_EQ(dsu.find(3), 7u);
+  // Root of merged component is the max index seen.
+  dsu.unite(9, 2);
+  EXPECT_EQ(dsu.find(3), 9u);
+}
+
+TEST(SerialDSU, AdoptedParentsBehave) {
+  // Forest: 0->1->2 (2 root), 3 root.
+  SerialDSU dsu(std::vector<std::uint32_t>{1, 2, 2, 3});
+  EXPECT_EQ(dsu.find(0), 2u);
+  EXPECT_EQ(dsu.component_count(), 2u);
+  auto parents = dsu.take_parents();
+  EXPECT_EQ(parents.size(), 4u);
+}
+
+TEST(SerialDSU, MatchesReferenceOnRandomGraphs) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const std::uint32_t n = 200;
+    const auto edges = random_edges(n, 150, seed);
+    SerialDSU dsu(n);
+    for (const auto& [u, v] : edges) dsu.unite(u, v);
+    EXPECT_EQ(test::normalize_partition(dsu.labels()),
+              test::normalize_partition(reference_cc(n, edges)));
+  }
+}
+
+TEST(AtomicDSU, SequentialBehaviorMatchesSerial) {
+  const std::uint32_t n = 300;
+  const auto edges = random_edges(n, 400, 77);
+  SerialDSU s(n);
+  AtomicDSU a(n);
+  for (const auto& [u, v] : edges) {
+    EXPECT_EQ(s.unite(u, v), a.unite(u, v));
+  }
+  EXPECT_EQ(test::normalize_partition(s.labels()), test::normalize_partition(a.labels()));
+  EXPECT_EQ(s.component_count(), a.component_count());
+}
+
+TEST(AtomicDSU, ResetRestoresSingletons) {
+  AtomicDSU a(10);
+  a.unite(1, 2);
+  a.reset();
+  EXPECT_EQ(a.component_count(), 10u);
+}
+
+class ConcurrentDSUTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConcurrentDSUTest, ConcurrentUnitesMatchReference) {
+  const int threads = GetParam();
+  const std::uint32_t n = 2000;
+  for (std::uint64_t seed : {10ULL, 20ULL, 30ULL}) {
+    const auto edges = random_edges(n, 3000, seed);
+    AtomicDSU dsu(n);
+    util::ThreadTeam team(threads);
+    const auto bounds = util::split_range(edges.size(), threads);
+    team.run([&](int t) {
+      for (std::size_t i = bounds[static_cast<std::size_t>(t)];
+           i < bounds[static_cast<std::size_t>(t) + 1]; ++i) {
+        dsu.unite(edges[i].first, edges[i].second);
+      }
+    });
+    EXPECT_EQ(test::normalize_partition(dsu.labels()),
+              test::normalize_partition(reference_cc(n, edges)));
+  }
+}
+
+TEST_P(ConcurrentDSUTest, Algorithm1MatchesReferenceUnderConcurrency) {
+  const int threads = GetParam();
+  const std::uint32_t n = 2000;
+  for (std::uint64_t seed : {40ULL, 50ULL}) {
+    const auto edges = random_edges(n, 3000, seed);
+    AtomicDSU dsu(n);
+    util::ThreadTeam team(threads);
+    const auto bounds = util::split_range(edges.size(), threads);
+    std::vector<int> iters(static_cast<std::size_t>(threads), 0);
+    team.run([&](int t) {
+      const std::span<const Edge> mine(edges.data() + bounds[static_cast<std::size_t>(t)],
+                                       bounds[static_cast<std::size_t>(t) + 1] -
+                                           bounds[static_cast<std::size_t>(t)]);
+      iters[static_cast<std::size_t>(t)] = process_edges_algorithm1(dsu, mine);
+    });
+    EXPECT_EQ(test::normalize_partition(dsu.labels()),
+              test::normalize_partition(reference_cc(n, edges)));
+    for (int it : iters) EXPECT_GE(it, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ConcurrentDSUTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(Algorithm1, EmptyEdgeListTakesZeroIterations) {
+  AtomicDSU dsu(5);
+  EXPECT_EQ(process_edges_algorithm1(dsu, {}), 0);
+}
+
+TEST(Algorithm1, ChainConverges) {
+  AtomicDSU dsu(100);
+  std::vector<Edge> chain;
+  for (std::uint32_t i = 0; i + 1 < 100; ++i) chain.emplace_back(i, i + 1);
+  const int iters = process_edges_algorithm1(dsu, chain);
+  EXPECT_GE(iters, 1);
+  EXPECT_EQ(dsu.component_count(), 1u);
+}
+
+TEST(ShiloachVishkin, EmptyGraph) {
+  const auto r = shiloach_vishkin(5, {});
+  EXPECT_EQ(r.labels, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ShiloachVishkin, MatchesReferenceOnRandomGraphs) {
+  for (std::uint64_t seed : {5ULL, 6ULL, 7ULL, 8ULL}) {
+    const std::uint32_t n = 500;
+    const auto edges = random_edges(n, 600, seed);
+    const auto sv = shiloach_vishkin(n, edges);
+    EXPECT_EQ(test::normalize_partition(sv.labels),
+              test::normalize_partition(reference_cc(n, edges)));
+    EXPECT_GE(sv.iterations, 1);
+  }
+}
+
+TEST(ShiloachVishkin, LongPathNeedsLogarithmicIterations) {
+  // A path of length 2^12 should need noticeably more iterations than a
+  // star (this is the structural difference Table 4 exploits).
+  const std::uint32_t n = 4096;
+  std::vector<Edge> path;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) path.emplace_back(i, i + 1);
+  const auto on_path = shiloach_vishkin(n, path);
+
+  std::vector<Edge> star;
+  for (std::uint32_t i = 1; i < n; ++i) star.emplace_back(0, i);
+  const auto on_star = shiloach_vishkin(n, star);
+
+  EXPECT_GT(on_path.iterations, on_star.iterations);
+  EXPECT_LE(on_star.iterations, 3);
+}
+
+}  // namespace
+}  // namespace metaprep::dsu

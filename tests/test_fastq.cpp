@@ -1,0 +1,246 @@
+// Tests for FASTQ I/O and binary index serialization.
+#include "io/fastq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "io/binary.hpp"
+#include "io/fasta.hpp"
+#include "test_support.hpp"
+
+namespace metaprep::io {
+namespace {
+
+using test::TempDir;
+
+TEST(Fastq, WriteReadRoundTrip) {
+  TempDir dir;
+  const std::string path = dir.file("a.fastq");
+  {
+    FastqWriter w(path);
+    w.write("read1", "ACGT", "IIII");
+    w.write("read2 extra tokens", "GGNTA", "ABCDE");
+  }
+  FastqReader r(path);
+  FastqRecord rec;
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(rec.id, "read1");
+  EXPECT_EQ(rec.seq, "ACGT");
+  EXPECT_EQ(rec.qual, "IIII");
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(rec.id, "read2 extra tokens");
+  EXPECT_EQ(rec.seq, "GGNTA");
+  ASSERT_FALSE(r.next(rec));
+}
+
+TEST(Fastq, OffsetTracksRecordBoundaries) {
+  TempDir dir;
+  const std::string path = dir.file("b.fastq");
+  {
+    FastqWriter w(path);
+    w.write("x", "AAAA", "IIII");
+    w.write("y", "CCCC", "IIII");
+  }
+  FastqReader r(path);
+  FastqRecord rec;
+  EXPECT_EQ(r.offset(), 0u);
+  ASSERT_TRUE(r.next(rec));
+  const std::uint64_t first_end = r.offset();
+  // "@x\nAAAA\n+\nIIII\n" = 15 bytes.
+  EXPECT_EQ(first_end, 15u);
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(r.offset(), file_size_bytes(path));
+}
+
+TEST(Fastq, WriterBytesMatchesFileSize) {
+  TempDir dir;
+  const std::string path = dir.file("c.fastq");
+  std::uint64_t bytes = 0;
+  {
+    FastqWriter w(path);
+    w.write("abc", "ACGTACGT", "IIIIIIII");
+    bytes = w.bytes_written();
+  }
+  EXPECT_EQ(bytes, file_size_bytes(path));
+}
+
+TEST(Fastq, MissingFileThrows) {
+  EXPECT_THROW(FastqReader("/nonexistent/definitely/not.fastq"), std::runtime_error);
+}
+
+TEST(Fastq, MalformedHeaderThrows) {
+  TempDir dir;
+  const std::string path = dir.file("bad.fastq");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not-a-header\nACGT\n+\nIIII\n", f);
+    std::fclose(f);
+  }
+  FastqReader r(path);
+  FastqRecord rec;
+  EXPECT_THROW(r.next(rec), std::runtime_error);
+}
+
+TEST(Fastq, QualityLengthMismatchThrows) {
+  TempDir dir;
+  const std::string path = dir.file("bad2.fastq");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("@x\nACGT\n+\nII\n", f);
+    std::fclose(f);
+  }
+  FastqReader r(path);
+  FastqRecord rec;
+  EXPECT_THROW(r.next(rec), std::runtime_error);
+}
+
+TEST(Fastq, TruncatedRecordThrows) {
+  TempDir dir;
+  const std::string path = dir.file("bad3.fastq");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("@x\nACGT\n", f);
+    std::fclose(f);
+  }
+  FastqReader r(path);
+  FastqRecord rec;
+  EXPECT_THROW(r.next(rec), std::runtime_error);
+}
+
+TEST(Fastq, BufferParsingMatchesStreaming) {
+  TempDir dir;
+  const std::string path = dir.file("d.fastq");
+  std::vector<std::string> reads{"ACGTACGTAA", "TTTTGGGGCC", "NACGTNACGT"};
+  test::write_fastq(path, reads);
+  const auto buffer = read_file_range(path, 0, file_size_bytes(path));
+  std::vector<std::string> parsed;
+  for_each_record_in_buffer(std::string_view(buffer.data(), buffer.size()),
+                            [&](std::string_view, std::string_view seq, std::string_view qual) {
+                              EXPECT_EQ(seq.size(), qual.size());
+                              parsed.emplace_back(seq);
+                            });
+  EXPECT_EQ(parsed, reads);
+  EXPECT_EQ(count_records_in_buffer(std::string_view(buffer.data(), buffer.size())), 3u);
+}
+
+TEST(Fastq, ReadFileRangeExtractsMiddleRecord) {
+  TempDir dir;
+  const std::string path = dir.file("e.fastq");
+  {
+    FastqWriter w(path);
+    w.write("a", "AAAA", "IIII");  // 15 bytes
+    w.write("b", "CCCC", "IIII");  // next 15
+    w.write("c", "GGGG", "IIII");
+  }
+  const auto mid = read_file_range(path, 15, 15);
+  std::vector<std::string> seqs;
+  for_each_record_in_buffer(std::string_view(mid.data(), mid.size()),
+                            [&](std::string_view, std::string_view seq, std::string_view) {
+                              seqs.emplace_back(seq);
+                            });
+  EXPECT_EQ(seqs, std::vector<std::string>{"CCCC"});
+}
+
+TEST(Fastq, ShortRangeReadThrows) {
+  TempDir dir;
+  const std::string path = dir.file("f.fastq");
+  test::write_fastq(path, {"ACGT"});
+  EXPECT_THROW(read_file_range(path, 0, file_size_bytes(path) + 1), std::runtime_error);
+}
+
+TEST(Fasta, RoundTripWithWrapping) {
+  TempDir dir;
+  const std::string path = dir.file("a.fasta");
+  const std::vector<FastaRecord> records{{"seq1 descriptive text", std::string(200, 'A')},
+                                         {"seq2", "ACGT"}};
+  write_fasta(path, records, 60);
+  const auto back = read_fasta(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].id, "seq1 descriptive text");
+  EXPECT_EQ(back[0].seq, std::string(200, 'A'));
+  EXPECT_EQ(back[1].seq, "ACGT");
+}
+
+TEST(Fasta, ReadsMultiLineAndCrLf) {
+  TempDir dir;
+  const std::string path = dir.file("b.fasta");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs(">x\r\nACGT\r\nGGTT\r\n>y\nAA\n", f);
+    std::fclose(f);
+  }
+  const auto records = read_fasta(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, "ACGTGGTT");
+  EXPECT_EQ(records[1].seq, "AA");
+}
+
+TEST(Fasta, SequenceBeforeHeaderThrows) {
+  TempDir dir;
+  const std::string path = dir.file("c.fasta");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("ACGT\n>x\nAA\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_fasta(path), std::runtime_error);
+}
+
+TEST(Fasta, WriteContigsGeneratesHeaders) {
+  TempDir dir;
+  const std::string path = dir.file("contigs.fasta");
+  write_contigs_fasta(path, {"ACGTACGT", "GG"}, "ctg");
+  const auto records = read_fasta(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, "ctg_0 len=8");
+  EXPECT_EQ(records[1].id, "ctg_1 len=2");
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(read_fasta("/nonexistent/no.fasta"), std::runtime_error);
+}
+
+TEST(Binary, RoundTripAllTypes) {
+  TempDir dir;
+  const std::string path = dir.file("idx.bin");
+  const std::vector<std::uint32_t> v{1, 2, 3, 4};
+  {
+    BinaryWriter w(path, 0xABCD1234, 2);
+    w.write_u32(7);
+    w.write_u64(1ULL << 40);
+    w.write_string("hello");
+    w.write_vector<std::uint32_t>(v);
+  }
+  BinaryReader r(path, 0xABCD1234, 2);
+  EXPECT_EQ(r.read_u32(), 7u);
+  EXPECT_EQ(r.read_u64(), 1ULL << 40);
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.read_vector<std::uint32_t>(), v);
+}
+
+TEST(Binary, MagicMismatchThrows) {
+  TempDir dir;
+  const std::string path = dir.file("idx.bin");
+  { BinaryWriter w(path, 0x11111111, 1); }
+  EXPECT_THROW(BinaryReader(path, 0x22222222, 1), std::runtime_error);
+}
+
+TEST(Binary, VersionMismatchThrows) {
+  TempDir dir;
+  const std::string path = dir.file("idx.bin");
+  { BinaryWriter w(path, 0x11111111, 1); }
+  EXPECT_THROW(BinaryReader(path, 0x11111111, 2), std::runtime_error);
+}
+
+TEST(Binary, TruncatedFileThrows) {
+  TempDir dir;
+  const std::string path = dir.file("idx.bin");
+  { BinaryWriter w(path, 0x11111111, 1); }
+  BinaryReader r(path, 0x11111111, 1);
+  EXPECT_THROW(r.read_u64(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace metaprep::io

@@ -1,0 +1,129 @@
+// Tests for 128-bit k-mers (32 < k <= 63, the paper's §4.4 extension).
+#include "kmer/kmer128.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace metaprep::kmer {
+namespace {
+
+std::string random_dna(int len, util::Xoshiro256& rng) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (auto& c : s) c = base_char(static_cast<std::uint8_t>(rng.next_below(4)));
+  return s;
+}
+
+std::string rc_ref(const std::string& s) {
+  std::string out(s.rbegin(), s.rend());
+  for (auto& c : out) c = base_char(complement_code(base_code(c)));
+  return out;
+}
+
+TEST(Kmer128, MaskWidths) {
+  EXPECT_EQ(kmer_mask128(16).hi, 0u);
+  EXPECT_EQ(kmer_mask128(16).lo, (1ULL << 32) - 1);
+  EXPECT_EQ(kmer_mask128(32).hi, 0u);
+  EXPECT_EQ(kmer_mask128(32).lo, ~0ULL);
+  EXPECT_EQ(kmer_mask128(33).hi, 0x3ULL);
+  EXPECT_EQ(kmer_mask128(63).hi, (1ULL << 62) - 1);
+}
+
+TEST(Kmer128, PushBaseShiftsAcrossWords) {
+  const Kmer128 mask = kmer_mask128(33);
+  Kmer128 v{};
+  // Push 33 bases: 'C' then 32 'A's; the C ends up as the top 2 bits.
+  v = push_base128(v, 1, mask);
+  for (int i = 0; i < 32; ++i) v = push_base128(v, 0, mask);
+  EXPECT_EQ(v.hi, 1ULL);
+  EXPECT_EQ(v.lo, 0ULL);
+}
+
+TEST(Kmer128, EncodeDecodeRoundTripFixed) {
+  const std::string s(63, 'G');
+  EXPECT_EQ(decode128(encode128(s), 63), s);
+}
+
+TEST(Kmer128, ComparisonMatchesLexOrder) {
+  const std::string a(40, 'A');
+  std::string b = a;
+  b[0] = 'C';
+  std::string c = a;
+  c[39] = 'T';
+  EXPECT_LT(encode128(a), encode128(c));
+  EXPECT_LT(encode128(c), encode128(b));
+}
+
+class Kmer128PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Kmer128PropertyTest, EncodeDecodeRoundTripRandom) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(600 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 40; ++i) {
+    const std::string s = random_dna(k, rng);
+    EXPECT_EQ(decode128(encode128(s), k), s);
+  }
+}
+
+TEST_P(Kmer128PropertyTest, RevCompMatchesStringReference) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(700 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 40; ++i) {
+    const std::string s = random_dna(k, rng);
+    EXPECT_EQ(decode128(revcomp128(encode128(s), k), k), rc_ref(s));
+  }
+}
+
+TEST_P(Kmer128PropertyTest, RevCompIsAnInvolution) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(800 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 40; ++i) {
+    const Kmer128 v = encode128(random_dna(k, rng));
+    EXPECT_EQ(revcomp128(revcomp128(v, k), k), v);
+  }
+}
+
+TEST_P(Kmer128PropertyTest, CanonicalMatchesStringMin) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(900 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 30; ++i) {
+    const std::string s = random_dna(k, rng);
+    const std::string canon = decode128(canonical128(encode128(s), k), k);
+    EXPECT_EQ(canon, std::min(s, rc_ref(s)));
+  }
+}
+
+TEST_P(Kmer128PropertyTest, PrefixBinMatchesStringPrefix) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(1000 + static_cast<std::uint64_t>(k));
+  for (int m : {2, 4, 8}) {
+    if (m > k) continue;
+    for (int i = 0; i < 20; ++i) {
+      const std::string s = random_dna(k, rng);
+      const auto bin = prefix_bin128(encode128(s), k, m);
+      EXPECT_EQ(bin, static_cast<std::uint32_t>(encode64(s.substr(0, static_cast<std::size_t>(m)))));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousK, Kmer128PropertyTest,
+                         ::testing::Values(8, 16, 31, 32, 33, 34, 40, 47, 48, 55, 62, 63));
+
+TEST(Kmer128, PrefixStraddlesWordBoundary) {
+  // k=33, m=8: shift = 50 (< 64), prefix straddles nothing; k=40, m=8:
+  // shift = 64 exactly; k=63, m=16 would exceed uint32; use m=15: shift=96.
+  util::Xoshiro256 rng(1100);
+  const std::string s = random_dna(40, rng);
+  EXPECT_EQ(prefix_bin128(encode128(s), 40, 8),
+            static_cast<std::uint32_t>(encode64(s.substr(0, 8))));
+  const std::string t = random_dna(36, rng);
+  // k=36, m=4: shift = 64 boundary case.
+  EXPECT_EQ(prefix_bin128(encode128(t), 36, 4),
+            static_cast<std::uint32_t>(encode64(t.substr(0, 4))));
+}
+
+}  // namespace
+}  // namespace metaprep::kmer

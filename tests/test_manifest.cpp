@@ -1,0 +1,102 @@
+// Tests for the partition manifest.
+#include "core/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/index_create.hpp"
+#include "core/pipeline.hpp"
+#include "sim/read_sim.hpp"
+#include "test_support.hpp"
+
+namespace metaprep::core {
+namespace {
+
+using test::TempDir;
+
+TEST(Manifest, PartitionClassOfRecognizesSuffixes) {
+  EXPECT_EQ(partition_class_of("/x/ds.p0.t1.lc.fastq"), "lc");
+  EXPECT_EQ(partition_class_of("/x/ds.p0.t1.other.fastq"), "other");
+  EXPECT_EQ(partition_class_of("/x/ds.p2.t0.c0.fastq"), "c0");
+  EXPECT_EQ(partition_class_of("/x/ds.p2.t0.c17.fastq"), "c17");
+  EXPECT_EQ(partition_class_of("/x/random.fastq"), "unknown");
+}
+
+struct ManifestFixture {
+  TempDir dir;
+  DatasetIndex index;
+  PipelineResult result;
+
+  explicit ManifestFixture(int top_n) {
+    sim::DatasetConfig cfg;
+    cfg.name = "mani";
+    cfg.genomes.num_species = 4;
+    cfg.genomes.min_genome_len = 3000;
+    cfg.genomes.max_genome_len = 5000;
+    cfg.num_pairs = 150;
+    const auto ds = sim::simulate_dataset(cfg, dir.file("mani"));
+    IndexCreateOptions opt;
+    opt.k = 15;
+    opt.m = 5;
+    opt.target_chunks = 4;
+    index = create_index("mani", ds.files, true, opt);
+    MetaprepConfig mp;
+    mp.k = 15;
+    mp.num_ranks = 2;
+    mp.threads_per_rank = 2;
+    mp.write_output = true;
+    mp.output_top_components = top_n;
+    mp.output_dir = dir.str();
+    result = run_metaprep(index, mp);
+  }
+};
+
+TEST(Manifest, BuildAccountsForEveryRecord) {
+  ManifestFixture fx(1);
+  const auto m = build_manifest(fx.index, fx.result);
+  EXPECT_EQ(m.dataset, "mani");
+  EXPECT_EQ(m.k, 15);
+  EXPECT_EQ(m.num_reads, fx.result.num_reads);
+  EXPECT_EQ(m.total_records(), 2ull * fx.result.num_reads);
+  // LC entries hold exactly 2 * largest_size records.
+  std::map<std::string, std::uint64_t> per_class;
+  for (const auto& e : m.entries) per_class[e.partition] += e.records;
+  EXPECT_EQ(per_class.at("lc"), 2 * fx.result.largest_size);
+}
+
+TEST(Manifest, TopNClassesAppear) {
+  ManifestFixture fx(3);
+  const auto m = build_manifest(fx.index, fx.result);
+  std::map<std::string, std::uint64_t> per_class;
+  for (const auto& e : m.entries) per_class[e.partition] += e.records;
+  EXPECT_GT(per_class.count("c0"), 0u);
+  EXPECT_EQ(per_class.count("unknown"), 0u);
+}
+
+TEST(Manifest, SaveLoadRoundTrip) {
+  ManifestFixture fx(1);
+  const auto m = build_manifest(fx.index, fx.result);
+  const std::string path = fx.dir.file("manifest.tsv");
+  save_manifest(m, path);
+  const auto loaded = load_manifest(path);
+  EXPECT_EQ(loaded.dataset, m.dataset);
+  EXPECT_EQ(loaded.k, m.k);
+  EXPECT_EQ(loaded.num_reads, m.num_reads);
+  EXPECT_EQ(loaded.num_components, m.num_components);
+  EXPECT_EQ(loaded.largest_size, m.largest_size);
+  ASSERT_EQ(loaded.entries.size(), m.entries.size());
+  for (std::size_t i = 0; i < m.entries.size(); ++i) {
+    EXPECT_EQ(loaded.entries[i].path, m.entries[i].path);
+    EXPECT_EQ(loaded.entries[i].partition, m.entries[i].partition);
+    EXPECT_EQ(loaded.entries[i].records, m.entries[i].records);
+    EXPECT_EQ(loaded.entries[i].bases, m.entries[i].bases);
+  }
+}
+
+TEST(Manifest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_manifest("/nonexistent/m.tsv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace metaprep::core

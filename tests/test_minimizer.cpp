@@ -1,0 +1,133 @@
+// Tests for minimizers and super-k-mer decomposition (KMC-baseline substrate).
+#include "kmer/minimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "kmer/codec.hpp"
+#include "kmer/scanner.hpp"
+#include "util/rng.hpp"
+
+namespace metaprep::kmer {
+namespace {
+
+std::string random_dna(int len, util::Xoshiro256& rng, double n_rate = 0.0) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (auto& c : s) {
+    c = rng.next_bool(n_rate) ? 'N' : base_char(static_cast<std::uint8_t>(rng.next_below(4)));
+  }
+  return s;
+}
+
+TEST(Minimizer, WindowMinimizerBruteForceAgreement) {
+  util::Xoshiro256 rng(21);
+  const int k = 15;
+  const int m = 5;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string seq = random_dna(60, rng);
+    for (std::size_t pos = 0; pos + k <= seq.size(); ++pos) {
+      std::uint64_t mz = 0;
+      ASSERT_TRUE(window_minimizer(seq, pos, k, m, mz));
+      // Brute force: min canonical m-mer in the window.
+      std::uint64_t best = ~0ULL;
+      for (std::size_t j = pos; j + m <= pos + k; ++j) {
+        best = std::min(best, canonical64(encode64(seq.substr(j, m)), m));
+      }
+      EXPECT_EQ(mz, best);
+    }
+  }
+}
+
+TEST(Minimizer, WindowWithNFails) {
+  std::uint64_t mz = 0;
+  EXPECT_FALSE(window_minimizer("ACGTNACGTACGT", 2, 7, 3, mz));
+  EXPECT_TRUE(window_minimizer("ACGTNACGTACGT", 5, 7, 3, mz));
+}
+
+class SuperKmerTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SuperKmerTest, CoversExactlyTheValidKmers) {
+  const auto [k, m] = GetParam();
+  util::Xoshiro256 rng(2000 + static_cast<std::uint64_t>(k * 100 + m));
+  for (int trial = 0; trial < 20; ++trial) {
+    const double n_rate = trial % 4 == 0 ? 0.03 : 0.0;
+    const std::string seq = random_dna(40 + static_cast<int>(rng.next_below(120)), rng, n_rate);
+    const auto sks = super_kmers(seq, k, m);
+
+    // Union of super-k-mer runs == set of valid k-mer start positions,
+    // without overlap.
+    std::vector<bool> covered(seq.size(), false);
+    for (const auto& sk : sks) {
+      EXPECT_GE(sk.kmer_count, 1u);
+      for (std::uint32_t i = 0; i < sk.kmer_count; ++i) {
+        ASSERT_LT(sk.start + i, covered.size());
+        EXPECT_FALSE(covered[sk.start + i]) << "overlapping super k-mers";
+        covered[sk.start + i] = true;
+      }
+    }
+    for (std::size_t pos = 0; pos + static_cast<std::size_t>(k) <= seq.size(); ++pos) {
+      const bool valid =
+          seq.substr(pos, static_cast<std::size_t>(k)).find_first_not_of("ACGT") ==
+          std::string::npos;
+      EXPECT_EQ(covered[pos], valid) << "pos " << pos << " seq " << seq;
+    }
+  }
+}
+
+TEST_P(SuperKmerTest, RunsShareTheirMinimizer) {
+  const auto [k, m] = GetParam();
+  util::Xoshiro256 rng(3000 + static_cast<std::uint64_t>(k * 100 + m));
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::string seq = random_dna(100, rng);
+    for (const auto& sk : super_kmers(seq, k, m)) {
+      for (std::uint32_t i = 0; i < sk.kmer_count; ++i) {
+        std::uint64_t mz = 0;
+        ASSERT_TRUE(window_minimizer(seq, sk.start + i, k, m, mz));
+        EXPECT_EQ(mz, sk.minimizer);
+      }
+    }
+  }
+}
+
+TEST_P(SuperKmerTest, ConsecutiveRunsHaveDistinctMinimizers) {
+  const auto [k, m] = GetParam();
+  util::Xoshiro256 rng(4000 + static_cast<std::uint64_t>(k * 100 + m));
+  const std::string seq = random_dna(300, rng);
+  const auto sks = super_kmers(seq, k, m);
+  for (std::size_t i = 1; i < sks.size(); ++i) {
+    if (sks[i - 1].start + sks[i - 1].kmer_count == sks[i].start) {
+      EXPECT_NE(sks[i - 1].minimizer, sks[i].minimizer);
+    }
+  }
+}
+
+TEST_P(SuperKmerTest, CompressionBeatsPerKmerStorage) {
+  const auto [k, m] = GetParam();
+  util::Xoshiro256 rng(5000 + static_cast<std::uint64_t>(k));
+  const std::string seq = random_dna(500, rng);
+  const auto sks = super_kmers(seq, k, m);
+  std::uint64_t stored_bases = 0;
+  std::uint64_t kmers = 0;
+  for (const auto& sk : sks) {
+    stored_bases += sk.kmer_count + static_cast<std::uint32_t>(k) - 1;
+    kmers += sk.kmer_count;
+  }
+  EXPECT_EQ(kmers, seq.size() - static_cast<std::size_t>(k) + 1);
+  // Super k-mers must compress vs storing every k-mer separately.
+  EXPECT_LT(stored_bases, kmers * static_cast<std::uint64_t>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(KMPairs, SuperKmerTest,
+                         ::testing::Values(std::pair{15, 5}, std::pair{21, 7},
+                                           std::pair{27, 7}, std::pair{27, 10},
+                                           std::pair{9, 3}));
+
+TEST(SuperKmer, TooShortSequence) {
+  EXPECT_TRUE(super_kmers("ACGT", 10, 3).empty());
+}
+
+}  // namespace
+}  // namespace metaprep::kmer

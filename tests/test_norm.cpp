@@ -1,0 +1,238 @@
+// Tests for the count-min sketch and digital normalization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "norm/count_min.hpp"
+#include "norm/diginorm.hpp"
+#include "norm/trim.hpp"
+#include "sim/genome.hpp"
+#include "sim/read_sim.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace metaprep::norm {
+namespace {
+
+TEST(CountMin, NeverUndercounts) {
+  CountMinSketch sketch(1 << 10, 3);
+  util::Xoshiro256 rng(1);
+  std::map<std::uint64_t, std::uint32_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.next_below(800);  // heavy collisions
+    sketch.add(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.estimate(key), count) << "key " << key;
+  }
+}
+
+TEST(CountMin, ExactWhenSparse) {
+  // Far fewer keys than slots: conservative update should be near-exact.
+  CountMinSketch sketch(1 << 16, 4);
+  util::SplitMix64 sm(7);
+  std::vector<std::uint64_t> keys(100);
+  for (auto& k : keys) k = sm.next();
+  for (int rep = 0; rep < 5; ++rep) {
+    for (auto k : keys) sketch.add(k);
+  }
+  for (auto k : keys) EXPECT_EQ(sketch.estimate(k), 5u);
+}
+
+TEST(CountMin, UnseenKeysUsuallyZeroWhenSparse) {
+  CountMinSketch sketch(1 << 16, 4);
+  util::SplitMix64 sm(9);
+  for (int i = 0; i < 50; ++i) sketch.add(sm.next());
+  int nonzero = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (sketch.estimate(sm.next() ^ 0xABCDEF) > 0) ++nonzero;
+  }
+  EXPECT_LE(nonzero, 2);
+}
+
+TEST(CountMin, AddReturnsUpdatedEstimate) {
+  CountMinSketch sketch(1 << 12, 4);
+  EXPECT_EQ(sketch.add(42), 1u);
+  EXPECT_EQ(sketch.add(42), 2u);
+  EXPECT_EQ(sketch.add(42), 3u);
+}
+
+TEST(CountMin, WidthRoundedToPowerOfTwo) {
+  CountMinSketch sketch(1000, 2);
+  EXPECT_EQ(sketch.width(), 1024u);
+  EXPECT_EQ(sketch.depth(), 2);
+  EXPECT_EQ(sketch.memory_bytes(), 2u * 1024 * 4);
+}
+
+TEST(CountMin, InvalidArgsThrow) {
+  EXPECT_THROW(CountMinSketch(1, 1), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch(16, 0), std::invalid_argument);
+}
+
+TEST(Diginorm, KeepsFirstCopiesDropsRedundant) {
+  DiginormOptions opt;
+  opt.k = 15;
+  opt.cutoff = 3;
+  Normalizer norm(opt);
+  const auto genome = sim::random_genome(500, 11);
+  const std::string read = genome.substr(100, 100);
+  // The same read offered repeatedly: the first `cutoff` copies are kept.
+  int kept = 0;
+  for (int i = 0; i < 10; ++i) kept += norm.offer(read) ? 1 : 0;
+  EXPECT_EQ(kept, 3);
+  EXPECT_EQ(norm.stats().pairs_in, 10u);
+  EXPECT_EQ(norm.stats().pairs_kept, 3u);
+}
+
+TEST(Diginorm, NovelReadsAlwaysKept) {
+  DiginormOptions opt;
+  opt.k = 15;
+  opt.cutoff = 2;
+  Normalizer norm(opt);
+  const auto genome = sim::random_genome(20'000, 13);
+  // Non-overlapping reads: every one is novel.
+  for (std::size_t pos = 0; pos + 100 <= genome.size(); pos += 150) {
+    EXPECT_TRUE(norm.offer(genome.substr(pos, 100)));
+  }
+}
+
+TEST(Diginorm, PairKeptIfEitherMateNovel) {
+  DiginormOptions opt;
+  opt.k = 15;
+  opt.cutoff = 2;
+  Normalizer norm(opt);
+  const auto genome = sim::random_genome(5000, 17);
+  const std::string seen = genome.substr(0, 100);
+  // Saturate `seen`.
+  for (int i = 0; i < 4; ++i) norm.offer(seen);
+  // Pair of (saturated, novel): kept.
+  EXPECT_TRUE(norm.offer_pair(seen, genome.substr(2000, 100)));
+  // Pair of (saturated, saturated): dropped.
+  EXPECT_FALSE(norm.offer_pair(seen, seen));
+}
+
+TEST(Diginorm, ReducesDeepCoverageToCutoffScale) {
+  // 60x coverage of one genome normalized with C=10 should keep roughly
+  // 10/60 of the reads (within generous bounds — sketch noise, read ends).
+  DiginormOptions opt;
+  opt.k = 17;
+  opt.cutoff = 10;
+  Normalizer norm(opt);
+  const auto genome = sim::random_genome(3000, 23);
+  util::Xoshiro256 rng(29);
+  const int total = 3000 * 60 / 100;  // 60x with 100 bp reads
+  int kept = 0;
+  for (int i = 0; i < total; ++i) {
+    const std::uint64_t pos = rng.next_below(genome.size() - 100);
+    kept += norm.offer(genome.substr(pos, 100)) ? 1 : 0;
+  }
+  const double keep = static_cast<double>(kept) / total;
+  EXPECT_LT(keep, 0.45);
+  EXPECT_GT(keep, 0.10);
+}
+
+TEST(Diginorm, FastqPairNormalizationRoundTrip) {
+  test::TempDir dir;
+  sim::DatasetConfig cfg;
+  cfg.name = "dn";
+  cfg.genomes.num_species = 2;
+  cfg.genomes.min_genome_len = 3000;
+  cfg.genomes.max_genome_len = 4000;
+  cfg.num_pairs = 2000;  // deep coverage
+  const auto ds = sim::simulate_dataset(cfg, dir.file("dn"));
+
+  DiginormOptions opt;
+  opt.k = 17;
+  opt.cutoff = 8;
+  const auto stats =
+      normalize_fastq_pair(ds.files[0], ds.files[1], dir.file("norm"), opt);
+  EXPECT_EQ(stats.pairs_in, 2000u);
+  EXPECT_LT(stats.pairs_kept, stats.pairs_in);
+  EXPECT_GT(stats.pairs_kept, 0u);
+
+  const auto kept1 = test::read_all_fastq(dir.file("norm") + "_1.fastq");
+  const auto kept2 = test::read_all_fastq(dir.file("norm") + "_2.fastq");
+  EXPECT_EQ(kept1.size(), stats.pairs_kept);
+  EXPECT_EQ(kept2.size(), stats.pairs_kept);
+  // Mates stay paired.
+  for (std::size_t i = 0; i < kept1.size(); ++i) {
+    EXPECT_EQ(kept1[i].id.substr(0, kept1[i].id.size() - 2),
+              kept2[i].id.substr(0, kept2[i].id.size() - 2));
+  }
+}
+
+TEST(Trim, TrimmedLengthCutsTrailingLowQuality) {
+  TrimOptions opt;
+  opt.min_phred = 20;  // '5' = Q20 at offset 33
+  // Qualities: I (Q40) x4 then # (Q2) x3 -> trim to 4.
+  EXPECT_EQ(trimmed_length("ACGTACG", "IIII###", opt), 4u);
+  EXPECT_EQ(trimmed_length("ACGT", "IIII", opt), 4u);
+  EXPECT_EQ(trimmed_length("ACGT", "####", opt), 0u);
+  // Low quality in the middle is kept (3' trim only).
+  EXPECT_EQ(trimmed_length("ACGTA", "II#II", opt), 5u);
+}
+
+TEST(Trim, MismatchedLengthsThrow) {
+  EXPECT_THROW(trimmed_length("ACGT", "II", TrimOptions{}), std::invalid_argument);
+}
+
+TEST(Trim, PairDroppedWhenEitherMateTooShort) {
+  test::TempDir dir;
+  {
+    io::FastqWriter w1(dir.file("r1.fastq"));
+    io::FastqWriter w2(dir.file("r2.fastq"));
+    // Pair 0: both mates fine.  Pair 1: mate 2 collapses below min_length.
+    w1.write("p0/1", "ACGTACGTAC", "IIIIIIIIII");
+    w2.write("p0/2", "ACGTACGTAC", "IIIIIIIIII");
+    w1.write("p1/1", "ACGTACGTAC", "IIIIIIIIII");
+    w2.write("p1/2", "ACGTACGTAC", "II########");
+  }
+  TrimOptions opt;
+  opt.min_phred = 20;
+  opt.min_length = 5;
+  const auto stats =
+      norm::trim_fastq_pair(dir.file("r1.fastq"), dir.file("r2.fastq"), dir.file("t"), opt);
+  EXPECT_EQ(stats.pairs_in, 2u);
+  EXPECT_EQ(stats.pairs_kept, 1u);
+  EXPECT_EQ(stats.bases_kept, 20u);
+  const auto kept1 = test::read_all_fastq(dir.file("t") + "_1.fastq");
+  const auto kept2 = test::read_all_fastq(dir.file("t") + "_2.fastq");
+  ASSERT_EQ(kept1.size(), 1u);
+  ASSERT_EQ(kept2.size(), 1u);
+  EXPECT_EQ(kept1[0].id, "p0/1");
+}
+
+TEST(Trim, TrimmedRecordsKeepQualityAlignment) {
+  test::TempDir dir;
+  {
+    io::FastqWriter w1(dir.file("r1.fastq"));
+    io::FastqWriter w2(dir.file("r2.fastq"));
+    w1.write("p/1", "ACGTACGTAC", "IIIIIIII##");  // trims to 8
+    w2.write("p/2", "ACGTACGTAC", "IIIIIIIIII");
+  }
+  TrimOptions opt;
+  opt.min_length = 4;
+  norm::trim_fastq_pair(dir.file("r1.fastq"), dir.file("r2.fastq"), dir.file("t"), opt);
+  const auto kept = test::read_all_fastq(dir.file("t") + "_1.fastq");
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].seq, "ACGTACGT");
+  EXPECT_EQ(kept[0].qual, "IIIIIIII");
+}
+
+TEST(Diginorm, MismatchedPairFilesThrow) {
+  test::TempDir dir;
+  test::write_fastq(dir.file("a.fastq"), {"ACGTACGTACGTACGTACGT", "ACGTACGTACGTACGTACGT"});
+  test::write_fastq(dir.file("b.fastq"), {"ACGTACGTACGTACGTACGT"});
+  DiginormOptions opt;
+  opt.k = 9;
+  EXPECT_THROW(normalize_fastq_pair(dir.file("a.fastq"), dir.file("b.fastq"),
+                                    dir.file("out"), opt),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace metaprep::norm

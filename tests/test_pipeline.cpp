@@ -1,0 +1,675 @@
+// End-to-end pipeline tests: the METAPREP partition must equal a brute-force
+// read-graph connected-components reference for every (P, T, S) and k
+// configuration, and the partitioned FASTQ output must be a lossless split
+// of the input.
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/index_create.hpp"
+#include "core/memory_model.hpp"
+#include "sim/genome.hpp"
+#include "sim/read_sim.hpp"
+#include "test_support.hpp"
+
+namespace metaprep::core {
+namespace {
+
+using test::TempDir;
+
+struct Fixture {
+  TempDir dir;
+  DatasetIndex index;
+  sim::SimulatedDataset dataset;
+
+  explicit Fixture(int k, std::uint64_t pairs = 250, int m = 5, std::uint32_t chunks = 9,
+                   int species = 4) {
+    sim::DatasetConfig cfg;
+    cfg.name = "pipe";
+    cfg.genomes.num_species = species;
+    cfg.genomes.min_genome_len = 3000;
+    cfg.genomes.max_genome_len = 6000;
+    cfg.genomes.shared_fraction = 0.02;
+    cfg.num_pairs = pairs;
+    cfg.reads.seed = 50 + static_cast<std::uint64_t>(k);
+    dataset = sim::simulate_dataset(cfg, dir.file("pipe"));
+    IndexCreateOptions opt;
+    opt.k = k;
+    opt.m = m;
+    opt.target_chunks = chunks;
+    index = create_index("pipe", dataset.files, true, opt);
+  }
+};
+
+MetaprepConfig base_config(int k, const std::string& out_dir) {
+  MetaprepConfig cfg;
+  cfg.k = k;
+  cfg.write_output = false;
+  cfg.output_dir = out_dir;
+  return cfg;
+}
+
+struct PTS {
+  int P, T, S;
+};
+
+class PipelineGridTest : public ::testing::TestWithParam<PTS> {};
+
+TEST_P(PipelineGridTest, PartitionMatchesBruteForceReference) {
+  const auto [P, T, S] = GetParam();
+  static Fixture fixture(15);  // shared across the grid: dataset is immutable
+  auto cfg = base_config(15, fixture.dir.str());
+  cfg.num_ranks = P;
+  cfg.threads_per_rank = T;
+  cfg.num_passes = S;
+
+  const auto result = run_metaprep(fixture.index, cfg);
+  const auto expected = reference_components(fixture.index, cfg.filter);
+
+  EXPECT_EQ(result.num_reads, fixture.index.total_reads);
+  EXPECT_EQ(test::normalize_partition(result.labels), test::normalize_partition(expected));
+  EXPECT_EQ(result.passes_used, S);
+  EXPECT_GT(result.total_tuples, 0u);
+  EXPECT_GE(result.cc_iterations_max, 1);
+  EXPECT_EQ(result.rank_times.size(), static_cast<std::size_t>(P));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PipelineGridTest,
+                         ::testing::Values(PTS{1, 1, 1}, PTS{1, 4, 1}, PTS{2, 2, 1},
+                                           PTS{4, 1, 1}, PTS{4, 3, 2}, PTS{3, 2, 3},
+                                           PTS{8, 2, 1}, PTS{2, 4, 4}, PTS{5, 1, 2}));
+
+class PipelineKTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineKTest, AllKWidthsMatchReference) {
+  const int k = GetParam();
+  Fixture fixture(k, 150);
+  auto cfg = base_config(k, fixture.dir.str());
+  cfg.num_ranks = 2;
+  cfg.threads_per_rank = 2;
+  cfg.num_passes = 2;
+  const auto result = run_metaprep(fixture.index, cfg);
+  const auto expected = reference_components(fixture.index, cfg.filter);
+  EXPECT_EQ(test::normalize_partition(result.labels), test::normalize_partition(expected));
+}
+
+// 15/27/31/32 exercise the 64-bit path, 33/45/63 the 128-bit path.
+INSTANTIATE_TEST_SUITE_P(KWidths, PipelineKTest, ::testing::Values(15, 27, 31, 32, 33, 45, 63));
+
+TEST(Pipeline, FrequencyFilterMatchesReference) {
+  Fixture fixture(15, 300);
+  for (const auto& [lo, hi] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {0, 30}, {2, 0xFFFFFFFFu}, {2, 10}, {3, 5}}) {
+    auto cfg = base_config(15, fixture.dir.str());
+    cfg.num_ranks = 3;
+    cfg.threads_per_rank = 2;
+    cfg.filter.min_freq = lo;
+    cfg.filter.max_freq = hi;
+    const auto result = run_metaprep(fixture.index, cfg);
+    const auto expected = reference_components(fixture.index, cfg.filter);
+    EXPECT_EQ(test::normalize_partition(result.labels), test::normalize_partition(expected))
+        << "filter [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(Pipeline, FilterShrinksLargestComponent) {
+  Fixture fixture(15, 400, 5, 9, 6);
+  auto cfg = base_config(15, fixture.dir.str());
+  const auto unfiltered = run_metaprep(fixture.index, cfg);
+  cfg.filter.min_freq = 2;
+  cfg.filter.max_freq = 20;
+  const auto filtered = run_metaprep(fixture.index, cfg);
+  EXPECT_LE(filtered.largest_size, unfiltered.largest_size);
+  EXPECT_GE(filtered.num_components, unfiltered.num_components);
+}
+
+TEST(Pipeline, CcOptOnAndOffAgree) {
+  Fixture fixture(15, 250);
+  auto cfg = base_config(15, fixture.dir.str());
+  cfg.num_ranks = 2;
+  cfg.threads_per_rank = 2;
+  cfg.num_passes = 3;  // multipass so the optimization actually engages
+  cfg.cc_opt = true;
+  const auto with_opt = run_metaprep(fixture.index, cfg);
+  cfg.cc_opt = false;
+  const auto without_opt = run_metaprep(fixture.index, cfg);
+  EXPECT_EQ(test::normalize_partition(with_opt.labels),
+            test::normalize_partition(without_opt.labels));
+}
+
+TEST(Pipeline, AutoPassSelectionFromBudget) {
+  Fixture fixture(15, 200);
+  auto cfg = base_config(15, fixture.dir.str());
+  cfg.num_passes = 0;
+  cfg.memory_budget_bytes = 1ULL << 30;  // plenty: expect 1 pass
+  const auto r = run_metaprep(fixture.index, cfg);
+  EXPECT_EQ(r.passes_used, 1);
+  // A budget barely above the fixed terms should force multiple passes.
+  MemoryModelInput mm;
+  mm.total_tuples = fixture.index.mer_hist.total();
+  mm.total_reads = fixture.index.total_reads;
+  mm.num_chunks = fixture.index.part.num_chunks();
+  mm.max_chunk_bytes = fixture.index.max_chunk_bytes();
+  mm.m = fixture.index.mer_hist.m;
+  mm.num_passes = 1;
+  const auto one_pass = estimate_memory(mm);
+  cfg.memory_budget_bytes = one_pass.total - one_pass.kmer_out / 2;
+  const auto r2 = run_metaprep(fixture.index, cfg);
+  EXPECT_GT(r2.passes_used, 1);
+  EXPECT_EQ(test::normalize_partition(r.labels), test::normalize_partition(r2.labels));
+}
+
+TEST(Pipeline, ImpossibleBudgetThrows) {
+  Fixture fixture(15, 100);
+  auto cfg = base_config(15, fixture.dir.str());
+  cfg.num_passes = 0;
+  cfg.memory_budget_bytes = 10;
+  EXPECT_THROW(run_metaprep(fixture.index, cfg), std::runtime_error);
+}
+
+TEST(Pipeline, MismatchedKThrows) {
+  Fixture fixture(15, 100);
+  auto cfg = base_config(21, fixture.dir.str());
+  EXPECT_THROW(run_metaprep(fixture.index, cfg), std::invalid_argument);
+}
+
+TEST(Pipeline, ComponentAccountingConsistent) {
+  Fixture fixture(15, 300);
+  auto cfg = base_config(15, fixture.dir.str());
+  cfg.num_ranks = 4;
+  cfg.threads_per_rank = 2;
+  const auto r = run_metaprep(fixture.index, cfg);
+  // Component sizes sum to R; largest matches the labels array.
+  std::map<std::uint32_t, std::uint64_t> sizes;
+  for (auto l : r.labels) ++sizes[l];
+  EXPECT_EQ(sizes.size(), r.num_components);
+  std::uint64_t largest = 0;
+  for (const auto& [root, size] : sizes) largest = std::max(largest, size);
+  EXPECT_EQ(largest, r.largest_size);
+  EXPECT_EQ(sizes.at(r.largest_root), r.largest_size);
+  EXPECT_DOUBLE_EQ(r.largest_fraction,
+                   static_cast<double>(largest) / static_cast<double>(r.num_reads));
+  ASSERT_FALSE(r.top_component_sizes.empty());
+  EXPECT_EQ(r.top_component_sizes.front(), largest);
+  EXPECT_TRUE(std::is_sorted(r.top_component_sizes.begin(), r.top_component_sizes.end(),
+                             std::greater<>()));
+}
+
+TEST(Pipeline, OutputFastqIsLosslessSplit) {
+  Fixture fixture(15, 200, 5, 7);
+  TempDir out_dir;
+  auto cfg = base_config(15, out_dir.str());
+  cfg.num_ranks = 2;
+  cfg.threads_per_rank = 2;
+  cfg.write_output = true;
+  const auto r = run_metaprep(fixture.index, cfg);
+  ASSERT_FALSE(r.output_files.empty());
+
+  // Gather all output records; id -> sequences seen.
+  std::multiset<std::string> output_ids;
+  std::uint64_t lc_records = 0;
+  std::uint64_t other_records = 0;
+  for (const auto& path : r.output_files) {
+    const bool is_lc = path.find(".lc.") != std::string::npos;
+    for (const auto& rec : test::read_all_fastq(path)) {
+      output_ids.insert(rec.id);
+      (is_lc ? lc_records : other_records) += 1;
+    }
+  }
+  // Every input record appears exactly once in the output.
+  std::multiset<std::string> input_ids;
+  for (const auto& f : fixture.index.files) {
+    for (const auto& rec : test::read_all_fastq(f)) input_ids.insert(rec.id);
+  }
+  EXPECT_EQ(output_ids, input_ids);
+  // LC file record count = 2 * largest component (both mates).
+  EXPECT_EQ(lc_records, 2 * r.largest_size);
+  EXPECT_EQ(other_records, 2 * (r.num_reads - r.largest_size));
+}
+
+TEST(Pipeline, PairedEndsStayTogether) {
+  Fixture fixture(15, 150, 5, 6);
+  TempDir out_dir;
+  auto cfg = base_config(15, out_dir.str());
+  cfg.write_output = true;
+  const auto r = run_metaprep(fixture.index, cfg);
+
+  // Strip the /1 /2 suffix; each pair base name must land entirely in LC or
+  // entirely in Other.
+  std::map<std::string, std::set<bool>> pair_sides;
+  for (const auto& path : r.output_files) {
+    const bool is_lc = path.find(".lc.") != std::string::npos;
+    for (const auto& rec : test::read_all_fastq(path)) {
+      pair_sides[rec.id.substr(0, rec.id.size() - 2)].insert(is_lc);
+    }
+  }
+  for (const auto& [base, sides] : pair_sides) {
+    EXPECT_EQ(sides.size(), 1u) << "pair " << base << " split across partitions";
+  }
+}
+
+class MergeStrategyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeStrategyTest, ContractionMatchesPairwiseTree) {
+  const int P = GetParam();
+  static Fixture fixture(15, 220);
+  auto cfg = base_config(15, fixture.dir.str());
+  cfg.num_ranks = P;
+  cfg.threads_per_rank = 2;
+  cfg.merge_strategy = MergeStrategy::kPairwiseTree;
+  const auto tree = run_metaprep(fixture.index, cfg);
+  cfg.merge_strategy = MergeStrategy::kContraction;
+  const auto contraction = run_metaprep(fixture.index, cfg);
+  EXPECT_EQ(test::normalize_partition(tree.labels),
+            test::normalize_partition(contraction.labels));
+  if (P > 1) {
+    // Tree rounds ship full 4R-byte arrays; contraction ships 8 bytes per
+    // locally-merged vertex.  Each non-root rank sends exactly once in both
+    // strategies, so the tree total is (P-1) * 4R and the contraction total
+    // is bounded by (P-1) * 8R.
+    EXPECT_EQ(tree.merge_comm_bytes,
+              static_cast<std::uint64_t>(P - 1) * 4ull * tree.num_reads);
+    EXPECT_LE(contraction.merge_comm_bytes,
+              static_cast<std::uint64_t>(P - 1) * 8ull * tree.num_reads);
+    EXPECT_GT(contraction.merge_comm_bytes, 0u);
+  } else {
+    EXPECT_EQ(contraction.merge_comm_bytes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, MergeStrategyTest, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(Pipeline, ContractionWinsBytesOnSparseGraphs) {
+  // Sparse regime (the one the paper's future-work citation [16] targets):
+  // an aggressive frequency band leaves almost no read-graph edges, so most
+  // reads stay singletons and the contracted (vertex, root) pairs are far
+  // smaller than the full component arrays.
+  Fixture fixture(15, 300);
+  auto cfg = base_config(15, fixture.dir.str());
+  cfg.num_ranks = 4;
+  cfg.filter.min_freq = 60;
+  cfg.filter.max_freq = 70;  // ~3x coverage data: almost no k-mer this frequent
+  cfg.merge_strategy = MergeStrategy::kPairwiseTree;
+  const auto tree = run_metaprep(fixture.index, cfg);
+  cfg.merge_strategy = MergeStrategy::kContraction;
+  const auto contraction = run_metaprep(fixture.index, cfg);
+  EXPECT_EQ(test::normalize_partition(tree.labels),
+            test::normalize_partition(contraction.labels));
+  EXPECT_LT(contraction.merge_comm_bytes, tree.merge_comm_bytes / 2);
+}
+
+TEST(Pipeline, TopNComponentOutputIsLosslessSplit) {
+  Fixture fixture(15, 250, 5, 7, 6);
+  TempDir out_dir;
+  auto cfg = base_config(15, out_dir.str());
+  cfg.num_ranks = 2;
+  cfg.threads_per_rank = 2;
+  cfg.write_output = true;
+  cfg.output_top_components = 3;
+  const auto r = run_metaprep(fixture.index, cfg);
+
+  // Records per suffix class.
+  std::map<std::string, std::uint64_t> per_class;
+  std::multiset<std::string> output_ids;
+  for (const auto& path : r.output_files) {
+    std::string cls = "other";
+    for (int j = 0; j < 3; ++j) {
+      if (path.find(".c" + std::to_string(j) + ".") != std::string::npos) {
+        cls = "c" + std::to_string(j);
+      }
+    }
+    for (const auto& rec : test::read_all_fastq(path)) {
+      per_class[cls] += 1;
+      output_ids.insert(rec.id);
+    }
+  }
+  std::multiset<std::string> input_ids;
+  for (const auto& f : fixture.index.files) {
+    for (const auto& rec : test::read_all_fastq(f)) input_ids.insert(rec.id);
+  }
+  EXPECT_EQ(output_ids, input_ids);
+  // c0 holds the largest component (2 records per read: both mates).
+  EXPECT_EQ(per_class["c0"], 2 * r.largest_size);
+  // Components are written in non-increasing size order.
+  EXPECT_GE(per_class["c0"], per_class["c1"]);
+  EXPECT_GE(per_class["c1"], per_class["c2"]);
+  // Top-3 + other covers everything.
+  std::uint64_t total = 0;
+  for (const auto& [cls, n] : per_class) total += n;
+  EXPECT_EQ(total, 2ull * r.num_reads);
+}
+
+TEST(Pipeline, TopNLargerThanComponentCountIsSafe) {
+  Fixture fixture(15, 60, 5, 4, 2);
+  TempDir out_dir;
+  auto cfg = base_config(15, out_dir.str());
+  cfg.write_output = true;
+  cfg.output_top_components = 1000;  // far more than components exist
+  const auto r = run_metaprep(fixture.index, cfg);
+  std::uint64_t records = 0;
+  for (const auto& path : r.output_files) records += test::read_all_fastq(path).size();
+  EXPECT_EQ(records, 2ull * r.num_reads);
+}
+
+TEST(Pipeline, StepTimesPopulated) {
+  Fixture fixture(15, 150);
+  auto cfg = base_config(15, fixture.dir.str());
+  cfg.num_ranks = 2;
+  cfg.threads_per_rank = 2;
+  const auto r = run_metaprep(fixture.index, cfg);
+  for (const char* step : {"KmerGen-I/O", "KmerGen", "KmerGen-Comm", "LocalSort", "LocalCC"}) {
+    EXPECT_GT(r.step_times.map().count(step), 0u) << step;
+  }
+  // Multi-rank runs must include merge communication.
+  EXPECT_GT(r.step_times.map().count("Merge-Comm"), 0u);
+}
+
+TEST(Pipeline, SortDigitWidthDoesNotChangeResult) {
+  Fixture fixture(15, 200);
+  std::vector<std::uint32_t> reference_labels;
+  for (int digits : {4, 8, 11, 16}) {
+    auto cfg = base_config(15, fixture.dir.str());
+    cfg.num_ranks = 2;
+    cfg.threads_per_rank = 2;
+    cfg.sort_digit_bits = digits;
+    const auto r = run_metaprep(fixture.index, cfg);
+    const auto normalized = test::normalize_partition(r.labels);
+    if (reference_labels.empty()) {
+      reference_labels = normalized;
+    } else {
+      EXPECT_EQ(normalized, reference_labels) << "digits=" << digits;
+    }
+  }
+}
+
+TEST(Pipeline, PartitionIndependentOfChunkCount) {
+  // The logical chunking is an implementation detail; the decomposition
+  // must not depend on it.
+  TempDir dir;
+  sim::DatasetConfig dcfg;
+  dcfg.name = "chunks";
+  dcfg.genomes.num_species = 3;
+  dcfg.genomes.min_genome_len = 3000;
+  dcfg.genomes.max_genome_len = 5000;
+  dcfg.num_pairs = 200;
+  const auto ds = sim::simulate_dataset(dcfg, dir.file("chunks"));
+
+  std::vector<std::uint32_t> reference_labels;
+  for (std::uint32_t chunks : {2, 5, 16, 64}) {
+    IndexCreateOptions opt;
+    opt.k = 15;
+    opt.m = 5;
+    opt.target_chunks = chunks;
+    const auto index = create_index("chunks", ds.files, true, opt);
+    auto cfg = base_config(15, dir.str());
+    cfg.num_ranks = 3;
+    cfg.threads_per_rank = 2;
+    const auto r = run_metaprep(index, cfg);
+    const auto normalized = test::normalize_partition(r.labels);
+    if (reference_labels.empty()) {
+      reference_labels = normalized;
+    } else {
+      EXPECT_EQ(normalized, reference_labels) << "chunks=" << chunks;
+    }
+  }
+}
+
+TEST(Pipeline, PartitionIndependentOfHistogramM) {
+  TempDir dir;
+  sim::DatasetConfig dcfg;
+  dcfg.name = "mval";
+  dcfg.genomes.num_species = 3;
+  dcfg.genomes.min_genome_len = 3000;
+  dcfg.genomes.max_genome_len = 5000;
+  dcfg.num_pairs = 150;
+  const auto ds = sim::simulate_dataset(dcfg, dir.file("mval"));
+
+  std::vector<std::uint32_t> reference_labels;
+  for (int m : {3, 5, 7}) {
+    IndexCreateOptions opt;
+    opt.k = 15;
+    opt.m = m;
+    opt.target_chunks = 8;
+    const auto index = create_index("mval", ds.files, true, opt);
+    auto cfg = base_config(15, dir.str());
+    cfg.num_ranks = 2;
+    cfg.threads_per_rank = 2;
+    cfg.num_passes = 2;
+    const auto r = run_metaprep(index, cfg);
+    const auto normalized = test::normalize_partition(r.labels);
+    if (reference_labels.empty()) {
+      reference_labels = normalized;
+    } else {
+      EXPECT_EQ(normalized, reference_labels) << "m=" << m;
+    }
+  }
+}
+
+TEST(Pipeline, SingleEndDatasetEndToEnd) {
+  TempDir dir;
+  // Two single-end files: reads 0-1 overlap each other, 2-3 overlap each
+  // other, and nothing crosses the groups.
+  const auto genome = sim::random_genome(4000, 31);
+  test::write_fastq(dir.file("a.fastq"),
+                    {genome.substr(0, 60), genome.substr(30, 60)}, "a");
+  test::write_fastq(dir.file("b.fastq"),
+                    {genome.substr(2000, 60), genome.substr(2030, 60)}, "b");
+  IndexCreateOptions opt;
+  opt.k = 21;
+  opt.m = 4;
+  opt.target_chunks = 4;
+  const auto index =
+      create_index("se", {dir.file("a.fastq"), dir.file("b.fastq")}, false, opt);
+  ASSERT_EQ(index.total_reads, 4u);
+
+  auto cfg = base_config(21, dir.str());
+  cfg.num_ranks = 2;
+  cfg.write_output = true;
+  const auto r = run_metaprep(index, cfg);
+  EXPECT_EQ(r.num_components, 2u);
+  EXPECT_EQ(test::normalize_partition(r.labels),
+            (std::vector<std::uint32_t>{0, 0, 2, 2}));
+  // Output lossless for single-end too.
+  std::uint64_t records = 0;
+  for (const auto& f : r.output_files) records += test::read_all_fastq(f).size();
+  EXPECT_EQ(records, 4u);
+}
+
+TEST(Pipeline, MultiLibraryPairedDataset) {
+  // Two paired libraries (4 files); global read IDs must accumulate across
+  // libraries and the partition must match the reference.
+  TempDir dir;
+  sim::DatasetConfig dcfg;
+  dcfg.name = "lib1";
+  dcfg.genomes.num_species = 2;
+  dcfg.genomes.min_genome_len = 3000;
+  dcfg.genomes.max_genome_len = 4000;
+  dcfg.num_pairs = 80;
+  const auto lib1 = sim::simulate_dataset(dcfg, dir.file("lib1"));
+  dcfg.name = "lib2";
+  dcfg.genomes.seed = 999;  // different community
+  dcfg.reads.seed = 888;
+  const auto lib2 = sim::simulate_dataset(dcfg, dir.file("lib2"));
+
+  const std::vector<std::string> files{lib1.files[0], lib1.files[1], lib2.files[0],
+                                       lib2.files[1]};
+  IndexCreateOptions opt;
+  opt.k = 15;
+  opt.m = 5;
+  opt.target_chunks = 8;
+  const auto index = create_index("multilib", files, true, opt);
+  EXPECT_EQ(index.total_reads, 160u);
+
+  auto cfg = base_config(15, dir.str());
+  cfg.num_ranks = 3;
+  cfg.threads_per_rank = 2;
+  cfg.num_passes = 2;
+  const auto r = run_metaprep(index, cfg);
+  const auto expected = reference_components(index, cfg.filter);
+  EXPECT_EQ(test::normalize_partition(r.labels), test::normalize_partition(expected));
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  Fixture fixture(15, 200);
+  auto cfg = base_config(15, fixture.dir.str());
+  cfg.num_ranks = 3;
+  cfg.threads_per_rank = 3;
+  const auto a = run_metaprep(fixture.index, cfg);
+  const auto b = run_metaprep(fixture.index, cfg);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.total_tuples, b.total_tuples);
+}
+
+TEST(Pipeline, HandlesReadsShorterThanK) {
+  // Reads shorter than k enumerate no k-mers: they must come out as
+  // singletons, and the output must still be lossless.
+  TempDir dir;
+  const auto genome = sim::random_genome(2000, 41);
+  test::write_fastq(dir.file("a.fastq"),
+                    {genome.substr(0, 80), "ACGT", genome.substr(40, 80), "GG"});
+  IndexCreateOptions opt;
+  opt.k = 21;
+  opt.m = 4;
+  opt.target_chunks = 2;
+  const auto index = create_index("short", {dir.file("a.fastq")}, false, opt);
+  auto cfg = base_config(21, dir.str());
+  cfg.write_output = true;
+  const auto r = run_metaprep(index, cfg);
+  // Reads 0 and 2 overlap; 1 and 3 are k-mer-free singletons.
+  EXPECT_EQ(r.num_components, 3u);
+  std::uint64_t records = 0;
+  for (const auto& f : r.output_files) records += test::read_all_fastq(f).size();
+  EXPECT_EQ(records, 4u);
+}
+
+TEST(Pipeline, HandlesAllNReads) {
+  TempDir dir;
+  const auto genome = sim::random_genome(1000, 43);
+  test::write_fastq(dir.file("a.fastq"),
+                    {std::string(60, 'N'), genome.substr(0, 60), std::string(60, 'N')});
+  IndexCreateOptions opt;
+  opt.k = 15;
+  opt.m = 4;
+  const auto index = create_index("ns", {dir.file("a.fastq")}, false, opt);
+  auto cfg = base_config(15, dir.str());
+  const auto r = run_metaprep(index, cfg);
+  EXPECT_EQ(r.num_components, 3u);  // every read isolated
+}
+
+TEST(Pipeline, EmptyFilterBandYieldsAllSingletons) {
+  Fixture fixture(15, 100);
+  auto cfg = base_config(15, fixture.dir.str());
+  cfg.filter.min_freq = 1'000'000;  // nothing is that frequent
+  const auto r = run_metaprep(fixture.index, cfg);
+  EXPECT_EQ(r.num_components, static_cast<std::uint64_t>(r.num_reads));
+  EXPECT_EQ(r.largest_size, 1u);
+}
+
+TEST(Pipeline, DuplicateReadsCollapseIntoOneComponent) {
+  TempDir dir;
+  const auto genome = sim::random_genome(500, 47);
+  const std::string read = genome.substr(0, 80);
+  test::write_fastq(dir.file("a.fastq"), {read, read, read, read});
+  IndexCreateOptions opt;
+  opt.k = 15;
+  opt.m = 4;
+  const auto index = create_index("dup", {dir.file("a.fastq")}, false, opt);
+  auto cfg = base_config(15, dir.str());
+  cfg.num_ranks = 2;
+  const auto r = run_metaprep(index, cfg);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.largest_size, 4u);
+}
+
+TEST(Pipeline, TinyDatasetWithManyRanksAndPasses) {
+  // More ranks/threads/passes than there is work: everything must degrade
+  // gracefully to empty ranges.
+  TempDir dir;
+  const auto genome = sim::random_genome(300, 53);
+  test::write_fastq(dir.file("a.fastq"), {genome.substr(0, 60), genome.substr(30, 60)});
+  IndexCreateOptions opt;
+  opt.k = 15;
+  opt.m = 3;
+  opt.target_chunks = 1;
+  const auto index = create_index("tiny", {dir.file("a.fastq")}, false, opt);
+  auto cfg = base_config(15, dir.str());
+  cfg.num_ranks = 8;
+  cfg.threads_per_rank = 4;
+  cfg.num_passes = 6;
+  cfg.write_output = true;
+  const auto r = run_metaprep(index, cfg);
+  EXPECT_EQ(r.num_components, 1u);
+  EXPECT_EQ(r.num_reads, 2u);
+}
+
+TEST(Pipeline, CorruptFastqFailsLoudly) {
+  // A file truncated after indexing: KmerGen's chunk read must throw, the
+  // failure must poison the world, and the caller must see the exception.
+  TempDir dir;
+  const auto genome = sim::random_genome(2000, 59);
+  std::vector<std::string> reads;
+  for (std::size_t pos = 0; pos + 60 <= genome.size(); pos += 30) {
+    reads.push_back(genome.substr(pos, 60));
+  }
+  test::write_fastq(dir.file("a.fastq"), reads);
+  IndexCreateOptions opt;
+  opt.k = 15;
+  opt.m = 4;
+  opt.target_chunks = 4;
+  const auto index = create_index("corrupt", {dir.file("a.fastq")}, false, opt);
+  // Truncate the file after the index was built.
+  std::filesystem::resize_file(dir.file("a.fastq"),
+                               std::filesystem::file_size(dir.file("a.fastq")) / 2);
+  auto cfg = base_config(15, dir.str());
+  cfg.num_ranks = 2;
+  cfg.threads_per_rank = 2;
+  EXPECT_THROW(run_metaprep(index, cfg), std::runtime_error);
+}
+
+TEST(Pipeline, LongReadsMatchReference) {
+  // 500 bp reads (PacBio-HiFi-ish length, error-free for simplicity).
+  TempDir dir;
+  sim::DatasetConfig dcfg;
+  dcfg.name = "long";
+  dcfg.genomes.num_species = 3;
+  dcfg.genomes.min_genome_len = 4000;
+  dcfg.genomes.max_genome_len = 6000;
+  dcfg.num_pairs = 60;
+  dcfg.reads.read_len = 500;
+  dcfg.reads.insert_mean = 1100;
+  dcfg.reads.insert_sd = 50;
+  const auto ds = sim::simulate_dataset(dcfg, dir.file("long"));
+  IndexCreateOptions opt;
+  opt.k = 27;
+  opt.m = 5;
+  opt.target_chunks = 6;
+  const auto index = create_index("long", ds.files, true, opt);
+  auto cfg = base_config(27, dir.str());
+  cfg.num_ranks = 2;
+  cfg.threads_per_rank = 2;
+  cfg.num_passes = 2;
+  const auto r = run_metaprep(index, cfg);
+  const auto expected = reference_components(index, cfg.filter);
+  EXPECT_EQ(test::normalize_partition(r.labels), test::normalize_partition(expected));
+}
+
+TEST(Pipeline, SimulatedCommTimeOnlyForMultiRank) {
+  Fixture fixture(15, 150);
+  auto cfg = base_config(15, fixture.dir.str());
+  cfg.num_ranks = 1;
+  const auto single = run_metaprep(fixture.index, cfg);
+  EXPECT_DOUBLE_EQ(single.sim_comm_seconds, 0.0);
+  cfg.num_ranks = 4;
+  const auto multi = run_metaprep(fixture.index, cfg);
+  EXPECT_GT(multi.sim_comm_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace metaprep::core

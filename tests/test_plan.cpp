@@ -1,0 +1,173 @@
+// Tests for the pass/rank/thread k-mer range planner and chunk assignment.
+#include "core/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace metaprep::core {
+namespace {
+
+MerHist uniform_hist(std::uint32_t bins, std::uint32_t per_bin) {
+  MerHist h;
+  h.m = 4;
+  h.counts.assign(bins, per_bin);
+  return h;
+}
+
+MerHist random_hist(std::uint32_t bins, std::uint64_t seed) {
+  MerHist h;
+  h.m = 4;
+  h.counts.resize(bins);
+  util::Xoshiro256 rng(seed);
+  for (auto& c : h.counts) c = static_cast<std::uint32_t>(rng.next_below(1000));
+  return h;
+}
+
+TEST(SplitBins, CoversRangeMonotonically) {
+  const std::vector<std::uint32_t> w{5, 1, 9, 0, 0, 7, 3, 2};
+  const auto b = split_bins_weighted(w, 0, 8, 3);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 8u);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_GE(b[i], b[i - 1]);
+}
+
+TEST(SplitBins, BalancesWeights) {
+  // 256 uniform bins over 8 parts: each part gets exactly 32 bins.
+  const std::vector<std::uint32_t> w(256, 10);
+  const auto b = split_bins_weighted(w, 0, 256, 8);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_EQ(b[i] - b[i - 1], 32u);
+}
+
+TEST(SplitBins, HeavyBinGoesToOnePart) {
+  std::vector<std::uint32_t> w(10, 0);
+  w[4] = 1000;
+  const auto b = split_bins_weighted(w, 0, 10, 4);
+  // All weight is in bin 4; some single part must contain it.
+  int owner = -1;
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+    if (b[i] <= 4 && 4 < b[i + 1]) owner = static_cast<int>(i);
+  }
+  EXPECT_NE(owner, -1);
+}
+
+TEST(SplitBins, SubrangeRespected) {
+  const std::vector<std::uint32_t> w(20, 1);
+  const auto b = split_bins_weighted(w, 5, 15, 2);
+  EXPECT_EQ(b.front(), 5u);
+  EXPECT_EQ(b.back(), 15u);
+  EXPECT_EQ(b[1], 10u);
+}
+
+TEST(SplitBins, InvalidArgumentsThrow) {
+  const std::vector<std::uint32_t> w(4, 1);
+  EXPECT_THROW(split_bins_weighted(w, 0, 4, 0), std::invalid_argument);
+  EXPECT_THROW(split_bins_weighted(w, 3, 2, 1), std::invalid_argument);
+  EXPECT_THROW(split_bins_weighted(w, 0, 5, 1), std::invalid_argument);
+}
+
+struct PlanParams {
+  int S, P, T;
+};
+
+class PassPlanTest : public ::testing::TestWithParam<PlanParams> {};
+
+TEST_P(PassPlanTest, HierarchicalRangesTileExactly) {
+  const auto [S, P, T] = GetParam();
+  const auto hist = random_hist(256, 42);
+  const PassPlan plan(hist, S, P, T);
+
+  // Passes tile [0, bins).
+  std::uint32_t cursor = 0;
+  for (int s = 0; s < S; ++s) {
+    const auto pr = plan.pass_range(s);
+    EXPECT_EQ(pr.begin, cursor);
+    cursor = pr.end;
+    // Ranks tile the pass.
+    std::uint32_t rcur = pr.begin;
+    for (int p = 0; p < P; ++p) {
+      const auto rr = plan.rank_range(s, p);
+      EXPECT_EQ(rr.begin, rcur);
+      rcur = rr.end;
+      // Threads tile the rank.
+      std::uint32_t tcur = rr.begin;
+      for (int t = 0; t < T; ++t) {
+        const auto tr = plan.thread_range(s, p, t);
+        EXPECT_EQ(tr.begin, tcur);
+        tcur = tr.end;
+      }
+      EXPECT_EQ(tcur, rr.end);
+    }
+    EXPECT_EQ(rcur, pr.end);
+  }
+  EXPECT_EQ(cursor, 256u);
+}
+
+TEST_P(PassPlanTest, OwnerRankConsistentWithRanges) {
+  const auto [S, P, T] = GetParam();
+  const auto hist = random_hist(256, 123);
+  const PassPlan plan(hist, S, P, T);
+  for (int s = 0; s < S; ++s) {
+    const auto pr = plan.pass_range(s);
+    for (std::uint32_t bin = pr.begin; bin < pr.end; ++bin) {
+      const int owner = plan.owner_rank(s, bin);
+      EXPECT_TRUE(plan.rank_range(s, owner).contains(bin)) << "bin " << bin;
+    }
+  }
+}
+
+TEST_P(PassPlanTest, LoadRoughlyBalancedOnUniformHistogram) {
+  const auto [S, P, T] = GetParam();
+  const auto hist = uniform_hist(1024, 100);
+  const PassPlan plan(hist, S, P, T);
+  const std::uint64_t total = hist.total();
+  const std::uint64_t per_pass = total / static_cast<std::uint64_t>(S);
+  for (int s = 0; s < S; ++s) {
+    const auto w = plan.range_tuples(hist, plan.pass_range(s));
+    EXPECT_NEAR(static_cast<double>(w), static_cast<double>(per_pass),
+                static_cast<double>(per_pass) * 0.1 + 200.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PassPlanTest,
+                         ::testing::Values(PlanParams{1, 1, 1}, PlanParams{1, 4, 2},
+                                           PlanParams{2, 2, 3}, PlanParams{4, 4, 4},
+                                           PlanParams{8, 3, 2}, PlanParams{3, 16, 1}));
+
+TEST(PassPlan, RejectsInvalid) {
+  const auto hist = uniform_hist(16, 1);
+  EXPECT_THROW(PassPlan(hist, 0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(PassPlan(hist, 1, 0, 1), std::invalid_argument);
+}
+
+TEST(ChunkAssignment, PartitionsChunksContiguously) {
+  const ChunkAssignment ca(10, 3, 2);
+  std::uint32_t cursor = 0;
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(ca.rank_begin(p), cursor);
+    std::uint32_t tcur = ca.rank_begin(p);
+    for (int t = 0; t < 2; ++t) {
+      EXPECT_EQ(ca.thread_begin(p, t), tcur);
+      tcur = ca.thread_end(p, t);
+    }
+    EXPECT_EQ(tcur, ca.rank_end(p));
+    cursor = ca.rank_end(p);
+  }
+  EXPECT_EQ(cursor, 10u);
+}
+
+TEST(ChunkAssignment, FewerChunksThanWorkers) {
+  const ChunkAssignment ca(2, 4, 4);
+  std::uint32_t total = 0;
+  for (int p = 0; p < 4; ++p) {
+    for (int t = 0; t < 4; ++t) total += ca.thread_end(p, t) - ca.thread_begin(p, t);
+  }
+  EXPECT_EQ(total, 2u);
+}
+
+}  // namespace
+}  // namespace metaprep::core

@@ -1,0 +1,175 @@
+// Tests for the canonical k-mer scanners (scalar, 128-bit, 4-way vectorized).
+#include "kmer/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace metaprep::kmer {
+namespace {
+
+std::string random_dna(int len, util::Xoshiro256& rng, double n_rate = 0.0) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (auto& c : s) {
+    c = rng.next_bool(n_rate) ? 'N' : base_char(static_cast<std::uint8_t>(rng.next_below(4)));
+  }
+  return s;
+}
+
+/// Brute-force reference: substring + string-level canonicalization.
+std::vector<std::uint64_t> reference_kmers(const std::string& seq, int k) {
+  std::vector<std::uint64_t> out;
+  if (static_cast<int>(seq.size()) < k) return out;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(k) <= seq.size(); ++i) {
+    const std::string sub = seq.substr(i, static_cast<std::size_t>(k));
+    if (sub.find_first_not_of("ACGT") != std::string::npos) continue;
+    out.push_back(canonical64(encode64(sub), k));
+  }
+  return out;
+}
+
+TEST(Scanner, EmptyAndShortSequences) {
+  std::vector<std::uint64_t> out;
+  scan_canonical_kmers64("", 5, out);
+  EXPECT_TRUE(out.empty());
+  scan_canonical_kmers64("ACGT", 5, out);
+  EXPECT_TRUE(out.empty());
+  scan_canonical_kmers64("ACGTA", 5, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Scanner, PositionsReported) {
+  std::vector<std::size_t> positions;
+  for_each_canonical_kmer64("ACGTACGT", 4, [&](std::uint64_t, std::size_t pos) {
+    positions.push_back(pos);
+  });
+  EXPECT_EQ(positions, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scanner, SkipsWindowsContainingN) {
+  // "ACGTNACGT" with k=3: windows 0-1 valid, 2-4 contain N, 5-6 valid.
+  std::vector<std::size_t> positions;
+  for_each_canonical_kmer64("ACGTNACGT", 3, [&](std::uint64_t, std::size_t pos) {
+    positions.push_back(pos);
+  });
+  EXPECT_EQ(positions, (std::vector<std::size_t>{0, 1, 5, 6}));
+}
+
+TEST(Scanner, AllNSequenceYieldsNothing) {
+  std::vector<std::uint64_t> out;
+  scan_canonical_kmers64(std::string(50, 'N'), 5, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Scanner, CountValidKmersMatchesEnumeration) {
+  util::Xoshiro256 rng(42);
+  for (int i = 0; i < 30; ++i) {
+    const std::string seq = random_dna(80, rng, 0.05);
+    for (int k : {3, 7, 15}) {
+      std::vector<std::uint64_t> out;
+      scan_canonical_kmers64(seq, k, out);
+      EXPECT_EQ(count_valid_kmers(seq, k), out.size());
+    }
+  }
+}
+
+class ScannerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScannerPropertyTest, ScalarMatchesBruteForce) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(1200 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 25; ++i) {
+    const std::string seq = random_dna(60 + static_cast<int>(rng.next_below(80)), rng, 0.03);
+    std::vector<std::uint64_t> got;
+    scan_canonical_kmers64(seq, k, got);
+    EXPECT_EQ(got, reference_kmers(seq, k)) << "seq=" << seq;
+  }
+}
+
+TEST_P(ScannerPropertyTest, VectorizedMatchesScalarAsMultiset) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(1300 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 25; ++i) {
+    // Mix of clean and N-containing reads, short and long.
+    const double n_rate = i % 3 == 0 ? 0.02 : 0.0;
+    const std::string seq = random_dna(30 + static_cast<int>(rng.next_below(200)), rng, n_rate);
+    std::vector<std::uint64_t> scalar;
+    std::vector<std::uint64_t> vectorized;
+    scan_canonical_kmers64(seq, k, scalar);
+    scan_canonical_kmers64_x4(seq, k, vectorized);
+    std::sort(scalar.begin(), scalar.end());
+    std::sort(vectorized.begin(), vectorized.end());
+    EXPECT_EQ(vectorized, scalar) << "seq=" << seq;
+  }
+}
+
+TEST_P(ScannerPropertyTest, Scanner128MatchesScanner64ForSmallK) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(1400 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 15; ++i) {
+    const std::string seq = random_dna(100, rng, 0.02);
+    std::vector<std::uint64_t> v64;
+    scan_canonical_kmers64(seq, k, v64);
+    std::vector<Kmer128> v128;
+    for_each_canonical_kmer128(seq, k, [&](Kmer128 km, std::size_t) { v128.push_back(km); });
+    ASSERT_EQ(v64.size(), v128.size());
+    for (std::size_t j = 0; j < v64.size(); ++j) {
+      EXPECT_EQ(v128[j].hi, 0u);
+      EXPECT_EQ(v128[j].lo, v64[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousK, ScannerPropertyTest,
+                         ::testing::Values(3, 5, 11, 21, 27, 31, 32));
+
+class Scanner128Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Scanner128Test, MatchesBruteForceStringReference) {
+  const int k = GetParam();
+  util::Xoshiro256 rng(1500 + static_cast<std::uint64_t>(k));
+  for (int i = 0; i < 15; ++i) {
+    const std::string seq = random_dna(150, rng, 0.02);
+    std::vector<std::string> got;
+    for_each_canonical_kmer128(seq, k, [&](Kmer128 km, std::size_t) {
+      got.push_back(decode128(km, k));
+    });
+    std::vector<std::string> expected;
+    for (std::size_t p = 0; p + static_cast<std::size_t>(k) <= seq.size(); ++p) {
+      const std::string sub = seq.substr(p, static_cast<std::size_t>(k));
+      if (sub.find_first_not_of("ACGT") != std::string::npos) continue;
+      std::string rc(sub.rbegin(), sub.rend());
+      for (auto& c : rc) c = base_char(complement_code(base_code(c)));
+      expected.push_back(std::min(sub, rc));
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WideK, Scanner128Test, ::testing::Values(33, 41, 55, 63));
+
+TEST(ScannerX4, ExactCountOnCleanRead) {
+  util::Xoshiro256 rng(1600);
+  const std::string seq = random_dna(500, rng, 0.0);
+  std::vector<std::uint64_t> out;
+  scan_canonical_kmers64_x4(seq, 27, out);
+  EXPECT_EQ(out.size(), 500u - 27 + 1);
+}
+
+TEST(ScannerX4, ShortReadFallsBackCorrectly) {
+  util::Xoshiro256 rng(1700);
+  const std::string seq = random_dna(12, rng);
+  std::vector<std::uint64_t> a, b;
+  scan_canonical_kmers64(seq, 5, a);
+  scan_canonical_kmers64_x4(seq, 5, b);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace metaprep::kmer

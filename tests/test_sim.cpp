@@ -1,0 +1,265 @@
+// Tests for the synthetic metagenome simulator.
+#include "sim/read_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "kmer/codec.hpp"
+#include "sim/genome.hpp"
+#include "sim/presets.hpp"
+#include "test_support.hpp"
+
+namespace metaprep::sim {
+namespace {
+
+using test::TempDir;
+
+TEST(Genome, RandomGenomeDeterministicAndACGT) {
+  const auto a = random_genome(1000, 5);
+  const auto b = random_genome(1000, 5);
+  const auto c = random_genome(1000, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.find_first_not_of("ACGT"), std::string::npos);
+  // All four bases appear.
+  for (char base : {'A', 'C', 'G', 'T'}) {
+    EXPECT_NE(a.find(base), std::string::npos);
+  }
+}
+
+TEST(Genome, GenerateGenomesRespectsConfig) {
+  GenomeSetConfig cfg;
+  cfg.num_species = 5;
+  cfg.min_genome_len = 2000;
+  cfg.max_genome_len = 4000;
+  cfg.seed = 9;
+  const auto genomes = generate_genomes(cfg);
+  ASSERT_EQ(genomes.size(), 5u);
+  for (const auto& g : genomes) {
+    EXPECT_GE(g.size(), 2000u);
+    EXPECT_LE(g.size(), 4000u);
+  }
+  // Deterministic.
+  EXPECT_EQ(generate_genomes(cfg), genomes);
+}
+
+TEST(Genome, InvalidConfigThrows) {
+  GenomeSetConfig cfg;
+  cfg.num_species = 0;
+  EXPECT_THROW(generate_genomes(cfg), std::invalid_argument);
+  cfg.num_species = 1;
+  cfg.min_genome_len = 10;
+  cfg.max_genome_len = 5;
+  EXPECT_THROW(generate_genomes(cfg), std::invalid_argument);
+}
+
+TEST(Abundances, NormalizedAndDeterministic) {
+  const auto w = lognormal_abundances(10, 1.5, 42);
+  ASSERT_EQ(w.size(), 10u);
+  double total = 0.0;
+  for (double v : w) {
+    EXPECT_GT(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(lognormal_abundances(10, 1.5, 42), w);
+}
+
+TEST(Abundances, SigmaZeroIsUniform) {
+  const auto w = lognormal_abundances(4, 0.0, 1);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST(ReadSim, InMemoryDatasetShape) {
+  DatasetConfig cfg;
+  cfg.genomes.num_species = 4;
+  cfg.genomes.min_genome_len = 3000;
+  cfg.genomes.max_genome_len = 5000;
+  cfg.num_pairs = 500;
+  cfg.reads.read_len = 80;
+  const auto ds = simulate_in_memory(cfg);
+  ASSERT_EQ(ds.r1.size(), 500u);
+  ASSERT_EQ(ds.r2.size(), 500u);
+  ASSERT_EQ(ds.pair_species.size(), 500u);
+  for (const auto& r : ds.r1) EXPECT_EQ(r.size(), 80u);
+  for (const auto& r : ds.r2) EXPECT_EQ(r.size(), 80u);
+  for (auto s : ds.pair_species) EXPECT_LT(s, 4u);
+}
+
+TEST(ReadSim, MatesComeFromSameFragmentWithoutErrors) {
+  DatasetConfig cfg;
+  cfg.genomes.num_species = 1;
+  cfg.genomes.min_genome_len = 10000;
+  cfg.genomes.max_genome_len = 10000;
+  cfg.genomes.repeat_fraction = 0.0;
+  cfg.genomes.shared_fraction = 0.0;
+  cfg.num_pairs = 50;
+  cfg.reads.error_rate = 0.0;
+  cfg.reads.n_rate = 0.0;
+  const auto genomes = generate_genomes(cfg.genomes);
+  const auto ds = simulate_in_memory(cfg);
+  for (std::size_t i = 0; i < ds.r1.size(); ++i) {
+    // R1 appears verbatim in the genome; R2 is the reverse complement of a
+    // downstream window.
+    EXPECT_NE(genomes[0].find(ds.r1[i]), std::string::npos) << i;
+    EXPECT_NE(genomes[0].find(kmer::revcomp_string(ds.r2[i])), std::string::npos) << i;
+  }
+}
+
+TEST(ReadSim, ErrorRateApproximatelyHonored) {
+  DatasetConfig cfg;
+  cfg.genomes.num_species = 1;
+  cfg.genomes.min_genome_len = 50000;
+  cfg.genomes.max_genome_len = 50000;
+  cfg.genomes.repeat_fraction = 0.0;
+  cfg.genomes.shared_fraction = 0.0;
+  cfg.num_pairs = 2000;
+  cfg.reads.error_rate = 0.02;
+  cfg.reads.n_rate = 0.01;
+  const auto ds = simulate_in_memory(cfg);
+  std::uint64_t n_count = 0;
+  std::uint64_t bases = 0;
+  for (const auto& r : ds.r1) {
+    bases += r.size();
+    n_count += static_cast<std::uint64_t>(std::count(r.begin(), r.end(), 'N'));
+  }
+  EXPECT_NEAR(static_cast<double>(n_count) / static_cast<double>(bases), 0.01, 0.004);
+}
+
+TEST(ReadSim, EndErrorBoostDegradesReadTails) {
+  DatasetConfig cfg;
+  cfg.genomes.num_species = 1;
+  cfg.genomes.min_genome_len = 40'000;
+  cfg.genomes.max_genome_len = 40'000;
+  cfg.genomes.repeat_fraction = 0.0;
+  cfg.genomes.shared_fraction = 0.0;
+  cfg.num_pairs = 2000;
+  cfg.reads.error_rate = 0.0;
+  cfg.reads.n_rate = 0.0;
+  cfg.reads.end_error_boost = 0.2;
+  const auto genomes = generate_genomes(cfg.genomes);
+  const auto ds = simulate_in_memory(cfg);
+  // Compare mismatch rates in the first and last 20 bases of R1 against the
+  // genome (R1 is a verbatim window plus substitutions).
+  std::uint64_t head_err = 0, tail_err = 0, checked = 0;
+  for (const auto& r : ds.r1) {
+    // Locate the error-free prefix in the genome: use the first 30 bases
+    // (boost is tiny there) as an anchor.
+    const auto anchor = genomes[0].find(r.substr(0, 20));
+    if (anchor == std::string::npos) continue;
+    const auto truth = genomes[0].substr(anchor, r.size());
+    if (truth.size() != r.size()) continue;
+    ++checked;
+    for (std::size_t i = 0; i < 20; ++i) head_err += r[i] != truth[i] ? 1 : 0;
+    for (std::size_t i = r.size() - 20; i < r.size(); ++i) {
+      tail_err += r[i] != truth[i] ? 1 : 0;
+    }
+  }
+  ASSERT_GT(checked, 1000u);
+  EXPECT_GT(tail_err, 5 * std::max<std::uint64_t>(head_err, 1));
+}
+
+TEST(ReadSim, QualityStringsDeclineWithDrop) {
+  test::TempDir dir;
+  DatasetConfig cfg;
+  cfg.name = "qd";
+  cfg.genomes.num_species = 1;
+  cfg.genomes.min_genome_len = 5000;
+  cfg.genomes.max_genome_len = 5000;
+  cfg.num_pairs = 200;
+  cfg.reads.end_quality_drop = 25;
+  const auto ds = simulate_dataset(cfg, dir.file("qd"));
+  double head = 0, tail = 0;
+  std::uint64_t n = 0;
+  for (const auto& rec : test::read_all_fastq(ds.files[0])) {
+    for (std::size_t i = 0; i < 10; ++i) head += rec.qual[i];
+    for (std::size_t i = rec.qual.size() - 10; i < rec.qual.size(); ++i) tail += rec.qual[i];
+    n += 10;
+  }
+  // Average tail Phred is ~25 below average head Phred.
+  EXPECT_NEAR((head - tail) / static_cast<double>(n), 25.0 * 0.9, 5.0);
+}
+
+TEST(ReadSim, DatasetWritesValidPairedFastq) {
+  TempDir dir;
+  DatasetConfig cfg;
+  cfg.name = "tiny";
+  cfg.genomes.num_species = 3;
+  cfg.genomes.min_genome_len = 4000;
+  cfg.genomes.max_genome_len = 6000;
+  cfg.num_pairs = 200;
+  const auto ds = simulate_dataset(cfg, dir.file("tiny"));
+  ASSERT_EQ(ds.files.size(), 2u);
+  const auto r1 = test::read_all_fastq(ds.files[0]);
+  const auto r2 = test::read_all_fastq(ds.files[1]);
+  ASSERT_EQ(r1.size(), 200u);
+  ASSERT_EQ(r2.size(), 200u);
+  EXPECT_EQ(ds.total_bases, 200u * 2 * cfg.reads.read_len);
+  // Pair IDs line up.
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].id.substr(0, r1[i].id.size() - 2),
+              r2[i].id.substr(0, r2[i].id.size() - 2));
+    EXPECT_EQ(r1[i].id.back(), '1');
+    EXPECT_EQ(r2[i].id.back(), '2');
+  }
+}
+
+TEST(Presets, AllPresetsBuildAndScale) {
+  for (Preset p : {Preset::HG, Preset::LL, Preset::MM, Preset::IS}) {
+    const auto c1 = preset_config(p, 1.0);
+    const auto c2 = preset_config(p, 2.0);
+    EXPECT_EQ(c2.num_pairs, 2 * c1.num_pairs) << preset_name(p);
+    EXPECT_EQ(c2.genomes.num_species, c1.genomes.num_species);
+    EXPECT_FALSE(preset_name(p).empty());
+  }
+  EXPECT_THROW(preset_config(Preset::HG, 0.0), std::invalid_argument);
+}
+
+TEST(Presets, RelativeSizesFollowTable2) {
+  const auto hg = preset_config(Preset::HG);
+  const auto ll = preset_config(Preset::LL);
+  const auto mm = preset_config(Preset::MM);
+  const auto is = preset_config(Preset::IS);
+  // Table 2 ordering: HG < LL < MM << IS.
+  EXPECT_LT(hg.num_pairs, ll.num_pairs);
+  EXPECT_LT(ll.num_pairs, mm.num_pairs);
+  EXPECT_LT(mm.num_pairs, is.num_pairs);
+  // LL ~ 1.7x HG, MM ~ 4.3x HG (Table 2 read-count ratios).
+  EXPECT_NEAR(static_cast<double>(ll.num_pairs) / static_cast<double>(hg.num_pairs), 1.7, 0.2);
+  EXPECT_NEAR(static_cast<double>(mm.num_pairs) / static_cast<double>(hg.num_pairs), 4.3, 0.3);
+}
+
+TEST(Presets, GenerationIsBitStableAcrossRuns) {
+  // The reproduction contract: a preset regenerates byte-identical FASTQ
+  // from its seed.  (Guards against accidental RNG-consumption reorderings;
+  // intentional preset retunes will change EXPERIMENTS.md anyway.)
+  TempDir dir_a;
+  TempDir dir_b;
+  const auto a = make_preset(Preset::HG, 0.05, dir_a.str());
+  const auto b = make_preset(Preset::HG, 0.05, dir_b.str());
+  for (std::size_t f = 0; f < a.files.size(); ++f) {
+    const auto ra = test::read_all_fastq(a.files[f]);
+    const auto rb = test::read_all_fastq(b.files[f]);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      ASSERT_EQ(ra[i].seq, rb[i].seq);
+      ASSERT_EQ(ra[i].qual, rb[i].qual);
+      ASSERT_EQ(ra[i].id, rb[i].id);
+    }
+  }
+}
+
+TEST(Presets, MakePresetWritesFiles) {
+  TempDir dir;
+  const auto ds = make_preset(Preset::HG, 0.05, dir.str());
+  EXPECT_EQ(ds.name, "HG");
+  ASSERT_EQ(ds.files.size(), 2u);
+  EXPECT_GT(ds.num_pairs, 0u);
+  EXPECT_EQ(test::read_all_fastq(ds.files[0]).size(), ds.num_pairs);
+}
+
+}  // namespace
+}  // namespace metaprep::sim

@@ -1,0 +1,204 @@
+// Tests for the LSD radix sorts (64-bit, 128-bit, 64x64 baseline).
+#include "sort/radix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace metaprep::sort {
+namespace {
+
+struct KV {
+  std::uint64_t k;
+  std::uint32_t v;
+};
+
+void make_random(std::size_t n, int key_bits, std::vector<std::uint64_t>& keys,
+                 std::vector<std::uint32_t>& vals, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  keys.resize(n);
+  vals.resize(n);
+  const std::uint64_t mask = key_bits >= 64 ? ~0ULL : (1ULL << key_bits) - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.next() & mask;
+    vals[i] = static_cast<std::uint32_t>(rng.next());
+  }
+}
+
+/// Reference: stable sort of (key, original index) pairs.
+void reference_sort(std::vector<std::uint64_t>& keys, std::vector<std::uint32_t>& vals) {
+  std::vector<std::size_t> order(keys.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+  std::vector<std::uint64_t> k2(keys.size());
+  std::vector<std::uint32_t> v2(vals.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    k2[i] = keys[order[i]];
+    v2[i] = vals[order[i]];
+  }
+  keys.swap(k2);
+  vals.swap(v2);
+}
+
+TEST(RadixSort64, EmptyAndSingle) {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint32_t> vals;
+  radix_sort_kv64(keys, vals);
+  EXPECT_TRUE(keys.empty());
+  keys = {42};
+  vals = {7};
+  radix_sort_kv64(keys, vals);
+  EXPECT_EQ(keys[0], 42u);
+  EXPECT_EQ(vals[0], 7u);
+}
+
+TEST(RadixSort64, AlreadySortedAndReversed) {
+  std::vector<std::uint64_t> keys{1, 2, 3, 4, 5};
+  std::vector<std::uint32_t> vals{10, 20, 30, 40, 50};
+  radix_sort_kv64(keys, vals);
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(vals, (std::vector<std::uint32_t>{10, 20, 30, 40, 50}));
+
+  keys = {5, 4, 3, 2, 1};
+  vals = {50, 40, 30, 20, 10};
+  radix_sort_kv64(keys, vals);
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(vals, (std::vector<std::uint32_t>{10, 20, 30, 40, 50}));
+}
+
+TEST(RadixSort64, StableForEqualKeys) {
+  std::vector<std::uint64_t> keys{7, 7, 7, 3, 3};
+  std::vector<std::uint32_t> vals{1, 2, 3, 4, 5};
+  radix_sort_kv64(keys, vals);
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{3, 3, 7, 7, 7}));
+  EXPECT_EQ(vals, (std::vector<std::uint32_t>{4, 5, 1, 2, 3}));
+}
+
+struct SortParams {
+  std::size_t n;
+  int key_bits;
+  int digit_bits;
+};
+
+class RadixSortPropertyTest : public ::testing::TestWithParam<SortParams> {};
+
+TEST_P(RadixSortPropertyTest, MatchesStableReference) {
+  const auto [n, key_bits, digit_bits] = GetParam();
+  std::vector<std::uint64_t> keys, ref_keys;
+  std::vector<std::uint32_t> vals, ref_vals;
+  make_random(n, key_bits, keys, vals, 1234 + n + static_cast<std::uint64_t>(key_bits));
+  ref_keys = keys;
+  ref_vals = vals;
+  reference_sort(ref_keys, ref_vals);
+
+  std::vector<std::uint64_t> tk(n);
+  std::vector<std::uint32_t> tv(n);
+  radix_sort_kv64(keys, vals, tk, tv, key_bits, digit_bits);
+  EXPECT_EQ(keys, ref_keys);
+  EXPECT_EQ(vals, ref_vals);
+  EXPECT_TRUE(is_sorted_keys(keys));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RadixSortPropertyTest,
+    ::testing::Values(SortParams{100, 64, 8}, SortParams{1000, 64, 8},
+                      SortParams{1000, 54, 8},   // 2k bits for k=27
+                      SortParams{1000, 64, 11},  // wider digits
+                      SortParams{1000, 64, 16},  // the paper's rejected 16-bit variant
+                      SortParams{1000, 16, 8},   // short keys
+                      SortParams{777, 64, 7},    // odd digit width, odd pass count
+                      SortParams{2048, 32, 4}));
+
+TEST(RadixSort64, OddPassCountEndsInInputBuffer) {
+  // 54 key bits at 9 bits/digit = 6 passes (even); at 11 = 5 passes (odd).
+  std::vector<std::uint64_t> keys, ref;
+  std::vector<std::uint32_t> vals;
+  make_random(500, 54, keys, vals, 777);
+  ref = keys;
+  std::sort(ref.begin(), ref.end());
+  radix_sort_kv64(keys, vals, 54, 11);
+  EXPECT_EQ(keys, ref);
+}
+
+TEST(RadixSort64, ThrowsOnBufferMismatch) {
+  std::vector<std::uint64_t> keys(10);
+  std::vector<std::uint32_t> vals(9);
+  std::vector<std::uint64_t> tk(10);
+  std::vector<std::uint32_t> tv(10);
+  EXPECT_THROW(radix_sort_kv64(keys, vals, tk, tv), std::invalid_argument);
+}
+
+TEST(RadixSort64, ThrowsOnBadDigitBits) {
+  std::vector<std::uint64_t> keys(4);
+  std::vector<std::uint32_t> vals(4);
+  std::vector<std::uint64_t> tk(4);
+  std::vector<std::uint32_t> tv(4);
+  EXPECT_THROW(radix_sort_kv64(keys, vals, tk, tv, 64, 0), std::invalid_argument);
+  EXPECT_THROW(radix_sort_kv64(keys, vals, tk, tv, 64, 17), std::invalid_argument);
+}
+
+TEST(RadixSort64x64, MatchesReference) {
+  util::Xoshiro256 rng(555);
+  const std::size_t n = 2000;
+  std::vector<std::uint64_t> keys(n), vals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rng.next();
+    vals[i] = rng.next();
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ref(n);
+  for (std::size_t i = 0; i < n; ++i) ref[i] = {keys[i], vals[i]};
+  std::stable_sort(ref.begin(), ref.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<std::uint64_t> tk(n), tv(n);
+  radix_sort_kv64x64(keys, vals, tk, tv);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(keys[i], ref[i].first);
+    EXPECT_EQ(vals[i], ref[i].second);
+  }
+}
+
+class RadixSort128Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(RadixSort128Test, MatchesReferenceFor128BitKeys) {
+  const int key_bits = GetParam();
+  util::Xoshiro256 rng(600 + static_cast<std::uint64_t>(key_bits));
+  const std::size_t n = 1500;
+  std::vector<std::uint64_t> hi(n), lo(n);
+  std::vector<std::uint32_t> vals(n);
+  const int hi_bits = key_bits > 64 ? key_bits - 64 : 0;
+  const std::uint64_t hi_mask = hi_bits == 0 ? 0 : (hi_bits >= 64 ? ~0ULL : (1ULL << hi_bits) - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    hi[i] = rng.next() & hi_mask;
+    lo[i] = rng.next();
+    vals[i] = static_cast<std::uint32_t>(rng.next());
+  }
+  struct Rec {
+    std::uint64_t hi, lo;
+    std::uint32_t v;
+  };
+  std::vector<Rec> ref(n);
+  for (std::size_t i = 0; i < n; ++i) ref[i] = {hi[i], lo[i], vals[i]};
+  std::stable_sort(ref.begin(), ref.end(), [](const Rec& a, const Rec& b) {
+    return std::tie(a.hi, a.lo) < std::tie(b.hi, b.lo);
+  });
+
+  std::vector<std::uint64_t> th(n), tl(n);
+  std::vector<std::uint32_t> tv(n);
+  radix_sort_kv128(hi, lo, vals, th, tl, tv, key_bits, 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hi[i], ref[i].hi);
+    EXPECT_EQ(lo[i], ref[i].lo);
+    EXPECT_EQ(vals[i], ref[i].v);
+  }
+}
+
+// 2k bits for k = 63 is 126; also test boundary and small widths.
+INSTANTIATE_TEST_SUITE_P(KeyWidths, RadixSort128Test, ::testing::Values(126, 128, 66, 70, 64));
+
+}  // namespace
+}  // namespace metaprep::sort

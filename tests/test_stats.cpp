@@ -1,0 +1,100 @@
+// Tests for component-decomposition statistics.
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace metaprep::core {
+namespace {
+
+// Labels: component = label value; {0,0,0,1,1,2} = sizes 3,2,1.
+const std::vector<std::uint32_t> kSample{0, 0, 0, 1, 1, 2};
+
+TEST(ComponentStats, SummaryBasics) {
+  const auto s = summarize_components(kSample);
+  EXPECT_EQ(s.num_reads, 6u);
+  EXPECT_EQ(s.num_components, 3u);
+  EXPECT_EQ(s.largest, 3u);
+  EXPECT_DOUBLE_EQ(s.largest_fraction, 0.5);
+  EXPECT_EQ(s.singletons, 1u);
+  EXPECT_EQ(s.sizes_desc, (std::vector<std::uint64_t>{3, 2, 1}));
+}
+
+TEST(ComponentStats, EntropyMatchesHandComputation) {
+  const auto s = summarize_components(kSample);
+  const double expected = -(0.5 * std::log2(0.5) + (2.0 / 6) * std::log2(2.0 / 6) +
+                            (1.0 / 6) * std::log2(1.0 / 6));
+  EXPECT_NEAR(s.entropy_bits, expected, 1e-12);
+}
+
+TEST(ComponentStats, SingleComponentHasZeroEntropy) {
+  const std::vector<std::uint32_t> all_same(10, 7);
+  const auto s = summarize_components(all_same);
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_DOUBLE_EQ(s.largest_fraction, 1.0);
+  EXPECT_NEAR(s.entropy_bits, 0.0, 1e-12);
+}
+
+TEST(ComponentStats, AllSingletonsMaximizeEntropy) {
+  std::vector<std::uint32_t> labels(16);
+  std::iota(labels.begin(), labels.end(), 0u);
+  const auto s = summarize_components(labels);
+  EXPECT_EQ(s.singletons, 16u);
+  EXPECT_NEAR(s.entropy_bits, 4.0, 1e-12);  // log2(16)
+}
+
+TEST(ComponentStats, EmptyLabels) {
+  const auto s = summarize_components(std::vector<std::uint32_t>{});
+  EXPECT_EQ(s.num_reads, 0u);
+  EXPECT_EQ(s.num_components, 0u);
+}
+
+TEST(ComponentStats, Log2Histogram) {
+  // sizes 3, 2, 1 -> buckets: 1 (3 -> [2,4)), 1 (2 -> [2,4)), 0 (1 -> [1,2)).
+  const auto hist = size_histogram_log2(kSample);
+  EXPECT_EQ(hist.at(0), 1u);
+  EXPECT_EQ(hist.at(1), 2u);
+  EXPECT_EQ(hist.size(), 2u);
+}
+
+TEST(ComponentStats, PackComponentsBalances) {
+  // sizes 4, 3, 2, 1 onto 2 bins: LPT gives {4,1}=5 and {3,2}=5.
+  std::vector<std::uint32_t> labels;
+  for (int i = 0; i < 4; ++i) labels.push_back(0);
+  for (int i = 0; i < 3; ++i) labels.push_back(1);
+  for (int i = 0; i < 2; ++i) labels.push_back(2);
+  labels.push_back(3);
+  auto loads = pack_components(labels, 2);
+  std::sort(loads.begin(), loads.end());
+  EXPECT_EQ(loads, (std::vector<std::uint64_t>{5, 5}));
+}
+
+TEST(ComponentStats, PackGiantComponentIsImbalanced) {
+  std::vector<std::uint32_t> labels(100, 0);  // one giant component
+  labels[99] = 1;
+  const auto loads = pack_components(labels, 4);
+  std::uint64_t mx = 0, total = 0;
+  for (auto l : loads) {
+    mx = std::max(mx, l);
+    total += l;
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(mx, 99u);  // one assembler gets nearly everything
+}
+
+TEST(ComponentStats, PackRejectsZeroBins) {
+  EXPECT_THROW(pack_components(kSample, 0), std::invalid_argument);
+}
+
+TEST(ComponentStats, ReportMentionsKeyNumbers) {
+  const auto report = component_report(summarize_components(kSample));
+  EXPECT_NE(report.find("6 reads"), std::string::npos);
+  EXPECT_NE(report.find("3 components"), std::string::npos);
+  EXPECT_NE(report.find("50"), std::string::npos);  // 50%
+}
+
+}  // namespace
+}  // namespace metaprep::core

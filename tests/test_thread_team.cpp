@@ -1,0 +1,132 @@
+#include "util/thread_team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace metaprep::util {
+namespace {
+
+TEST(SplitRange, CoversAndBalances) {
+  const auto b = split_range(10, 3);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.front(), 0u);
+  EXPECT_EQ(b.back(), 10u);
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_GE(b[i], b[i - 1]);
+    EXPECT_LE(b[i] - b[i - 1], 4u);
+  }
+}
+
+TEST(SplitRange, MorePartsThanElements) {
+  const auto b = split_range(2, 5);
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b.back(), 2u);
+  std::size_t nonempty = 0;
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    if (b[i] > b[i - 1]) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 2u);
+}
+
+TEST(SplitRange, EmptyRange) {
+  const auto b = split_range(0, 4);
+  for (auto v : b) EXPECT_EQ(v, 0u);
+}
+
+TEST(ThreadTeam, RejectsNonPositiveSize) {
+  EXPECT_THROW(ThreadTeam(0), std::invalid_argument);
+  EXPECT_THROW(ThreadTeam(-1), std::invalid_argument);
+}
+
+TEST(ThreadTeam, EveryTidRunsExactlyOnce) {
+  for (int t : {1, 2, 4, 7}) {
+    ThreadTeam team(t);
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(t));
+    team.run([&](int tid) { hits[static_cast<std::size_t>(tid)].fetch_add(1); });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadTeam, ReusableAcrossManyRegions) {
+  ThreadTeam team(4);
+  std::atomic<int> total{0};
+  for (int i = 0; i < 50; ++i) {
+    team.run([&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadTeam, BarrierSynchronizesPhases) {
+  ThreadTeam team(4);
+  std::atomic<int> phase1{0};
+  std::vector<int> observed(4, -1);
+  team.run([&](int tid) {
+    phase1.fetch_add(1);
+    team.arrive_and_wait();
+    // After the barrier every thread must see all 4 phase-1 increments.
+    observed[static_cast<std::size_t>(tid)] = phase1.load();
+  });
+  for (int v : observed) EXPECT_EQ(v, 4);
+}
+
+TEST(ThreadTeam, RepeatedBarriersDoNotDeadlock) {
+  ThreadTeam team(3);
+  std::atomic<int> counter{0};
+  team.run([&](int) {
+    for (int i = 0; i < 20; ++i) {
+      counter.fetch_add(1);
+      team.arrive_and_wait();
+    }
+  });
+  EXPECT_EQ(counter.load(), 60);
+}
+
+TEST(ThreadTeam, ExceptionPropagatesToCaller) {
+  ThreadTeam team(4);
+  EXPECT_THROW(
+      team.run([&](int tid) {
+        if (tid == 2) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // Team still usable afterwards.
+  std::atomic<int> total{0};
+  team.run([&](int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(ThreadTeam, SingleThreadRunsInline) {
+  ThreadTeam team(1);
+  int value = 0;
+  team.run([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  ThreadTeam team(4);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(team, 0, 100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, HonorsBeginOffsetAndEmptyRange) {
+  ThreadTeam team(3);
+  std::atomic<int> count{0};
+  parallel_for(team, 10, 20, [&](std::size_t i) {
+    EXPECT_GE(i, 10u);
+    EXPECT_LT(i, 20u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 10);
+  parallel_for(team, 5, 5, [&](std::size_t) { FAIL() << "empty range must not call body"; });
+}
+
+}  // namespace
+}  // namespace metaprep::util
