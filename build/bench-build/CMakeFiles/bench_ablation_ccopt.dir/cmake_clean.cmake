@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ccopt"
+  "../bench/bench_ablation_ccopt.pdb"
+  "CMakeFiles/bench_ablation_ccopt.dir/bench_ablation_ccopt.cpp.o"
+  "CMakeFiles/bench_ablation_ccopt.dir/bench_ablation_ccopt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ccopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

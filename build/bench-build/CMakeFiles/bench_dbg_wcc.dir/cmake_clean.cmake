@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dbg_wcc"
+  "../bench/bench_dbg_wcc.pdb"
+  "CMakeFiles/bench_dbg_wcc.dir/bench_dbg_wcc.cpp.o"
+  "CMakeFiles/bench_dbg_wcc.dir/bench_dbg_wcc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dbg_wcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

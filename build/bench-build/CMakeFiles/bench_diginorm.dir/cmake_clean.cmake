@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_diginorm"
+  "../bench/bench_diginorm.pdb"
+  "CMakeFiles/bench_diginorm.dir/bench_diginorm.cpp.o"
+  "CMakeFiles/bench_diginorm.dir/bench_diginorm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diginorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

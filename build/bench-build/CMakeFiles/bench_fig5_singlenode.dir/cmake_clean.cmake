@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_singlenode"
+  "../bench/bench_fig5_singlenode.pdb"
+  "CMakeFiles/bench_fig5_singlenode.dir/bench_fig5_singlenode.cpp.o"
+  "CMakeFiles/bench_fig5_singlenode.dir/bench_fig5_singlenode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_singlenode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

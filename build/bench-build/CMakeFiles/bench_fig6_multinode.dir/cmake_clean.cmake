@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_multinode"
+  "../bench/bench_fig6_multinode.pdb"
+  "CMakeFiles/bench_fig6_multinode.dir/bench_fig6_multinode.cpp.o"
+  "CMakeFiles/bench_fig6_multinode.dir/bench_fig6_multinode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

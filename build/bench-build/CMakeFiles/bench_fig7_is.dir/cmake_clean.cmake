@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_is"
+  "../bench/bench_fig7_is.pdb"
+  "CMakeFiles/bench_fig7_is.dir/bench_fig7_is.cpp.o"
+  "CMakeFiles/bench_fig7_is.dir/bench_fig7_is.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_is.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

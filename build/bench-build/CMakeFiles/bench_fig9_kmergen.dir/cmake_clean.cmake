@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_kmergen"
+  "../bench/bench_fig9_kmergen.pdb"
+  "CMakeFiles/bench_fig9_kmergen.dir/bench_fig9_kmergen.cpp.o"
+  "CMakeFiles/bench_fig9_kmergen.dir/bench_fig9_kmergen.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_kmergen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

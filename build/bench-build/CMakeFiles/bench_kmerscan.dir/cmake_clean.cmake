@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kmerscan"
+  "../bench/bench_kmerscan.pdb"
+  "CMakeFiles/bench_kmerscan.dir/bench_kmerscan.cpp.o"
+  "CMakeFiles/bench_kmerscan.dir/bench_kmerscan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kmerscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

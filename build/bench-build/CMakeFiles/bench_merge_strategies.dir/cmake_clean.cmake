@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_merge_strategies"
+  "../bench/bench_merge_strategies.pdb"
+  "CMakeFiles/bench_merge_strategies.dir/bench_merge_strategies.cpp.o"
+  "CMakeFiles/bench_merge_strategies.dir/bench_merge_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merge_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab2_datasets"
+  "../bench/bench_tab2_datasets.pdb"
+  "CMakeFiles/bench_tab2_datasets.dir/bench_tab2_datasets.cpp.o"
+  "CMakeFiles/bench_tab2_datasets.dir/bench_tab2_datasets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab3_multipass"
+  "../bench/bench_tab3_multipass.pdb"
+  "CMakeFiles/bench_tab3_multipass.dir/bench_tab3_multipass.cpp.o"
+  "CMakeFiles/bench_tab3_multipass.dir/bench_tab3_multipass.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_multipass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

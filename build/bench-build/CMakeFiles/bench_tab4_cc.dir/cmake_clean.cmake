@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab4_cc"
+  "../bench/bench_tab4_cc.pdb"
+  "CMakeFiles/bench_tab4_cc.dir/bench_tab4_cc.cpp.o"
+  "CMakeFiles/bench_tab4_cc.dir/bench_tab4_cc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

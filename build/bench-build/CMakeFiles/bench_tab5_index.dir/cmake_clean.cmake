@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab5_index"
+  "../bench/bench_tab5_index.pdb"
+  "CMakeFiles/bench_tab5_index.dir/bench_tab5_index.cpp.o"
+  "CMakeFiles/bench_tab5_index.dir/bench_tab5_index.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab6_kvalue"
+  "../bench/bench_tab6_kvalue.pdb"
+  "CMakeFiles/bench_tab6_kvalue.dir/bench_tab6_kvalue.cpp.o"
+  "CMakeFiles/bench_tab6_kvalue.dir/bench_tab6_kvalue.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_kvalue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab7_components"
+  "../bench/bench_tab7_components.pdb"
+  "CMakeFiles/bench_tab7_components.dir/bench_tab7_components.cpp.o"
+  "CMakeFiles/bench_tab7_components.dir/bench_tab7_components.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab7_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab8_assembly_time"
+  "../bench/bench_tab8_assembly_time.pdb"
+  "CMakeFiles/bench_tab8_assembly_time.dir/bench_tab8_assembly_time.cpp.o"
+  "CMakeFiles/bench_tab8_assembly_time.dir/bench_tab8_assembly_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab8_assembly_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

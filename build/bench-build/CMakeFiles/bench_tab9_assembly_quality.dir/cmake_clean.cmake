@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab9_assembly_quality"
+  "../bench/bench_tab9_assembly_quality.pdb"
+  "CMakeFiles/bench_tab9_assembly_quality.dir/bench_tab9_assembly_quality.cpp.o"
+  "CMakeFiles/bench_tab9_assembly_quality.dir/bench_tab9_assembly_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab9_assembly_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

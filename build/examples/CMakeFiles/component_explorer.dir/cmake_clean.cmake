@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/component_explorer.dir/component_explorer.cpp.o"
+  "CMakeFiles/component_explorer.dir/component_explorer.cpp.o.d"
+  "component_explorer"
+  "component_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/component_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

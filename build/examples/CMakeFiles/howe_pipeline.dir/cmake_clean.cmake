@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/howe_pipeline.dir/howe_pipeline.cpp.o"
+  "CMakeFiles/howe_pipeline.dir/howe_pipeline.cpp.o.d"
+  "howe_pipeline"
+  "howe_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/howe_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

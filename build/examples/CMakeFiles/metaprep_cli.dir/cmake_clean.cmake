@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaprep_cli.dir/metaprep_cli.cpp.o"
+  "CMakeFiles/metaprep_cli.dir/metaprep_cli.cpp.o.d"
+  "metaprep_cli"
+  "metaprep_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaprep_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minihit_cli.dir/minihit_cli.cpp.o"
+  "CMakeFiles/minihit_cli.dir/minihit_cli.cpp.o.d"
+  "minihit_cli"
+  "minihit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minihit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipass_demo.dir/multipass_demo.cpp.o"
+  "CMakeFiles/multipass_demo.dir/multipass_demo.cpp.o.d"
+  "multipass_demo"
+  "multipass_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipass_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

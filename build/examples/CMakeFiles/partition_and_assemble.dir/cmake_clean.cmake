@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_and_assemble.dir/partition_and_assemble.cpp.o"
+  "CMakeFiles/partition_and_assemble.dir/partition_and_assemble.cpp.o.d"
+  "partition_and_assemble"
+  "partition_and_assemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_and_assemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_partition.dir/verify_partition.cpp.o"
+  "CMakeFiles/verify_partition.dir/verify_partition.cpp.o.d"
+  "verify_partition"
+  "verify_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

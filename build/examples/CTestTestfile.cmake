@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart" "--pairs=400")
+set_tests_properties(example.quickstart PROPERTIES  WORKING_DIRECTORY "/root/repo/build/example-smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.partition_and_assemble "/root/repo/build/examples/partition_and_assemble" "--pairs=1500")
+set_tests_properties(example.partition_and_assemble PROPERTIES  WORKING_DIRECTORY "/root/repo/build/example-smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.multipass_demo "/root/repo/build/examples/multipass_demo" "--pairs=1500" "--budget-mb=20")
+set_tests_properties(example.multipass_demo PROPERTIES  WORKING_DIRECTORY "/root/repo/build/example-smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.component_explorer "/root/repo/build/examples/component_explorer" "--pairs=1200")
+set_tests_properties(example.component_explorer PROPERTIES  WORKING_DIRECTORY "/root/repo/build/example-smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.howe_pipeline "/root/repo/build/examples/howe_pipeline" "--pairs=1500")
+set_tests_properties(example.howe_pipeline PROPERTIES  WORKING_DIRECTORY "/root/repo/build/example-smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.kmer_spectrum "/root/repo/build/examples/kmer_spectrum" "--preset=HG" "--scale=0.4")
+set_tests_properties(example.kmer_spectrum PROPERTIES  WORKING_DIRECTORY "/root/repo/build/example-smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")

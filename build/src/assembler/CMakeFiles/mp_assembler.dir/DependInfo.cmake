@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembler/minihit.cpp" "src/assembler/CMakeFiles/mp_assembler.dir/minihit.cpp.o" "gcc" "src/assembler/CMakeFiles/mp_assembler.dir/minihit.cpp.o.d"
+  "/root/repo/src/assembler/spectrum.cpp" "src/assembler/CMakeFiles/mp_assembler.dir/spectrum.cpp.o" "gcc" "src/assembler/CMakeFiles/mp_assembler.dir/spectrum.cpp.o.d"
+  "/root/repo/src/assembler/stats.cpp" "src/assembler/CMakeFiles/mp_assembler.dir/stats.cpp.o" "gcc" "src/assembler/CMakeFiles/mp_assembler.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/mp_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mp_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

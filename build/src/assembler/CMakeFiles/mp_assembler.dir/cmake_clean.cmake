@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_assembler.dir/minihit.cpp.o"
+  "CMakeFiles/mp_assembler.dir/minihit.cpp.o.d"
+  "CMakeFiles/mp_assembler.dir/spectrum.cpp.o"
+  "CMakeFiles/mp_assembler.dir/spectrum.cpp.o.d"
+  "CMakeFiles/mp_assembler.dir/stats.cpp.o"
+  "CMakeFiles/mp_assembler.dir/stats.cpp.o.d"
+  "libmp_assembler.a"
+  "libmp_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_baseline.dir/ap_lb.cpp.o"
+  "CMakeFiles/mp_baseline.dir/ap_lb.cpp.o.d"
+  "CMakeFiles/mp_baseline.dir/howe_dbg.cpp.o"
+  "CMakeFiles/mp_baseline.dir/howe_dbg.cpp.o.d"
+  "CMakeFiles/mp_baseline.dir/kmc_like.cpp.o"
+  "CMakeFiles/mp_baseline.dir/kmc_like.cpp.o.d"
+  "libmp_baseline.a"
+  "libmp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

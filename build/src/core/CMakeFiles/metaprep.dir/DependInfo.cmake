@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/index_create.cpp" "src/core/CMakeFiles/metaprep.dir/index_create.cpp.o" "gcc" "src/core/CMakeFiles/metaprep.dir/index_create.cpp.o.d"
+  "/root/repo/src/core/indices.cpp" "src/core/CMakeFiles/metaprep.dir/indices.cpp.o" "gcc" "src/core/CMakeFiles/metaprep.dir/indices.cpp.o.d"
+  "/root/repo/src/core/manifest.cpp" "src/core/CMakeFiles/metaprep.dir/manifest.cpp.o" "gcc" "src/core/CMakeFiles/metaprep.dir/manifest.cpp.o.d"
+  "/root/repo/src/core/memory_model.cpp" "src/core/CMakeFiles/metaprep.dir/memory_model.cpp.o" "gcc" "src/core/CMakeFiles/metaprep.dir/memory_model.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/metaprep.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/metaprep.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/metaprep.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/metaprep.dir/plan.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/metaprep.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/metaprep.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/mp_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/mp_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/mp_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsu/CMakeFiles/mp_dsu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaprep.dir/index_create.cpp.o"
+  "CMakeFiles/metaprep.dir/index_create.cpp.o.d"
+  "CMakeFiles/metaprep.dir/indices.cpp.o"
+  "CMakeFiles/metaprep.dir/indices.cpp.o.d"
+  "CMakeFiles/metaprep.dir/manifest.cpp.o"
+  "CMakeFiles/metaprep.dir/manifest.cpp.o.d"
+  "CMakeFiles/metaprep.dir/memory_model.cpp.o"
+  "CMakeFiles/metaprep.dir/memory_model.cpp.o.d"
+  "CMakeFiles/metaprep.dir/pipeline.cpp.o"
+  "CMakeFiles/metaprep.dir/pipeline.cpp.o.d"
+  "CMakeFiles/metaprep.dir/plan.cpp.o"
+  "CMakeFiles/metaprep.dir/plan.cpp.o.d"
+  "CMakeFiles/metaprep.dir/stats.cpp.o"
+  "CMakeFiles/metaprep.dir/stats.cpp.o.d"
+  "libmetaprep.a"
+  "libmetaprep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaprep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for metaprep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_dsu.dir/dsu.cpp.o"
+  "CMakeFiles/mp_dsu.dir/dsu.cpp.o.d"
+  "CMakeFiles/mp_dsu.dir/shiloach_vishkin.cpp.o"
+  "CMakeFiles/mp_dsu.dir/shiloach_vishkin.cpp.o.d"
+  "libmp_dsu.a"
+  "libmp_dsu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_dsu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_io.dir/binary.cpp.o"
+  "CMakeFiles/mp_io.dir/binary.cpp.o.d"
+  "CMakeFiles/mp_io.dir/fasta.cpp.o"
+  "CMakeFiles/mp_io.dir/fasta.cpp.o.d"
+  "CMakeFiles/mp_io.dir/fastq.cpp.o"
+  "CMakeFiles/mp_io.dir/fastq.cpp.o.d"
+  "libmp_io.a"
+  "libmp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

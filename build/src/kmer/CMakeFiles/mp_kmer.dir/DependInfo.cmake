@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kmer/codec.cpp" "src/kmer/CMakeFiles/mp_kmer.dir/codec.cpp.o" "gcc" "src/kmer/CMakeFiles/mp_kmer.dir/codec.cpp.o.d"
+  "/root/repo/src/kmer/kmer128.cpp" "src/kmer/CMakeFiles/mp_kmer.dir/kmer128.cpp.o" "gcc" "src/kmer/CMakeFiles/mp_kmer.dir/kmer128.cpp.o.d"
+  "/root/repo/src/kmer/minimizer.cpp" "src/kmer/CMakeFiles/mp_kmer.dir/minimizer.cpp.o" "gcc" "src/kmer/CMakeFiles/mp_kmer.dir/minimizer.cpp.o.d"
+  "/root/repo/src/kmer/scanner.cpp" "src/kmer/CMakeFiles/mp_kmer.dir/scanner.cpp.o" "gcc" "src/kmer/CMakeFiles/mp_kmer.dir/scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

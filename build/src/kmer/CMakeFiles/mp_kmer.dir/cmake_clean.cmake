@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_kmer.dir/codec.cpp.o"
+  "CMakeFiles/mp_kmer.dir/codec.cpp.o.d"
+  "CMakeFiles/mp_kmer.dir/kmer128.cpp.o"
+  "CMakeFiles/mp_kmer.dir/kmer128.cpp.o.d"
+  "CMakeFiles/mp_kmer.dir/minimizer.cpp.o"
+  "CMakeFiles/mp_kmer.dir/minimizer.cpp.o.d"
+  "CMakeFiles/mp_kmer.dir/scanner.cpp.o"
+  "CMakeFiles/mp_kmer.dir/scanner.cpp.o.d"
+  "libmp_kmer.a"
+  "libmp_kmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_kmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_mpsim.dir/comm.cpp.o"
+  "CMakeFiles/mp_mpsim.dir/comm.cpp.o.d"
+  "libmp_mpsim.a"
+  "libmp_mpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_mpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

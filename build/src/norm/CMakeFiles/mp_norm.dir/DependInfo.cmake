@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/norm/count_min.cpp" "src/norm/CMakeFiles/mp_norm.dir/count_min.cpp.o" "gcc" "src/norm/CMakeFiles/mp_norm.dir/count_min.cpp.o.d"
+  "/root/repo/src/norm/diginorm.cpp" "src/norm/CMakeFiles/mp_norm.dir/diginorm.cpp.o" "gcc" "src/norm/CMakeFiles/mp_norm.dir/diginorm.cpp.o.d"
+  "/root/repo/src/norm/trim.cpp" "src/norm/CMakeFiles/mp_norm.dir/trim.cpp.o" "gcc" "src/norm/CMakeFiles/mp_norm.dir/trim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/mp_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mp_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_norm.dir/count_min.cpp.o"
+  "CMakeFiles/mp_norm.dir/count_min.cpp.o.d"
+  "CMakeFiles/mp_norm.dir/diginorm.cpp.o"
+  "CMakeFiles/mp_norm.dir/diginorm.cpp.o.d"
+  "CMakeFiles/mp_norm.dir/trim.cpp.o"
+  "CMakeFiles/mp_norm.dir/trim.cpp.o.d"
+  "libmp_norm.a"
+  "libmp_norm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

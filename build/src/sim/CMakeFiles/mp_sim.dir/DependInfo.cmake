@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/genome.cpp" "src/sim/CMakeFiles/mp_sim.dir/genome.cpp.o" "gcc" "src/sim/CMakeFiles/mp_sim.dir/genome.cpp.o.d"
+  "/root/repo/src/sim/presets.cpp" "src/sim/CMakeFiles/mp_sim.dir/presets.cpp.o" "gcc" "src/sim/CMakeFiles/mp_sim.dir/presets.cpp.o.d"
+  "/root/repo/src/sim/read_sim.cpp" "src/sim/CMakeFiles/mp_sim.dir/read_sim.cpp.o" "gcc" "src/sim/CMakeFiles/mp_sim.dir/read_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/mp_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mp_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_sort.dir/radix.cpp.o"
+  "CMakeFiles/mp_sort.dir/radix.cpp.o.d"
+  "libmp_sort.a"
+  "libmp_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_util.dir/cli.cpp.o"
+  "CMakeFiles/mp_util.dir/cli.cpp.o.d"
+  "CMakeFiles/mp_util.dir/log.cpp.o"
+  "CMakeFiles/mp_util.dir/log.cpp.o.d"
+  "CMakeFiles/mp_util.dir/memusage.cpp.o"
+  "CMakeFiles/mp_util.dir/memusage.cpp.o.d"
+  "CMakeFiles/mp_util.dir/rng.cpp.o"
+  "CMakeFiles/mp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mp_util.dir/table.cpp.o"
+  "CMakeFiles/mp_util.dir/table.cpp.o.d"
+  "CMakeFiles/mp_util.dir/thread_team.cpp.o"
+  "CMakeFiles/mp_util.dir/thread_team.cpp.o.d"
+  "CMakeFiles/mp_util.dir/timer.cpp.o"
+  "CMakeFiles/mp_util.dir/timer.cpp.o.d"
+  "libmp_util.a"
+  "libmp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_indices.dir/test_indices.cpp.o"
+  "CMakeFiles/test_indices.dir/test_indices.cpp.o.d"
+  "test_indices"
+  "test_indices.pdb"
+  "test_indices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_indices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

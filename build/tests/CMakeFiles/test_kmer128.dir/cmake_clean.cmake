@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kmer128.dir/test_kmer128.cpp.o"
+  "CMakeFiles/test_kmer128.dir/test_kmer128.cpp.o.d"
+  "test_kmer128"
+  "test_kmer128.pdb"
+  "test_kmer128[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kmer128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

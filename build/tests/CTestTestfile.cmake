@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_team[1]_include.cmake")
+include("/root/repo/build/tests/test_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_kmer128[1]_include.cmake")
+include("/root/repo/build/tests/test_scanner[1]_include.cmake")
+include("/root/repo/build/tests/test_minimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_fastq[1]_include.cmake")
+include("/root/repo/build/tests/test_mpsim[1]_include.cmake")
+include("/root/repo/build/tests/test_sort[1]_include.cmake")
+include("/root/repo/build/tests/test_dsu[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_norm[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_manifest[1]_include.cmake")
+include("/root/repo/build/tests/test_indices[1]_include.cmake")
+include("/root/repo/build/tests/test_plan[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_model[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
