@@ -7,13 +7,16 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/index_create.hpp"
 #include "core/pipeline.hpp"
+#include "obs/metrics.hpp"
 #include "sim/presets.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -91,5 +94,143 @@ inline std::vector<std::string> step_headers(std::vector<std::string> prefix) {
 inline void print_title(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// run_metaprep wrapped in a wall timer (the pattern every bench repeats).
+struct TimedRun {
+  core::PipelineResult result;
+  double wall_seconds = 0.0;
+};
+
+inline TimedRun timed_run(const core::DatasetIndex& index, const core::MetaprepConfig& cfg) {
+  util::WallTimer timer;
+  TimedRun out{core::run_metaprep(index, cfg), 0.0};
+  out.wall_seconds = timer.seconds();
+  return out;
+}
+
+/// "label: 1N=1.00x 2N=0.97x ..." speedup line relative to walls[0].
+inline void print_relative_speedup(const std::string& label, const std::vector<int>& xs,
+                                   const std::vector<double>& walls) {
+  std::printf("%s:", label.c_str());
+  for (std::size_t i = 0; i < xs.size() && i < walls.size(); ++i) {
+    std::printf(" %dN=%.2fx", xs[i], walls[i] > 0.0 ? walls[0] / walls[i] : 0.0);
+  }
+  std::printf("\n");
+}
+
+/// Turn on the obs metrics registry for this bench process when
+/// METAPREP_BENCH_METRICS=1, so the JSON summary's embedded snapshot carries
+/// real values.  Off by default: the probes cost a relaxed atomic load each,
+/// and the perf-regression benches measure the disabled path.
+inline void maybe_enable_metrics() {
+  if (util::env_double("METAPREP_BENCH_METRICS", 0.0) != 0.0) {
+    obs::metrics().set_enabled(true);
+  }
+}
+
+/// Machine-readable bench summary: one JSON object per bench run with a
+/// "rows" array (one entry per measured configuration) and the process-wide
+/// obs metrics snapshot embedded under "metrics".  Written to the file named
+/// by METAPREP_BENCH_JSON (appended, one object per line) when set, else to
+/// stdout.  All benches share this writer so downstream tooling parses one
+/// schema instead of per-bench printf formats.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  /// One measured configuration; chain num()/str() calls on the reference.
+  class Row {
+   public:
+    Row& num(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      return raw(key, buf);
+    }
+    Row& num(const std::string& key, std::uint64_t value) {
+      return raw(key, std::to_string(value));
+    }
+    Row& num(const std::string& key, int value) { return raw(key, std::to_string(value)); }
+    Row& str(const std::string& key, const std::string& value) {
+      std::string quoted;
+      quoted += '"';
+      quoted += escape(value);
+      quoted += '"';
+      return raw(key, quoted);
+    }
+
+   private:
+    friend class BenchJsonWriter;
+    Row& raw(const std::string& key, const std::string& json_value) {
+      if (!body_.empty()) body_ += ',';
+      body_ += '"';
+      body_ += escape(key);
+      body_ += "\":";
+      body_ += json_value;
+      return *this;
+    }
+    std::string body_;
+  };
+
+  Row& add_row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Serialize and write the summary (call once, at the end of the bench).
+  void emit() const {
+    std::string out = "{\"bench\":\"";
+    out += escape(name_);
+    out += "\",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "{" + rows_[i].body_ + "}";
+    }
+    out += "],\"metrics\":[";
+    // to_jsonl() emits one JSON object per line; re-join as an array.
+    std::istringstream lines(obs::metrics().to_jsonl());
+    std::string line;
+    bool first = true;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      if (!first) out += ",";
+      first = false;
+      out += line;
+    }
+    out += "]}";
+    const char* path = std::getenv("METAPREP_BENCH_JSON");
+    if (path != nullptr && *path != '\0') {
+      std::FILE* f = std::fopen(path, "ab");
+      if (f != nullptr) {
+        std::fwrite(out.data(), 1, out.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        return;
+      }
+      std::fprintf(stderr, "bench: cannot append to METAPREP_BENCH_JSON=%s\n", path);
+    }
+    std::printf("%s\n", out.c_str());
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace metaprep::bench

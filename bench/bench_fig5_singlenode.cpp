@@ -11,11 +11,13 @@
 
 int main() {
   using namespace metaprep;
+  bench::maybe_enable_metrics();
   bench::ScratchDir dir("fig5");
   const auto ds = bench::make_dataset(sim::Preset::HG, dir.str());
 
   bench::print_title("Figure 5: single-node thread scaling, HG, k=27, 1 pass");
   util::TablePrinter table(bench::step_headers({"Threads"}));
+  bench::BenchJsonWriter json("fig5_singlenode");
   double t1 = 0.0;
   std::vector<double> totals;
   const std::vector<int> thread_counts{1, 2, 4, 8, 12, 24};
@@ -27,14 +29,16 @@ int main() {
     cfg.num_passes = 1;
     cfg.write_output = true;
     cfg.output_dir = dir.str();
-    util::WallTimer timer;
-    const auto result = core::run_metaprep(ds.index, cfg);
-    const double wall = timer.seconds();
-    totals.push_back(wall);
-    if (t == 1) t1 = wall;
-    auto cells = bench::step_time_cells(result.step_times);
+    const auto run = bench::timed_run(ds.index, cfg);
+    totals.push_back(run.wall_seconds);
+    if (t == 1) t1 = run.wall_seconds;
+    auto cells = bench::step_time_cells(run.result.step_times);
     cells.insert(cells.begin(), std::to_string(t));
     table.add_row(cells);
+    json.add_row()
+        .num("threads", t)
+        .num("wall_s", run.wall_seconds)
+        .num("tuples", run.result.total_tuples);
   }
   table.print();
 
@@ -45,6 +49,7 @@ int main() {
                      util::TablePrinter::fmt(t1 / totals[i], 2)});
   }
   speedup.print();
+  json.emit();
   std::printf("Paper (Edison): 14.5x speedup at 24 threads; LocalSort dominant at every\n"
               "thread count. This container has 1 physical core: oversubscribed threads\n"
               "exercise the code paths but cannot produce wall-clock speedup.\n");

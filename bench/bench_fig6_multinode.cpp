@@ -11,7 +11,9 @@
 
 int main() {
   using namespace metaprep;
+  bench::maybe_enable_metrics();
   bench::print_title("Figure 6: multi-node scaling (simulated ranks), k=27, T=4");
+  bench::BenchJsonWriter json("fig6_multinode");
 
   struct Case {
     sim::Preset preset;
@@ -37,25 +39,27 @@ int main() {
       cfg.num_passes = c.passes;
       cfg.write_output = true;
       cfg.output_dir = dir.str();
-      util::WallTimer timer;
-      const auto result = core::run_metaprep(ds.index, cfg);
-      const double wall = timer.seconds();
-      walls.push_back(wall);
-      if (p == 1) t1 = wall;
-      auto cells = bench::step_time_cells(result.step_times);
-      cells.insert(cells.begin(), std::to_string(result.total_tuples));
+      const auto run = bench::timed_run(ds.index, cfg);
+      walls.push_back(run.wall_seconds);
+      if (p == 1) t1 = run.wall_seconds;
+      (void)t1;
+      auto cells = bench::step_time_cells(run.result.step_times);
+      cells.insert(cells.begin(), std::to_string(run.result.total_tuples));
       cells.insert(cells.begin(),
-                   util::TablePrinter::fmt(result.sim_comm_seconds * 1e3, 3));
+                   util::TablePrinter::fmt(run.result.sim_comm_seconds * 1e3, 3));
       cells.insert(cells.begin(), std::to_string(p));
       table.add_row(cells);
+      json.add_row()
+          .str("dataset", ds.index.name)
+          .num("nodes", p)
+          .num("wall_s", run.wall_seconds)
+          .num("sim_comm_s", run.result.sim_comm_seconds)
+          .num("tuples", run.result.total_tuples);
     }
     table.print();
-    std::printf("Relative speedup (wall, 1 core => ~1):");
-    for (std::size_t i = 0; i < node_counts.size(); ++i) {
-      std::printf(" %dN=%.2fx", node_counts[i], t1 / walls[i]);
-    }
-    std::printf("\n");
+    bench::print_relative_speedup("Relative speedup (wall, 1 core => ~1)", node_counts, walls);
   }
+  json.emit();
   std::printf("\nPaper: 16-node relative speedup HG 3.23x, LL ~5x, MM 7.5x; MM (11.1 Gbp)\n"
               "processed in 22 s on 16 nodes.  Expect here: Merge-Comm/MergeCC and\n"
               "sim-comm growing with node count, per-rank tuple counts shrinking.\n");

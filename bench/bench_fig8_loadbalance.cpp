@@ -8,6 +8,7 @@
 
 int main() {
   using namespace metaprep;
+  bench::maybe_enable_metrics();
   bench::print_title("Figure 8: per-rank load balance, MM dataset, 16 ranks, 4 passes");
 
   bench::ScratchDir dir("fig8");
@@ -22,8 +23,10 @@ int main() {
   cfg.num_passes = 4;
   cfg.write_output = true;
   cfg.output_dir = dir.str();
-  const auto result = core::run_metaprep(ds.index, cfg);
+  const auto run = bench::timed_run(ds.index, cfg);
+  const auto& result = run.result;
 
+  bench::BenchJsonWriter json("fig8_loadbalance");
   util::TablePrinter table({"Step", "min (ms)", "q1 (ms)", "median (ms)", "q3 (ms)",
                             "max (ms)", "max/median"});
   for (const auto& step : bench::step_order()) {
@@ -35,8 +38,15 @@ int main() {
                    util::TablePrinter::fmt(b.median, 2), util::TablePrinter::fmt(b.q3, 2),
                    util::TablePrinter::fmt(b.max, 2),
                    b.median > 0 ? util::TablePrinter::fmt(b.max / b.median, 2) : "inf"});
+    json.add_row()
+        .str("step", step)
+        .num("min_ms", b.min)
+        .num("median_ms", b.median)
+        .num("max_ms", b.max);
   }
   table.print();
+  json.add_row().str("step", "wall").num("max_ms", run.wall_seconds * 1e3);
+  json.emit();
   std::printf("Paper: compute steps (KmerGen/LocalSort/LocalCC-Opt) tightly balanced via\n"
               "the precomputed indices; Merge-Comm/MergeCC spread widely (log P rounds\n"
               "with fewer participants each round).\n");

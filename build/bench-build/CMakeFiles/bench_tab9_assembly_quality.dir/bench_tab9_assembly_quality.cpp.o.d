@@ -241,6 +241,7 @@ bench-build/CMakeFiles/bench_tab9_assembly_quality.dir/bench_tab9_assembly_quali
  /usr/include/c++/12/span /root/repo/src/core/index_create.hpp \
  /root/repo/src/core/indices.hpp /root/repo/src/core/pipeline.hpp \
  /root/repo/src/util/timer.hpp /usr/include/c++/12/chrono \
- /root/repo/src/sim/presets.hpp /root/repo/src/sim/read_sim.hpp \
- /root/repo/src/sim/genome.hpp /root/repo/src/util/cli.hpp \
- /usr/include/c++/12/optional /root/repo/src/util/table.hpp
+ /root/repo/src/obs/metrics.hpp /root/repo/src/sim/presets.hpp \
+ /root/repo/src/sim/read_sim.hpp /root/repo/src/sim/genome.hpp \
+ /root/repo/src/util/cli.hpp /usr/include/c++/12/optional \
+ /root/repo/src/util/table.hpp

@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
   "/root/repo/build/src/kmer/CMakeFiles/mp_kmer.dir/DependInfo.cmake"
   "/root/repo/build/src/io/CMakeFiles/mp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/mp_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

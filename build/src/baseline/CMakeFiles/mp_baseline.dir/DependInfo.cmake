@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/dsu/CMakeFiles/mp_dsu.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/metaprep.dir/DependInfo.cmake"
   "/root/repo/build/src/mpsim/CMakeFiles/mp_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/mp_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

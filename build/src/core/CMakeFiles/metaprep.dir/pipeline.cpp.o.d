@@ -235,8 +235,9 @@ src/core/CMakeFiles/metaprep.dir/pipeline.cpp.o: \
  /root/repo/src/core/memory_model.hpp /root/repo/src/core/plan.hpp \
  /root/repo/src/dsu/dsu.hpp /root/repo/src/io/fastq.hpp \
  /root/repo/src/kmer/scanner.hpp /root/repo/src/kmer/codec.hpp \
- /root/repo/src/kmer/kmer128.hpp /root/repo/src/sort/radix.hpp \
- /root/repo/src/util/prefix_sum.hpp /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/kmer/kmer128.hpp /root/repo/src/obs/metrics.hpp \
+ /root/repo/src/obs/trace.hpp /root/repo/src/sort/radix.hpp \
+ /root/repo/src/util/memusage.hpp /root/repo/src/util/prefix_sum.hpp \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/util/thread_team.hpp /usr/include/c++/12/thread

@@ -224,4 +224,5 @@ src/mpsim/CMakeFiles/mp_mpsim.dir/comm.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/span /usr/include/c++/12/thread
+ /usr/include/c++/12/span /usr/include/c++/12/thread \
+ /root/repo/src/obs/metrics.hpp

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_obs.dir/metrics.cpp.o"
+  "CMakeFiles/mp_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/mp_obs.dir/trace.cpp.o"
+  "CMakeFiles/mp_obs.dir/trace.cpp.o.d"
+  "libmp_obs.a"
+  "libmp_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_obs.cpp" "tests/CMakeFiles/test_obs.dir/test_obs.cpp.o" "gcc" "tests/CMakeFiles/test_obs.dir/test_obs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/metaprep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembler/CMakeFiles/mp_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/norm/CMakeFiles/mp_norm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/mp_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/mp_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsu/CMakeFiles/mp_dsu.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/mp_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/mp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

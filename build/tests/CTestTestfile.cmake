@@ -22,6 +22,7 @@ include("/root/repo/build/tests/test_manifest[1]_include.cmake")
 include("/root/repo/build/tests/test_indices[1]_include.cmake")
 include("/root/repo/build/tests/test_plan[1]_include.cmake")
 include("/root/repo/build/tests/test_memory_model[1]_include.cmake")
+include("/root/repo/build/tests/test_obs[1]_include.cmake")
 include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
 include("/root/repo/build/tests/test_assembler[1]_include.cmake")
 include("/root/repo/build/tests/test_baseline[1]_include.cmake")

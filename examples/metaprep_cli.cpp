@@ -7,12 +7,16 @@
 //
 //   run    --index=INDEX.bin [--ranks=1] [--threads=4] [--passes=1]
 //          [--memory-gb=0] [--filter-min=0] [--filter-max=0] [--out=DIR]
-//          [--no-output] [--verify]
+//          [--no-output] [--verify] [--trace-out=T.json] [--metrics-out=M.jsonl]
 //       Run the preprocessing pipeline.  --passes=0 with --memory-gb picks
 //       the minimum pass count fitting the per-task budget (§3.7).
 //       --filter-min/--filter-max enable the k-mer frequency filter (§4.4).
 //       --verify recomputes the partition with a brute-force in-memory
 //       reference and compares (small datasets only — quadratic memory).
+//       --trace-out records per-rank/per-thread step spans as Chrome
+//       trace_event JSON (open in chrome://tracing or ui.perfetto.dev);
+//       --metrics-out writes a JSONL metrics snapshot.  The METAPREP_TRACE
+//       env var ("1", or an output path) enables tracing for any subcommand.
 //
 //   info   --index=INDEX.bin
 //       Print index statistics and the memory-model table.
@@ -43,7 +47,8 @@ int usage() {
                "usage: metaprep_cli index --out=INDEX.bin [--k --m --chunks --single-end] "
                "FASTQ...\n"
                "       metaprep_cli run --index=INDEX.bin [--ranks --threads --passes "
-               "--memory-gb --filter-min --filter-max --out --no-output]\n"
+               "--memory-gb --filter-min --filter-max --out --no-output "
+               "--trace-out=T.json --metrics-out=M.jsonl]\n"
                "       metaprep_cli info --index=INDEX.bin\n"
                "       metaprep_cli diginorm --out=PREFIX [--k --cutoff] R1.fastq R2.fastq\n");
   return 2;
@@ -102,6 +107,8 @@ int cmd_run(const util::Args& args) {
   if (fmax > 0) cfg.filter.max_freq = static_cast<std::uint32_t>(fmax);
   cfg.write_output = !args.has("no-output");
   cfg.output_dir = args.get("out", ".");
+  cfg.trace_out = args.get("trace-out", "");
+  cfg.metrics_out = args.get("metrics-out", "");
   std::filesystem::create_directories(cfg.output_dir);
 
   const auto result = core::run_metaprep(index, cfg);

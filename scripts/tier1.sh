@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the gate every change must pass.
+#
+#   1. Regular build + full ctest suite (RelWithDebInfo, CMakePresets
+#      "default" preset).
+#   2. ThreadSanitizer build of the concurrency-heavy binaries, running the
+#      observability (test_obs) and simulated-MPI (test_mpsim) suites — the
+#      two that stress cross-thread event buffers and mailboxes.
+#
+# Usage: scripts/tier1.sh [-jN]   (default -j$(nproc))
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:--j$(nproc)}"
+
+echo "=== tier 1: configure + build (default preset) ==="
+cmake --preset default
+cmake --build --preset default "${JOBS}"
+
+echo "=== tier 1: full test suite ==="
+ctest --preset default "${JOBS}"
+
+echo "=== tier 1: ThreadSanitizer build (test_obs + test_mpsim) ==="
+cmake --preset tsan
+cmake --build --preset tsan "${JOBS}" --target test_obs test_mpsim
+
+echo "=== tier 1: TSan test_obs ==="
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
+echo "=== tier 1: TSan test_mpsim ==="
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mpsim
+
+echo "=== tier 1: PASS ==="

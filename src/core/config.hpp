@@ -68,6 +68,15 @@ struct MetaprepConfig {
 
   /// Interconnect cost model for the simulated-comm-seconds report.
   mpsim::CostModelParams cost_model;
+
+  /// Observability (src/obs).  When @ref trace_out is non-empty the run is
+  /// recorded into the global TraceSession (cleared first) and exported as
+  /// Chrome trace_event JSON to that path; when @ref metrics_out is
+  /// non-empty the global metrics registry is enabled (values reset first)
+  /// and a JSONL snapshot is written there after the run.  Both default off,
+  /// leaving only a relaxed-atomic check in the hot paths.
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 }  // namespace metaprep::core

@@ -5,6 +5,8 @@
 
 #include "io/fastq.hpp"
 #include "kmer/scanner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_team.hpp"
 #include "util/timer.hpp"
 
@@ -58,6 +60,7 @@ DatasetIndex create_index(const std::string& name, const std::vector<std::string
   if (files.empty()) throw std::invalid_argument("create_index: no input files");
   if (paired && files.size() % 2 != 0)
     throw std::invalid_argument("create_index: paired datasets need an even file count");
+  obs::TraceSpan index_span("IndexCreate");
   if (options.m < 1 || options.m > 15)
     throw std::invalid_argument("create_index: m must be in [1, 15]");
   if (options.k < options.m || options.k > kmer::kMaxK128)
@@ -168,6 +171,8 @@ DatasetIndex create_index(const std::string& name, const std::vector<std::string
     timing_out->chunking_seconds = chunking_seconds;
     timing_out->histogram_seconds = histogram_seconds;
   }
+  obs::metrics().counter("index.reads_indexed").add(index.total_reads);
+  obs::metrics().counter("index.bases_indexed").add(index.total_bases);
   return index;
 }
 

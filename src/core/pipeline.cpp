@@ -14,7 +14,10 @@
 #include "io/fastq.hpp"
 #include "kmer/scanner.hpp"
 #include "mpsim/comm.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sort/radix.hpp"
+#include "util/memusage.hpp"
 #include "util/prefix_sum.hpp"
 #include "util/thread_team.hpp"
 
@@ -123,6 +126,29 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
   const std::size_t nbins = index.mer_hist.counts.size();
   (void)nbins;
 
+  // Observability: when the config names output files, this run owns the
+  // global tracer/metrics (cleared + enabled here, exported after the run).
+  obs::TraceSession& tr = obs::TraceSession::global();
+  const bool trace_was_enabled = tr.enabled();
+  if (!config.trace_out.empty()) {
+    tr.clear();
+    tr.enable();
+  }
+  const bool metrics_were_enabled = obs::metrics().enabled();
+  if (!config.metrics_out.empty()) {
+    obs::metrics().reset_values();
+    obs::metrics().set_enabled(true);
+  }
+  // Hot-path metric handles resolved once (registry lookup takes a mutex).
+  obs::Counter& m_tuples = obs::metrics().counter("pipeline.tuples_total");
+  obs::Counter& m_cc_edges = obs::metrics().counter("pipeline.cc_edges_total");
+  obs::Gauge& m_rss = obs::metrics().gauge("mem.rss_peak");
+  // Manual span markers for steps whose lifetime doesn't match a C++ scope.
+  auto span_begin = [&tr]() { return tr.enabled() ? tr.now_us() : -1.0; };
+  auto span_end = [&tr](const char* name, double t0) {
+    if (t0 >= 0.0) tr.record(name, t0, tr.now_us() - t0);
+  };
+
   mpsim::World world(P, config.cost_model);
   std::vector<RankShared> shared(static_cast<std::size_t>(P));
   std::vector<std::uint32_t> final_labels(R);
@@ -130,6 +156,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
 
   world.run([&](mpsim::Comm& comm) {
     const int p = comm.rank();
+    obs::TraceSession::set_thread_identity(p, 0);
     RankShared& my = shared[static_cast<std::size_t>(p)];
     ThreadTeam team(T);
     dsu::AtomicDSU local_cc(R);
@@ -140,6 +167,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     kmer_in.wide = wide;
 
     for (int s = 0; s < S; ++s) {
+      const double pass_t0 = span_begin();
       const BinRange my_range = plan.rank_range(s, p);
       const auto& rank_bounds = plan.rank_bounds(s);
       const auto& thread_bounds = plan.thread_bounds(s, p);
@@ -173,6 +201,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
       const std::uint64_t total_out = send_offsets.back();
       kmer_out.resize(total_out);
       my.tuples += total_out;
+      m_tuples.add(total_out);
 
       // ---- Recv-side offsets (§3.3): tuples arriving from each source
       // rank's threads that fall in my k-mer range. ----
@@ -208,15 +237,19 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
       const bool substitute_components = config.cc_opt && s > 0;
 
       team.run([&](int t) {
+        obs::TraceSession::set_thread_identity(p, t);
         std::uint64_t* cur = cursor.data() + static_cast<std::size_t>(t) * P;
         for (std::uint32_t c = ca.thread_begin(p, t); c < ca.thread_end(p, t); ++c) {
           const ChunkRecord& chunk = index.part.chunks[c];
           WallTimer io_timer;
+          const double io_t0 = span_begin();
           const auto buffer =
               io::read_file_range(index.files[chunk.file], chunk.offset, chunk.size);
+          span_end("KmerGen-I/O", io_t0);
           io_seconds[static_cast<std::size_t>(t)] += io_timer.seconds();
 
           WallTimer gen_timer;
+          const double gen_t0 = span_begin();
           std::uint32_t read_id = chunk.first_read_id;
           io::for_each_record_in_buffer(
               std::string_view(buffer.data(), buffer.size()),
@@ -249,6 +282,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
                 }
                 ++read_id;
               });
+          span_end("KmerGen", gen_t0);
           gen_seconds[static_cast<std::size_t>(t)] += gen_timer.seconds();
         }
       });
@@ -257,6 +291,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
 
       // ---- KmerGen-Comm: staged All-to-all of the tuple arrays. ----
       {
+        obs::TraceSpan comm_span("KmerGen-Comm");
         WallTimer comm_timer;
         if (P == 1) {
           kmer_in.swap(kmer_out);
@@ -289,6 +324,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
       // ---- LocalSort (§3.4): parallel range partitioning into T disjoint
       // thread ranges, then serial radix sort per thread. ----
       {
+        const double sort_t0 = span_begin();
         WallTimer sort_timer;
         // Source blocks: one per (src rank, src thread), layout known from
         // the recv offsets; bin distribution known from FASTQPart.
@@ -381,9 +417,11 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
           }
         });
         my.times.add("LocalSort", sort_timer.seconds());
+        span_end("LocalSort", sort_t0);
 
         // ---- LocalCC (§3.5, Algorithm 1): runs of equal k-mers become
         // read-graph edges; union-find with buffered re-verification. ----
+        const double cc_t0 = span_begin();
         WallTimer cc_timer;
         std::vector<int> thread_iters(static_cast<std::size_t>(T), 0);
         team.run([&](int t) {
@@ -418,12 +456,16 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
           }
           thread_iters[static_cast<std::size_t>(t)] =
               1 + dsu::process_edges_algorithm1(local_cc, pending);
+          m_cc_edges.add(pending.size());
         });
         my.times.add("LocalCC", cc_timer.seconds());
+        span_end("LocalCC", cc_t0);
         my.cc_iterations =
             std::max(my.cc_iterations,
                      *std::max_element(thread_iters.begin(), thread_iters.end()));
       }
+      m_rss.set_max(static_cast<double>(util::current_rss_bytes()));
+      span_end("Pass", pass_t0);
     }  // passes
 
     // ---- MergeCC (§3.6): combine rank-local component arrays. ----
@@ -435,19 +477,24 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
       int round = 0;
       for (int step = 1; step < P; step <<= 1, ++round) {
         if (p % (2 * step) == step) {
+          const double send_t0 = span_begin();
           WallTimer send_timer;
           comm.send(p - step, kMergeTag + round, parents.data(),
                     parents.size() * sizeof(std::uint32_t));
           my.times.add("Merge-Comm", send_timer.seconds());
+          span_end("Merge-Comm", send_t0);
           my.merge_comm_bytes += parents.size() * sizeof(std::uint32_t);
           break;  // this rank is inactive in later rounds
         }
         if (p % (2 * step) == 0 && p + step < P) {
+          const double recv_t0 = span_begin();
           WallTimer recv_timer;
           std::vector<std::uint32_t> incoming(R);
           comm.recv(p + step, kMergeTag + round, incoming.data(),
                     incoming.size() * sizeof(std::uint32_t));
           my.times.add("Merge-Comm", recv_timer.seconds());
+          span_end("Merge-Comm", recv_t0);
+          const double merge_t0 = span_begin();
           WallTimer merge_timer;
           // Each entry is an edge (i, p'[i]); union into the local forest.
           dsu::SerialDSU merged(std::move(parents));
@@ -456,6 +503,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
           }
           parents = merged.take_parents();
           my.times.add("MergeCC", merge_timer.seconds());
+          span_end("MergeCC", merge_t0);
         }
       }
     } else if (P > 1) {
@@ -464,6 +512,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
       // graph — to rank 0 in a single round.
       constexpr int kContractTag = (1 << 20) + 4096;
       if (p != 0) {
+        const double send_t0 = span_begin();
         WallTimer send_timer;
         std::vector<std::uint32_t> edges;
         for (std::uint32_t i = 0; i < R; ++i) {
@@ -474,13 +523,17 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
         }
         comm.send(0, kContractTag, edges.data(), edges.size() * sizeof(std::uint32_t));
         my.times.add("Merge-Comm", send_timer.seconds());
+        span_end("Merge-Comm", send_t0);
         my.merge_comm_bytes += edges.size() * sizeof(std::uint32_t);
       } else {
         dsu::SerialDSU merged(std::move(parents));
         for (int q = 1; q < P; ++q) {
+          const double recv_t0 = span_begin();
           WallTimer recv_timer;
           const auto payload = comm.recv_any_size(q, kContractTag);
           my.times.add("Merge-Comm", recv_timer.seconds());
+          span_end("Merge-Comm", recv_t0);
+          const double merge_t0 = span_begin();
           WallTimer merge_timer;
           std::vector<std::uint32_t> edges(payload.size() / sizeof(std::uint32_t));
           std::memcpy(edges.data(), payload.data(), payload.size());
@@ -488,6 +541,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
             merged.unite(edges[i], edges[i + 1]);
           }
           my.times.add("MergeCC", merge_timer.seconds());
+          span_end("MergeCC", merge_t0);
         }
         parents = merged.take_parents();
       }
@@ -501,6 +555,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     std::vector<std::uint32_t> labels(R);
     std::vector<std::uint32_t> top_roots(static_cast<std::size_t>(top_n), 0xFFFFFFFFu);
     if (p == 0) {
+      const double flatten_t0 = span_begin();
       WallTimer flatten_timer;
       dsu::SerialDSU final_dsu(std::move(parents));
       std::vector<std::uint32_t> sizes(R, 0);
@@ -522,8 +577,10 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
       final_labels = labels;
       largest_root_shared = top_roots[0];
       my.times.add("MergeCC", flatten_timer.seconds());
+      span_end("MergeCC", flatten_t0);
     }
     {
+      obs::TraceSpan bc_span("Merge-Comm");
       WallTimer bc_timer;
       comm.broadcast(labels.data(), labels.size() * sizeof(std::uint32_t), 0);
       comm.broadcast(top_roots.data(), top_roots.size() * sizeof(std::uint32_t), 0);
@@ -534,6 +591,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     // and writes them to per-thread output files (largest component vs the
     // rest). ----
     if (config.write_output) {
+      obs::TraceSpan io_span("CC-I/O");
       WallTimer io_timer;
       std::vector<std::vector<std::string>> thread_files(static_cast<std::size_t>(T));
       team.run([&](int t) {
@@ -616,6 +674,28 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
   result.total_traffic_bytes = world.total_traffic_bytes();
   result.message_count = world.message_count();
   result.sim_comm_seconds = world.max_simulated_comm_seconds();
+
+  // Publish run-level metrics and export the requested artifacts.
+  {
+    obs::MetricsRegistry& m = obs::metrics();
+    m.gauge("pipeline.passes").set(static_cast<double>(result.passes_used));
+    m.gauge("pipeline.components").set(static_cast<double>(result.num_components));
+    m.gauge("pipeline.largest_fraction").set(result.largest_fraction);
+    m.gauge("pipeline.max_tuple_buffer_bytes")
+        .set_max(static_cast<double>(result.max_tuple_buffer_bytes));
+    m.gauge("pipeline.cc_iterations_max")
+        .set_max(static_cast<double>(result.cc_iterations_max));
+    m.gauge("mpsim.sim_comm_seconds").set_max(result.sim_comm_seconds);
+    m_rss.set_max(static_cast<double>(util::peak_rss_bytes()));
+    if (!config.metrics_out.empty()) {
+      m.write_jsonl(config.metrics_out);
+      m.set_enabled(metrics_were_enabled);
+    }
+    if (!config.trace_out.empty()) {
+      tr.write_chrome_json(config.trace_out);
+      if (!trace_was_enabled) tr.disable();
+    }
+  }
   return result;
 }
 

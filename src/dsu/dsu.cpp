@@ -2,7 +2,25 @@
 
 #include <numeric>
 
+#include "obs/metrics.hpp"
+
 namespace metaprep::dsu {
+
+namespace {
+
+/// Hot-path metric handles, resolved once per process.  With metrics
+/// disabled each probe is a relaxed atomic load and a branch.
+obs::Histogram& find_path_histogram() {
+  static obs::Histogram& h = obs::metrics().histogram("dsu.find_path_length");
+  return h;
+}
+
+obs::Counter& unions_counter() {
+  static obs::Counter& c = obs::metrics().counter("dsu.unions_total");
+  return c;
+}
+
+}  // namespace
 
 SerialDSU::SerialDSU(std::uint32_t n) : parent_(n) {
   std::iota(parent_.begin(), parent_.end(), 0U);
@@ -53,17 +71,24 @@ void AtomicDSU::reset() {
 }
 
 std::uint32_t AtomicDSU::find(std::uint32_t x) {
+  std::uint64_t steps = 0;
   for (;;) {
     const std::uint32_t p = parent_[x].load(std::memory_order_relaxed);
-    if (p == x) return x;
+    if (p == x) break;
+    ++steps;
     const std::uint32_t gp = parent_[p].load(std::memory_order_relaxed);
-    if (p == gp) return p;
+    if (p == gp) {
+      x = p;
+      break;
+    }
     // Path splitting: re-point x at its grandparent.  A racing update may
     // have changed parent_[x]; a failed CAS is harmless (pure optimization).
     std::uint32_t expected = p;
     parent_[x].compare_exchange_weak(expected, gp, std::memory_order_relaxed);
     x = gp;
   }
+  find_path_histogram().record(steps);
+  return x;
 }
 
 bool AtomicDSU::unite(std::uint32_t a, std::uint32_t b) {
@@ -74,6 +99,7 @@ bool AtomicDSU::unite(std::uint32_t a, std::uint32_t b) {
     if (ra > rb) std::swap(ra, rb);  // ra < rb: ra's parent becomes rb
     std::uint32_t expected = ra;
     if (parent_[ra].compare_exchange_strong(expected, rb, std::memory_order_relaxed)) {
+      unions_counter().add(1);
       return true;
     }
     // Lost a race: ra is no longer a root; retry from the new roots.
@@ -88,7 +114,10 @@ bool AtomicDSU::unite_once(std::uint32_t a, std::uint32_t b) {
   if (ra == rb) return true;
   if (ra > rb) std::swap(ra, rb);
   std::uint32_t expected = ra;
-  return parent_[ra].compare_exchange_strong(expected, rb, std::memory_order_relaxed);
+  const bool merged =
+      parent_[ra].compare_exchange_strong(expected, rb, std::memory_order_relaxed);
+  if (merged) unions_counter().add(1);
+  return merged;
 }
 
 std::vector<std::uint32_t> AtomicDSU::parents() const {

@@ -4,10 +4,17 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace metaprep::io {
 
 namespace {
 constexpr std::size_t kReadBufferSize = 1 << 20;
+
+obs::Counter& bytes_read_counter() {
+  static obs::Counter& c = obs::metrics().counter("io.bytes_read");
+  return c;
+}
 
 [[noreturn]] void fail(const std::string& path, const std::string& what) {
   throw std::runtime_error("fastq: " + path + ": " + what);
@@ -29,6 +36,7 @@ bool FastqReader::read_line(std::string& line) {
     if (buf_pos_ == buf_len_) {
       buf_len_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
       buf_pos_ = 0;
+      bytes_read_counter().add(buf_len_);
       if (buf_len_ == 0) return !line.empty();
     }
     const char* start = buffer_.data() + buf_pos_;
@@ -77,6 +85,8 @@ void FastqWriter::close() {
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
+    static obs::Counter& written = obs::metrics().counter("io.bytes_written");
+    written.add(bytes_);
   }
 }
 
@@ -107,6 +117,7 @@ std::vector<char> read_file_range(const std::string& path, std::uint64_t offset,
   const std::size_t got = std::fread(buf.data(), 1, size, f);
   std::fclose(f);
   if (got != size) fail(path, "short read");
+  bytes_read_counter().add(size);
   return buf;
 }
 
@@ -123,6 +134,7 @@ void for_each_record_in_buffer(
     return true;
   };
   std::string_view header, seq, plus, qual;
+  std::uint64_t records = 0;
   while (next_line(header)) {
     if (header.empty() && pos >= buffer.size()) break;  // trailing newline
     if (header.empty() || header[0] != '@')
@@ -134,7 +146,10 @@ void for_each_record_in_buffer(
     if (qual.size() != seq.size())
       throw std::runtime_error("fastq buffer: quality length != sequence length");
     fn(header.substr(1), seq, qual);
+    ++records;
   }
+  static obs::Counter& parsed = obs::metrics().counter("io.records_parsed");
+  parsed.add(records);
 }
 
 std::uint64_t count_records_in_buffer(std::string_view buffer) {

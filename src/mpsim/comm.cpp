@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace metaprep::mpsim {
 
 int Comm::size() const noexcept { return world_->size(); }
@@ -79,12 +81,23 @@ void World::deliver(int src, int dest, int tag, const void* data, std::size_t by
   // them through shared memory, and the paper's stage-0 block is a local
   // copy).
   if (src != dest) {
-    std::lock_guard lock(cost_mutex_);
-    sim_comm_seconds_[static_cast<std::size_t>(dest)] +=
-        cost_.latency_s + static_cast<double>(bytes) / cost_.link_bandwidth_Bps;
-    traffic_bytes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_ranks_) +
-                   static_cast<std::size_t>(dest)] += bytes;
-    ++message_count_;
+    {
+      std::lock_guard lock(cost_mutex_);
+      sim_comm_seconds_[static_cast<std::size_t>(dest)] +=
+          cost_.latency_s + static_cast<double>(bytes) / cost_.link_bandwidth_Bps;
+      traffic_bytes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_ranks_) +
+                     static_cast<std::size_t>(dest)] += bytes;
+      ++message_count_;
+    }
+    // Cross-rank edge metrics: same quantities as the traffic matrix, but
+    // accumulated process-wide across Worlds so a whole bench run snapshots
+    // into one metrics file.
+    static obs::Counter& m_msgs = obs::metrics().counter("mpsim.messages_total");
+    static obs::Counter& m_bytes = obs::metrics().counter("mpsim.bytes_total");
+    static obs::Histogram& m_size = obs::metrics().histogram("mpsim.message_bytes");
+    m_msgs.add(1);
+    m_bytes.add(bytes);
+    m_size.record(bytes);
   }
 }
 

@@ -1,0 +1,105 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace metaprep::obs {
+
+namespace {
+
+/// Format a double the way JSON expects (no trailing garbage, full
+/// round-trip precision for counters stored as gauges).
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
+  return *instance;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(&enabled_))).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(&enabled_))).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::unique_ptr<Histogram>(new Histogram(&enabled_))).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::to_jsonl() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << "{\"name\":\"" << name << "\",\"type\":\"counter\",\"value\":" << c->value()
+        << "}\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "{\"name\":\"" << name << "\",\"type\":\"gauge\",\"value\":"
+        << json_number(g->value()) << "}\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "{\"name\":\"" << name << "\",\"type\":\"histogram\",\"count\":" << h->count()
+        << ",\"sum\":" << h->sum() << ",\"buckets\":[";
+    const auto buckets = h->bucket_counts();
+    bool first = true;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] == 0) continue;
+      if (!first) out << ',';
+      out << '[' << i << ',' << buckets[i] << ']';
+      first = false;
+    }
+    out << "]}\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::write_jsonl(const std::string& path) const {
+  const std::string body = to_jsonl();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("metrics: cannot open " + path);
+  const std::size_t wrote = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (wrote != body.size()) throw std::runtime_error("metrics: short write to " + path);
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [name, c] : counters_) out.push_back(name);
+  for (const auto& [name, g] : gauges_) out.push_back(name);
+  for (const auto& [name, h] : histograms_) out.push_back(name);
+  return out;
+}
+
+}  // namespace metaprep::obs

@@ -1,0 +1,163 @@
+// Process-wide metrics registry: named counters, gauges, and histograms.
+//
+// The paper's evaluation (Tables 2-9) is assembled from per-step counts —
+// tuples enumerated, bytes shipped per rank pair, memory per pass — so the
+// hot paths publish those quantities here instead of threading ad-hoc fields
+// through every result struct.  Recording is wait-free: counters and
+// histogram buckets are relaxed atomics, and when the registry is disabled
+// every record call reduces to one relaxed atomic load and a branch, cheap
+// enough to leave compiled into the per-tuple paths (DSU finds, radix
+// passes, mailbox deliveries).
+//
+// Metric objects are created on first use and live for the process lifetime,
+// so call sites may cache references (function-local statics in the hot
+// paths).  Snapshots export as JSONL: one self-describing JSON object per
+// line, embedding cleanly into the bench harness output.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace metaprep::obs {
+
+/// Monotonic event count (messages sent, bytes read, tuples enumerated).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) noexcept : enabled_(enabled) {}
+  std::atomic<std::uint64_t> value_{0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// Last-value or running-max measurement (peak RSS, modeled comm seconds).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  /// Keep the maximum of the current and the new value (CAS loop; gauges are
+  /// updated rarely, so contention is a non-issue).
+  void set_max(double v) noexcept {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) noexcept : enabled_(enabled) {}
+  std::atomic<double> value_{0.0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// Power-of-two histogram: bucket i counts values v with bit_width(v) == i,
+/// i.e. bucket 0 holds v == 0 and bucket i >= 1 holds [2^(i-1), 2^i).  Coarse
+/// but constant-time and allocation-free, which is what a per-find DSU
+/// path-length probe can afford.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bit_width of uint64 is 0..64
+
+  void record(std::uint64_t v) noexcept {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    int b = 0;
+    for (std::uint64_t x = v; x != 0; x >>= 1) ++b;
+    buckets_[static_cast<std::size_t>(b)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    std::uint64_t c = 0;
+    for (const auto& b : buckets_) c += b.load(std::memory_order_relaxed);
+    return c;
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const {
+    std::vector<std::uint64_t> out(kBuckets);
+    for (int i = 0; i < kBuckets; ++i)
+      out[static_cast<std::size_t>(i)] =
+          buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    return out;
+  }
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const std::atomic<bool>* enabled) noexcept : enabled_(enabled) {}
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> sum_{0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// Name -> metric registry.  Lookup takes a mutex (do it once, outside the
+/// hot loop); the returned references stay valid for the process lifetime.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& global();
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zero every registered metric (registrations persist).
+  void reset_values();
+
+  /// Snapshot as JSONL, one metric per line, sorted by name:
+  ///   {"name":"io.bytes_read","type":"counter","value":123}
+  ///   {"name":"mem.rss_peak","type":"gauge","value":1.5e8}
+  ///   {"name":"dsu.find_path_length","type":"histogram","count":9,"sum":17,
+  ///    "buckets":[[0,1],[1,4],[2,4]]}   // [bit_width, count], zeros omitted
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Write to_jsonl() to @p path (truncates).  Throws on I/O failure.
+  void write_jsonl(const std::string& path) const;
+
+  /// Distinct metric names registered so far.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthand for MetricsRegistry::global().
+inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+
+}  // namespace metaprep::obs

@@ -1,0 +1,223 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace metaprep::obs {
+
+namespace {
+
+/// Per-thread recording state.  The buffer pointer is owned by the session
+/// (it outlives the thread); generation detects a clear() between uses.
+struct ThreadState {
+  void* buffer = nullptr;
+  std::uint64_t generation = ~0ull;
+  int pid = 0;
+  int tid = -1;  // -1 = not yet assigned; auto-assigned on first record
+};
+
+thread_local ThreadState tls;
+
+std::string g_atexit_path;  // set once before std::atexit registration
+
+void write_trace_at_exit() {
+  if (g_atexit_path.empty()) return;
+  try {
+    TraceSession::global().write_chrome_json(g_atexit_path);
+  } catch (...) {
+    // Exit path: nothing useful to do beyond not crashing.
+  }
+}
+
+void append_escaped(std::ostringstream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceSession& TraceSession::global() {
+  static TraceSession* instance = [] {
+    auto* s = new TraceSession();  // never destroyed
+    const char* env = std::getenv("METAPREP_TRACE");
+    if (env != nullptr && std::strcmp(env, "0") != 0) {
+      s->enable();
+      if (std::strcmp(env, "1") != 0) {
+        g_atexit_path = env;
+        std::atexit(write_trace_at_exit);
+      }
+    }
+    return s;
+  }();
+  return *instance;
+}
+
+void TraceSession::set_thread_identity(int pid, int tid) noexcept {
+  tls.pid = pid;
+  tls.tid = tid;
+}
+
+TraceSession::Buffer& TraceSession::local_buffer() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (tls.buffer == nullptr || tls.generation != gen) {
+    std::lock_guard lock(mutex_);
+    buffers_.push_back(std::make_unique<Buffer>());
+    tls.buffer = buffers_.back().get();
+    tls.generation = generation_.load(std::memory_order_relaxed);
+  }
+  return *static_cast<Buffer*>(tls.buffer);
+}
+
+void TraceSession::record(const char* name, double ts_us, double dur_us) {
+  if (!enabled()) return;
+  if (tls.tid < 0) tls.tid = next_auto_tid_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.pid = tls.pid;
+  ev.tid = tls.tid;
+  local_buffer().events.push_back(std::move(ev));
+}
+
+void TraceSession::instant(const char* name) {
+  record(name, now_us(), /*dur_us=*/-1.0);
+}
+
+void TraceSession::clear() {
+  std::lock_guard lock(mutex_);
+  buffers_.clear();
+  generation_.fetch_add(1, std::memory_order_release);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& b : buffers_) n += b->events.size();
+  return n;
+}
+
+std::string TraceSession::to_chrome_json() const {
+  // Group events by (pid, tid) so each track can be emitted as properly
+  // nested "B"/"E" pairs.  Spans within one thread are RAII-nested, so the
+  // interval family per track is laminar; recording order is completion
+  // order (post-order), which we convert to chronological begin order.
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& b : buffers_)
+      all.insert(all.end(), b->events.begin(), b->events.end());
+  }
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const char* ph, const TraceEvent& ev, double ts) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"";
+    append_escaped(out, ev.name);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d%s}", ph, ts,
+                  ev.pid, ev.tid, std::strcmp(ph, "i") == 0 ? ",\"s\":\"t\"" : "");
+    out << buf;
+  };
+
+  // Metadata: name each pid after its simulated rank.
+  std::vector<int> pids;
+  for (const auto& ev : all) pids.push_back(ev.pid);
+  std::sort(pids.begin(), pids.end());
+  pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+  for (int pid : pids) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\"rank " << pid << "\"}}";
+  }
+
+  // Stable-partition into per-track groups.
+  std::stable_sort(all.begin(), all.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return std::pair(a.pid, a.tid) < std::pair(b.pid, b.tid);
+  });
+  std::size_t lo = 0;
+  while (lo < all.size()) {
+    std::size_t hi = lo;
+    while (hi < all.size() && all[hi].pid == all[lo].pid && all[hi].tid == all[lo].tid)
+      ++hi;
+    std::vector<const TraceEvent*> spans;
+    std::vector<const TraceEvent*> instants;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const TraceEvent& ev = all[i];
+      (ev.dur_us < 0.0 ? instants : spans).push_back(&ev);
+    }
+    // Chronological begin order, outermost first on ties.
+    std::sort(spans.begin(), spans.end(), [](const TraceEvent* a, const TraceEvent* b) {
+      if (a->ts_us != b->ts_us) return a->ts_us < b->ts_us;
+      return a->dur_us > b->dur_us;
+    });
+    // The stack sweep turns completion-ordered spans into balanced "B"/"E"
+    // pairs; buffer into (ts, phase) items so instants can be merged into
+    // the same chronological stream afterwards.
+    struct Item {
+      double ts;
+      const char* ph;
+      const TraceEvent* ev;
+    };
+    std::vector<Item> track;
+    std::vector<const TraceEvent*> open;
+    for (const TraceEvent* sp : spans) {
+      while (!open.empty() &&
+             open.back()->ts_us + open.back()->dur_us <= sp->ts_us) {
+        track.push_back({open.back()->ts_us + open.back()->dur_us, "E", open.back()});
+        open.pop_back();
+      }
+      track.push_back({sp->ts_us, "B", sp});
+      open.push_back(sp);
+    }
+    while (!open.empty()) {
+      track.push_back({open.back()->ts_us + open.back()->dur_us, "E", open.back()});
+      open.pop_back();
+    }
+    for (const TraceEvent* in : instants) track.push_back({in->ts_us, "i", in});
+    // Stable: equal-timestamp B/E keep sweep (nesting) order, instants after.
+    std::stable_sort(track.begin(), track.end(),
+                     [](const Item& a, const Item& b) { return a.ts < b.ts; });
+    for (const Item& item : track) emit(item.ph, *item.ev, item.ts);
+    lo = hi;
+  }
+  out << "]}";
+  return out.str();
+}
+
+void TraceSession::write_chrome_json(const std::string& path) const {
+  const std::string body = to_chrome_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error("trace: cannot open " + path);
+  const std::size_t wrote = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (wrote != body.size()) throw std::runtime_error("trace: short write to " + path);
+}
+
+}  // namespace metaprep::obs

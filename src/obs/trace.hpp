@@ -1,0 +1,131 @@
+// Low-overhead span tracer exporting Chrome trace_event JSON.
+//
+// The METAPREP evaluation reasons about *where time goes per rank per pass*
+// (Figures 5-8 are stacked per-step times; Figure 8 is per-rank spread).
+// StepTimes only keeps sums, so this tracer records the actual intervals:
+// RAII TraceSpans around each pipeline step, tagged with the simulated MPI
+// rank ("pid") and worker thread ("tid"), buffered per OS thread without
+// locks, and exported in the Chrome trace_event JSON array format that
+// chrome://tracing and https://ui.perfetto.dev load directly — ranks show up
+// as processes, threads as tracks.
+//
+// Cost discipline: when the session is disabled, constructing a TraceSpan is
+// one relaxed atomic load and a branch; nothing is allocated and the
+// destructor does nothing.  Recording when enabled is a push_back into a
+// thread-local vector (no lock; buffer registration takes the session mutex
+// once per thread).  Export is for quiescent points only — after World::run
+// returns, between bench repetitions — not concurrent with recording.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace metaprep::obs {
+
+/// One closed span: [ts_us, ts_us + dur_us) on (pid, tid), timestamps in
+/// microseconds since the session epoch.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int pid = 0;
+  int tid = 0;
+};
+
+class TraceSession {
+ public:
+  /// The process-wide session used by all built-in instrumentation.  On
+  /// first access it honors the METAPREP_TRACE environment variable: unset
+  /// or "0" leaves tracing off; "1" enables recording; any other value
+  /// enables recording *and* writes the trace to that path at process exit.
+  static TraceSession& global();
+
+  TraceSession();
+
+  void enable() noexcept { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Tag the calling thread's future events with (pid, tid).  The pipeline
+  /// maps simulated MPI rank -> pid and worker thread -> tid; untagged
+  /// threads record under pid 0 with a unique auto-assigned tid.
+  static void set_thread_identity(int pid, int tid) noexcept;
+
+  /// Microseconds since the session epoch (steady clock).
+  [[nodiscard]] double now_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Append a closed span to the calling thread's buffer.  No-op when
+  /// disabled.  @p name is copied.
+  void record(const char* name, double ts_us, double dur_us);
+
+  /// Zero-duration marker (exported as an instant event).
+  void instant(const char* name);
+
+  /// Drop all recorded events and start a fresh epoch.  Quiescent use only.
+  void clear();
+
+  /// Events recorded so far across all threads.  Quiescent use only.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Serialize to the Chrome trace_event JSON array format.  Spans are
+  /// emitted as matched "B"/"E" pairs sorted by timestamp, plus "M" metadata
+  /// events naming each rank's process.  Quiescent use only.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Write to_chrome_json() to @p path (truncates).  Throws on I/O failure.
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  struct Buffer {
+    std::vector<TraceEvent> events;
+  };
+
+  /// The calling thread's buffer for this session, registered on first use
+  /// (and re-registered after clear(), which bumps the generation).
+  Buffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<int> next_auto_tid_{100000};  // clear of real rank/thread ids
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span against the global session: records [construction, destruction)
+/// under the name given.  The name must outlive the span (string literals).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept {
+    TraceSession& s = TraceSession::global();
+    if (s.enabled()) {
+      session_ = &s;
+      name_ = name;
+      start_us_ = s.now_us();
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (session_ != nullptr)
+      session_->record(name_, start_us_, session_->now_us() - start_us_);
+  }
+
+ private:
+  TraceSession* session_ = nullptr;
+  const char* name_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+}  // namespace metaprep::obs

@@ -4,9 +4,18 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace metaprep::sort {
 
 namespace {
+
+void count_sort_metrics(std::size_t keys, int passes) {
+  static obs::Counter& m_keys = obs::metrics().counter("sort.keys_sorted");
+  static obs::Counter& m_passes = obs::metrics().counter("sort.radix_passes");
+  m_keys.add(keys);
+  m_passes.add(static_cast<std::uint64_t>(passes));
+}
 
 /// One LSD counting pass: stable-scatter (keys, vals) into (out_keys,
 /// out_vals) by the digit at bit offset @p shift of digit_key(i).
@@ -66,6 +75,7 @@ void radix_sort_impl(std::span<std::uint64_t> keys, std::span<Val> vals,
     std::memcpy(keys.data(), src_k.data(), keys.size_bytes());
     std::memcpy(vals.data(), src_v.data(), vals.size_bytes());
   }
+  count_sort_metrics(keys.size(), passes);
 }
 
 }  // namespace
@@ -148,6 +158,7 @@ void radix_sort_kv128(std::span<std::uint64_t> keys_hi, std::span<std::uint64_t>
     std::memcpy(keys_lo.data(), sl.data(), n * sizeof(std::uint64_t));
     std::memcpy(vals.data(), sv.data(), n * sizeof(std::uint32_t));
   }
+  count_sort_metrics(n, total_passes);
 }
 
 bool is_sorted_keys(std::span<const std::uint64_t> keys) {

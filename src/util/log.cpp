@@ -21,7 +21,7 @@ LogLevel initial_level() {
   return LogLevel::kWarn;
 }
 
-std::atomic<int> g_level{static_cast<int>(initial_level())};
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -37,9 +37,9 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
   std::lock_guard lock(g_mutex);

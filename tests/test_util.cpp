@@ -45,6 +45,33 @@ TEST(StepTimes, MergeMaxTakesPerKeyMaximum) {
   EXPECT_DOUBLE_EQ(a.get("z"), 2.0);
 }
 
+TEST(StepTimes, MergeMaxDisjointKeysIsUnion) {
+  StepTimes a;
+  a.add("KmerGen", 1.0);
+  a.add("LocalSort", 2.0);
+  StepTimes b;
+  b.add("LocalCC", 3.0);
+  b.add("MergeCC", 4.0);
+  a.merge_max(b);
+  EXPECT_DOUBLE_EQ(a.get("KmerGen"), 1.0);
+  EXPECT_DOUBLE_EQ(a.get("LocalSort"), 2.0);
+  EXPECT_DOUBLE_EQ(a.get("LocalCC"), 3.0);
+  EXPECT_DOUBLE_EQ(a.get("MergeCC"), 4.0);
+  EXPECT_EQ(a.map().size(), 4U);
+}
+
+TEST(StepTimes, MergeMaxIntoEmptyCopies) {
+  StepTimes a;
+  StepTimes b;
+  b.add("x", 7.0);
+  a.merge_max(b);
+  EXPECT_DOUBLE_EQ(a.get("x"), 7.0);
+  // Merging an empty StepTimes changes nothing.
+  a.merge_max(StepTimes{});
+  EXPECT_DOUBLE_EQ(a.get("x"), 7.0);
+  EXPECT_EQ(a.map().size(), 1U);
+}
+
 TEST(WallTimer, MeasuresNonNegativeMonotonicTime) {
   WallTimer t;
   const double a = t.seconds();
@@ -57,11 +84,30 @@ TEST(WallTimer, MeasuresNonNegativeMonotonicTime) {
 
 TEST(BoxStats, EmptyAndSingle) {
   const BoxStats e = box_stats({});
+  EXPECT_DOUBLE_EQ(e.min, 0.0);
+  EXPECT_DOUBLE_EQ(e.q1, 0.0);
   EXPECT_DOUBLE_EQ(e.median, 0.0);
+  EXPECT_DOUBLE_EQ(e.q3, 0.0);
+  EXPECT_DOUBLE_EQ(e.max, 0.0);
   const BoxStats s = box_stats({4.0});
   EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.q1, 4.0);
   EXPECT_DOUBLE_EQ(s.median, 4.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
   EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(BoxStats, TwoElementsAndDuplicates) {
+  const BoxStats two = box_stats({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(two.min, 1.0);
+  EXPECT_DOUBLE_EQ(two.median, 2.0);
+  EXPECT_DOUBLE_EQ(two.max, 3.0);
+  const BoxStats same = box_stats({5.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(same.min, 5.0);
+  EXPECT_DOUBLE_EQ(same.q1, 5.0);
+  EXPECT_DOUBLE_EQ(same.median, 5.0);
+  EXPECT_DOUBLE_EQ(same.q3, 5.0);
+  EXPECT_DOUBLE_EQ(same.max, 5.0);
 }
 
 TEST(BoxStats, KnownQuartiles) {
