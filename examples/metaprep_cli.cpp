@@ -36,6 +36,8 @@
 #include "core/pipeline.hpp"
 #include "norm/diginorm.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -44,14 +46,45 @@ using namespace metaprep;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: metaprep_cli index --out=INDEX.bin [--k --m --chunks --single-end] "
-               "FASTQ...\n"
+               "usage: metaprep_cli index --out=INDEX.bin [--k --m --chunks --single-end "
+               "--parse-mode=strict|lenient] FASTQ...\n"
                "       metaprep_cli run --index=INDEX.bin [--ranks --threads --passes "
                "--memory-gb --filter-min --filter-max --out --no-output "
-               "--trace-out=T.json --metrics-out=M.jsonl]\n"
+               "--parse-mode=strict|lenient "
+               "--trace-out=T.json --metrics-out=M.jsonl "
+               "--fault-seed=N --fault-read-rate=P --fault-corrupt-rate=P "
+               "--fault-comm-drop-rate=P --fault-comm-delay-rate=P]\n"
                "       metaprep_cli info --index=INDEX.bin\n"
                "       metaprep_cli diginorm --out=PREFIX [--k --cutoff] R1.fastq R2.fastq\n");
   return 2;
+}
+
+io::ParseMode parse_mode_arg(const util::Args& args) {
+  const std::string mode = args.get("parse-mode", "strict");
+  if (mode == "strict") return io::ParseMode::kStrict;
+  if (mode == "lenient") return io::ParseMode::kLenient;
+  throw util::config_error("--parse-mode must be 'strict' or 'lenient' (got '" + mode + "')");
+}
+
+/// Arm the global FaultPlan from --fault-* flags; returns true if any rate
+/// is nonzero (the caller reports the injected-fault tally after the run).
+bool arm_fault_plan(const util::Args& args) {
+  util::FaultPlanConfig fp;
+  fp.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+  fp.transient_read_rate = args.get_double("fault-read-rate", 0.0);
+  fp.corrupt_rate = args.get_double("fault-corrupt-rate", 0.0);
+  fp.comm_drop_rate = args.get_double("fault-comm-drop-rate", 0.0);
+  fp.comm_delay_rate = args.get_double("fault-comm-delay-rate", 0.0);
+  for (double rate : {fp.transient_read_rate, fp.corrupt_rate, fp.comm_drop_rate,
+                      fp.comm_delay_rate}) {
+    if (rate < 0.0 || rate > 1.0)
+      throw util::config_error("--fault-* rates must be in [0, 1]");
+  }
+  if (fp.transient_read_rate == 0.0 && fp.corrupt_rate == 0.0 && fp.comm_drop_rate == 0.0 &&
+      fp.comm_delay_rate == 0.0)
+    return false;
+  util::FaultPlan::global().arm(fp);
+  return true;
 }
 
 int cmd_diginorm(const util::Args& args) {
@@ -76,6 +109,7 @@ int cmd_index(const util::Args& args) {
   opt.k = static_cast<int>(args.get_int("k", 27));
   opt.m = static_cast<int>(args.get_int("m", 10));
   opt.target_chunks = static_cast<std::uint32_t>(args.get_int("chunks", 384));
+  opt.parse_mode = parse_mode_arg(args);
   const bool paired = !args.has("single-end");
   core::IndexCreateTiming timing;
   const auto index = core::create_index(
@@ -107,11 +141,23 @@ int cmd_run(const util::Args& args) {
   if (fmax > 0) cfg.filter.max_freq = static_cast<std::uint32_t>(fmax);
   cfg.write_output = !args.has("no-output");
   cfg.output_dir = args.get("out", ".");
+  cfg.parse_mode = parse_mode_arg(args);
   cfg.trace_out = args.get("trace-out", "");
   cfg.metrics_out = args.get("metrics-out", "");
   std::filesystem::create_directories(cfg.output_dir);
+  const bool faults_armed = arm_fault_plan(args);
 
   const auto result = core::run_metaprep(index, cfg);
+  if (faults_armed) {
+    const auto fc = util::FaultPlan::global().counters();
+    std::printf("fault injection: %llu transient read faults, %llu chunks corrupted, "
+                "%llu deliveries dropped, %llu delayed\n",
+                static_cast<unsigned long long>(fc.read_faults),
+                static_cast<unsigned long long>(fc.chunks_corrupted),
+                static_cast<unsigned long long>(fc.comm_drops),
+                static_cast<unsigned long long>(fc.comm_delays));
+    util::FaultPlan::global().disarm();
+  }
   std::printf("Partitioned %u reads into %llu components using %d pass(es); largest "
               "component: %llu reads (%.1f%%).\n",
               result.num_reads, static_cast<unsigned long long>(result.num_components),
@@ -123,7 +169,7 @@ int cmd_run(const util::Args& args) {
   }
   table.print();
   if (args.has("verify")) {
-    const auto reference = core::reference_components(index, cfg.filter);
+    const auto reference = core::reference_components(index, cfg.filter, cfg.parse_mode);
     // Compare as partitions (labels may differ by renaming).
     auto normalize = [](const std::vector<std::uint32_t>& labels) {
       std::vector<std::uint32_t> out(labels.size());

@@ -6,6 +6,9 @@
 #   2. ThreadSanitizer build of the concurrency-heavy binaries, running the
 #      observability (test_obs) and simulated-MPI (test_mpsim) suites — the
 #      two that stress cross-thread event buffers and mailboxes.
+#   3. Address+UBSanitizer build running the fault-injection (test_faults)
+#      and FASTQ parsing (test_fastq) suites — the paths that do raw buffer
+#      arithmetic and deliberately corrupt / truncate input.
 #
 # Usage: scripts/tier1.sh [-jN]   (default -j$(nproc))
 set -euo pipefail
@@ -28,5 +31,14 @@ echo "=== tier 1: TSan test_obs ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
 echo "=== tier 1: TSan test_mpsim ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mpsim
+
+echo "=== tier 1: ASan+UBSan build (test_faults + test_fastq) ==="
+cmake --preset asan
+cmake --build --preset asan "${JOBS}" --target test_faults test_fastq
+
+echo "=== tier 1: ASan test_faults ==="
+ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_faults
+echo "=== tier 1: ASan test_fastq ==="
+ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_fastq
 
 echo "=== tier 1: PASS ==="

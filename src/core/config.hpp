@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "io/fastq.hpp"
 #include "mpsim/comm.hpp"
 
 namespace metaprep::core {
@@ -43,6 +44,13 @@ struct MetaprepConfig {
   std::uint64_t memory_budget_bytes = 0;  ///< per-task budget when num_passes == 0
 
   KmerFreqFilter filter;
+
+  /// FASTQ failure handling.  Strict (default): a malformed record anywhere
+  /// in the run throws a typed util::Error naming the file, byte offset,
+  /// and category.  Lenient: the parser resynchronizes on the next '@'
+  /// header, counts the skip in io.records_skipped, and the run completes
+  /// with the parseable reads labeled (degraded but labeled).
+  io::ParseMode parse_mode = io::ParseMode::kStrict;
 
   /// Multipass optimization (paper §3.5.1): from the second pass on,
   /// enumerate (k-mer, component-ID) tuples instead of (k-mer, read-ID).

@@ -7,6 +7,7 @@
 #include "kmer/scanner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/error.hpp"
 #include "util/thread_team.hpp"
 #include "util/timer.hpp"
 
@@ -22,9 +23,9 @@ struct FileScan {
 /// Stream one FASTQ file, cutting chunks of ~target_bytes at record
 /// boundaries.
 FileScan chunk_file(const std::string& path, std::uint32_t file_index,
-                    std::uint64_t target_bytes) {
+                    std::uint64_t target_bytes, io::ParseMode parse_mode) {
   FileScan scan;
-  io::FastqReader reader(path);
+  io::FastqReader reader(path, io::ParseOptions{parse_mode, path, 0});
   io::FastqRecord rec;
   ChunkRecord current;
   current.file = file_index;
@@ -84,7 +85,7 @@ DatasetIndex create_index(const std::string& name, const std::vector<std::string
   std::vector<FileScan> scans;
   scans.reserve(files.size());
   for (std::uint32_t f = 0; f < files.size(); ++f) {
-    scans.push_back(chunk_file(files[f], f, target_bytes));
+    scans.push_back(chunk_file(files[f], f, target_bytes, options.parse_mode));
   }
 
   // Assign global read-ID bases.  Paired: library j = files (2j, 2j+1), and
@@ -95,8 +96,9 @@ DatasetIndex create_index(const std::string& name, const std::vector<std::string
   if (paired) {
     for (std::size_t j = 0; j * 2 < files.size(); ++j) {
       if (scans[2 * j].record_count != scans[2 * j + 1].record_count)
-        throw std::runtime_error("create_index: paired files have different record counts: " +
-                                 files[2 * j] + " vs " + files[2 * j + 1]);
+        throw util::parse_error("create_index: paired files have different record counts: " +
+                                    files[2 * j] + " vs " + files[2 * j + 1],
+                                files[2 * j + 1]);
       id_base[2 * j] = total_reads;
       id_base[2 * j + 1] = total_reads;
       total_reads += scans[2 * j].record_count;
@@ -155,7 +157,8 @@ DatasetIndex create_index(const std::string& name, const std::vector<std::string
                                                    ++hist[kmer::prefix_bin128(km, k, m)];
                                                  });
               }
-            });
+            },
+            io::ParseOptions{options.parse_mode, index.files[chunk.file], chunk.offset});
       }
       bases_per_thread[static_cast<std::size_t>(t)] = bases;
     });

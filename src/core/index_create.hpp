@@ -20,12 +20,17 @@
 #include <vector>
 
 #include "core/indices.hpp"
+#include "io/fastq.hpp"
 
 namespace metaprep::core {
 
 struct IndexCreateOptions {
   int k = 27;
   int m = 10;
+  /// Strict: malformed FASTQ aborts indexing with a typed parse Error.
+  /// Lenient: bad records are skipped (counted in io.records_skipped) and
+  /// the index covers only the parseable records.
+  io::ParseMode parse_mode = io::ParseMode::kStrict;
   /// Target number of chunks across all files (the paper uses 384 for the
   /// small datasets and 1536 for IS).  At least one chunk per file.
   std::uint32_t target_chunks = 64;

@@ -57,6 +57,7 @@ void save_index(const DatasetIndex& index, const std::string& path) {
     w.write_u32(c.record_count);
   }
   w.write_vector<std::uint32_t>(index.part.histograms);
+  w.close();  // surface a failed flush as a typed Error, not a logged one
 }
 
 DatasetIndex load_index(const std::string& path) {

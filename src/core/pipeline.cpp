@@ -80,6 +80,11 @@ std::vector<std::uint16_t> bin_owner_table(std::span<const std::uint32_t> bounds
   return table;
 }
 
+/// Read-ID sentinel carried by tuples that pad under-filled send blocks
+/// (lenient parsing skipped records the chunk histograms had counted).
+/// LocalCC never forms an edge through it.
+constexpr std::uint32_t kInvalidRead = 0xFFFFFFFFu;
+
 struct RankShared {
   StepTimes times;
   std::vector<std::string> output_files;
@@ -198,6 +203,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
           off += count_send[static_cast<std::size_t>(t) * P + d];
         }
       }
+      const std::vector<std::uint64_t> cursor_start = cursor;
       const std::uint64_t total_out = send_offsets.back();
       kmer_out.resize(total_out);
       my.tuples += total_out;
@@ -281,13 +287,47 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
                       });
                 }
                 ++read_id;
-              });
+              },
+              io::ParseOptions{config.parse_mode, index.files[chunk.file], chunk.offset});
           span_end("KmerGen", gen_t0);
           gen_seconds[static_cast<std::size_t>(t)] += gen_timer.seconds();
         }
       });
       my.times.add("KmerGen-I/O", *std::max_element(io_seconds.begin(), io_seconds.end()));
       my.times.add("KmerGen", *std::max_element(gen_seconds.begin(), gen_seconds.end()));
+
+      // Lenient parsing may have skipped records that the (clean-data) chunk
+      // histograms counted, leaving some (thread, dest) blocks under-filled.
+      // The exchange geometry is precomputed on both sides, so the gap slots
+      // ship regardless — fill them with sentinel tuples whose bin falls in
+      // the destination's range (so its partition step stays in bounds) and
+      // whose value is kInvalidRead (so LocalCC ignores them).
+      for (int t = 0; t < T; ++t) {
+        for (int d = 0; d < P; ++d) {
+          const std::size_t td = static_cast<std::size_t>(t) * P + d;
+          const std::uint64_t block_end = cursor_start[td] + count_send[td];
+          if (cursor[td] == block_end) continue;
+          const auto bin = static_cast<std::uint64_t>(rank_bounds[static_cast<std::size_t>(d)]);
+          const int shift = 2 * (k - m);
+          std::uint64_t s_lo, s_hi;
+          if (!wide) {
+            s_lo = bin << shift;
+            s_hi = 0;
+          } else if (shift >= 64) {
+            s_hi = bin << (shift - 64);
+            s_lo = 0;
+          } else {
+            s_lo = bin << shift;
+            s_hi = bin >> (64 - shift);
+          }
+          for (std::uint64_t at = cursor[td]; at < block_end; ++at) {
+            kmer_out.keys[at] = s_lo;
+            if (wide) kmer_out.keys_hi[at] = s_hi;
+            kmer_out.vals[at] = kInvalidRead;
+          }
+          cursor[td] = block_end;
+        }
+      }
 
       // ---- KmerGen-Comm: staged All-to-all of the tuple arrays. ----
       {
@@ -444,6 +484,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
                 const std::uint32_t u = kmer_out.vals[x - 1];
                 const std::uint32_t v = kmer_out.vals[x];
                 if (u == v) continue;
+                if (u == kInvalidRead || v == kInvalidRead) continue;
                 const std::uint32_t ru = local_cc.find(u);
                 const std::uint32_t rv = local_cc.find(v);
                 if (ru != rv) {
@@ -628,9 +669,13 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
               [&](std::string_view id, std::string_view seq, std::string_view qual) {
                 writers[slot_of(labels[read_id])]->write(id, seq, qual);
                 ++read_id;
-              });
+              },
+              io::ParseOptions{config.parse_mode, index.files[chunk.file], chunk.offset});
         }
-        writers.clear();  // flush before publishing names
+        // Explicit close so a failed flush (e.g. ENOSPC) surfaces as a typed
+        // Error instead of being swallowed by the destructor.
+        for (auto& w : writers) w->close();
+        writers.clear();
         thread_files[static_cast<std::size_t>(t)] = std::move(names);
       });
       for (auto& files : thread_files) {
@@ -700,7 +745,8 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
 }
 
 std::vector<std::uint32_t> reference_components(const DatasetIndex& index,
-                                                const KmerFreqFilter& filter) {
+                                                const KmerFreqFilter& filter,
+                                                io::ParseMode parse_mode) {
   const int k = index.k;
   std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<std::uint32_t>> kmer_reads;
   for (std::uint32_t c = 0; c < index.part.num_chunks(); ++c) {
@@ -720,7 +766,8 @@ std::vector<std::uint32_t> reference_components(const DatasetIndex& index,
             });
           }
           ++read_id;
-        });
+        },
+        io::ParseOptions{parse_mode, index.files[chunk.file], chunk.offset});
   }
   dsu::SerialDSU dsu(index.total_reads);
   for (const auto& [km, reads] : kmer_reads) {

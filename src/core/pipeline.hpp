@@ -54,7 +54,8 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
 /// components computed from an in-memory map of canonical k-mer -> reads.
 /// Applies the same frequency filter semantics as the pipeline.  Quadratic
 /// memory in dataset size; test-scale only.
-std::vector<std::uint32_t> reference_components(const DatasetIndex& index,
-                                                const KmerFreqFilter& filter);
+std::vector<std::uint32_t> reference_components(
+    const DatasetIndex& index, const KmerFreqFilter& filter,
+    io::ParseMode parse_mode = io::ParseMode::kStrict);
 
 }  // namespace metaprep::core

@@ -1,35 +1,46 @@
 #include "io/binary.hpp"
 
-#include <stdexcept>
+#include <cerrno>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace metaprep::io {
-
-namespace {
-[[noreturn]] void fail(const std::string& path, const std::string& what) {
-  throw std::runtime_error("binary index: " + path + ": " + what);
-}
-}  // namespace
 
 BinaryWriter::BinaryWriter(const std::string& path, std::uint32_t magic, std::uint32_t version)
     : path_(path) {
   file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) fail(path_, "cannot open for writing");
+  if (file_ == nullptr)
+    throw util::io_error("binary index: cannot open for writing", path_, 0, errno);
   write_u32(magic);
   write_u32(version);
 }
 
-BinaryWriter::~BinaryWriter() { close(); }
+BinaryWriter::~BinaryWriter() {
+  try {
+    close();
+  } catch (const std::exception& e) {
+    LOG_ERROR("binary index: " << e.what());
+  }
+}
 
 void BinaryWriter::close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
+  if (file_ == nullptr) return;
+  std::FILE* f = file_;
+  file_ = nullptr;  // the handle is gone even if the flush fails
+  if (std::fclose(f) != 0) {
+    const int err = errno;
+    throw util::io_error("binary index: close failed, buffered data may be lost", path_,
+                         util::Error::kNoOffset, err);
   }
 }
 
 void BinaryWriter::write_bytes(const void* data, std::size_t size) {
-  if (file_ == nullptr) fail(path_, "write after close");
-  if (std::fwrite(data, 1, size, file_) != size) fail(path_, "short write");
+  if (file_ == nullptr) throw util::io_error("binary index: write after close", path_);
+  if (std::fwrite(data, 1, size, file_) != size) {
+    const int err = errno;
+    throw util::io_error("binary index: short write", path_, util::Error::kNoOffset, err);
+  }
 }
 
 void BinaryWriter::write_u32(std::uint32_t v) { write_bytes(&v, sizeof(v)); }
@@ -43,12 +54,15 @@ void BinaryWriter::write_string(const std::string& s) {
 BinaryReader::BinaryReader(const std::string& path, std::uint32_t magic, std::uint32_t version)
     : path_(path) {
   file_ = std::fopen(path.c_str(), "rb");
-  if (file_ == nullptr) fail(path_, "cannot open for reading");
-  if (read_u32() != magic) fail(path_, "bad magic (not a metaprep index?)");
+  if (file_ == nullptr)
+    throw util::io_error("binary index: cannot open for reading", path_, 0, errno);
+  if (read_u32() != magic)
+    throw util::parse_error("binary index: bad magic (not a metaprep index?)", path_, 0);
   const std::uint32_t got = read_u32();
   if (got != version)
-    fail(path_, "version mismatch (file v" + std::to_string(got) + ", expected v" +
-                    std::to_string(version) + ")");
+    throw util::parse_error("binary index: version mismatch (file v" + std::to_string(got) +
+                                ", expected v" + std::to_string(version) + ")",
+                            path_, sizeof(std::uint32_t));
 }
 
 BinaryReader::~BinaryReader() {
@@ -56,7 +70,10 @@ BinaryReader::~BinaryReader() {
 }
 
 void BinaryReader::read_bytes(void* data, std::size_t size) {
-  if (std::fread(data, 1, size, file_) != size) fail(path_, "truncated file");
+  if (std::fread(data, 1, size, file_) != size) {
+    const int err = std::ferror(file_) != 0 ? errno : 0;
+    throw util::io_error("binary index: truncated file", path_, util::Error::kNoOffset, err);
+  }
 }
 
 std::uint32_t BinaryReader::read_u32() {

@@ -39,6 +39,9 @@ class BinaryWriter {
     write_bytes(v.data(), v.size_bytes());
   }
 
+  /// Flush and close; throws util::Error (category io) if the flush fails.
+  /// The destructor closes too but only logs failures; callers that must
+  /// not lose an index should close() explicitly.
   void close();
 
  private:

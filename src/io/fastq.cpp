@@ -1,10 +1,16 @@
 #include "io/fastq.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <stdexcept>
+#include <span>
 
 #include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
+#include "util/retry.hpp"
 
 namespace metaprep::io {
 
@@ -16,140 +22,355 @@ obs::Counter& bytes_read_counter() {
   return c;
 }
 
-[[noreturn]] void fail(const std::string& path, const std::string& what) {
-  throw std::runtime_error("fastq: " + path + ": " + what);
+obs::Counter& retries_counter() {
+  static obs::Counter& c = obs::metrics().counter("io.retries");
+  return c;
 }
+
+obs::Counter& skipped_counter() {
+  static obs::Counter& c = obs::metrics().counter("io.records_skipped");
+  return c;
+}
+
+const util::RetryPolicy& io_retry_policy() {
+  static const util::RetryPolicy policy{};
+  return policy;
+}
+
+void count_retry(int /*attempt*/, const util::Error& /*error*/) { retries_counter().add(1); }
+
+/// A line that could be the sequence of a FASTQ record: non-empty, IUPAC
+/// nucleotide codes only.  Used by lenient resynchronization to reject '@'
+/// quality lines masquerading as headers.
+bool plausible_sequence(std::string_view s) {
+  static constexpr char kCodes[] = "ACGTUNRYKMSWBDHV";
+  if (s.empty()) return false;
+  for (char c : s) {
+    const char upper = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (std::memchr(kCodes, upper, sizeof(kCodes) - 1) == nullptr) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-FastqReader::FastqReader(const std::string& path) : path_(path), buffer_(kReadBufferSize) {
+// ---------------------------------------------------------------------------
+// FastqReader
+
+FastqReader::FastqReader(const std::string& path, ParseOptions options)
+    : path_(path), options_(std::move(options)), buffer_(kReadBufferSize) {
   file_ = std::fopen(path.c_str(), "rb");
-  if (file_ == nullptr) fail(path_, "cannot open for reading");
+  if (file_ == nullptr) throw util::io_error("cannot open for reading", path_, 0, errno);
 }
 
 FastqReader::~FastqReader() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-bool FastqReader::read_line(std::string& line) {
+void FastqReader::refill() {
+  buf_pos_ = 0;
+  buf_len_ = util::with_retries(
+      io_retry_policy(),
+      [&]() -> std::size_t {
+        util::FaultPlan& plan = util::FaultPlan::global();
+        if (plan.armed() && plan.inject_read_fault(path_, stream_pos_))
+          throw util::io_error("injected transient read fault", path_, stream_pos_, EINTR,
+                               /*transient=*/true);
+        const std::size_t n = std::fread(buffer_.data(), 1, buffer_.size(), file_);
+        if (n == 0 && std::ferror(file_) != 0) {
+          const int err = errno;
+          std::clearerr(file_);
+          throw util::io_error("read failed", path_, stream_pos_, err,
+                               err == EINTR || err == EAGAIN);
+        }
+        return n;
+      },
+      count_retry);
+  stream_pos_ += buf_len_;
+  bytes_read_counter().add(buf_len_);
+}
+
+bool FastqReader::read_line_raw(std::string& line) {
   line.clear();
+  std::uint64_t consumed = 0;
   for (;;) {
     if (buf_pos_ == buf_len_) {
-      buf_len_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
-      buf_pos_ = 0;
-      bytes_read_counter().add(buf_len_);
-      if (buf_len_ == 0) return !line.empty();
+      refill();
+      if (buf_len_ == 0) {
+        if (consumed == 0) return false;  // clean EOF
+        break;                            // final line without trailing newline
+      }
     }
     const char* start = buffer_.data() + buf_pos_;
     const char* nl = static_cast<const char*>(std::memchr(start, '\n', buf_len_ - buf_pos_));
     if (nl == nullptr) {
       line.append(start, buf_len_ - buf_pos_);
+      consumed += buf_len_ - buf_pos_;
       buf_pos_ = buf_len_;
       continue;
     }
-    line.append(start, static_cast<std::size_t>(nl - start));
-    buf_pos_ += static_cast<std::size_t>(nl - start) + 1;
-    return true;
+    const std::size_t len = static_cast<std::size_t>(nl - start);
+    line.append(start, len);
+    consumed += len + 1;  // line + newline, counted exactly
+    buf_pos_ += len + 1;
+    break;
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF: '\r' counted, stripped
+  offset_ += consumed;
+  return true;
+}
+
+bool FastqReader::next_line(std::string& line) {
+  if (have_pending_) {
+    line = std::move(pending_line_);
+    have_pending_ = false;
+    return true;  // bytes were accounted when the line was first read
+  }
+  return read_line_raw(line);
+}
+
+void FastqReader::malformed(const char* what, std::uint64_t at) {
+  if (options_.mode == ParseMode::kStrict) throw util::parse_error(what, path_, at);
+  ++skipped_;
+  skipped_counter().add(1);
+}
+
+// Lenient resynchronization: starting from @p line (the last line read),
+// scan for a line that starts with '@' and is followed by a plausible
+// nucleotide sequence.  On success @p line holds that header and the
+// sequence line is left pending; returns false at EOF.
+bool FastqReader::resync(std::string& line) {
+  for (;;) {
+    if (!line.empty() && line[0] == '@') {
+      std::string lookahead;
+      if (!read_line_raw(lookahead)) return false;
+      if (plausible_sequence(lookahead)) {
+        pending_line_ = std::move(lookahead);
+        have_pending_ = true;
+        return true;
+      }
+      line = std::move(lookahead);  // re-examine the lookahead itself
+      continue;
+    }
+    if (!read_line_raw(line)) return false;
   }
 }
 
 bool FastqReader::next(FastqRecord& out) {
   std::string line;
-  if (!read_line(line)) return false;
-  if (line.empty() || line[0] != '@') fail(path_, "expected '@' header line");
-  out.id.assign(line, 1, line.size() - 1);
-  std::uint64_t consumed = line.size() + 1;
-
-  if (!read_line(out.seq)) fail(path_, "truncated record (missing sequence)");
-  consumed += out.seq.size() + 1;
-
-  if (!read_line(line)) fail(path_, "truncated record (missing '+')");
-  if (line.empty() || line[0] != '+') fail(path_, "expected '+' separator line");
-  consumed += line.size() + 1;
-
-  if (!read_line(out.qual)) fail(path_, "truncated record (missing quality)");
-  if (out.qual.size() != out.seq.size()) fail(path_, "quality length != sequence length");
-  consumed += out.qual.size() + 1;
-
-  offset_ += consumed;
-  return true;
+  std::uint64_t record_start = offset_;
+  if (!next_line(line)) return false;
+  for (;;) {
+    if (line.empty() || line[0] != '@') {
+      malformed("expected '@' header line", record_start);
+      if (!resync(line)) return false;
+    }
+    out.id.assign(line, 1, line.size() - 1);
+    if (!next_line(out.seq)) {
+      malformed("truncated record (missing sequence)", record_start);
+      return false;
+    }
+    if (!next_line(line)) {
+      malformed("truncated record (missing '+' separator)", record_start);
+      return false;
+    }
+    if (line.empty() || line[0] != '+') {
+      malformed("expected '+' separator line", record_start);
+      if (!resync(line)) return false;
+      record_start = offset_;
+      continue;
+    }
+    if (!next_line(out.qual)) {
+      malformed("truncated record (missing quality)", record_start);
+      return false;
+    }
+    if (out.qual.size() != out.seq.size()) {
+      malformed("quality length != sequence length", record_start);
+      line = out.qual;  // the quality line may itself open the next record
+      if (!resync(line)) return false;
+      record_start = offset_;
+      continue;
+    }
+    return true;
+  }
 }
+
+// ---------------------------------------------------------------------------
+// FastqWriter
 
 FastqWriter::FastqWriter(const std::string& path) : path_(path) {
   file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) fail(path_, "cannot open for writing");
+  if (file_ == nullptr) throw util::io_error("cannot open for writing", path_, 0, errno);
 }
 
-FastqWriter::~FastqWriter() { close(); }
+FastqWriter::~FastqWriter() {
+  try {
+    close();
+  } catch (const std::exception& e) {
+    LOG_ERROR("fastq: " << e.what());
+  }
+}
 
 void FastqWriter::close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
-    static obs::Counter& written = obs::metrics().counter("io.bytes_written");
-    written.add(bytes_);
+  if (file_ == nullptr) return;
+  std::FILE* f = file_;
+  file_ = nullptr;  // the handle is gone even if the flush fails
+  static obs::Counter& written = obs::metrics().counter("io.bytes_written");
+  written.add(bytes_);
+  if (std::fclose(f) != 0) {
+    const int err = errno;
+    throw util::io_error("close failed, buffered data may be lost", path_, bytes_, err);
   }
 }
 
 void FastqWriter::write(const FastqRecord& record) { write(record.id, record.seq, record.qual); }
 
 void FastqWriter::write(std::string_view id, std::string_view seq, std::string_view qual) {
-  if (file_ == nullptr) fail(path_, "write after close");
-  if (qual.size() != seq.size()) fail(path_, "quality length != sequence length");
-  std::fputc('@', file_);
-  std::fwrite(id.data(), 1, id.size(), file_);
-  std::fputc('\n', file_);
-  std::fwrite(seq.data(), 1, seq.size(), file_);
-  std::fwrite("\n+\n", 1, 3, file_);
-  std::fwrite(qual.data(), 1, qual.size(), file_);
-  std::fputc('\n', file_);
-  bytes_ += 1 + id.size() + 1 + seq.size() + 3 + qual.size() + 1;
+  if (file_ == nullptr) throw util::io_error("write after close", path_);
+  if (qual.size() != seq.size())
+    throw util::parse_error("quality length != sequence length", path_, bytes_);
+  const auto put = [&](const char* data, std::size_t n) {
+    if (std::fwrite(data, 1, n, file_) != n) {
+      const int err = errno;
+      throw util::io_error("short write", path_, bytes_, err);
+    }
+    bytes_ += n;
+  };
+  put("@", 1);
+  put(id.data(), id.size());
+  put("\n", 1);
+  put(seq.data(), seq.size());
+  put("\n+\n", 3);
+  put(qual.data(), qual.size());
+  put("\n", 1);
 }
+
+// ---------------------------------------------------------------------------
+// Free functions
 
 std::vector<char> read_file_range(const std::string& path, std::uint64_t offset,
                                   std::uint64_t size) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) fail(path, "cannot open for reading");
+  if (f == nullptr) throw util::io_error("cannot open for reading", path, offset, errno);
   std::vector<char> buf(size);
-  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+  try {
+    util::with_retries(
+        io_retry_policy(),
+        [&] {
+          util::FaultPlan& plan = util::FaultPlan::global();
+          if (plan.armed() && plan.inject_read_fault(path, offset))
+            throw util::io_error("injected transient read fault", path, offset, EINTR,
+                                 /*transient=*/true);
+          // fseeko keeps the full 64-bit offset (fseek takes long: chunk
+          // offsets past 2 GiB would truncate and read the wrong range).
+          if (fseeko(f, static_cast<off_t>(offset), SEEK_SET) != 0)
+            throw util::io_error("seek failed", path, offset, errno);
+          std::clearerr(f);
+          const std::size_t got = std::fread(buf.data(), 1, size, f);
+          if (got != size) {
+            const int err = std::ferror(f) != 0 ? errno : 0;
+            std::clearerr(f);
+            throw util::io_error("short read (got " + std::to_string(got) + " of " +
+                                     std::to_string(size) + " bytes)",
+                                 path, offset, err, err == EINTR || err == EAGAIN);
+          }
+        },
+        count_retry);
+  } catch (...) {
     std::fclose(f);
-    fail(path, "seek failed");
+    throw;
   }
-  const std::size_t got = std::fread(buf.data(), 1, size, f);
   std::fclose(f);
-  if (got != size) fail(path, "short read");
   bytes_read_counter().add(size);
+  util::FaultPlan::global().corrupt_fastq_chunk(path, offset,
+                                                std::span<char>(buf.data(), buf.size()));
   return buf;
 }
 
-void for_each_record_in_buffer(
+BufferParseStats for_each_record_in_buffer(
     std::string_view buffer,
-    const std::function<void(std::string_view, std::string_view, std::string_view)>& fn) {
+    const std::function<void(std::string_view, std::string_view, std::string_view)>& fn,
+    ParseOptions options) {
+  BufferParseStats stats;
   std::size_t pos = 0;
   auto next_line = [&](std::string_view& line) -> bool {
     if (pos >= buffer.size()) return false;
     const std::size_t nl = buffer.find('\n', pos);
     const std::size_t end = nl == std::string_view::npos ? buffer.size() : nl;
     line = buffer.substr(pos, end - pos);
-    pos = end + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = nl == std::string_view::npos ? buffer.size() : nl + 1;
     return true;
   };
-  std::string_view header, seq, plus, qual;
-  std::uint64_t records = 0;
-  while (next_line(header)) {
-    if (header.empty() && pos >= buffer.size()) break;  // trailing newline
-    if (header.empty() || header[0] != '@')
-      throw std::runtime_error("fastq buffer: expected '@' header");
-    if (!next_line(seq) || !next_line(plus) || !next_line(qual))
-      throw std::runtime_error("fastq buffer: truncated record");
-    if (plus.empty() || plus[0] != '+')
-      throw std::runtime_error("fastq buffer: expected '+' separator");
-    if (qual.size() != seq.size())
-      throw std::runtime_error("fastq buffer: quality length != sequence length");
+  auto malformed = [&](const char* what, std::uint64_t at) {
+    if (options.mode == ParseMode::kStrict)
+      throw util::parse_error(std::string("fastq buffer: ") + what, options.path,
+                              options.base_offset + at);
+    ++stats.skipped;
+    skipped_counter().add(1);
+  };
+  // Lenient resynchronization over the buffer; see FastqReader::resync.
+  auto resync_from = [&](std::string_view start_line, std::string_view& header) -> bool {
+    std::string_view cur = start_line;
+    for (;;) {
+      if (!cur.empty() && cur[0] == '@') {
+        const std::size_t save = pos;
+        std::string_view lookahead;
+        if (!next_line(lookahead)) return false;
+        if (plausible_sequence(lookahead)) {
+          pos = save;  // the sequence line will be re-read by the parser
+          header = cur;
+          return true;
+        }
+        cur = lookahead;
+        continue;
+      }
+      if (!next_line(cur)) return false;
+    }
+  };
+
+  std::string_view line, seq, plus, qual;
+  std::uint64_t record_start = 0;
+  bool alive = next_line(line);
+  while (alive) {
+    if (line.empty() && pos >= buffer.size()) break;  // trailing newline
+    if (line.empty() || line[0] != '@') {
+      malformed("expected '@' header line", record_start);
+      if (!resync_from(line, line)) break;
+    }
+    const std::string_view header = line;
+    if (!next_line(seq)) {
+      malformed("truncated record (missing sequence)", record_start);
+      break;
+    }
+    if (!next_line(plus)) {
+      malformed("truncated record (missing '+' separator)", record_start);
+      break;
+    }
+    if (plus.empty() || plus[0] != '+') {
+      malformed("expected '+' separator line", record_start);
+      if (!resync_from(plus, line)) break;
+      record_start = pos;
+      continue;
+    }
+    if (!next_line(qual)) {
+      malformed("truncated record (missing quality)", record_start);
+      break;
+    }
+    if (qual.size() != seq.size()) {
+      malformed("quality length != sequence length", record_start);
+      if (!resync_from(qual, line)) break;
+      record_start = pos;
+      continue;
+    }
     fn(header.substr(1), seq, qual);
-    ++records;
+    ++stats.records;
+    record_start = pos;
+    alive = next_line(line);
   }
   static obs::Counter& parsed = obs::metrics().counter("io.records_parsed");
-  parsed.add(records);
+  parsed.add(stats.records);
+  return stats;
 }
 
 std::uint64_t count_records_in_buffer(std::string_view buffer) {
@@ -161,11 +382,16 @@ std::uint64_t count_records_in_buffer(std::string_view buffer) {
 
 std::uint64_t file_size_bytes(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) fail(path, "cannot open for reading");
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
+  if (f == nullptr) throw util::io_error("cannot open for reading", path, 0, errno);
+  if (fseeko(f, 0, SEEK_END) != 0) {
+    const int err = errno;
+    std::fclose(f);
+    throw util::io_error("seek to end failed", path, 0, err);
+  }
+  const off_t size = ftello(f);  // 64-bit, unlike ftell's long
+  const int err = errno;
   std::fclose(f);
-  if (size < 0) fail(path, "ftell failed");
+  if (size < 0) throw util::io_error("ftello failed", path, 0, err);
   return static_cast<std::uint64_t>(size);
 }
 

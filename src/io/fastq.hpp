@@ -4,10 +4,23 @@
 // record boundaries) of FASTQ files into per-thread buffers and parses
 // records out of the buffer (paper §3.1.2, §3.2).  We support the standard
 // 4-line record form (@id / sequence / + / quality), which is what both the
-// paper's Illumina datasets and our simulator produce.
+// paper's Illumina datasets and our simulator produce.  CRLF line endings
+// are accepted (the '\r' is stripped, never fed to k-mer enumeration), and
+// offsets are 64-bit throughout so >2 GiB files work.
+//
+// Failure handling comes in two modes (ParseMode):
+//  - strict (default): malformed input throws util::Error with category
+//    parse, naming the file and byte offset of the bad record;
+//  - lenient: the parser resynchronizes on the next plausible '@' header,
+//    counts the event in the io.records_skipped metric, and continues —
+//    the graceful-degradation behaviour a preprocessing service needs on
+//    dirty real-world read sets.
+// Transient read failures (EINTR, faults injected by util::FaultPlan) are
+// retried with backoff and counted in io.retries.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -21,11 +34,31 @@ struct FastqRecord {
   std::string qual;  ///< per-base quality string, same length as seq
 };
 
-/// Streaming reader over one FASTQ file.  Throws std::runtime_error on open
-/// failure or malformed records.
+enum class ParseMode {
+  kStrict,   ///< malformed record -> typed util::Error (category parse)
+  kLenient,  ///< malformed record -> resync on next '@' header, count skip
+};
+
+struct ParseOptions {
+  ParseMode mode = ParseMode::kStrict;
+  /// Error-reporting context for buffer parsing: the file the buffer was
+  /// read from and the buffer's byte offset within that file.  Ignored by
+  /// FastqReader (which knows its own path).
+  std::string path;
+  std::uint64_t base_offset = 0;
+};
+
+/// Per-buffer parse outcome.
+struct BufferParseStats {
+  std::uint64_t records = 0;  ///< records delivered to the callback
+  std::uint64_t skipped = 0;  ///< lenient-mode resynchronization events
+};
+
+/// Streaming reader over one FASTQ file.  Strict mode throws util::Error on
+/// open failure or malformed records; lenient mode skips bad records.
 class FastqReader {
  public:
-  explicit FastqReader(const std::string& path);
+  explicit FastqReader(const std::string& path, ParseOptions options = {});
   FastqReader(const FastqReader&) = delete;
   FastqReader& operator=(const FastqReader&) = delete;
   ~FastqReader();
@@ -33,21 +66,35 @@ class FastqReader {
   /// Read the next record.  Returns false at clean EOF.
   bool next(FastqRecord& out);
 
-  /// Byte offset of the start of the next record (for chunking).
+  /// Byte offset of the start of the next record (for chunking).  Exact
+  /// even when the final line has no trailing newline or lines end in CRLF.
   [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
 
+  /// Lenient-mode resynchronization events so far.
+  [[nodiscard]] std::uint64_t records_skipped() const noexcept { return skipped_; }
+
  private:
-  bool read_line(std::string& line);
+  void refill();
+  bool read_line_raw(std::string& line);
+  bool next_line(std::string& line);
+  bool resync(std::string& line);
+  void malformed(const char* what, std::uint64_t at);
 
   std::string path_;
+  ParseOptions options_;
   std::FILE* file_ = nullptr;
   std::vector<char> buffer_;
   std::size_t buf_pos_ = 0;
   std::size_t buf_len_ = 0;
-  std::uint64_t offset_ = 0;
+  std::uint64_t offset_ = 0;      ///< bytes consumed from the stream
+  std::uint64_t stream_pos_ = 0;  ///< file offset of the next fread
+  std::uint64_t skipped_ = 0;
+  bool have_pending_ = false;
+  std::string pending_line_;
 };
 
-/// Buffered FASTQ writer.
+/// Buffered FASTQ writer.  Short writes and close failures (e.g. ENOSPC
+/// during CC-I/O) surface as typed util::Error instead of silent success.
 class FastqWriter {
  public:
   explicit FastqWriter(const std::string& path);
@@ -58,8 +105,9 @@ class FastqWriter {
   void write(const FastqRecord& record);
   void write(std::string_view id, std::string_view seq, std::string_view qual);
 
-  /// Flush and close; subsequent writes are invalid.  Called by the
-  /// destructor if not called explicitly.
+  /// Flush and close; throws util::Error (category io) if the flush fails,
+  /// so callers that must not lose data should call this explicitly.  The
+  /// destructor closes too but only logs failures (destructors can't throw).
   void close();
 
   [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_; }
@@ -71,20 +119,23 @@ class FastqWriter {
 };
 
 /// Read the byte range [offset, offset + size) of a file into a buffer.
+/// 64-bit clean (uses fseeko); transient failures are retried with backoff.
 std::vector<char> read_file_range(const std::string& path, std::uint64_t offset,
                                   std::uint64_t size);
 
 /// Parse whole FASTQ records out of a memory buffer (a logical chunk).
 /// Invokes fn(id, seq, qual) per record; string_views alias the buffer.
-/// Throws on malformed input; the buffer must contain complete records.
-void for_each_record_in_buffer(
+/// Strict mode throws on malformed input; lenient mode resynchronizes and
+/// reports the skip count in the returned stats.
+BufferParseStats for_each_record_in_buffer(
     std::string_view buffer,
-    const std::function<void(std::string_view, std::string_view, std::string_view)>& fn);
+    const std::function<void(std::string_view, std::string_view, std::string_view)>& fn,
+    ParseOptions options = {});
 
-/// Count records in a buffer without invoking a callback.
+/// Count records in a buffer without invoking a callback (strict parse).
 std::uint64_t count_records_in_buffer(std::string_view buffer);
 
-/// Total size of a file in bytes.
+/// Total size of a file in bytes (64-bit clean).
 std::uint64_t file_size_bytes(const std::string& path);
 
 }  // namespace metaprep::io

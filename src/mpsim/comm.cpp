@@ -4,6 +4,9 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/retry.hpp"
 
 namespace metaprep::mpsim {
 
@@ -67,6 +70,13 @@ void World::poison_all() {
 }
 
 void World::deliver(int src, int dest, int tag, const void* data, std::size_t bytes) {
+  {
+    util::FaultPlan& plan = util::FaultPlan::global();
+    if (plan.armed() && plan.inject_comm_delay()) {
+      static obs::Counter& m_delays = obs::metrics().counter("mpsim.deliveries_delayed");
+      m_delays.add(1);
+    }
+  }
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
   Message msg;
   msg.payload.resize(bytes);
@@ -110,7 +120,7 @@ World::Message World::take(int src, int dest, int tag) {
     auto it = mb.queues.find(key);
     return it != mb.queues.end() && !it->second.empty();
   });
-  if (mb.poisoned) throw std::runtime_error("mpsim: world poisoned by a failed rank");
+  if (mb.poisoned) throw util::comm_error("mpsim: world poisoned by a failed rank");
   auto it = mb.queues.find(key);
   Message msg = std::move(it->second.front());
   it->second.pop_front();
@@ -118,16 +128,33 @@ World::Message World::take(int src, int dest, int tag) {
 }
 
 void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
-  if (dest < 0 || dest >= size()) throw std::out_of_range("mpsim send: bad dest rank");
-  world_->deliver(rank_, dest, tag, data, bytes);
+  if (dest < 0 || dest >= size())
+    throw util::comm_error("mpsim send: bad dest rank " + std::to_string(dest));
+  // Lost-message handling of a reliable transport: a delivery attempt that
+  // the FaultPlan drops throws a transient comm Error and is retransmitted
+  // with backoff.  The message enqueues exactly once (the drop fires before
+  // the mailbox is touched), so receivers never see duplicates.
+  static const util::RetryPolicy kSendRetryPolicy{};
+  util::with_retries(
+      kSendRetryPolicy,
+      [&] {
+        util::FaultPlan& plan = util::FaultPlan::global();
+        if (plan.armed() && plan.inject_comm_drop())
+          throw util::comm_error("injected message drop", /*transient=*/true);
+        world_->deliver(rank_, dest, tag, data, bytes);
+      },
+      [](int /*attempt*/, const util::Error& /*error*/) {
+        static obs::Counter& m_retries = obs::metrics().counter("mpsim.send_retries");
+        m_retries.add(1);
+      });
 }
 
 void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
   World::Message msg = world_->take(src, rank_, tag);
   if (msg.payload.size() != bytes)
-    throw std::runtime_error("mpsim recv: size mismatch (got " +
-                             std::to_string(msg.payload.size()) + ", expected " +
-                             std::to_string(bytes) + ")");
+    throw util::comm_error("mpsim recv: size mismatch (got " +
+                           std::to_string(msg.payload.size()) + ", expected " +
+                           std::to_string(bytes) + ")");
   std::memcpy(data, msg.payload.data(), bytes);
 }
 

@@ -1,0 +1,79 @@
+#include "util/error.hpp"
+
+#include <cstring>
+
+namespace metaprep::util {
+
+std::string_view to_string(ErrorCategory category) noexcept {
+  switch (category) {
+    case ErrorCategory::kIo:
+      return "io";
+    case ErrorCategory::kParse:
+      return "parse";
+    case ErrorCategory::kComm:
+      return "comm";
+    case ErrorCategory::kConfig:
+      return "config";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string format_what(ErrorCategory category, const std::string& detail,
+                        const std::string& path, std::uint64_t offset, int sys_errno,
+                        bool transient) {
+  std::string out = "[";
+  out += to_string(category);
+  if (transient) out += ", transient";
+  out += "] ";
+  if (!path.empty()) {
+    out += path;
+    if (offset != Error::kNoOffset) {
+      out += " @";
+      out += std::to_string(offset);
+    }
+    out += ": ";
+  }
+  out += detail;
+  if (sys_errno != 0) {
+    out += " (errno ";
+    out += std::to_string(sys_errno);
+    out += ": ";
+    out += std::strerror(sys_errno);
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+Error::Error(ErrorCategory category, std::string detail, std::string path,
+             std::uint64_t offset, int sys_errno, bool transient)
+    : std::runtime_error(format_what(category, detail, path, offset, sys_errno, transient)),
+      category_(category),
+      detail_(std::move(detail)),
+      path_(std::move(path)),
+      offset_(offset),
+      errno_(sys_errno),
+      transient_(transient) {}
+
+Error io_error(std::string detail, std::string path, std::uint64_t offset, int sys_errno,
+               bool transient) {
+  return Error(ErrorCategory::kIo, std::move(detail), std::move(path), offset, sys_errno,
+               transient);
+}
+
+Error parse_error(std::string detail, std::string path, std::uint64_t offset) {
+  return Error(ErrorCategory::kParse, std::move(detail), std::move(path), offset);
+}
+
+Error comm_error(std::string detail, bool transient) {
+  return Error(ErrorCategory::kComm, std::move(detail), {}, Error::kNoOffset, 0, transient);
+}
+
+Error config_error(std::string detail) {
+  return Error(ErrorCategory::kConfig, std::move(detail));
+}
+
+}  // namespace metaprep::util

@@ -1,0 +1,69 @@
+// Typed error taxonomy for the METAPREP pipeline.
+//
+// The pipeline is I/O-dominated (IndexCreate and KmerGen stream the full
+// FASTQ set every pass), so failures need enough structure for a caller to
+// decide between retrying (transient interconnect/filesystem hiccups),
+// skipping (one corrupt record out of billions), and aborting (bad config,
+// truncated index).  Error carries a category, the resource path, the byte
+// offset of the failure, the captured errno, and a transient flag, while
+// still deriving from std::runtime_error so existing catch sites and tests
+// keep working.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace metaprep::util {
+
+enum class ErrorCategory {
+  kIo,      ///< open/read/write/seek/close failures
+  kParse,   ///< malformed FASTQ/FASTA/binary-index content
+  kComm,    ///< mpsim messaging failures (poisoned world, size mismatch)
+  kConfig,  ///< invalid run configuration or CLI arguments
+};
+
+[[nodiscard]] std::string_view to_string(ErrorCategory category) noexcept;
+
+class Error : public std::runtime_error {
+ public:
+  /// Sentinel for "no byte offset applies to this failure".
+  static constexpr std::uint64_t kNoOffset = ~std::uint64_t{0};
+
+  Error(ErrorCategory category, std::string detail, std::string path = {},
+        std::uint64_t offset = kNoOffset, int sys_errno = 0, bool transient = false);
+
+  [[nodiscard]] ErrorCategory category() const noexcept { return category_; }
+  /// File or resource the failure refers to; empty when none applies.
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Byte offset of the failure within path(), or kNoOffset.
+  [[nodiscard]] std::uint64_t offset() const noexcept { return offset_; }
+  [[nodiscard]] bool has_offset() const noexcept { return offset_ != kNoOffset; }
+  /// errno captured at the failure site, 0 when none applies.
+  [[nodiscard]] int sys_errno() const noexcept { return errno_; }
+  /// Transient failures (EINTR, injected faults, dropped messages) are safe
+  /// to retry; everything else is permanent.
+  [[nodiscard]] bool transient() const noexcept { return transient_; }
+  /// The failure description without the category/path/offset decoration.
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  ErrorCategory category_;
+  std::string detail_;
+  std::string path_;
+  std::uint64_t offset_;
+  int errno_;
+  bool transient_;
+};
+
+// Category-specific constructors, for call-site brevity.
+[[nodiscard]] Error io_error(std::string detail, std::string path = {},
+                             std::uint64_t offset = Error::kNoOffset, int sys_errno = 0,
+                             bool transient = false);
+[[nodiscard]] Error parse_error(std::string detail, std::string path = {},
+                                std::uint64_t offset = Error::kNoOffset);
+[[nodiscard]] Error comm_error(std::string detail, bool transient = false);
+[[nodiscard]] Error config_error(std::string detail);
+
+}  // namespace metaprep::util

@@ -1,0 +1,168 @@
+#include "util/fault.hpp"
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace metaprep::util {
+
+namespace {
+
+// Site tags keep the decision streams for different fault kinds independent.
+constexpr std::uint64_t kTagRead = 0x52454144;     // "READ"
+constexpr std::uint64_t kTagCorrupt = 0x434f5252;  // "CORR"
+constexpr std::uint64_t kTagDrop = 0x44524f50;     // "DROP"
+constexpr std::uint64_t kTagDelay = 0x44454c59;    // "DELY"
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t site_hash(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                        std::uint64_t b) {
+  return splitmix64(splitmix64(splitmix64(seed ^ tag) ^ a) ^ b);
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::global() {
+  static FaultPlan* plan = new FaultPlan();  // leaked: process lifetime
+  return *plan;
+}
+
+void FaultPlan::arm(const FaultPlanConfig& config) {
+  {
+    std::lock_guard lock(mutex_);
+    config_ = config;
+    read_site_attempts_.clear();
+  }
+  comm_seq_.store(0, std::memory_order_relaxed);
+  reset_counters();
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultPlan::disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  read_site_attempts_.clear();
+}
+
+bool FaultPlan::draw(std::uint64_t hash, double rate) const {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(hash >> 11) * 0x1.0p-53 < rate;
+}
+
+bool FaultPlan::inject_read_fault(std::string_view path, std::uint64_t offset) {
+  if (!armed()) return false;
+  std::lock_guard lock(mutex_);
+  if (!draw(site_hash(config_.seed, kTagRead, fnv1a(path), offset),
+            config_.transient_read_rate))
+    return false;
+  int& attempts = read_site_attempts_[std::string(path) + "@" + std::to_string(offset)];
+  if (attempts >= config_.transient_failures_per_site) return false;  // site healed
+  ++attempts;
+  n_read_faults_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultPlan::corrupt_fastq_chunk(std::string_view path, std::uint64_t offset,
+                                    std::span<char> buffer) {
+  if (!armed()) return false;
+  std::uint64_t seed;
+  double rate;
+  {
+    std::lock_guard lock(mutex_);
+    seed = config_.seed;
+    rate = config_.corrupt_rate;
+  }
+  const std::uint64_t h = site_hash(seed, kTagCorrupt, fnv1a(path), offset);
+  if (!draw(h, rate)) return false;
+
+  // Record starts in a well-formed 4-line-record buffer: line 0, 4, 8, ...
+  // Walk the lines once; bail (no corruption) if the buffer doesn't look
+  // like clean FASTQ, so injected damage stays exactly one record's worth.
+  std::vector<std::size_t> record_starts;
+  std::size_t pos = 0;
+  std::size_t line = 0;
+  while (pos < buffer.size()) {
+    if (line % 4 == 0) {
+      if (buffer[pos] != '@') return false;
+      record_starts.push_back(pos);
+    }
+    const void* nl = std::memchr(buffer.data() + pos, '\n', buffer.size() - pos);
+    if (nl == nullptr) break;
+    pos = static_cast<std::size_t>(static_cast<const char*>(nl) - buffer.data()) + 1;
+    ++line;
+  }
+  if (record_starts.empty()) return false;
+  // Deterministic victim choice from the same site hash.
+  const std::size_t victim = splitmix64(h) % record_starts.size();
+  buffer[record_starts[victim]] = '#';
+  n_corrupted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultPlan::inject_comm_drop() {
+  if (!armed()) return false;
+  std::uint64_t seed;
+  double rate;
+  {
+    std::lock_guard lock(mutex_);
+    seed = config_.seed;
+    rate = config_.comm_drop_rate;
+  }
+  const std::uint64_t seq = comm_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (!draw(site_hash(seed, kTagDrop, seq, 0), rate)) return false;
+  n_drops_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultPlan::inject_comm_delay() {
+  if (!armed()) return false;
+  std::uint64_t seed;
+  double rate;
+  std::chrono::microseconds delay;
+  {
+    std::lock_guard lock(mutex_);
+    seed = config_.seed;
+    rate = config_.comm_delay_rate;
+    delay = config_.comm_delay;
+  }
+  const std::uint64_t seq = comm_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (!draw(site_hash(seed, kTagDelay, seq, 0), rate)) return false;
+  n_delays_.fetch_add(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(delay);
+  return true;
+}
+
+FaultPlan::Counters FaultPlan::counters() const {
+  Counters c;
+  c.read_faults = n_read_faults_.load(std::memory_order_relaxed);
+  c.chunks_corrupted = n_corrupted_.load(std::memory_order_relaxed);
+  c.comm_drops = n_drops_.load(std::memory_order_relaxed);
+  c.comm_delays = n_delays_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void FaultPlan::reset_counters() {
+  n_read_faults_.store(0, std::memory_order_relaxed);
+  n_corrupted_.store(0, std::memory_order_relaxed);
+  n_drops_.store(0, std::memory_order_relaxed);
+  n_delays_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace metaprep::util

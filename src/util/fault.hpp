@@ -1,0 +1,119 @@
+// FaultPlan: deterministic, seed-driven fault injection for the I/O and
+// comm layers.
+//
+// The pipeline's robustness claims (retry on transient I/O faults, lenient
+// resynchronization on corrupt FASTQ records, retransmission of dropped
+// mpsim messages) are only worth anything if they are exercised — this is
+// the harness that exercises them.  A process-wide plan is armed with rates
+// and a seed; instrumented sites (io::read_file_range, FastqReader refills,
+// mpsim::Comm::send / World::deliver) ask the plan whether to fail.
+//
+// Decisions are *site-keyed*, not sequence-keyed: a read fault or chunk
+// corruption fires based on a hash of (seed, path, offset), so every re-read
+// of the same byte range sees the same fault regardless of thread
+// scheduling.  That matters for the pipeline, whose precomputed buffer
+// offsets assume each chunk parses identically in the histogram, KmerGen,
+// and output phases.  Transient read faults additionally heal after
+// transient_failures_per_site attempts so the retry policy can win.
+//
+// When disarmed (the default), every hook is one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace metaprep::util {
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 1;
+
+  /// Probability a distinct (path, offset) read site fails transiently.
+  double transient_read_rate = 0.0;
+  /// Attempts that fail at a faulted read site before it heals; keep below
+  /// RetryPolicy::max_attempts for a recoverable plan.
+  int transient_failures_per_site = 1;
+
+  /// Probability a FASTQ chunk read at (path, offset) returns a corrupted
+  /// buffer (one record's '@' header is clobbered, making it unparseable).
+  double corrupt_rate = 0.0;
+
+  /// Probability a message delivery attempt is dropped (the sender's retry
+  /// loop retransmits it).
+  double comm_drop_rate = 0.0;
+  /// Probability a delivery is delayed by comm_delay before enqueue.
+  double comm_delay_rate = 0.0;
+  std::chrono::microseconds comm_delay{200};
+};
+
+class FaultPlan {
+ public:
+  /// The process-wide plan consulted by all instrumented sites.
+  static FaultPlan& global();
+
+  /// Install @p config, clear per-site state, and zero the counters.
+  void arm(const FaultPlanConfig& config);
+  /// Disable all injection (hooks become a relaxed load + branch).
+  void disarm();
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the read at (path, offset) should fail this attempt; the
+  /// caller throws a transient io Error and lets its retry policy re-run.
+  bool inject_read_fault(std::string_view path, std::uint64_t offset);
+
+  /// Deterministically corrupt the FASTQ buffer read from (path, offset):
+  /// one record's '@' header byte becomes '#'.  Returns true if corrupted.
+  bool corrupt_fastq_chunk(std::string_view path, std::uint64_t offset,
+                           std::span<char> buffer);
+
+  /// True when this delivery attempt should be dropped (per-message draw).
+  bool inject_comm_drop();
+
+  /// Per-message draw; sleeps config.comm_delay internally when it fires.
+  /// Returns true if a delay was injected.
+  bool inject_comm_delay();
+
+  struct Counters {
+    std::uint64_t read_faults = 0;       ///< transient read failures injected
+    std::uint64_t chunks_corrupted = 0;  ///< FASTQ buffers corrupted
+    std::uint64_t comm_drops = 0;        ///< deliveries dropped
+    std::uint64_t comm_delays = 0;       ///< deliveries delayed
+  };
+  [[nodiscard]] Counters counters() const;
+  void reset_counters();
+
+ private:
+  [[nodiscard]] bool draw(std::uint64_t site_hash, double rate) const;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  FaultPlanConfig config_;
+  /// Failed-attempt count per transiently-faulted read site, keyed
+  /// "path@offset"; lets sites heal so retries succeed.
+  std::unordered_map<std::string, int> read_site_attempts_;
+  std::atomic<std::uint64_t> comm_seq_{0};
+
+  std::atomic<std::uint64_t> n_read_faults_{0};
+  std::atomic<std::uint64_t> n_corrupted_{0};
+  std::atomic<std::uint64_t> n_drops_{0};
+  std::atomic<std::uint64_t> n_delays_{0};
+};
+
+/// RAII arm/disarm for tests: arms the global plan on construction and
+/// disarms it (and resets counters) on destruction.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlanConfig& config) { FaultPlan::global().arm(config); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+  ~ScopedFaultPlan() { FaultPlan::global().disarm(); }
+};
+
+}  // namespace metaprep::util

@@ -1,0 +1,51 @@
+// Retry-with-backoff for transient failures.
+//
+// The I/O and comm layers mark recoverable failures (EINTR, injected faults,
+// dropped mpsim messages) as transient util::Error; with_retries re-runs the
+// operation with exponential backoff and rethrows everything else — so a
+// Lustre hiccup costs a few retries instead of the whole multi-hour run.
+#pragma once
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace metaprep::util {
+
+struct RetryPolicy {
+  int max_attempts = 5;  ///< total attempts (first try included)
+  std::chrono::microseconds initial_backoff{50};
+  double backoff_multiplier = 2.0;
+  std::chrono::microseconds max_backoff{5000};  ///< cap keeps worst case bounded
+};
+
+/// Runs fn(); on a transient util::Error, invokes on_retry(attempt, error),
+/// sleeps the current backoff, and tries again, up to policy.max_attempts.
+/// Non-transient errors, other exception types, and exhaustion propagate to
+/// the caller unchanged.
+template <typename Fn, typename OnRetry>
+auto with_retries(const RetryPolicy& policy, Fn&& fn, OnRetry&& on_retry) -> decltype(fn()) {
+  auto backoff = policy.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const Error& e) {
+      if (!e.transient() || attempt >= policy.max_attempts) throw;
+      on_retry(attempt, e);
+      std::this_thread::sleep_for(backoff);
+      const auto next =
+          std::chrono::microseconds(static_cast<std::chrono::microseconds::rep>(
+              static_cast<double>(backoff.count()) * policy.backoff_multiplier));
+      backoff = next < policy.max_backoff ? next : policy.max_backoff;
+    }
+  }
+}
+
+template <typename Fn>
+auto with_retries(const RetryPolicy& policy, Fn&& fn) -> decltype(fn()) {
+  return with_retries(policy, std::forward<Fn>(fn), [](int, const Error&) {});
+}
+
+}  // namespace metaprep::util

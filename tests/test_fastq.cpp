@@ -3,17 +3,28 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "io/binary.hpp"
 #include "io/fasta.hpp"
 #include "test_support.hpp"
+#include "util/error.hpp"
 
 namespace metaprep::io {
 namespace {
 
 using test::TempDir;
+
+std::string write_raw(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return path;
+}
 
 TEST(Fastq, WriteReadRoundTrip) {
   TempDir dir;
@@ -107,6 +118,214 @@ TEST(Fastq, TruncatedRecordThrows) {
   FastqReader r(path);
   FastqRecord rec;
   EXPECT_THROW(r.next(rec), std::runtime_error);
+}
+
+TEST(Fastq, NoTrailingNewlineOffsetExact) {
+  // The final line of real-world FASTQ files often lacks a trailing newline;
+  // the reader's offset must not drift by the phantom '\n'.
+  TempDir dir;
+  const std::string path =
+      write_raw(dir.file("g.fastq"), "@x\nAAAA\n+\nIIII\n@y\nCCCC\n+\nIIII");
+  FastqReader r(path);
+  FastqRecord rec;
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(r.offset(), 15u);
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(rec.id, "y");
+  EXPECT_EQ(rec.qual, "IIII");
+  EXPECT_EQ(r.offset(), file_size_bytes(path));  // 29, not 30
+  EXPECT_FALSE(r.next(rec));
+}
+
+TEST(Fastq, CrLfLineEndingsParsedAndOffsetExact) {
+  TempDir dir;
+  const std::string path =
+      write_raw(dir.file("h.fastq"), "@x\r\nACGT\r\n+\r\nIIII\r\n@y\r\nGGGG\r\n+\r\nIIII\r\n");
+  FastqReader r(path);
+  FastqRecord rec;
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(rec.id, "x");
+  EXPECT_EQ(rec.seq, "ACGT");  // '\r' stripped, never fed to k-mer code
+  EXPECT_EQ(rec.qual, "IIII");
+  EXPECT_EQ(r.offset(), 19u);  // '\r' bytes still counted in the offset
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(rec.seq, "GGGG");
+  EXPECT_EQ(r.offset(), file_size_bytes(path));
+}
+
+TEST(Fastq, CrLfBufferParsing) {
+  const std::string content = "@x\r\nACGT\r\n+\r\nIIII\r\n";
+  std::vector<std::string> seqs;
+  const auto stats = for_each_record_in_buffer(
+      content, [&](std::string_view, std::string_view seq, std::string_view qual) {
+        seqs.emplace_back(seq);
+        EXPECT_EQ(qual, "IIII");
+      });
+  EXPECT_EQ(seqs, std::vector<std::string>{"ACGT"});
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.skipped, 0u);
+}
+
+// ---- Malformed-FASTQ corpus: strict mode raises typed errors naming the
+// file and offset; lenient mode resynchronizes and counts the skip. ----
+
+TEST(Fastq, MissingPlusStrictThrowsTypedError) {
+  TempDir dir;
+  const std::string path =
+      write_raw(dir.file("noplus.fastq"), "@x\nACGT\nIIII\n@y\nGGGG\n+\nIIII\n");
+  FastqReader r(path);
+  FastqRecord rec;
+  try {
+    r.next(rec);
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.category(), util::ErrorCategory::kParse);
+    EXPECT_EQ(e.path(), path);
+    EXPECT_TRUE(e.has_offset());
+    EXPECT_EQ(e.offset(), 0u);  // the record that started at byte 0 is bad
+  }
+}
+
+TEST(Fastq, MissingPlusLenientResyncs) {
+  TempDir dir;
+  const std::string path =
+      write_raw(dir.file("noplus2.fastq"), "@x\nACGT\nIIII\n@y\nGGGG\n+\nIIII\n");
+  FastqReader r(path, ParseOptions{ParseMode::kLenient, "", 0});
+  FastqRecord rec;
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(rec.id, "y");
+  EXPECT_FALSE(r.next(rec));
+  EXPECT_EQ(r.records_skipped(), 1u);
+}
+
+TEST(Fastq, TruncatedRecordLenientCountsSkip) {
+  TempDir dir;
+  const std::string path = write_raw(dir.file("trunc.fastq"), "@x\nACGT\n+\nIIII\n@y\nGG");
+  FastqReader r(path, ParseOptions{ParseMode::kLenient, "", 0});
+  FastqRecord rec;
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(rec.id, "x");
+  EXPECT_FALSE(r.next(rec));
+  EXPECT_EQ(r.records_skipped(), 1u);
+}
+
+TEST(Fastq, BlankInteriorLineStrictThrowsLenientResyncs) {
+  const std::string content = "@x\nACGT\n+\nIIII\n\n@y\nGGGG\n+\nIIII\n";
+  TempDir dir;
+  const std::string path = write_raw(dir.file("blank.fastq"), content);
+  {
+    FastqReader r(path);
+    FastqRecord rec;
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_THROW(r.next(rec), util::Error);
+  }
+  {
+    FastqReader r(path, ParseOptions{ParseMode::kLenient, "", 0});
+    FastqRecord rec;
+    ASSERT_TRUE(r.next(rec));
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec.id, "y");
+    EXPECT_FALSE(r.next(rec));
+    EXPECT_EQ(r.records_skipped(), 1u);
+  }
+}
+
+TEST(Fastq, QualityLengthMismatchLenientResyncs) {
+  TempDir dir;
+  const std::string path =
+      write_raw(dir.file("qlen.fastq"), "@x\nACGT\n+\nII\n@y\nGGGG\n+\nIIII\n");
+  FastqReader r(path, ParseOptions{ParseMode::kLenient, "", 0});
+  FastqRecord rec;
+  ASSERT_TRUE(r.next(rec));
+  EXPECT_EQ(rec.id, "y");
+  EXPECT_FALSE(r.next(rec));
+  EXPECT_EQ(r.records_skipped(), 1u);
+}
+
+TEST(Fastq, BufferStrictErrorNamesFileAndOffset) {
+  const std::string content = "@x\nACGT\nIIII\n";  // missing '+'
+  try {
+    for_each_record_in_buffer(
+        content, [](std::string_view, std::string_view, std::string_view) {},
+        ParseOptions{ParseMode::kStrict, "/data/sample.fastq", 4096});
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.category(), util::ErrorCategory::kParse);
+    EXPECT_EQ(e.path(), "/data/sample.fastq");
+    EXPECT_EQ(e.offset(), 4096u);  // base_offset + in-buffer record start
+  }
+}
+
+TEST(Fastq, BufferLenientCorpusSkipCounts) {
+  // One good record, one missing '+', one good, one truncated.
+  const std::string content =
+      "@a\nACGT\n+\nIIII\n@b\nCCCC\nIIII\n@c\nGGGG\n+\nIIII\n@d\nTT";
+  std::vector<std::string> ids;
+  const auto stats = for_each_record_in_buffer(
+      content,
+      [&](std::string_view id, std::string_view, std::string_view) { ids.emplace_back(id); },
+      ParseOptions{ParseMode::kLenient, "", 0});
+  EXPECT_EQ(ids, (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.skipped, 2u);
+}
+
+TEST(Fastq, WriterSurfacesEnospcOnClose) {
+  // /dev/full accepts buffered writes but fails the flush with ENOSPC —
+  // exactly the silent-data-loss case the writer must surface.
+  if (!std::filesystem::exists("/dev/full")) GTEST_SKIP() << "no /dev/full";
+  FastqWriter w("/dev/full");
+  w.write("x", "ACGT", "IIII");
+  try {
+    w.close();
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.category(), util::ErrorCategory::kIo);
+    EXPECT_EQ(e.path(), "/dev/full");
+    EXPECT_EQ(e.sys_errno(), ENOSPC);
+  }
+}
+
+TEST(Fastq, WriteAfterCloseThrows) {
+  TempDir dir;
+  FastqWriter w(dir.file("w.fastq"));
+  w.write("x", "ACGT", "IIII");
+  w.close();
+  w.close();  // idempotent
+  EXPECT_THROW(w.write("y", "ACGT", "IIII"), util::Error);
+}
+
+TEST(Fastq, LargeFileOffsetsBeyond2GiB) {
+  // Regression: fseek/ftell truncate at 2 GiB on ABIs with 32-bit long;
+  // file_size_bytes and read_file_range must use fseeko/ftello.  The file is
+  // sparse, so this costs ~no disk.
+  TempDir dir;
+  const std::string path = dir.file("big.fastq");
+  const std::uint64_t two_gib = std::uint64_t{1} << 31;
+  const std::string record = "@big\nACGTACGT\n+\nIIIIIIII\n";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (fseeko(f, static_cast<off_t>(two_gib), SEEK_SET) != 0) {
+      std::fclose(f);
+      GTEST_SKIP() << "filesystem does not support sparse 2 GiB files";
+    }
+    ASSERT_EQ(std::fwrite(record.data(), 1, record.size(), f), record.size());
+    std::fclose(f);
+  }
+  std::error_code ec;
+  if (std::filesystem::file_size(path, ec) != two_gib + record.size() || ec) {
+    GTEST_SKIP() << "filesystem does not support sparse 2 GiB files";
+  }
+  EXPECT_EQ(file_size_bytes(path), two_gib + record.size());
+  const auto buf = read_file_range(path, two_gib, record.size());
+  EXPECT_EQ(std::string(buf.data(), buf.size()), record);
+  std::vector<std::string> seqs;
+  for_each_record_in_buffer(std::string_view(buf.data(), buf.size()),
+                            [&](std::string_view, std::string_view seq, std::string_view) {
+                              seqs.emplace_back(seq);
+                            });
+  EXPECT_EQ(seqs, std::vector<std::string>{"ACGTACGT"});
 }
 
 TEST(Fastq, BufferParsingMatchesStreaming) {
