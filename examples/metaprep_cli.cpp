@@ -50,7 +50,7 @@ int usage() {
                "--parse-mode=strict|lenient] FASTQ...\n"
                "       metaprep_cli run --index=INDEX.bin [--ranks --threads --passes "
                "--memory-gb --filter-min --filter-max --out --no-output "
-               "--parse-mode=strict|lenient "
+               "--parse-mode=strict|lenient --pipeline-mode=barrier|overlap "
                "--trace-out=T.json --metrics-out=M.jsonl "
                "--fault-seed=N --fault-read-rate=P --fault-corrupt-rate=P "
                "--fault-comm-drop-rate=P --fault-comm-delay-rate=P]\n"
@@ -64,6 +64,14 @@ io::ParseMode parse_mode_arg(const util::Args& args) {
   if (mode == "strict") return io::ParseMode::kStrict;
   if (mode == "lenient") return io::ParseMode::kLenient;
   throw util::config_error("--parse-mode must be 'strict' or 'lenient' (got '" + mode + "')");
+}
+
+core::PipelineMode pipeline_mode_arg(const util::Args& args) {
+  const std::string mode = args.get("pipeline-mode", "barrier");
+  if (mode == "barrier") return core::PipelineMode::kBarrier;
+  if (mode == "overlap") return core::PipelineMode::kOverlap;
+  throw util::config_error("--pipeline-mode must be 'barrier' or 'overlap' (got '" + mode +
+                           "')");
 }
 
 /// Arm the global FaultPlan from --fault-* flags; returns true if any rate
@@ -142,6 +150,7 @@ int cmd_run(const util::Args& args) {
   cfg.write_output = !args.has("no-output");
   cfg.output_dir = args.get("out", ".");
   cfg.parse_mode = parse_mode_arg(args);
+  cfg.pipeline_mode = pipeline_mode_arg(args);
   cfg.trace_out = args.get("trace-out", "");
   cfg.metrics_out = args.get("metrics-out", "");
   std::filesystem::create_directories(cfg.output_dir);

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Performance guard for the single-node bench (Figure 5).
+#
+# Runs bench_fig5_singlenode BENCH_GUARD_RUNS times (min-of-N wall time per
+# configuration, which filters scheduler noise), writes the distilled result
+# to BENCH_fig5.json at the repo root, and fails when:
+#
+#   * any configuration's min wall time regressed more than 10% (plus a
+#     small absolute slack for sub-millisecond rows) against the committed
+#     BENCH_fig5.json baseline, or
+#   * the pipelined scheduler stopped paying for itself: on the passes=2 A/B
+#     rows, overlap must stay >= 10% faster than barrier and must report
+#     pool_reuse_hits > 0 (machine-independent invariants).
+#
+# Regenerate the committed baseline with METAPREP_BENCH_UPDATE=1.
+#
+# Env knobs:
+#   BENCH_GUARD_RUNS    repetitions for min-of-N (default 5; acceptance: 12)
+#   BENCH_GUARD_BIN     bench binary (default ./build/bench/bench_fig5_singlenode)
+#   METAPREP_BENCH_UPDATE=1  rewrite BENCH_fig5.json instead of comparing
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${BENCH_GUARD_RUNS:-5}"
+BIN="${BENCH_GUARD_BIN:-./build/bench/bench_fig5_singlenode}"
+BASELINE="BENCH_fig5.json"
+
+if [[ ! -x "${BIN}" ]]; then
+  echo "bench_guard: building ${BIN}" >&2
+  cmake --build build --target bench_fig5_singlenode -j"$(nproc)"
+fi
+
+TMP_JSON="$(mktemp /tmp/bench_guard.XXXXXX.json)"
+trap 'rm -f "${TMP_JSON}"' EXIT
+
+echo "=== bench_guard: ${RUNS} x ${BIN} ==="
+for i in $(seq "${RUNS}"); do
+  METAPREP_BENCH_JSON="${TMP_JSON}" "${BIN}" >/dev/null
+done
+
+METAPREP_BENCH_UPDATE="${METAPREP_BENCH_UPDATE:-0}" \
+python3 - "${TMP_JSON}" "${BASELINE}" <<'PYEOF'
+import json, os, sys
+
+tmp_json, baseline_path = sys.argv[1], sys.argv[2]
+update = os.environ.get("METAPREP_BENCH_UPDATE") == "1"
+
+# One JSON object per bench emit() per run; key rows by (mode, passes, threads).
+mins = {}
+hits = {}
+with open(tmp_json) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj.get("bench") != "fig5_singlenode":
+            continue
+        for row in obj["rows"]:
+            key = (row["mode"], int(row["passes"]), int(row["threads"]))
+            wall = float(row["wall_s"])
+            mins[key] = min(mins.get(key, wall), wall)
+            if "pool_reuse_hits" in row:
+                hits[key] = max(hits.get(key, 0), int(row["pool_reuse_hits"]))
+
+if not mins:
+    sys.exit("bench_guard: no fig5_singlenode rows captured")
+
+result = {
+    "bench": "fig5_singlenode",
+    "min_of": int(os.environ.get("BENCH_GUARD_RUNS", "5")),
+    "rows": [
+        {"mode": m, "passes": p, "threads": t, "wall_s": w}
+        | ({"pool_reuse_hits": hits[(m, p, t)]} if (m, p, t) in hits else {})
+        for (m, p, t), w in sorted(mins.items())
+    ],
+}
+
+failures = []
+
+# Invariant 1: the overlap scheduler beats barrier by >= 10% on the A/B rows
+# and actually recycled buffers.
+ab = {m: w for (m, p, t), w in mins.items() if p == 2}
+if "barrier" in ab and "overlap" in ab:
+    if ab["overlap"] > 0.90 * ab["barrier"]:
+        failures.append(
+            f"overlap no longer >=10% faster than barrier at S=2: "
+            f"barrier={ab['barrier']:.4f}s overlap={ab['overlap']:.4f}s"
+        )
+    overlap_hits = max(
+        (h for (m, p, t), h in hits.items() if m == "overlap" and p == 2), default=0
+    )
+    if overlap_hits <= 0:
+        failures.append("overlap run reported pool_reuse_hits == 0")
+else:
+    failures.append("missing barrier/overlap passes=2 rows in bench output")
+
+# Invariant 2: no config regressed > 10% (+0.02 s absolute slack for tiny
+# rows) against the committed baseline.
+if update:
+    with open(baseline_path, "w") as f:
+        json.dump(result, f, indent=1)
+        f.write("\n")
+    print(f"bench_guard: baseline {baseline_path} updated")
+elif os.path.exists(baseline_path):
+    with open(baseline_path) as f:
+        base = json.load(f)
+    base_rows = {
+        (r["mode"], int(r["passes"]), int(r["threads"])): float(r["wall_s"])
+        for r in base["rows"]
+    }
+    for key, wall in sorted(mins.items()):
+        if key not in base_rows:
+            continue
+        limit = base_rows[key] * 1.10 + 0.02
+        if wall > limit:
+            failures.append(
+                f"regression at mode={key[0]} passes={key[1]} threads={key[2]}: "
+                f"{wall:.4f}s > limit {limit:.4f}s (baseline {base_rows[key]:.4f}s)"
+            )
+else:
+    failures.append(
+        f"no committed baseline {baseline_path}; run METAPREP_BENCH_UPDATE=1 "
+        "scripts/bench_guard.sh and commit it"
+    )
+
+for key, wall in sorted(mins.items()):
+    print(f"  mode={key[0]:8s} passes={key[1]} threads={key[2]:2d}  min wall {wall:.4f}s")
+
+if failures:
+    print("bench_guard: FAIL", file=sys.stderr)
+    for f_ in failures:
+        print("  " + f_, file=sys.stderr)
+    sys.exit(1)
+print("bench_guard: PASS")
+PYEOF

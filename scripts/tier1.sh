@@ -41,4 +41,7 @@ ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_faults
 echo "=== tier 1: ASan test_fastq ==="
 ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_fastq
 
+echo "=== tier 1: bench guard (fig5 min-of-N vs BENCH_fig5.json) ==="
+scripts/bench_guard.sh
+
 echo "=== tier 1: PASS ==="

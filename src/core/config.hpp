@@ -36,6 +36,23 @@ enum class MergeStrategy {
   kContraction,
 };
 
+/// How the S I/O passes are scheduled (§3.2-§3.5 loop).
+enum class PipelineMode {
+  /// One phase at a time to a barrier, exactly the paper's schedule: each
+  /// pass runs KmerGen -> KmerGen-Comm -> LocalSort -> LocalCC to
+  /// completion before the next pass starts.  The default; behaviour is
+  /// bit-identical to the pre-pipelining implementation.
+  kBarrier,
+  /// Pipelined schedule: passes are grouped in pairs; one chunk read+scan
+  /// generates both passes' tuples (pass s+1's KmerGen overlaps pass s's
+  /// KmerGen-Comm window), the exchange is posted with async isend/irecv
+  /// and completed lazily, and KmerGen partitions tuples per destination
+  /// *thread* so LocalSort's partition copy disappears.  Buffers are leased
+  /// from util::BufferPool.  Produces the same component partition as
+  /// kBarrier (labels up to renaming; see DESIGN.md "Pipelined passes").
+  kOverlap,
+};
+
 struct MetaprepConfig {
   int k = 27;                 ///< k-mer length (<= 63; > 32 uses 128-bit k-mers)
   int num_ranks = 1;          ///< P: simulated MPI tasks
@@ -73,6 +90,9 @@ struct MetaprepConfig {
   int output_top_components = 1;
 
   MergeStrategy merge_strategy = MergeStrategy::kPairwiseTree;
+
+  /// Pass scheduling (CLI --pipeline-mode=barrier|overlap).
+  PipelineMode pipeline_mode = PipelineMode::kBarrier;
 
   /// Interconnect cost model for the simulated-comm-seconds report.
   mpsim::CostModelParams cost_model;

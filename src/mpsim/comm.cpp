@@ -149,6 +149,100 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
       });
 }
 
+void World::note_async_posted() {
+  const std::int64_t now = async_inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  static obs::Gauge& g_inflight = obs::metrics().gauge("mpsim.async_inflight");
+  g_inflight.set_max(static_cast<double>(now));
+}
+
+void World::note_async_completed() noexcept {
+  async_inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Request Comm::isend(int dest, int tag, const void* data, std::size_t bytes) {
+  world_->note_async_posted();
+  // Buffered-send semantics: deliver now (drop/retry handling included in
+  // send), complete the request now.  The momentary posted state still
+  // registers in the inflight high-water mark.
+  send(dest, tag, data, bytes);
+  world_->note_async_completed();
+  Request r;
+  r.kind_ = Request::Kind::kSend;
+  r.peer_ = dest;
+  r.tag_ = tag;
+  r.bytes_ = bytes;
+  r.done_ = true;
+  return r;
+}
+
+Request Comm::irecv(int src, int tag, void* data, std::size_t bytes) {
+  if (src < 0 || src >= size())
+    throw util::comm_error("mpsim irecv: bad src rank " + std::to_string(src));
+  world_->note_async_posted();
+  Request r;
+  r.kind_ = Request::Kind::kRecv;
+  r.peer_ = src;
+  r.tag_ = tag;
+  r.data_ = data;
+  r.bytes_ = bytes;
+  r.done_ = false;
+  return r;
+}
+
+void Comm::wait(Request& request) {
+  if (request.done()) return;
+  // Only pending receives reach here; sends complete inside isend.
+  World::Message msg = world_->take(request.peer_, rank_, request.tag_);
+  request.done_ = true;  // the request is consumed even if the size check throws
+  world_->note_async_completed();
+  if (msg.payload.size() != request.bytes_)
+    throw util::comm_error("mpsim wait: size mismatch (got " +
+                           std::to_string(msg.payload.size()) + ", expected " +
+                           std::to_string(request.bytes_) + ")");
+  std::memcpy(request.data_, msg.payload.data(), msg.payload.size());
+}
+
+void Comm::wait_all(std::span<Request> requests) {
+  for (Request& r : requests) wait(r);
+}
+
+std::vector<Request> Comm::ialltoallv_staged(const void* sendbuf,
+                                             std::span<const std::uint64_t> send_offsets,
+                                             void* recvbuf,
+                                             std::span<const std::uint64_t> recv_offsets,
+                                             int tag) {
+  const int P = size();
+  if (send_offsets.size() != static_cast<std::size_t>(P) + 1 ||
+      recv_offsets.size() != static_cast<std::size_t>(P) + 1)
+    throw std::invalid_argument("ialltoallv_staged: offset arrays must have P+1 entries");
+
+  const auto* sbytes = static_cast<const std::byte*>(sendbuf);
+  auto* rbytes = static_cast<std::byte*>(recvbuf);
+
+  // Stage 0: local block, plain copy (src == dest).
+  std::memcpy(rbytes + recv_offsets[static_cast<std::size_t>(rank_)],
+              sbytes + send_offsets[static_cast<std::size_t>(rank_)],
+              send_offsets[static_cast<std::size_t>(rank_) + 1] -
+                  send_offsets[static_cast<std::size_t>(rank_)]);
+
+  // Stages 1..P-1, same schedule as the blocking version, but every send is
+  // posted up front and every receive is returned pending: the caller's
+  // compute between this post and the wait_all is the overlap window.
+  std::vector<Request> pending;
+  pending.reserve(static_cast<std::size_t>(P > 0 ? P - 1 : 0));
+  for (int stage = 1; stage < P; ++stage) {
+    const int dest = (rank_ + stage) % P;
+    const int src = (rank_ - stage + P) % P;
+    const std::uint64_t send_begin = send_offsets[static_cast<std::size_t>(dest)];
+    const std::uint64_t send_len = send_offsets[static_cast<std::size_t>(dest) + 1] - send_begin;
+    isend(dest, tag + stage, sbytes + send_begin, send_len);
+    const std::uint64_t recv_begin = recv_offsets[static_cast<std::size_t>(src)];
+    const std::uint64_t recv_len = recv_offsets[static_cast<std::size_t>(src) + 1] - recv_begin;
+    pending.push_back(irecv(src, tag + stage, rbytes + recv_begin, recv_len));
+  }
+  return pending;
+}
+
 void Comm::recv(int src, int tag, void* data, std::size_t bytes) {
   World::Message msg = world_->take(src, rank_, tag);
   if (msg.payload.size() != bytes)

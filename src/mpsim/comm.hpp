@@ -15,6 +15,7 @@
 // communication time alongside measured compute time.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -37,6 +38,31 @@ struct CostModelParams {
 };
 
 class World;
+class Comm;
+
+/// Handle for a non-blocking operation, completed by Comm::wait/wait_all.
+///
+/// Send requests follow MPI buffered-send semantics: the payload is copied
+/// into the destination mailbox before isend returns, so the request is
+/// already complete and the caller may reuse (or release to the BufferPool)
+/// the send buffer immediately.  Receive requests record where the message
+/// must land; the mailbox take + copy happens inside wait.  Requests are
+/// movable, single-use, and must be completed on the rank that posted them.
+class Request {
+ public:
+  Request() = default;
+  [[nodiscard]] bool done() const noexcept { return kind_ == Kind::kNone || done_; }
+
+ private:
+  friend class Comm;
+  enum class Kind { kNone, kSend, kRecv };
+  Kind kind_ = Kind::kNone;
+  int peer_ = -1;
+  int tag_ = 0;
+  void* data_ = nullptr;
+  std::size_t bytes_ = 0;
+  bool done_ = true;
+};
 
 /// Per-rank communicator handle, valid only inside World::run.
 class Comm {
@@ -55,6 +81,37 @@ class Comm {
 
   /// Receive without a size expectation (returns the payload).
   std::vector<std::byte> recv_any_size(int src, int tag);
+
+  /// Non-blocking send (MPI_Ibsend semantics): the payload is copied into
+  /// the destination mailbox — through the same fault-injection/retry path
+  /// as send(), so a dropped delivery is retransmitted before the post
+  /// returns and can never enqueue twice — and the returned request is
+  /// already complete.  Messages from one rank to one (dest, tag) mailbox
+  /// key arrive in posting order, exactly like send().
+  Request isend(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Non-blocking receive: registers the expectation that (src, tag) will
+  /// deliver exactly @p bytes into @p data.  May be posted before the
+  /// matching isend exists.  @p data must stay valid until wait; the copy
+  /// happens there.  Matching against the mailbox is in wait order, so
+  /// waiting requests in posting order preserves per-(src, tag) FIFO.
+  Request irecv(int src, int tag, void* data, std::size_t bytes);
+
+  /// Complete one request (blocks for pending receives; no-op when done).
+  void wait(Request& request);
+
+  /// Complete requests in index order (see irecv on why order matters).
+  void wait_all(std::span<Request> requests);
+
+  /// Async form of alltoallv_staged: the local block is copied inline and
+  /// every stage's send is posted (buffered) before return; the returned
+  /// requests — the P-1 stage receives — complete in wait_all.  Same
+  /// offsets contract and identical CostModel accounting per message as the
+  /// blocking version; only the completion point moves, which is what lets
+  /// the caller overlap the next pass's KmerGen with this exchange.
+  [[nodiscard]] std::vector<Request> ialltoallv_staged(
+      const void* sendbuf, std::span<const std::uint64_t> send_offsets, void* recvbuf,
+      std::span<const std::uint64_t> recv_offsets, int tag);
 
   template <typename T>
   void send_span(int dest, int tag, std::span<const T> data) {
@@ -126,6 +183,13 @@ class World {
   [[nodiscard]] std::uint64_t total_traffic_bytes() const;
   [[nodiscard]] std::uint64_t message_count() const;
 
+  /// Async requests posted but not yet completed, world-wide right now (0
+  /// between balanced post/wait phases).  The high-water mark is mirrored
+  /// into the `mpsim.async_inflight` gauge.
+  [[nodiscard]] std::int64_t async_inflight() const noexcept {
+    return async_inflight_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Comm;
 
@@ -143,6 +207,8 @@ class World {
   void deliver(int src, int dest, int tag, const void* data, std::size_t bytes);
   Message take(int src, int dest, int tag);
   void poison_all();
+  void note_async_posted();
+  void note_async_completed() noexcept;
 
   int num_ranks_;
   CostModelParams cost_;
@@ -151,6 +217,7 @@ class World {
   std::vector<std::uint64_t> traffic_bytes_;  ///< P x P, row-major (src, dest)
   std::uint64_t message_count_ = 0;
   mutable std::mutex cost_mutex_;
+  std::atomic<std::int64_t> async_inflight_{0};
 
   // Barrier state.
   std::mutex barrier_mutex_;

@@ -1,0 +1,92 @@
+#include "util/buffer_pool.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace metaprep::util {
+
+BufferPool& BufferPool::global() {
+  static BufferPool pool;
+  return pool;
+}
+
+template <typename T>
+std::vector<T> BufferPool::acquire_from(std::vector<std::vector<T>>& list, std::size_t n) {
+  // Best fit: smallest capacity that still holds n, so one oversized buffer
+  // is not burned on a tiny request.
+  std::size_t best = list.size();
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i].capacity() < n) continue;
+    if (best == list.size() || list[i].capacity() < list[best].capacity()) best = i;
+  }
+  if (best == list.size()) return std::vector<T>(n);  // miss: fresh allocation
+  std::vector<T> out = std::move(list[best]);
+  list[best] = std::move(list.back());
+  list.pop_back();
+  bytes_held_ -= out.capacity() * sizeof(T);
+  ++reuse_hits_;
+  publish_gauges_locked();
+  out.resize(n);
+  return out;
+}
+
+template <typename T>
+void BufferPool::release_into(std::vector<std::vector<T>>& list, std::vector<T>&& v) {
+  if (v.capacity() == 0) return;
+  bytes_held_ += v.capacity() * sizeof(T);
+  list.push_back(std::move(v));
+  publish_gauges_locked();
+}
+
+std::vector<std::uint64_t> BufferPool::acquire_u64(std::size_t n) {
+  std::lock_guard lock(mutex_);
+  return acquire_from(free64_, n);
+}
+
+std::vector<std::uint32_t> BufferPool::acquire_u32(std::size_t n) {
+  std::lock_guard lock(mutex_);
+  return acquire_from(free32_, n);
+}
+
+void BufferPool::release(std::vector<std::uint64_t>&& v) {
+  std::lock_guard lock(mutex_);
+  release_into(free64_, std::move(v));
+}
+
+void BufferPool::release(std::vector<std::uint32_t>&& v) {
+  std::lock_guard lock(mutex_);
+  release_into(free32_, std::move(v));
+}
+
+std::uint64_t BufferPool::bytes_held() const {
+  std::lock_guard lock(mutex_);
+  return bytes_held_;
+}
+
+std::uint64_t BufferPool::reuse_hits() const {
+  std::lock_guard lock(mutex_);
+  return reuse_hits_;
+}
+
+std::size_t BufferPool::buffers_held() const {
+  std::lock_guard lock(mutex_);
+  return free64_.size() + free32_.size();
+}
+
+void BufferPool::trim() {
+  std::lock_guard lock(mutex_);
+  free64_.clear();
+  free32_.clear();
+  bytes_held_ = 0;
+  publish_gauges_locked();
+}
+
+void BufferPool::publish_gauges_locked() const {
+  static obs::Gauge& g_bytes = obs::metrics().gauge("pool.bytes_held");
+  static obs::Gauge& g_hits = obs::metrics().gauge("pool.reuse_hits");
+  g_bytes.set(static_cast<double>(bytes_held_));
+  g_hits.set(static_cast<double>(reuse_hits_));
+}
+
+}  // namespace metaprep::util

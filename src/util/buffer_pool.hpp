@@ -1,0 +1,74 @@
+// BufferPool: process-wide recycling of the large tuple-sized arrays.
+//
+// Every METAPREP pass allocates the same shapes over and over — per-pass
+// keys/keys_hi/vals arrays, send blocks, radix scratch — and in the
+// pipelined (overlap) schedule two passes' buffers are alive at once, so
+// freeing and reallocating them each pass costs page faults and zero-fill
+// on exactly the hottest boundary.  The pool keeps released vectors on a
+// free list and hands the largest fitting one back on the next acquire:
+// storage stays paged-in and warm across passes and across Worlds.
+//
+// Ownership is move-based: acquire() transfers a vector to the caller,
+// release() transfers it back.  Nothing in the pool aliases caller memory,
+// so a leased buffer may be handed to mpsim::Comm::isend and released as
+// soon as the post returns (the mailbox owns the in-flight copy; see
+// DESIGN.md "Buffer-pool ownership").
+//
+// Observability: the pool mirrors its state into the obs gauges
+// `pool.bytes_held` (bytes sitting on the free lists right now) and
+// `pool.reuse_hits` (acquires served from the free list since process
+// start); both are also readable directly via bytes_held()/reuse_hits()
+// when the metrics registry is disabled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace metaprep::util {
+
+class BufferPool {
+ public:
+  /// The process-wide pool used by the pipeline's overlap schedule.
+  static BufferPool& global();
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Acquire a vector with size() == n.  Element values are unspecified
+  /// (recycled buffers keep stale contents); callers overwrite every slot —
+  /// the pipeline's precomputed-offset writes already guarantee that.
+  [[nodiscard]] std::vector<std::uint64_t> acquire_u64(std::size_t n);
+  [[nodiscard]] std::vector<std::uint32_t> acquire_u32(std::size_t n);
+
+  /// Return a buffer to the free list.  The vector is left empty.
+  void release(std::vector<std::uint64_t>&& v);
+  void release(std::vector<std::uint32_t>&& v);
+
+  /// Bytes of capacity currently sitting on the free lists.
+  [[nodiscard]] std::uint64_t bytes_held() const;
+  /// Acquires served by recycling (free-list capacity >= requested size).
+  [[nodiscard]] std::uint64_t reuse_hits() const;
+  /// Buffers currently on the free lists.
+  [[nodiscard]] std::size_t buffers_held() const;
+
+  /// Drop every held buffer (bytes_held returns to 0; hits are kept).
+  void trim();
+
+ private:
+  template <typename T>
+  std::vector<T> acquire_from(std::vector<std::vector<T>>& list, std::size_t n);
+  template <typename T>
+  void release_into(std::vector<std::vector<T>>& list, std::vector<T>&& v);
+  void publish_gauges_locked() const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::uint64_t>> free64_;
+  std::vector<std::vector<std::uint32_t>> free32_;
+  std::uint64_t bytes_held_ = 0;
+  std::uint64_t reuse_hits_ = 0;
+};
+
+}  // namespace metaprep::util

@@ -1,0 +1,166 @@
+// Differential guard for the pipelined (overlap) scheduler.
+//
+// Every {P, T, S} x {barrier, overlap} combination must produce the same
+// read partition on one synthetic dataset, and that partition must match a
+// straight-line serial oracle assembled from first principles: the
+// sequential FASTQ reader, the scalar canonical-k-mer scanner, and
+// SerialDSU — none of which share code with the pipeline's chunked read
+// path, vectorized scanner, tuple exchange, or concurrent union-find.
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/index_create.hpp"
+#include "dsu/dsu.hpp"
+#include "io/fastq.hpp"
+#include "kmer/scanner.hpp"
+#include "sim/read_sim.hpp"
+#include "test_support.hpp"
+
+namespace metaprep::core {
+namespace {
+
+using test::TempDir;
+
+constexpr int kK = 15;
+
+/// Straight-line oracle: stream every file in order with the sequential
+/// reader, collect per-k-mer read lists with the scalar scanner, chain-unite
+/// each list in SerialDSU.  Paired-end ID scheme: library j = files
+/// (2j, 2j+1), both mates of pair i share one ID (paper §3.2).
+std::vector<std::uint32_t> serial_oracle(const std::vector<std::string>& files,
+                                         std::uint32_t total_reads) {
+  std::map<std::uint64_t, std::vector<std::uint32_t>> kmer_reads;
+  std::uint32_t base = 0;
+  for (std::size_t j = 0; j * 2 < files.size(); ++j) {
+    std::uint32_t pairs = 0;
+    for (std::size_t mate = 0; mate < 2; ++mate) {
+      io::FastqReader reader(files[2 * j + mate]);
+      io::FastqRecord rec;
+      std::uint32_t read_id = base;
+      while (reader.next(rec)) {
+        kmer::for_each_canonical_kmer64(rec.seq, kK, [&](std::uint64_t km, std::size_t) {
+          kmer_reads[km].push_back(read_id);
+        });
+        ++read_id;
+      }
+      pairs = read_id - base;
+    }
+    base += pairs;
+  }
+  EXPECT_EQ(base, total_reads);
+  dsu::SerialDSU dsu(total_reads);
+  for (const auto& [km, reads] : kmer_reads) {
+    for (std::size_t i = 1; i < reads.size(); ++i) dsu.unite(reads[i - 1], reads[i]);
+  }
+  return dsu.labels();
+}
+
+struct Fixture {
+  TempDir dir;
+  DatasetIndex index;
+  std::vector<std::uint32_t> oracle;  ///< normalized serial partition
+
+  Fixture() {
+    sim::DatasetConfig cfg;
+    cfg.name = "diff";
+    cfg.genomes.num_species = 5;
+    cfg.genomes.min_genome_len = 2500;
+    cfg.genomes.max_genome_len = 5000;
+    cfg.genomes.shared_fraction = 0.03;
+    cfg.num_pairs = 220;
+    cfg.reads.seed = 4242;
+    const auto dataset = sim::simulate_dataset(cfg, dir.file("diff"));
+    IndexCreateOptions opt;
+    opt.k = kK;
+    opt.m = 5;
+    opt.target_chunks = 9;
+    index = create_index("diff", dataset.files, true, opt);
+    oracle = test::normalize_partition(serial_oracle(dataset.files, index.total_reads));
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;  // dataset is immutable; shared across the whole grid
+  return f;
+}
+
+struct GridCase {
+  int P, T, S;
+  PipelineMode mode;
+};
+
+std::string case_name(const ::testing::TestParamInfo<GridCase>& info) {
+  const auto& c = info.param;
+  return "P" + std::to_string(c.P) + "T" + std::to_string(c.T) + "S" + std::to_string(c.S) +
+         (c.mode == PipelineMode::kOverlap ? "overlap" : "barrier");
+}
+
+std::vector<GridCase> full_grid() {
+  std::vector<GridCase> cases;
+  for (int P : {1, 2, 4}) {
+    for (int T : {1, 2}) {
+      for (int S : {1, 2, 3}) {
+        for (auto mode : {PipelineMode::kBarrier, PipelineMode::kOverlap}) {
+          cases.push_back({P, T, S, mode});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+class DifferentialGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(DifferentialGridTest, PartitionMatchesSerialOracle) {
+  const auto& c = GetParam();
+  auto& f = fixture();
+
+  MetaprepConfig cfg;
+  cfg.k = kK;
+  cfg.num_ranks = c.P;
+  cfg.threads_per_rank = c.T;
+  cfg.num_passes = c.S;
+  cfg.pipeline_mode = c.mode;
+  cfg.write_output = false;
+
+  const auto result = run_metaprep(f.index, cfg);
+  EXPECT_EQ(result.num_reads, f.index.total_reads);
+  EXPECT_EQ(result.passes_used, c.S);
+  // Identical partition everywhere on the grid: each cell equals the oracle,
+  // so all 36 cells equal each other transitively.
+  EXPECT_EQ(test::normalize_partition(result.labels), f.oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DifferentialGridTest, ::testing::ValuesIn(full_grid()),
+                         case_name);
+
+TEST(Differential, ModesAgreeTupleForTuple) {
+  // Beyond the partition: both modes must enumerate the same number of
+  // tuples and agree on the component census.
+  auto& f = fixture();
+  for (int S : {1, 2}) {
+    MetaprepConfig cfg;
+    cfg.k = kK;
+    cfg.num_ranks = 2;
+    cfg.threads_per_rank = 2;
+    cfg.num_passes = S;
+    cfg.write_output = false;
+    const auto barrier = run_metaprep(f.index, cfg);
+    cfg.pipeline_mode = PipelineMode::kOverlap;
+    const auto overlap = run_metaprep(f.index, cfg);
+    EXPECT_EQ(overlap.total_tuples, barrier.total_tuples) << "S=" << S;
+    EXPECT_EQ(overlap.num_components, barrier.num_components) << "S=" << S;
+    EXPECT_EQ(test::normalize_partition(overlap.labels),
+              test::normalize_partition(barrier.labels))
+        << "S=" << S;
+  }
+}
+
+}  // namespace
+}  // namespace metaprep::core

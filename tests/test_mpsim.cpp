@@ -8,6 +8,7 @@
 #include <numeric>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace metaprep::mpsim {
@@ -348,6 +349,163 @@ TEST(CostModel, SelfSendsAreFree) {
   });
   EXPECT_DOUBLE_EQ(world.max_simulated_comm_seconds(), 0.0);
 }
+
+TEST(Async, IsendWaitAllPreservesPerPairOrder) {
+  // Messages from one rank to one (dest, tag) mailbox key must arrive in
+  // posting order; waiting the matching irecvs in posting order must observe
+  // exactly that sequence.
+  World world(2);
+  world.run([&](Comm& comm) {
+    constexpr int kN = 32;
+    if (comm.rank() == 0) {
+      std::vector<Request> sends;
+      for (int i = 0; i < kN; ++i) {
+        const std::uint32_t v = 1000u + static_cast<std::uint32_t>(i);
+        Request r = comm.isend(1, 3, &v, sizeof(v));
+        EXPECT_TRUE(r.done());  // buffered: complete at post time
+        sends.push_back(r);
+      }
+      comm.wait_all(sends);  // no-op, but must be legal
+    } else {
+      std::vector<std::uint32_t> got(kN, 0);
+      std::vector<Request> recvs;
+      recvs.reserve(kN);
+      for (int i = 0; i < kN; ++i) recvs.push_back(comm.irecv(0, 3, &got[i], 4));
+      comm.wait_all(recvs);
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], 1000u + static_cast<std::uint32_t>(i));
+      }
+      for (const auto& r : recvs) EXPECT_TRUE(r.done());
+    }
+  });
+  EXPECT_EQ(world.async_inflight(), 0);
+}
+
+TEST(Async, IrecvPostedBeforeMatchingIsendExists) {
+  // The receive side registers its expectation first, tells the sender via a
+  // blocking handshake, and only then does the isend happen — so the irecv
+  // is deterministically posted before any matching message exists.
+  World world(2);
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      int ready = 0;
+      comm.recv(1, 1, &ready, sizeof(ready));
+      EXPECT_EQ(ready, 1);
+      const std::uint64_t payload = 0xC0FFEE;
+      comm.isend(1, 2, &payload, sizeof(payload));
+    } else {
+      std::uint64_t got = 0;
+      Request r = comm.irecv(0, 2, &got, sizeof(got));
+      EXPECT_FALSE(r.done());
+      EXPECT_GE(world.async_inflight(), 1);
+      int ready = 1;
+      comm.send(0, 1, &ready, sizeof(ready));
+      comm.wait(r);
+      EXPECT_TRUE(r.done());
+      EXPECT_EQ(got, 0xC0FFEEu);
+      comm.wait(r);  // completed requests are no-ops to wait again
+    }
+  });
+  EXPECT_EQ(world.async_inflight(), 0);
+}
+
+TEST(Async, WaitSizeMismatchThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      int x = 1;
+      comm.isend(1, 1, &x, sizeof(x));
+    } else {
+      std::uint64_t y = 0;
+      Request r = comm.irecv(0, 1, &y, sizeof(y));  // expects 8, sent 4
+      comm.wait(r);
+    }
+  }),
+               std::runtime_error);
+  EXPECT_EQ(world.async_inflight(), 0);
+}
+
+TEST(Async, DroppedDeliveriesRetransmitWithoutDuplicates) {
+  // A fault-injected drop fires inside the sender's retry loop before the
+  // mailbox enqueue, so retransmission can never double-deliver: the
+  // world-wide message count must equal the number of cross-rank messages
+  // exactly, and every payload must arrive intact and in order.
+  util::FaultPlanConfig cfg;
+  cfg.seed = 11;
+  cfg.comm_drop_rate = 0.15;  // well below the 5-attempt retry budget
+  util::ScopedFaultPlan scoped(cfg);
+
+  constexpr int kN = 64;
+  World world(2);
+  world.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kN; ++i) {
+        const std::uint64_t v = 0xAB00u + static_cast<std::uint64_t>(i);
+        comm.isend(1, 9, &v, sizeof(v));
+      }
+    } else {
+      std::vector<std::uint64_t> got(kN, 0);
+      std::vector<Request> recvs;
+      for (int i = 0; i < kN; ++i) recvs.push_back(comm.irecv(0, 9, &got[i], 8));
+      comm.wait_all(recvs);
+      for (int i = 0; i < kN; ++i) {
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], 0xAB00u + static_cast<std::uint64_t>(i));
+      }
+    }
+  });
+  EXPECT_GT(util::FaultPlan::global().counters().comm_drops, 0u);
+  EXPECT_EQ(world.message_count(), static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(world.async_inflight(), 0);
+}
+
+class AsyncAlltoallTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsyncAlltoallTest, StagedAsyncMatchesBlockingAlltoall) {
+  // ialltoallv_staged + wait_all must land every block at the same offsets
+  // as the blocking alltoallv_staged, for the same send buffers.
+  const int P = GetParam();
+  util::Xoshiro256 rng(123 + static_cast<std::uint64_t>(P));
+  std::vector<std::vector<std::uint64_t>> block(
+      static_cast<std::size_t>(P), std::vector<std::uint64_t>(static_cast<std::size_t>(P)));
+  for (auto& row : block) {
+    for (auto& v : row) v = rng.next_below(40);  // 0 sizes included
+  }
+
+  World world(P);
+  world.run([&](Comm& comm) {
+    const int me = comm.rank();
+    std::vector<std::uint64_t> send_offsets(static_cast<std::size_t>(P) + 1, 0);
+    for (int d = 0; d < P; ++d) {
+      send_offsets[static_cast<std::size_t>(d) + 1] =
+          send_offsets[static_cast<std::size_t>(d)] +
+          block[static_cast<std::size_t>(me)][static_cast<std::size_t>(d)] * 8;
+    }
+    std::vector<std::uint64_t> sendbuf(send_offsets.back() / 8);
+    for (int d = 0; d < P; ++d) {
+      for (std::uint64_t i = send_offsets[static_cast<std::size_t>(d)] / 8;
+           i < send_offsets[static_cast<std::size_t>(d) + 1] / 8; ++i) {
+        sendbuf[i] = static_cast<std::uint64_t>(me) * 1'000'000 + i;
+      }
+    }
+    std::vector<std::uint64_t> recv_offsets(static_cast<std::size_t>(P) + 1, 0);
+    for (int s = 0; s < P; ++s) {
+      recv_offsets[static_cast<std::size_t>(s) + 1] =
+          recv_offsets[static_cast<std::size_t>(s)] +
+          block[static_cast<std::size_t>(s)][static_cast<std::size_t>(me)] * 8;
+    }
+    std::vector<std::uint64_t> blocking(recv_offsets.back() / 8, 0);
+    comm.alltoallv_staged(sendbuf.data(), send_offsets, blocking.data(), recv_offsets, 600);
+
+    std::vector<std::uint64_t> async(recv_offsets.back() / 8, 0);
+    auto pending =
+        comm.ialltoallv_staged(sendbuf.data(), send_offsets, async.data(), recv_offsets, 700);
+    comm.wait_all(pending);
+    EXPECT_EQ(async, blocking);
+  });
+  EXPECT_EQ(world.async_inflight(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, AsyncAlltoallTest, ::testing::Values(1, 2, 3, 4, 8));
 
 }  // namespace
 }  // namespace metaprep::mpsim
