@@ -42,7 +42,10 @@ int main() {
         .num("passes", 1)
         .num("threads", t)
         .num("wall_s", run.wall_seconds)
-        .num("tuples", run.result.total_tuples);
+        .num("tuples", run.result.total_tuples)
+        .num("mergecc_s", run.result.step_times.get("MergeCC"))
+        .num("merge_comm_s", run.result.step_times.get("Merge-Comm"))
+        .num("ccio_s", run.result.step_times.get("CC-I/O"));
   }
   table.print();
 
@@ -72,10 +75,49 @@ int main() {
         .num("threads", 4)
         .num("wall_s", run.wall_seconds)
         .num("tuples", run.result.total_tuples)
+        .num("mergecc_s", run.result.step_times.get("MergeCC"))
+        .num("merge_comm_s", run.result.step_times.get("Merge-Comm"))
+        .num("ccio_s", run.result.step_times.get("CC-I/O"))
         .num("pool_reuse_hits",
              util::BufferPool::global().reuse_hits() - hits_before);
   }
   ab.print();
+
+  // Binned-output axis: the scaled merge/output tail at P=4 with greedy
+  // component binning.  Reports the tail phase walls, the label-scatter
+  // bytes (vs the old O(R) per-rank broadcast), and the achieved bin skew.
+  bench::print_title("Figure 5 (output axis): load-balanced binning, P=4 T=2, 2 passes");
+  util::TablePrinter ob({"Bins", "MergeCC (ms)", "Merge-Comm (ms)", "CC-I/O (ms)",
+                         "Scatter (KiB)", "Skew"});
+  for (int bins : {0, 4}) {
+    core::MetaprepConfig cfg;
+    cfg.k = 27;
+    cfg.num_ranks = 4;
+    cfg.threads_per_rank = 2;
+    cfg.num_passes = 2;
+    cfg.write_output = true;
+    cfg.output_dir = dir.str();
+    cfg.output_bins = bins;
+    const auto run = bench::timed_run(ds.index, cfg);
+    ob.add_row({bins == 0 ? "top-1 (legacy)" : std::to_string(bins),
+                util::TablePrinter::fmt(run.result.step_times.get("MergeCC") * 1e3, 1),
+                util::TablePrinter::fmt(run.result.step_times.get("Merge-Comm") * 1e3, 1),
+                util::TablePrinter::fmt(run.result.step_times.get("CC-I/O") * 1e3, 1),
+                util::TablePrinter::fmt(
+                    static_cast<double>(run.result.label_scatter_bytes) / 1024.0, 1),
+                util::TablePrinter::fmt(run.result.bin_skew, 3)});
+    json.add_row()
+        .str("mode", bins == 0 ? "binned_off" : "binned")
+        .num("passes", 2)
+        .num("threads", 2)
+        .num("wall_s", run.wall_seconds)
+        .num("mergecc_s", run.result.step_times.get("MergeCC"))
+        .num("merge_comm_s", run.result.step_times.get("Merge-Comm"))
+        .num("ccio_s", run.result.step_times.get("CC-I/O"))
+        .num("label_scatter_bytes", run.result.label_scatter_bytes)
+        .num("bin_skew", run.result.bin_skew);
+  }
+  ob.print();
 
   util::TablePrinter speedup({"Threads", "Wall (ms)", "Relative speedup"});
   for (std::size_t i = 0; i < thread_counts.size(); ++i) {

@@ -49,7 +49,7 @@ int usage() {
                "usage: metaprep_cli index --out=INDEX.bin [--k --m --chunks --single-end "
                "--parse-mode=strict|lenient] FASTQ...\n"
                "       metaprep_cli run --index=INDEX.bin [--ranks --threads --passes "
-               "--memory-gb --filter-min --filter-max --out --no-output "
+               "--memory-gb --filter-min --filter-max --out --no-output --output-bins=B "
                "--parse-mode=strict|lenient --pipeline-mode=barrier|overlap "
                "--trace-out=T.json --metrics-out=M.jsonl "
                "--fault-seed=N --fault-read-rate=P --fault-corrupt-rate=P "
@@ -149,6 +149,7 @@ int cmd_run(const util::Args& args) {
   if (fmax > 0) cfg.filter.max_freq = static_cast<std::uint32_t>(fmax);
   cfg.write_output = !args.has("no-output");
   cfg.output_dir = args.get("out", ".");
+  cfg.output_bins = static_cast<int>(args.get_int("output-bins", 0));
   cfg.parse_mode = parse_mode_arg(args);
   cfg.pipeline_mode = pipeline_mode_arg(args);
   cfg.trace_out = args.get("trace-out", "");
@@ -202,6 +203,11 @@ int cmd_run(const util::Args& args) {
     core::save_manifest(manifest, cfg.output_dir + "/manifest.tsv");
     std::printf("%zu output FASTQ files under %s (see manifest.tsv)\n",
                 result.output_files.size(), cfg.output_dir.c_str());
+    if (!result.bin_manifest_path.empty()) {
+      std::printf("binned into %zu partitions (skew %.3f); manifest: %s\n",
+                  result.bin_reads.size(), result.bin_skew,
+                  result.bin_manifest_path.c_str());
+    }
   }
   return 0;
 }

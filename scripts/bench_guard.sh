@@ -46,8 +46,12 @@ tmp_json, baseline_path = sys.argv[1], sys.argv[2]
 update = os.environ.get("METAPREP_BENCH_UPDATE") == "1"
 
 # One JSON object per bench emit() per run; key rows by (mode, passes, threads).
+# Besides total wall, the merge/output tail phases (MergeCC flatten,
+# Merge-Comm label scatter, CC-I/O) are tracked min-of-N and gated too.
+PHASES = ("mergecc_s", "merge_comm_s", "ccio_s")
 mins = {}
 hits = {}
+phase_mins = {}
 with open(tmp_json) as f:
     for line in f:
         line = line.strip()
@@ -62,6 +66,11 @@ with open(tmp_json) as f:
             mins[key] = min(mins.get(key, wall), wall)
             if "pool_reuse_hits" in row:
                 hits[key] = max(hits.get(key, 0), int(row["pool_reuse_hits"]))
+            for ph in PHASES:
+                if ph in row:
+                    v = float(row[ph])
+                    cur = phase_mins.setdefault(key, {})
+                    cur[ph] = min(cur.get(ph, v), v)
 
 if not mins:
     sys.exit("bench_guard: no fig5_singlenode rows captured")
@@ -72,6 +81,7 @@ result = {
     "rows": [
         {"mode": m, "passes": p, "threads": t, "wall_s": w}
         | ({"pool_reuse_hits": hits[(m, p, t)]} if (m, p, t) in hits else {})
+        | {ph: v for ph, v in sorted(phase_mins.get((m, p, t), {}).items())}
         for (m, p, t), w in sorted(mins.items())
     ],
 }
@@ -109,6 +119,12 @@ elif os.path.exists(baseline_path):
         (r["mode"], int(r["passes"]), int(r["threads"])): float(r["wall_s"])
         for r in base["rows"]
     }
+    base_phases = {
+        (r["mode"], int(r["passes"]), int(r["threads"])): {
+            ph: float(r[ph]) for ph in PHASES if ph in r
+        }
+        for r in base["rows"]
+    }
     for key, wall in sorted(mins.items()):
         if key not in base_rows:
             continue
@@ -118,6 +134,19 @@ elif os.path.exists(baseline_path):
                 f"regression at mode={key[0]} passes={key[1]} threads={key[2]}: "
                 f"{wall:.4f}s > limit {limit:.4f}s (baseline {base_rows[key]:.4f}s)"
             )
+        # Phase walls get a larger absolute slack: sub-millisecond phases
+        # jitter with the scheduler, so only a real blow-up should trip.
+        for ph, base_v in base_phases.get(key, {}).items():
+            v = phase_mins.get(key, {}).get(ph)
+            if v is None:
+                continue
+            ph_limit = base_v * 1.10 + 0.02
+            if v > ph_limit:
+                failures.append(
+                    f"phase regression at mode={key[0]} passes={key[1]} "
+                    f"threads={key[2]} {ph}: {v:.4f}s > limit {ph_limit:.4f}s "
+                    f"(baseline {base_v:.4f}s)"
+                )
 else:
     failures.append(
         f"no committed baseline {baseline_path}; run METAPREP_BENCH_UPDATE=1 "

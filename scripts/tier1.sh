@@ -4,8 +4,10 @@
 #   1. Regular build + full ctest suite (RelWithDebInfo, CMakePresets
 #      "default" preset).
 #   2. ThreadSanitizer build of the concurrency-heavy binaries, running the
-#      observability (test_obs) and simulated-MPI (test_mpsim) suites — the
-#      two that stress cross-thread event buffers and mailboxes.
+#      observability (test_obs), simulated-MPI (test_mpsim), and union-find
+#      (test_dsu) suites plus the binned-output differential legs — the
+#      paths that stress cross-thread event buffers, mailboxes, and the
+#      parallel MergeCC flatten (atomic_ref size counting).
 #   3. Address+UBSanitizer build running the fault-injection (test_faults)
 #      and FASTQ parsing (test_fastq) suites — the paths that do raw buffer
 #      arithmetic and deliberately corrupt / truncate input.
@@ -23,14 +25,19 @@ cmake --build --preset default "${JOBS}"
 echo "=== tier 1: full test suite ==="
 ctest --preset default "${JOBS}"
 
-echo "=== tier 1: ThreadSanitizer build (test_obs + test_mpsim) ==="
+echo "=== tier 1: ThreadSanitizer build (test_obs + test_mpsim + test_dsu + test_differential) ==="
 cmake --preset tsan
-cmake --build --preset tsan "${JOBS}" --target test_obs test_mpsim
+cmake --build --preset tsan "${JOBS}" --target test_obs test_mpsim test_dsu test_differential
 
 echo "=== tier 1: TSan test_obs ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
 echo "=== tier 1: TSan test_mpsim ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_mpsim
+echo "=== tier 1: TSan test_dsu (parallel flatten adopt ctor) ==="
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_dsu
+echo "=== tier 1: TSan differential binned-output legs (P2, parallel MergeCC tail) ==="
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_differential \
+  --gtest_filter='OutputGrid/*P2*'
 
 echo "=== tier 1: ASan+UBSan build (test_faults + test_fastq) ==="
 cmake --preset asan

@@ -86,8 +86,15 @@ struct MetaprepConfig {
   /// Number of top components written to individual files.  1 reproduces
   /// the paper's split (".lc" + ".other"); N > 1 writes ".c0".."".cN-1"
   /// plus ".other" (the future-work "alternate component-splitting
-  /// strategies").
+  /// strategies").  Ignored when output_bins >= 1.
   int output_top_components = 1;
+
+  /// Load-balanced output partitioning (CLI --output-bins).  0 keeps the
+  /// legacy top-N split above; B >= 1 greedily bin-packs *all* components
+  /// into B bins by estimated total bp (src/part) and writes per-(rank,
+  /// thread, bin) ".b<j>.fastq" files plus a "<dataset>.bins.json" manifest
+  /// describing every bin.
+  int output_bins = 0;
 
   MergeStrategy merge_strategy = MergeStrategy::kPairwiseTree;
 

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstring>
 #include <map>
 #include <memory>
-#include <stdexcept>
+#include <span>
 #include <utility>
 
 #include "core/memory_model.hpp"
@@ -16,8 +17,10 @@
 #include "mpsim/comm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "part/part.hpp"
 #include "sort/radix.hpp"
 #include "util/buffer_pool.hpp"
+#include "util/error.hpp"
 #include "util/memusage.hpp"
 #include "util/prefix_sum.hpp"
 #include "util/thread_team.hpp"
@@ -93,6 +96,8 @@ struct RankShared {
   std::uint64_t tuples = 0;
   std::uint64_t max_buffer_bytes = 0;
   std::uint64_t merge_comm_bytes = 0;
+  std::vector<part::BinFile> bin_files;       ///< binned-output files this rank wrote
+  std::vector<std::uint16_t> bin_file_bins;   ///< bin of bin_files[i]
 };
 
 /// Everything the per-rank pass loop needs, bundled so the barrier and
@@ -230,6 +235,8 @@ void run_passes_barrier(PassCtx& ctx) {
         WallTimer gen_timer;
         const double gen_t0 = span_begin(tr);
         std::uint32_t read_id = chunk.first_read_id;
+        io::ParseOptions popt{config.parse_mode, index.files[chunk.file], chunk.offset,
+                              [&read_id] { ++read_id; }};
         io::for_each_record_in_buffer(
             std::string_view(buffer.data(), buffer.size()),
             [&](std::string_view, std::string_view seq, std::string_view) {
@@ -261,7 +268,7 @@ void run_passes_barrier(PassCtx& ctx) {
               }
               ++read_id;
             },
-            io::ParseOptions{config.parse_mode, index.files[chunk.file], chunk.offset});
+            popt);
         span_end(tr, "KmerGen", gen_t0);
         gen_seconds[static_cast<std::size_t>(t)] += gen_timer.seconds();
       }
@@ -656,7 +663,7 @@ void run_passes_overlap(PassCtx& ctx) {
   const bool wide = ctx.wide;
   const std::size_t nslots = static_cast<std::size_t>(P) * T;
   if (nslots > 0xFFFF)
-    throw std::invalid_argument("overlap mode: P*T must fit the 16-bit slot table");
+    throw util::config_error("overlap mode: P*T must fit the 16-bit slot table");
 
   util::BufferPool& pool = util::BufferPool::global();
   std::uint64_t live_bytes = 0;
@@ -750,6 +757,8 @@ void run_passes_overlap(PassCtx& ctx) {
         WallTimer gen_timer;
         const double gen_t0 = span_begin(tr);
         std::uint32_t read_id = chunk.first_read_id;
+        io::ParseOptions popt{config.parse_mode, index.files[chunk.file], chunk.offset,
+                              [&read_id] { ++read_id; }};
         io::for_each_record_in_buffer(
             std::string_view(buffer.data(), buffer.size()),
             [&](std::string_view, std::string_view seq, std::string_view) {
@@ -766,7 +775,7 @@ void run_passes_overlap(PassCtx& ctx) {
               }
               ++read_id;
             },
-            io::ParseOptions{config.parse_mode, index.files[chunk.file], chunk.offset});
+            popt);
         span_end(tr, "KmerGen", gen_t0);
         gen_seconds[static_cast<std::size_t>(t)] += gen_timer.seconds();
       }
@@ -941,12 +950,14 @@ void run_passes_overlap(PassCtx& ctx) {
 PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& config) {
   const int k = config.k;
   if (k != index.k)
-    throw std::invalid_argument("run_metaprep: config.k differs from the index's k");
+    throw util::config_error("run_metaprep: config.k differs from the index's k");
   if (k < index.mer_hist.m || k > kmer::kMaxK128)
-    throw std::invalid_argument("run_metaprep: k out of range");
+    throw util::config_error("run_metaprep: k out of range");
   const int P = config.num_ranks;
   const int T = config.threads_per_rank;
-  if (P < 1 || T < 1) throw std::invalid_argument("run_metaprep: P and T must be >= 1");
+  if (P < 1 || T < 1) throw util::config_error("run_metaprep: P and T must be >= 1");
+  if (config.output_bins < 0 || config.output_bins > 0xFFFF)
+    throw util::config_error("run_metaprep: output_bins must be in [0, 65535]");
   const bool wide = k > kmer::kMaxK64;
   const int tuple_bytes = wide ? 20 : 12;
   const std::uint32_t R = index.total_reads;
@@ -965,7 +976,33 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     mm.tuple_bytes = tuple_bytes;
     S = min_passes_for_budget(mm, config.memory_budget_bytes);
     if (S == 0)
-      throw std::runtime_error("run_metaprep: memory budget too small for any pass count");
+      throw util::config_error("run_metaprep: memory budget too small for any pass count");
+  }
+
+  // Zero-component hardening: an empty dataset short-circuits to a fully
+  // formed empty result in either pipeline mode — no passes, no comm, no
+  // ghost ".other.fastq" files, no sentinel roots.
+  if (R == 0) {
+    PipelineResult result;
+    result.passes_used = S;
+    if (!config.metrics_out.empty()) {
+      obs::MetricsRegistry& mreg = obs::metrics();
+      const bool were_enabled = mreg.enabled();
+      mreg.reset_values();
+      mreg.set_enabled(true);
+      mreg.gauge("pipeline.passes").set(static_cast<double>(S));
+      mreg.gauge("pipeline.components").set(0.0);
+      mreg.write_jsonl(config.metrics_out);
+      mreg.set_enabled(were_enabled);
+    }
+    if (!config.trace_out.empty()) {
+      obs::TraceSession& trs = obs::TraceSession::global();
+      const bool was_enabled = trs.enabled();
+      trs.clear();
+      trs.write_chrome_json(config.trace_out);
+      if (!was_enabled) trs.disable();
+    }
+    return result;
   }
 
   const PassPlan plan(index.mer_hist, S, P, T);
@@ -996,10 +1033,37 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     if (t0 >= 0.0) tr.record(name, t0, tr.now_us() - t0);
   };
 
+  // Label-slice geometry for the merge tail's scatter: rank q's chunks
+  // cover the read-ID interval [sl_off[q], sl_off[q] + sl_len[q]).  Derived
+  // from the shared chunk table, so every rank computes identical slices.
+  // Paired-end libraries interleave the per-rank intervals (mates share one
+  // ID), which is why the slices may overlap and each rank's slice spans
+  // roughly 2R/P IDs instead of R/P.
+  std::vector<std::uint64_t> slice_off(static_cast<std::size_t>(P), 0);
+  std::vector<std::uint64_t> slice_len(static_cast<std::size_t>(P), 0);
+  {
+    for (int q = 0; q < P; ++q) {
+      std::uint64_t lo = R;
+      std::uint64_t hi = 0;
+      for (std::uint32_t c = ca.rank_begin(q); c < ca.rank_end(q); ++c) {
+        const ChunkRecord& chunk = index.part.chunks[c];
+        lo = std::min<std::uint64_t>(lo, chunk.first_read_id);
+        hi = std::max<std::uint64_t>(hi, chunk.first_read_id + chunk.record_count);
+      }
+      if (hi > lo) {
+        slice_off[static_cast<std::size_t>(q)] = lo;
+        slice_len[static_cast<std::size_t>(q)] = hi - lo;
+      }
+    }
+  }
+
+  const bool bin_mode = config.output_bins >= 1;
   mpsim::World world(P, config.cost_model);
   std::vector<RankShared> shared(static_cast<std::size_t>(P));
   std::vector<std::uint32_t> final_labels(R);
   std::uint32_t largest_root_shared = 0;
+  std::vector<part::Component> components_shared;  // written by rank 0 only
+  part::BinPlan bin_plan_shared;                   // written by rank 0 only
 
   world.run([&](mpsim::Comm& comm) {
     const int p = comm.rank();
@@ -1095,27 +1159,44 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
       }
     }
 
-    // Rank 0 flattens labels and ranks component sizes; the labels and the
-    // top-N component roots are broadcast to all ranks for the output step
-    // ("The global components list in Rank 0 is broadcast to all other
-    // tasks", §3.6).
+    // Rank 0 flattens labels and ranks component sizes across the thread
+    // team; each rank then receives only the label slice covering its own
+    // chunk ranges plus compact component tables — the scaled form of "The
+    // global components list in Rank 0 is broadcast to all other tasks"
+    // (§3.6) that ships O(R/P + #components) per rank instead of O(R).
     const int top_n = std::max(1, config.output_top_components);
-    std::vector<std::uint32_t> labels(R);
+    std::vector<std::uint32_t> labels;  // full array lives on rank 0 only
     std::vector<std::uint32_t> top_roots(static_cast<std::size_t>(top_n), 0xFFFFFFFFu);
+    part::RootSlotTable root_table;  // bin mode: root -> output bin
     if (p == 0) {
       const double flatten_t0 = span_begin();
       WallTimer flatten_timer;
-      dsu::SerialDSU final_dsu(std::move(parents));
+      labels.assign(R, 0);
+      dsu::AtomicDSU final_dsu{std::span<const std::uint32_t>(parents)};
       std::vector<std::uint32_t> sizes(R, 0);
-      for (std::uint32_t i = 0; i < R; ++i) {
-        labels[i] = final_dsu.find(i);
-        ++sizes[labels[i]];
+      const auto id_bounds = util::split_range(R, T);
+      // Parallel find with path splitting; per-thread counts land directly
+      // in the global size array via atomic increments, and the thread that
+      // first touches a root claims it for the (deterministic-set) root
+      // list — no O(R) post-scan, no O(R*T) per-thread arrays.
+      std::vector<std::vector<std::uint32_t>> thread_roots(static_cast<std::size_t>(T));
+      team.run([&](int t) {
+        auto& my_roots = thread_roots[static_cast<std::size_t>(t)];
+        for (std::size_t i = id_bounds[static_cast<std::size_t>(t)];
+             i < id_bounds[static_cast<std::size_t>(t) + 1]; ++i) {
+          const std::uint32_t root = final_dsu.find(static_cast<std::uint32_t>(i));
+          labels[i] = root;
+          const std::uint32_t prev =
+              std::atomic_ref<std::uint32_t>(sizes[root])
+                  .fetch_add(1, std::memory_order_relaxed);
+          if (prev == 0) my_roots.push_back(root);
+        }
+      });
+      std::vector<std::uint32_t> roots;
+      for (auto& tr_roots : thread_roots) {
+        roots.insert(roots.end(), tr_roots.begin(), tr_roots.end());
       }
       // Top-N roots by component size (N is small; partial selection).
-      std::vector<std::uint32_t> roots;
-      for (std::uint32_t i = 0; i < R; ++i) {
-        if (sizes[i] > 0) roots.push_back(i);
-      }
       const auto take = std::min<std::size_t>(static_cast<std::size_t>(top_n), roots.size());
       std::partial_sort(roots.begin(), roots.begin() + static_cast<std::ptrdiff_t>(take),
                         roots.end(), [&](std::uint32_t a, std::uint32_t b) {
@@ -1124,46 +1205,111 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
       for (std::size_t i = 0; i < take; ++i) top_roots[i] = roots[i];
       final_labels = labels;
       largest_root_shared = top_roots[0];
+      if (bin_mode) {
+        // Component weights in estimated bp: reads * mean bases per read
+        // (per-read lengths are not in the index; DESIGN.md documents the
+        // proxy).  128-bit intermediate so huge datasets cannot overflow.
+        components_shared.reserve(roots.size());
+        for (std::uint32_t root : roots) {
+          part::Component comp;
+          comp.root = root;
+          comp.reads = sizes[root];
+          comp.weight_bp = static_cast<std::uint64_t>(
+              static_cast<unsigned __int128>(sizes[root]) * index.total_bases / R);
+          components_shared.push_back(comp);
+        }
+        bin_plan_shared = part::greedy_bin_pack(components_shared, config.output_bins);
+        root_table = part::make_root_slot_table(components_shared, bin_plan_shared);
+      }
       my.times.add("MergeCC", flatten_timer.seconds());
       span_end("MergeCC", flatten_t0);
     }
+    std::vector<std::uint32_t> label_slice(slice_len[static_cast<std::size_t>(p)]);
     {
       obs::TraceSpan bc_span("Merge-Comm");
       WallTimer bc_timer;
-      comm.broadcast(labels.data(), labels.size() * sizeof(std::uint32_t), 0);
+      // Label scatter: every rank gets the slice its CC-I/O chunks index,
+      // byte geometry shared via the chunk table (see slice_off above).
+      std::vector<std::uint64_t> byte_off(static_cast<std::size_t>(P));
+      std::vector<std::uint64_t> byte_len(static_cast<std::size_t>(P));
+      for (int q = 0; q < P; ++q) {
+        byte_off[static_cast<std::size_t>(q)] = slice_off[static_cast<std::size_t>(q)] * 4;
+        byte_len[static_cast<std::size_t>(q)] = slice_len[static_cast<std::size_t>(q)] * 4;
+      }
+      comm.scatterv(labels.data(), byte_off, byte_len, label_slice.data(), 0);
       comm.broadcast(top_roots.data(), top_roots.size() * sizeof(std::uint32_t), 0);
+      if (bin_mode && P > 1) {
+        // Compact root -> bin table: O(#components), not O(R).
+        std::uint64_t ncomp = root_table.roots.size();
+        comm.broadcast(&ncomp, sizeof(ncomp), 0);
+        if (p != 0) {
+          root_table.roots.resize(ncomp);
+          root_table.slots.resize(ncomp);
+        }
+        if (ncomp > 0) {
+          comm.broadcast(root_table.roots.data(), ncomp * sizeof(std::uint32_t), 0);
+          comm.broadcast(root_table.slots.data(), ncomp * sizeof(std::uint16_t), 0);
+        }
+      }
       if (p != 0) my.times.add("Merge-Comm", bc_timer.seconds());
     }
 
     // ---- CC-I/O (§3.6): each thread extracts reads from its FASTQ chunks
-    // and writes them to per-thread output files (largest component vs the
-    // rest). ----
+    // and writes them to per-thread output files.  Labels come from the
+    // scattered slice, indexed relative to this rank's slice offset. ----
     if (config.write_output) {
       obs::TraceSpan io_span("CC-I/O");
       WallTimer io_timer;
+      const std::uint64_t my_slice_off = slice_off[static_cast<std::size_t>(p)];
       std::vector<std::vector<std::string>> thread_files(static_cast<std::size_t>(T));
+      std::vector<std::vector<part::BinFile>> thread_bin_files(static_cast<std::size_t>(T));
+      std::vector<std::vector<std::uint16_t>> thread_bin_of(static_cast<std::size_t>(T));
       team.run([&](int t) {
         if (ca.thread_begin(p, t) >= ca.thread_end(p, t)) return;
         const std::string base = config.output_dir + "/" + index.name + ".p" +
                                  std::to_string(p) + ".t" + std::to_string(t);
-        // One writer per top component plus the remainder.  N == 1 keeps
-        // the paper's ".lc"/".other" naming.
         std::vector<std::string> names;
         std::vector<std::unique_ptr<io::FastqWriter>> writers;
-        for (int j = 0; j < top_n; ++j) {
-          if (top_roots[static_cast<std::size_t>(j)] == 0xFFFFFFFFu) break;
-          names.push_back(base + (top_n == 1 ? ".lc" : ".c" + std::to_string(j)) + ".fastq");
+        std::vector<std::uint64_t> writer_records;
+        std::vector<std::uint16_t> writer_bin;
+        std::size_t other_slot = 0;
+        // Bin mode: one lazily-opened writer per output bin this thread
+        // actually touches (no ghost files for bins with no local reads).
+        // kNoSlot maps bin index -> writer index.
+        std::vector<std::size_t> bin_writer;
+        if (bin_mode) {
+          bin_writer.assign(static_cast<std::size_t>(config.output_bins),
+                            static_cast<std::size_t>(-1));
+        } else {
+          // Legacy split: one writer per top component plus the remainder.
+          // N == 1 keeps the paper's ".lc"/".other" naming.
+          for (int j = 0; j < top_n; ++j) {
+            if (top_roots[static_cast<std::size_t>(j)] == 0xFFFFFFFFu) break;
+            names.push_back(base + (top_n == 1 ? ".lc" : ".c" + std::to_string(j)) + ".fastq");
+            writers.push_back(std::make_unique<io::FastqWriter>(names.back()));
+          }
+          names.push_back(base + ".other.fastq");
           writers.push_back(std::make_unique<io::FastqWriter>(names.back()));
+          other_slot = writers.size() - 1;
         }
-        names.push_back(base + ".other.fastq");
-        writers.push_back(std::make_unique<io::FastqWriter>(names.back()));
-        const std::size_t other_slot = writers.size() - 1;
 
-        auto slot_of = [&](std::uint32_t root) -> std::size_t {
+        auto legacy_slot_of = [&](std::uint32_t root) -> std::size_t {
           for (std::size_t j = 0; j < other_slot; ++j) {
             if (top_roots[j] == root) return j;
           }
           return other_slot;
+        };
+        auto bin_writer_of = [&](std::uint32_t root) -> std::size_t {
+          const std::uint16_t bin = root_table.slot_of(root);
+          auto& w = bin_writer[bin];
+          if (w == static_cast<std::size_t>(-1)) {
+            names.push_back(base + ".b" + std::to_string(bin) + ".fastq");
+            writers.push_back(std::make_unique<io::FastqWriter>(names.back()));
+            writer_records.push_back(0);
+            writer_bin.push_back(bin);
+            w = writers.size() - 1;
+          }
+          return w;
         };
 
         for (std::uint32_t c = ca.thread_begin(p, t); c < ca.thread_end(p, t); ++c) {
@@ -1171,22 +1317,46 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
           const auto buffer =
               io::read_file_range(index.files[chunk.file], chunk.offset, chunk.size);
           std::uint32_t read_id = chunk.first_read_id;
+          io::ParseOptions popt{config.parse_mode, index.files[chunk.file], chunk.offset,
+                                [&read_id] { ++read_id; }};
           io::for_each_record_in_buffer(
               std::string_view(buffer.data(), buffer.size()),
               [&](std::string_view id, std::string_view seq, std::string_view qual) {
-                writers[slot_of(labels[read_id])]->write(id, seq, qual);
+                const std::uint32_t root = label_slice[read_id - my_slice_off];
+                if (bin_mode) {
+                  const std::size_t w = bin_writer_of(root);
+                  writers[w]->write(id, seq, qual);
+                  ++writer_records[w];
+                } else {
+                  writers[legacy_slot_of(root)]->write(id, seq, qual);
+                }
                 ++read_id;
               },
-              io::ParseOptions{config.parse_mode, index.files[chunk.file], chunk.offset});
+              popt);
         }
         // Explicit close so a failed flush (e.g. ENOSPC) surfaces as a typed
         // Error instead of being swallowed by the destructor.
         for (auto& w : writers) w->close();
         writers.clear();
+        if (bin_mode) {
+          auto& bf = thread_bin_files[static_cast<std::size_t>(t)];
+          for (std::size_t j = 0; j < names.size(); ++j) {
+            bf.push_back(part::BinFile{names[j], writer_records[j]});
+          }
+          thread_bin_of[static_cast<std::size_t>(t)] = std::move(writer_bin);
+        }
         thread_files[static_cast<std::size_t>(t)] = std::move(names);
       });
       for (auto& files : thread_files) {
         for (auto& f : files) my.output_files.push_back(std::move(f));
+      }
+      for (int t = 0; t < T; ++t) {
+        auto& bf = thread_bin_files[static_cast<std::size_t>(t)];
+        auto& bb = thread_bin_of[static_cast<std::size_t>(t)];
+        for (std::size_t j = 0; j < bf.size(); ++j) {
+          my.bin_files.push_back(std::move(bf[j]));
+          my.bin_file_bins.push_back(bb[j]);
+        }
       }
       my.times.add("CC-I/O", io_timer.seconds());
     }
@@ -1227,6 +1397,44 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
   result.message_count = world.message_count();
   result.sim_comm_seconds = world.max_simulated_comm_seconds();
 
+  // Merge/output tail accounting: what the label scatter actually shipped
+  // cross-rank (rank 0 keeps its own slice) and, in bin mode, the compact
+  // root->bin table broadcast — O(R/P + #components) per rank versus the
+  // old O(R) full-label broadcast.
+  for (int q = 1; q < P; ++q) {
+    result.label_scatter_bytes += slice_len[static_cast<std::size_t>(q)] * sizeof(std::uint32_t);
+  }
+  if (bin_mode) {
+    if (P > 1) {
+      const std::uint64_t table_bytes =
+          sizeof(std::uint64_t) +
+          components_shared.size() * (sizeof(std::uint32_t) + sizeof(std::uint16_t));
+      result.root_table_bytes = static_cast<std::uint64_t>(P - 1) * table_bytes;
+    }
+    result.bin_reads = bin_plan_shared.bin_reads;
+    result.bin_weights_bp = bin_plan_shared.bin_weight_bp;
+    result.bin_skew = bin_plan_shared.skew();
+    if (config.write_output) {
+      std::vector<part::BinFile> all_files;
+      std::vector<std::uint16_t> all_bins;
+      for (auto& rs : shared) {
+        for (std::size_t j = 0; j < rs.bin_files.size(); ++j) {
+          all_files.push_back(std::move(rs.bin_files[j]));
+          all_bins.push_back(rs.bin_file_bins[j]);
+        }
+      }
+      const part::BinManifest manifest = part::build_bin_manifest(
+          index.name, R, components_shared, bin_plan_shared, all_files, all_bins);
+      result.bin_manifest_path = config.output_dir + "/" + index.name + ".bins.json";
+      part::save_bin_manifest(manifest, result.bin_manifest_path);
+    }
+  }
+  {
+    obs::MetricsRegistry& m = obs::metrics();
+    m.counter("part.label_scatter_bytes").add(result.label_scatter_bytes);
+    m.counter("part.root_table_bytes").add(result.root_table_bytes);
+  }
+
   // Publish run-level metrics and export the requested artifacts.
   {
     obs::MetricsRegistry& m = obs::metrics();
@@ -1260,6 +1468,8 @@ std::vector<std::uint32_t> reference_components(const DatasetIndex& index,
     const ChunkRecord& chunk = index.part.chunks[c];
     const auto buffer = io::read_file_range(index.files[chunk.file], chunk.offset, chunk.size);
     std::uint32_t read_id = chunk.first_read_id;
+    io::ParseOptions popt{parse_mode, index.files[chunk.file], chunk.offset,
+                          [&read_id] { ++read_id; }};
     io::for_each_record_in_buffer(
         std::string_view(buffer.data(), buffer.size()),
         [&](std::string_view, std::string_view seq, std::string_view) {
@@ -1274,7 +1484,7 @@ std::vector<std::uint32_t> reference_components(const DatasetIndex& index,
           }
           ++read_id;
         },
-        io::ParseOptions{parse_mode, index.files[chunk.file], chunk.offset});
+        popt);
   }
   dsu::SerialDSU dsu(index.total_reads);
   for (const auto& [km, reads] : kmer_reads) {

@@ -44,6 +44,14 @@ struct PipelineResult {
 
   std::vector<std::string> output_files; ///< partitioned FASTQ paths (if written)
   std::vector<std::uint64_t> top_component_sizes;  ///< up to 10, descending
+
+  // Merge/output tail (label scatter + component binning).
+  std::uint64_t label_scatter_bytes = 0;  ///< cross-rank label-slice bytes (O(R/P) per rank)
+  std::uint64_t root_table_bytes = 0;     ///< root->bin table broadcast bytes (O(#components))
+  std::vector<std::uint64_t> bin_reads;   ///< planned reads per output bin (empty unless binning)
+  std::vector<std::uint64_t> bin_weights_bp;  ///< planned weight per output bin
+  double bin_skew = 0.0;                  ///< max/mean bin weight (0 unless binning)
+  std::string bin_manifest_path;          ///< "<output_dir>/<name>.bins.json" when written
 };
 
 /// Run the full preprocessing pipeline.  @p index must have been created

@@ -64,6 +64,12 @@ std::uint32_t SerialDSU::component_count() {
 
 AtomicDSU::AtomicDSU(std::uint32_t n) : parent_(n) { reset(); }
 
+AtomicDSU::AtomicDSU(std::span<const std::uint32_t> parents) : parent_(parents.size()) {
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    parent_[i].store(parents[i], std::memory_order_relaxed);
+  }
+}
+
 void AtomicDSU::reset() {
   for (std::uint32_t i = 0; i < parent_.size(); ++i) {
     parent_[i].store(i, std::memory_order_relaxed);

@@ -63,6 +63,11 @@ class AtomicDSU {
  public:
   explicit AtomicDSU(std::uint32_t n);
 
+  /// Adopt an existing parent-pointer forest (e.g. the merged global forest
+  /// on rank 0, so the final flatten can run find() from many threads).
+  /// Every entry must be a valid index.
+  explicit AtomicDSU(std::span<const std::uint32_t> parents);
+
   [[nodiscard]] std::uint32_t size() const noexcept {
     return static_cast<std::uint32_t>(parent_.size());
   }

@@ -308,6 +308,7 @@ BufferParseStats for_each_record_in_buffer(
                               options.base_offset + at);
     ++stats.skipped;
     skipped_counter().add(1);
+    if (options.on_skip) options.on_skip();
   };
   // Lenient resynchronization over the buffer; see FastqReader::resync.
   auto resync_from = [&](std::string_view start_line, std::string_view& header) -> bool {

@@ -46,6 +46,12 @@ struct ParseOptions {
   /// FastqReader (which knows its own path).
   std::string path;
   std::uint64_t base_offset = 0;
+  /// Lenient mode only: invoked once per resynchronization event, i.e. once
+  /// per record the parser abandoned.  Callers that derive read IDs from
+  /// precomputed chunk tables (which counted the abandoned record) must
+  /// advance their cursor here, or every record after the skip inherits its
+  /// predecessor's ID.
+  std::function<void()> on_skip = {};
 };
 
 /// Per-buffer parse outcome.

@@ -281,6 +281,36 @@ void Comm::broadcast(void* data, std::size_t bytes, int root) {
   }
 }
 
+void Comm::scatterv(const void* sendbuf, std::span<const std::uint64_t> offsets,
+                    std::span<const std::uint64_t> lengths, void* recvbuf, int root) {
+  constexpr int kScatterTag = -454545;
+  const int P = size();
+  if (offsets.size() != static_cast<std::size_t>(P) ||
+      lengths.size() != static_cast<std::size_t>(P))
+    throw util::comm_error("scatterv: offsets/lengths must have P entries");
+  if (rank_ == root) {
+    const auto* sbytes = static_cast<const std::byte*>(sendbuf);
+    std::uint64_t cross_bytes = 0;
+    for (int q = 0; q < P; ++q) {
+      const std::uint64_t len = lengths[static_cast<std::size_t>(q)];
+      if (len == 0) continue;
+      const std::byte* slice = sbytes + offsets[static_cast<std::size_t>(q)];
+      if (q == root) {
+        std::memcpy(recvbuf, slice, len);
+      } else {
+        send(q, kScatterTag, slice, len);
+        cross_bytes += len;
+      }
+    }
+    if (cross_bytes > 0) {
+      static obs::Counter& m_scatter = obs::metrics().counter("mpsim.scatter_bytes");
+      m_scatter.add(cross_bytes);
+    }
+  } else if (lengths[static_cast<std::size_t>(rank_)] > 0) {
+    recv(root, kScatterTag, recvbuf, lengths[static_cast<std::size_t>(rank_)]);
+  }
+}
+
 void Comm::gather(const void* data, std::size_t bytes, void* out, int root) {
   constexpr int kGatherTag = -434343;
   if (rank_ == root) {

@@ -133,6 +133,19 @@ class Comm {
   /// order, P * bytes total).  @p out may be null on non-root ranks.
   void gather(const void* data, std::size_t bytes, void* out, int root);
 
+  /// Scatter per-rank slices of @p root's buffer: rank q receives the byte
+  /// range [offsets[q], offsets[q] + lengths[q]) of @p sendbuf into its
+  /// @p recvbuf.  Unlike MPI_Scatterv, slices may overlap — the label
+  /// scatter of the merge tail ships each rank the read-ID interval its
+  /// chunks cover, and paired-end chunk tables interleave those intervals.
+  /// Both arrays have P entries and must agree on every rank (they are
+  /// derived from the shared index tables); @p sendbuf is read only on
+  /// root, and zero-length slices ship nothing.  Cross-rank bytes charge
+  /// the CostModel/traffic matrix as usual and accumulate in the
+  /// mpsim.scatter_bytes counter.
+  void scatterv(const void* sendbuf, std::span<const std::uint64_t> offsets,
+                std::span<const std::uint64_t> lengths, void* recvbuf, int root);
+
   /// Sum a 64-bit value across all ranks; every rank receives the total.
   std::uint64_t allreduce_sum(std::uint64_t value);
 

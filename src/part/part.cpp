@@ -1,0 +1,309 @@
+#include "part/part.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace metaprep::part {
+
+double BinPlan::skew() const {
+  if (num_bins < 1) return 0.0;
+  std::uint64_t total = 0;
+  std::uint64_t max = 0;
+  for (std::uint64_t w : bin_weight_bp) {
+    total += w;
+    max = std::max(max, w);
+  }
+  if (total == 0) return 0.0;
+  const double mean = static_cast<double>(total) / static_cast<double>(num_bins);
+  return static_cast<double>(max) / mean;
+}
+
+BinPlan greedy_bin_pack(std::span<const Component> components, int num_bins) {
+  if (num_bins < 1) throw util::config_error("greedy_bin_pack: num_bins must be >= 1");
+  if (num_bins > 0xFFFF)
+    throw util::config_error("greedy_bin_pack: num_bins must fit the 16-bit slot table");
+
+  BinPlan plan;
+  plan.num_bins = num_bins;
+  plan.slot_of.assign(components.size(), 0);
+  plan.bin_weight_bp.assign(static_cast<std::size_t>(num_bins), 0);
+  plan.bin_reads.assign(static_cast<std::size_t>(num_bins), 0);
+  plan.bin_components.assign(static_cast<std::size_t>(num_bins), 0);
+
+  // LPT order: heaviest first; equal weights by root so the assignment is a
+  // pure function of the component set.
+  std::vector<std::uint32_t> order(components.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (components[a].weight_bp != components[b].weight_bp)
+      return components[a].weight_bp > components[b].weight_bp;
+    return components[a].root < components[b].root;
+  });
+
+  obs::Histogram& m_sizes = obs::metrics().histogram("part.component_reads");
+  for (std::uint32_t ci : order) {
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < plan.bin_weight_bp.size(); ++b) {
+      if (plan.bin_weight_bp[b] < plan.bin_weight_bp[best]) best = b;
+    }
+    plan.slot_of[ci] = static_cast<std::uint16_t>(best);
+    plan.bin_weight_bp[best] += components[ci].weight_bp;
+    plan.bin_reads[best] += components[ci].reads;
+    ++plan.bin_components[best];
+    m_sizes.record(components[ci].reads);
+  }
+  obs::metrics().gauge("part.bin_skew").set(plan.skew());
+  return plan;
+}
+
+std::uint16_t RootSlotTable::slot_of(std::uint32_t root) const {
+  const auto it = std::lower_bound(roots.begin(), roots.end(), root);
+  if (it == roots.end() || *it != root) return kNoSlot;
+  return slots[static_cast<std::size_t>(it - roots.begin())];
+}
+
+RootSlotTable make_root_slot_table(std::span<const Component> components,
+                                   const BinPlan& plan) {
+  RootSlotTable table;
+  std::vector<std::uint32_t> order(components.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return components[a].root < components[b].root;
+  });
+  table.roots.reserve(components.size());
+  table.slots.reserve(components.size());
+  for (std::uint32_t ci : order) {
+    table.roots.push_back(components[ci].root);
+    table.slots.push_back(plan.slot_of[ci]);
+  }
+  return table;
+}
+
+BinManifest build_bin_manifest(const std::string& dataset, std::uint64_t total_reads,
+                               std::span<const Component> components, const BinPlan& plan,
+                               std::span<const BinFile> files,
+                               std::span<const std::uint16_t> file_bins) {
+  BinManifest m;
+  m.dataset = dataset;
+  m.num_bins = plan.num_bins;
+  m.total_reads = total_reads;
+  m.num_components = components.size();
+  m.skew = plan.skew();
+  m.bins.resize(static_cast<std::size_t>(plan.num_bins));
+  for (std::size_t b = 0; b < m.bins.size(); ++b) {
+    m.bins[b].components = plan.bin_components[b];
+    m.bins[b].reads = plan.bin_reads[b];
+    m.bins[b].weight_bp = plan.bin_weight_bp[b];
+  }
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    m.bins[file_bins[i]].files.push_back(files[i]);
+  }
+  return m;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+/// Minimal cursor over the manifest's own JSON dialect (objects, arrays,
+/// strings with \" and \\ escapes, numbers) — enough to read back exactly
+/// what save_bin_manifest writes.
+struct JsonCursor {
+  const std::string& text;
+  const std::string& path;
+  std::size_t i = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw util::parse_error("bin manifest: " + what, path, i);
+  }
+  void skip_ws() {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\n' || text[i] == '\t' ||
+                               text[i] == '\r'))
+      ++i;
+  }
+  char peek() {
+    skip_ws();
+    if (i >= text.size()) fail("unexpected end of input");
+    return text[i];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++i;
+  }
+  bool consume_if(char c) {
+    if (peek() != c) return false;
+    ++i;
+    return true;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\') {
+        ++i;
+        if (i >= text.size()) fail("dangling escape");
+      }
+      out.push_back(text[i++]);
+    }
+    if (i >= text.size()) fail("unterminated string");
+    ++i;  // closing quote
+    return out;
+  }
+  std::string parse_raw_number() {
+    skip_ws();
+    const std::size_t start = i;
+    while (i < text.size() && (std::isdigit(static_cast<unsigned char>(text[i])) != 0 ||
+                               text[i] == '-' || text[i] == '+' || text[i] == '.' ||
+                               text[i] == 'e' || text[i] == 'E'))
+      ++i;
+    if (i == start) fail("expected a number");
+    return text.substr(start, i - start);
+  }
+  std::uint64_t parse_u64() { return std::strtoull(parse_raw_number().c_str(), nullptr, 10); }
+  double parse_double() { return std::strtod(parse_raw_number().c_str(), nullptr); }
+};
+
+BinFile parse_file(JsonCursor& c) {
+  BinFile f;
+  c.expect('{');
+  do {
+    const std::string key = c.parse_string();
+    c.expect(':');
+    if (key == "path") {
+      f.path = c.parse_string();
+    } else if (key == "records") {
+      f.records = c.parse_u64();
+    } else {
+      c.fail("unknown file key '" + key + "'");
+    }
+  } while (c.consume_if(','));
+  c.expect('}');
+  return f;
+}
+
+BinManifest::Bin parse_bin(JsonCursor& c) {
+  BinManifest::Bin bin;
+  c.expect('{');
+  do {
+    const std::string key = c.parse_string();
+    c.expect(':');
+    if (key == "bin") {
+      (void)c.parse_u64();  // positional; bins are stored in order
+    } else if (key == "components") {
+      bin.components = static_cast<std::uint32_t>(c.parse_u64());
+    } else if (key == "reads") {
+      bin.reads = c.parse_u64();
+    } else if (key == "weight_bp") {
+      bin.weight_bp = c.parse_u64();
+    } else if (key == "files") {
+      c.expect('[');
+      if (!c.consume_if(']')) {
+        do {
+          bin.files.push_back(parse_file(c));
+        } while (c.consume_if(','));
+        c.expect(']');
+      }
+    } else {
+      c.fail("unknown bin key '" + key + "'");
+    }
+  } while (c.consume_if(','));
+  c.expect('}');
+  return bin;
+}
+
+}  // namespace
+
+void save_bin_manifest(const BinManifest& manifest, const std::string& path) {
+  std::string out;
+  out += "{\n";
+  out += "  \"dataset\": \"";
+  append_escaped(out, manifest.dataset);
+  out += "\",\n";
+  out += "  \"bins\": " + std::to_string(manifest.num_bins) + ",\n";
+  out += "  \"reads\": " + std::to_string(manifest.total_reads) + ",\n";
+  out += "  \"components\": " + std::to_string(manifest.num_components) + ",\n";
+  char skew_buf[32];
+  std::snprintf(skew_buf, sizeof(skew_buf), "%.6f", manifest.skew);
+  out += std::string("  \"skew\": ") + skew_buf + ",\n";
+  out += "  \"rows\": [\n";
+  for (std::size_t b = 0; b < manifest.bins.size(); ++b) {
+    const auto& bin = manifest.bins[b];
+    out += "    {\"bin\": " + std::to_string(b) +
+           ", \"components\": " + std::to_string(bin.components) +
+           ", \"reads\": " + std::to_string(bin.reads) +
+           ", \"weight_bp\": " + std::to_string(bin.weight_bp) + ", \"files\": [";
+    for (std::size_t f = 0; f < bin.files.size(); ++f) {
+      if (f > 0) out += ", ";
+      out += "{\"path\": \"";
+      append_escaped(out, bin.files[f].path);
+      out += "\", \"records\": " + std::to_string(bin.files[f].records) + "}";
+    }
+    out += "]}";
+    out += b + 1 < manifest.bins.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw util::io_error("cannot write bin manifest", path, 0, errno);
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != out.size() || close_rc != 0)
+    throw util::io_error("short write on bin manifest", path, written, errno);
+}
+
+BinManifest load_bin_manifest(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw util::io_error("cannot read bin manifest", path, 0, errno);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  BinManifest m;
+  JsonCursor c{text, path};
+  c.expect('{');
+  do {
+    const std::string key = c.parse_string();
+    c.expect(':');
+    if (key == "dataset") {
+      m.dataset = c.parse_string();
+    } else if (key == "bins") {
+      m.num_bins = static_cast<int>(c.parse_u64());
+    } else if (key == "reads") {
+      m.total_reads = c.parse_u64();
+    } else if (key == "components") {
+      m.num_components = c.parse_u64();
+    } else if (key == "skew") {
+      m.skew = c.parse_double();
+    } else if (key == "rows") {
+      c.expect('[');
+      if (!c.consume_if(']')) {
+        do {
+          m.bins.push_back(parse_bin(c));
+        } while (c.consume_if(','));
+        c.expect(']');
+      }
+    } else {
+      c.fail("unknown manifest key '" + key + "'");
+    }
+  } while (c.consume_if(','));
+  c.expect('}');
+  if (m.num_bins < 0 || m.bins.size() != static_cast<std::size_t>(m.num_bins))
+    throw util::parse_error("bin manifest: row count disagrees with \"bins\"", path);
+  return m;
+}
+
+}  // namespace metaprep::part

@@ -1,0 +1,103 @@
+// Component binning for the output tail (paper §3.6 endgame + Table 4).
+//
+// MergeCC leaves rank 0 with one component label per read.  Downstream
+// assemblers want *balanced* slices of the read graph, not "largest
+// component vs everything else", so this subsystem greedily bin-packs
+// components into B output partitions by estimated total bp (largest-first,
+// deterministic ties) — the classic LPT heuristic, which is within 4/3 of
+// the optimal makespan.  The resulting plan is shipped to every rank as a
+// compact root->slot table (O(#components), not O(R)), and the written
+// files are described by a per-bin JSON manifest so downstream tooling can
+// consume a bin without re-scanning the FASTQ set.
+//
+// Observability: greedy_bin_pack publishes the achieved skew (max bin
+// weight / mean bin weight) in the part.bin_skew gauge and the component
+// size distribution in the part.component_reads histogram.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace metaprep::part {
+
+/// One connected component of the read graph, as seen by the binner.
+struct Component {
+  std::uint32_t root = 0;       ///< representative read ID (DSU root)
+  std::uint64_t reads = 0;      ///< member reads (paired-end pairs)
+  std::uint64_t weight_bp = 0;  ///< estimated total bases across members
+};
+
+/// Assignment of components to output bins plus per-bin load accounting.
+struct BinPlan {
+  int num_bins = 0;
+  std::vector<std::uint16_t> slot_of;        ///< bin per input component
+  std::vector<std::uint64_t> bin_weight_bp;  ///< load per bin
+  std::vector<std::uint64_t> bin_reads;      ///< reads per bin
+  std::vector<std::uint32_t> bin_components; ///< components per bin
+
+  /// Max bin weight / mean bin weight (1.0 = perfectly balanced); 0 when
+  /// there is no weight to balance.
+  [[nodiscard]] double skew() const;
+};
+
+/// Greedy largest-first (LPT) bin packing: components in (weight desc, root
+/// asc) order each go to the currently lightest bin (ties: lowest bin id).
+/// Fully deterministic for a given component set.  Throws util::Error
+/// (config) when num_bins < 1 or exceeds the 16-bit slot range.
+BinPlan greedy_bin_pack(std::span<const Component> components, int num_bins);
+
+/// Compact root -> bin table broadcast to every rank for CC-I/O routing:
+/// parallel arrays sorted by root, looked up by binary search.
+struct RootSlotTable {
+  static constexpr std::uint16_t kNoSlot = 0xFFFF;
+  std::vector<std::uint32_t> roots;  ///< ascending
+  std::vector<std::uint16_t> slots;
+
+  /// Bin of @p root, or kNoSlot when the root is not in the table.
+  [[nodiscard]] std::uint16_t slot_of(std::uint32_t root) const;
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return roots.size() * sizeof(std::uint32_t) + slots.size() * sizeof(std::uint16_t);
+  }
+};
+
+RootSlotTable make_root_slot_table(std::span<const Component> components,
+                                   const BinPlan& plan);
+
+/// One output FASTQ file belonging to a bin, with the records actually
+/// written (lenient parsing may drop records the plan counted).
+struct BinFile {
+  std::string path;
+  std::uint64_t records = 0;
+};
+
+/// Everything a downstream consumer needs about one binned run.
+struct BinManifest {
+  struct Bin {
+    std::uint32_t components = 0;
+    std::uint64_t reads = 0;      ///< planned reads (pairs) in this bin
+    std::uint64_t weight_bp = 0;  ///< planned weight
+    std::vector<BinFile> files;
+  };
+  std::string dataset;
+  int num_bins = 0;
+  std::uint64_t total_reads = 0;      ///< R for the whole dataset
+  std::uint64_t num_components = 0;
+  double skew = 0.0;
+  std::vector<Bin> bins;
+};
+
+/// Assemble a manifest from a plan plus the (path, bin, records) triples the
+/// CC-I/O writers produced.  @p file_bins[i] is the bin of @p files[i].
+BinManifest build_bin_manifest(const std::string& dataset, std::uint64_t total_reads,
+                               std::span<const Component> components, const BinPlan& plan,
+                               std::span<const BinFile> files,
+                               std::span<const std::uint16_t> file_bins);
+
+/// Write / read the manifest as JSON.  Failures throw util::Error (io for
+/// filesystem problems, parse for malformed content).
+void save_bin_manifest(const BinManifest& manifest, const std::string& path);
+BinManifest load_bin_manifest(const std::string& path);
+
+}  // namespace metaprep::part

@@ -19,6 +19,8 @@
 #include "dsu/dsu.hpp"
 #include "io/fastq.hpp"
 #include "kmer/scanner.hpp"
+#include "obs/metrics.hpp"
+#include "part/part.hpp"
 #include "sim/read_sim.hpp"
 #include "test_support.hpp"
 
@@ -139,6 +141,165 @@ TEST_P(DifferentialGridTest, PartitionMatchesSerialOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Grid, DifferentialGridTest, ::testing::ValuesIn(full_grid()),
                          case_name);
+
+// ---------------------------------------------------------------------------
+// Output grid: write_output=true with load-balanced binning.  Every surviving
+// record must land in exactly one bin file, mates and whole components stay
+// together, the achieved per-bin loads match a plan recomputed from the
+// oracle, and the manifest describes exactly what was written.
+
+struct OutputGridCase {
+  int P;
+  PipelineMode mode;
+  int bins;
+};
+
+std::string output_case_name(const ::testing::TestParamInfo<OutputGridCase>& info) {
+  const auto& c = info.param;
+  return "P" + std::to_string(c.P) +
+         (c.mode == PipelineMode::kOverlap ? "overlap" : "barrier") + "B" +
+         std::to_string(c.bins);
+}
+
+std::vector<OutputGridCase> output_grid() {
+  std::vector<OutputGridCase> cases;
+  for (int P : {2, 4}) {
+    for (auto mode : {PipelineMode::kBarrier, PipelineMode::kOverlap}) {
+      for (int bins : {1, 2, 4}) cases.push_back({P, mode, bins});
+    }
+  }
+  return cases;
+}
+
+/// "diff.<i>/1" -> i (sim headers are unique per record).
+std::uint32_t read_id_of_header(const std::string& header) {
+  const auto dot = header.find('.');
+  const auto slash = header.find('/', dot);
+  EXPECT_NE(dot, std::string::npos);
+  EXPECT_NE(slash, std::string::npos);
+  return static_cast<std::uint32_t>(std::stoul(header.substr(dot + 1, slash - dot - 1)));
+}
+
+class OutputGridTest : public ::testing::TestWithParam<OutputGridCase> {};
+
+TEST_P(OutputGridTest, BinnedOutputPartitionsReadSetExactly) {
+  const auto& c = GetParam();
+  auto& f = fixture();
+  TempDir out;
+
+  MetaprepConfig cfg;
+  cfg.k = kK;
+  cfg.num_ranks = c.P;
+  cfg.threads_per_rank = 2;
+  cfg.num_passes = 2;
+  cfg.pipeline_mode = c.mode;
+  cfg.write_output = true;
+  cfg.output_dir = out.str();
+  cfg.output_bins = c.bins;
+  cfg.metrics_out = out.file("metrics.jsonl");
+
+  const auto result = run_metaprep(f.index, cfg);
+  const std::uint32_t R = f.index.total_reads;
+  EXPECT_EQ(test::normalize_partition(result.labels), f.oracle);
+
+  // Every record lands in exactly one bin file; both mates of a pair and all
+  // reads of a component share one bin.
+  std::map<std::string, int> header_bin;
+  std::vector<std::uint64_t> actual_bin_records(static_cast<std::size_t>(c.bins), 0);
+  std::map<std::string, std::uint64_t> file_records;
+  for (const auto& path : result.output_files) {
+    const auto bpos = path.rfind(".b");
+    ASSERT_NE(bpos, std::string::npos) << path;
+    const int bin = std::stoi(path.substr(bpos + 2));
+    ASSERT_LT(bin, c.bins);
+    const auto records = test::read_all_fastq(path);
+    file_records[path] = records.size();
+    for (const auto& rec : records) {
+      const auto [it, inserted] = header_bin.emplace(rec.id, bin);
+      EXPECT_TRUE(inserted) << "duplicate record " << rec.id;
+      ++actual_bin_records[static_cast<std::size_t>(bin)];
+    }
+  }
+  ASSERT_EQ(header_bin.size(), 2u * R);  // strict parse: nothing dropped
+  std::vector<int> bin_of_read(R, -1);
+  for (const auto& [header, bin] : header_bin) {
+    const std::uint32_t id = read_id_of_header(header);
+    ASSERT_LT(id, R);
+    if (bin_of_read[id] == -1) {
+      bin_of_read[id] = bin;
+    } else {
+      EXPECT_EQ(bin_of_read[id], bin) << "mates of read " << id << " split across bins";
+    }
+  }
+  std::map<std::uint32_t, int> component_bin;
+  for (std::uint32_t id = 0; id < R; ++id) {
+    const auto [it, inserted] = component_bin.emplace(f.oracle[id], bin_of_read[id]);
+    if (!inserted) {
+      EXPECT_EQ(it->second, bin_of_read[id]) << "component of read " << id << " split";
+    }
+  }
+
+  // Achieved loads match the plan recomputed from oracle component sizes
+  // with the pipeline's weight model (estimated bp = reads * mean length).
+  std::map<std::uint32_t, std::uint64_t> comp_sizes;
+  for (auto l : f.oracle) ++comp_sizes[l];
+  std::vector<part::Component> comps;
+  for (const auto& [root, size] : comp_sizes) {
+    comps.push_back(part::Component{
+        root, size,
+        static_cast<std::uint64_t>(static_cast<unsigned __int128>(size) *
+                                   f.index.total_bases / R)});
+  }
+  const auto plan = part::greedy_bin_pack(comps, c.bins);
+  EXPECT_EQ(result.bin_reads, plan.bin_reads);
+  EXPECT_EQ(result.bin_weights_bp, plan.bin_weight_bp);
+  EXPECT_DOUBLE_EQ(result.bin_skew, plan.skew());
+  for (int b = 0; b < c.bins; ++b) {
+    EXPECT_EQ(actual_bin_records[static_cast<std::size_t>(b)],
+              2 * plan.bin_reads[static_cast<std::size_t>(b)])
+        << "bin " << b;
+  }
+
+  // The manifest covers every written file with exact record counts.
+  ASSERT_FALSE(result.bin_manifest_path.empty());
+  const auto manifest = part::load_bin_manifest(result.bin_manifest_path);
+  EXPECT_EQ(manifest.num_bins, c.bins);
+  EXPECT_EQ(manifest.total_reads, R);
+  EXPECT_EQ(manifest.num_components, comps.size());
+  std::uint64_t manifest_records = 0;
+  std::size_t manifest_files = 0;
+  for (const auto& bin : manifest.bins) {
+    for (const auto& file : bin.files) {
+      ASSERT_TRUE(file_records.contains(file.path)) << file.path;
+      EXPECT_EQ(file.records, file_records[file.path]) << file.path;
+      manifest_records += file.records;
+      ++manifest_files;
+    }
+  }
+  EXPECT_EQ(manifest_records, 2u * R);
+  EXPECT_EQ(manifest_files, result.output_files.size());
+
+  // Merge-tail communication: the label scatter ships strictly less than the
+  // old O(R)-per-rank full broadcast, and the root->bin table is
+  // O(#components).  The mpsim.scatter_bytes counter must agree with the
+  // deterministic slice geometry the result reports.
+  const std::uint64_t old_broadcast = static_cast<std::uint64_t>(c.P - 1) * 4ull * R;
+  EXPECT_GT(result.label_scatter_bytes, 0u);
+  EXPECT_LE(result.label_scatter_bytes, old_broadcast);
+  // At P >= 4 most ranks' chunk ranges cover a strict subset of the ID
+  // space, so the scatter must ship strictly less than the old broadcast.
+  // (At P = 2 the lone non-root rank can straddle the paired-file boundary
+  // and legitimately need the whole range.)
+  if (c.P >= 4) EXPECT_LT(result.label_scatter_bytes, old_broadcast);
+  EXPECT_EQ(result.root_table_bytes,
+            static_cast<std::uint64_t>(c.P - 1) * (8 + 6 * comps.size()));
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                obs::metrics().counter("mpsim.scatter_bytes").value()),
+            result.label_scatter_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(OutputGrid, OutputGridTest, ::testing::ValuesIn(output_grid()),
+                         output_case_name);
 
 TEST(Differential, ModesAgreeTupleForTuple) {
   // Beyond the partition: both modes must enumerate the same number of

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -107,6 +109,43 @@ TEST(AtomicDSU, SequentialBehaviorMatchesSerial) {
   }
   EXPECT_EQ(test::normalize_partition(s.labels()), test::normalize_partition(a.labels()));
   EXPECT_EQ(s.component_count(), a.component_count());
+}
+
+TEST(AtomicDSU, AdoptedParentsSupportConcurrentFlatten) {
+  // The pipeline's MergeCC flatten adopts the merged serial forest into an
+  // AtomicDSU and runs find() + atomic size counting from the whole thread
+  // team.  Mirror that access pattern against a serial flatten.
+  const std::uint32_t n = 2000;
+  const auto edges = random_edges(n, 1500, 99);
+  SerialDSU s(n);
+  for (const auto& [u, v] : edges) s.unite(u, v);
+  const auto parents = s.take_parents();
+
+  AtomicDSU a{std::span<const std::uint32_t>(parents)};
+  const int threads = 4;
+  util::ThreadTeam team(threads);
+  const auto bounds = util::split_range(n, threads);
+  std::vector<std::uint32_t> labels(n);
+  std::vector<std::uint32_t> sizes(n, 0);
+  team.run([&](int t) {
+    for (std::size_t i = bounds[static_cast<std::size_t>(t)];
+         i < bounds[static_cast<std::size_t>(t) + 1]; ++i) {
+      const std::uint32_t root = a.find(static_cast<std::uint32_t>(i));
+      labels[i] = root;
+      std::atomic_ref<std::uint32_t>(sizes[root]).fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  SerialDSU s2(std::vector<std::uint32_t>(parents.begin(), parents.end()));
+  std::uint64_t counted = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(labels[i], s2.find(i));
+    counted += sizes[i];
+  }
+  EXPECT_EQ(counted, n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (sizes[i] > 0) EXPECT_EQ(labels[i], i);  // only roots accumulate size
+  }
 }
 
 TEST(AtomicDSU, ResetRestoresSingletons) {

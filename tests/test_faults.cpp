@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cerrno>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -382,6 +383,81 @@ TEST(FaultPipeline, CorruptChunksLenientModeCompletesWithCountedSkips) {
   // Degraded but labeled: the run completes with every read labeled.
   EXPECT_EQ(result.num_reads, d.index.total_reads);
   EXPECT_EQ(result.labels.size(), d.index.total_reads);
+}
+
+TEST(FaultPipeline, LenientSkipsDoNotDriftOutputLabels) {
+  // Regression: in lenient mode the CC-I/O writers derive each record's read
+  // ID from a cursor that starts at the chunk's first_read_id.  The chunk
+  // table counted every record — including ones the parser later abandons —
+  // so a resynchronization must advance the cursor too.  Before the
+  // ParseOptions::on_skip hook, every record after a skip inherited its
+  // predecessor's ID and was routed to the wrong output file.
+  //
+  // Reads alternate between two k-mer-disjoint families, so an off-by-one
+  // read ID lands in the *other* family's component and the misrouting is
+  // visible in the partitioned output.
+  TempDir dir;
+  std::vector<std::string> reads;
+  for (int i = 0; i < 12; ++i) {
+    reads.push_back(i % 2 == 0 ? "ACGTACGTACGTACGTACGTACGT" : "TTGGCCAATTGGCCAATTGGCCAA");
+  }
+  for (int i = 0; i < 10; ++i) reads.push_back("ACGTACGTACGTACGTACGTACGT");
+  test::write_fastq(dir.file("reads.fastq"), reads);
+  core::IndexCreateOptions opt;
+  opt.k = 15;
+  opt.m = 4;
+  opt.target_chunks = 6;
+  const auto index = core::create_index("drift", {dir.file("reads.fastq")}, false, opt);
+
+  core::MetaprepConfig cfg;
+  cfg.k = opt.k;
+  cfg.num_ranks = 2;
+  cfg.threads_per_rank = 2;
+  cfg.num_passes = 2;
+  cfg.parse_mode = io::ParseMode::kLenient;
+  cfg.write_output = true;
+  cfg.output_dir = dir.str();
+
+  FaultPlanConfig fp;
+  fp.corrupt_rate = 1.0;  // every chunk read loses exactly one record
+  fp.seed = 11;
+  ScopedFaultPlan scoped(fp);
+
+  // Corruption decisions are site-keyed, so the brute-force oracle sees the
+  // identical degraded input and yields per-read-ID ground-truth labels.
+  const auto oracle = core::reference_components(index, cfg.filter, cfg.parse_mode);
+  const auto result = core::run_metaprep(index, cfg);
+  ASSERT_GT(FaultPlan::global().counters().chunks_corrupted, 0u);
+
+  std::map<std::uint32_t, std::uint64_t> oracle_sizes;
+  for (auto l : oracle) ++oracle_sizes[l];
+  std::uint32_t largest_root = 0;
+  std::uint64_t largest_size = 0;
+  for (const auto& [root, size] : oracle_sizes) {
+    if (size > largest_size) {
+      largest_root = root;
+      largest_size = size;
+    }
+  }
+  ASSERT_GT(largest_size, 1u);
+
+  // Every surviving record must land in the file matching its oracle label:
+  // members of the largest component in ".lc", everything else in ".other".
+  std::size_t checked = 0;
+  for (const auto& path : result.output_files) {
+    const bool lc_file = path.find(".lc.fastq") != std::string::npos;
+    for (const auto& rec : test::read_all_fastq(path)) {
+      const std::uint32_t id =
+          static_cast<std::uint32_t>(std::stoul(rec.id.substr(1)));  // "r<i>"
+      ASSERT_LT(id, oracle.size());
+      EXPECT_EQ(oracle[id] == largest_root, lc_file)
+          << "read r" << id << " misrouted to " << path;
+      ++checked;
+    }
+  }
+  // CC-I/O reads each chunk once and each corrupted read loses exactly one
+  // record, so the output holds all reads minus one per chunk.
+  EXPECT_EQ(checked, index.total_reads - index.part.num_chunks());
 }
 
 TEST(FaultPipeline, CommDropsAndDelaysDoNotChangeResults) {

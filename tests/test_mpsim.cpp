@@ -138,6 +138,52 @@ TEST(Comm, GatherCollectsRankMajor) {
   }
 }
 
+TEST(Comm, ScattervDeliversSlicesIncludingOverlaps) {
+  // Label scatter in the pipeline ships overlapping slices (paired-end read
+  // ranges straddle rank boundaries); scatterv must not assume disjointness.
+  World world(3);
+  const std::vector<std::uint32_t> source{10, 11, 12, 13, 14, 15, 16, 17};
+  const std::vector<std::uint64_t> offsets{0, 8, 20};    // bytes: words [0,4), [2,6), [5,8)
+  const std::vector<std::uint64_t> lengths{16, 16, 12};  // ranks 0/1 and 1/2 overlap
+  world.run([&](Comm& comm) {
+    const int p = comm.rank();
+    std::vector<std::uint32_t> slice(lengths[static_cast<std::size_t>(p)] / 4);
+    comm.scatterv(p == 0 ? source.data() : nullptr, offsets, lengths, slice.data(), 0);
+    if (p == 0) EXPECT_EQ(slice, (std::vector<std::uint32_t>{10, 11, 12, 13}));
+    if (p == 1) EXPECT_EQ(slice, (std::vector<std::uint32_t>{12, 13, 14, 15}));
+    if (p == 2) EXPECT_EQ(slice, (std::vector<std::uint32_t>{15, 16, 17}));
+  });
+}
+
+TEST(Comm, ScattervZeroLengthSliceShipsNothing) {
+  World world(3);
+  const std::vector<std::uint32_t> source{1, 2, 3};
+  const std::vector<std::uint64_t> offsets{0, 0, 4};
+  const std::vector<std::uint64_t> lengths{4, 0, 8};
+  world.run([&](Comm& comm) {
+    const int p = comm.rank();
+    std::vector<std::uint32_t> slice(2, 0xAAAAAAAAu);
+    comm.scatterv(p == 0 ? source.data() : nullptr, offsets, lengths,
+                  p == 1 ? nullptr : slice.data(), 0);
+    if (p == 0) EXPECT_EQ(slice[0], 1u);
+    if (p == 2) EXPECT_EQ(slice, (std::vector<std::uint32_t>{2, 3}));
+  });
+  // Only rank 2's 8 bytes crossed ranks (rank 0 keeps its slice local,
+  // rank 1 shipped nothing).
+  EXPECT_EQ(world.total_traffic_bytes(), 8u);
+}
+
+TEST(Comm, ScattervRejectsBadGeometryArrays) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Comm& comm) {
+    const std::vector<std::uint64_t> offsets{0};  // one entry, P == 2
+    const std::vector<std::uint64_t> lengths{0};
+    std::uint32_t dummy = 0;
+    comm.scatterv(&dummy, offsets, lengths, &dummy, 0);
+  }),
+               std::runtime_error);
+}
+
 TEST(Comm, AllreduceSumAcrossRanks) {
   for (int p : {1, 2, 5, 8}) {
     World world(p);

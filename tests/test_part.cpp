@@ -1,0 +1,148 @@
+// Tests for the component binning subsystem (src/part).
+#include "part/part.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace metaprep::part {
+namespace {
+
+std::vector<Component> make_components(std::initializer_list<std::uint64_t> weights) {
+  std::vector<Component> out;
+  std::uint32_t root = 0;
+  for (std::uint64_t w : weights) {
+    out.push_back(Component{root, w, w * 100});
+    root += 7;  // arbitrary distinct roots
+  }
+  return out;
+}
+
+TEST(GreedyBinPack, SingleBinTakesEverything) {
+  const auto comps = make_components({5, 3, 9, 1});
+  const auto plan = greedy_bin_pack(comps, 1);
+  EXPECT_EQ(plan.num_bins, 1);
+  for (auto s : plan.slot_of) EXPECT_EQ(s, 0);
+  EXPECT_EQ(plan.bin_reads[0], 18u);
+  EXPECT_EQ(plan.bin_weight_bp[0], 1800u);
+  EXPECT_EQ(plan.bin_components[0], 4u);
+  EXPECT_DOUBLE_EQ(plan.skew(), 1.0);
+}
+
+TEST(GreedyBinPack, LargestFirstBalancesLoads) {
+  // Weights 9,5,3,1: LPT puts 9 in bin 0, 5 in bin 1, 3 in bin 1 (lighter),
+  // 1 in bin 1 (still lighter at 8 vs 9).
+  const auto comps = make_components({5, 3, 9, 1});
+  const auto plan = greedy_bin_pack(comps, 2);
+  EXPECT_EQ(plan.bin_weight_bp[0], 900u);
+  EXPECT_EQ(plan.bin_weight_bp[1], 900u);
+  EXPECT_EQ(plan.bin_reads[0] + plan.bin_reads[1], 18u);
+  EXPECT_DOUBLE_EQ(plan.skew(), 1.0);
+}
+
+TEST(GreedyBinPack, MoreBinsThanComponentsLeavesEmptyBins) {
+  const auto comps = make_components({4, 2});
+  const auto plan = greedy_bin_pack(comps, 5);
+  std::uint64_t total = std::accumulate(plan.bin_weight_bp.begin(),
+                                        plan.bin_weight_bp.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 600u);
+  int nonempty = 0;
+  for (auto c : plan.bin_components) nonempty += c > 0 ? 1 : 0;
+  EXPECT_EQ(nonempty, 2);
+  // Skew reflects imbalance: max 400 vs mean 120.
+  EXPECT_NEAR(plan.skew(), 400.0 / 120.0, 1e-9);
+}
+
+TEST(GreedyBinPack, DeterministicUnderInputPermutation) {
+  // Same component *set* in a different order must yield the same
+  // root -> bin assignment (ties break on root, not input position).
+  std::vector<Component> a = make_components({7, 7, 7, 2, 2, 10});
+  std::vector<Component> b = a;
+  std::reverse(b.begin(), b.end());
+  const auto plan_a = greedy_bin_pack(a, 3);
+  const auto plan_b = greedy_bin_pack(b, 3);
+  const auto table_a = make_root_slot_table(a, plan_a);
+  const auto table_b = make_root_slot_table(b, plan_b);
+  EXPECT_EQ(table_a.roots, table_b.roots);
+  EXPECT_EQ(table_a.slots, table_b.slots);
+  EXPECT_EQ(plan_a.bin_weight_bp, plan_b.bin_weight_bp);
+}
+
+TEST(GreedyBinPack, RejectsBadBinCounts) {
+  const auto comps = make_components({1});
+  EXPECT_THROW(greedy_bin_pack(comps, 0), util::Error);
+  EXPECT_THROW(greedy_bin_pack(comps, -3), util::Error);
+  EXPECT_THROW(greedy_bin_pack(comps, 0x10000), util::Error);
+}
+
+TEST(GreedyBinPack, EmptyComponentSetIsWellDefined) {
+  const auto plan = greedy_bin_pack({}, 4);
+  EXPECT_EQ(plan.num_bins, 4);
+  for (auto w : plan.bin_weight_bp) EXPECT_EQ(w, 0u);
+  EXPECT_DOUBLE_EQ(plan.skew(), 0.0);
+}
+
+TEST(RootSlotTable, LookupBySortedBinarySearch) {
+  const auto comps = make_components({5, 3, 9});  // roots 0, 7, 14
+  const auto plan = greedy_bin_pack(comps, 2);
+  const auto table = make_root_slot_table(comps, plan);
+  ASSERT_EQ(table.roots.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(table.roots.begin(), table.roots.end()));
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    EXPECT_EQ(table.slot_of(comps[i].root), plan.slot_of[i]);
+  }
+  EXPECT_EQ(table.slot_of(1), RootSlotTable::kNoSlot);
+  EXPECT_EQ(table.slot_of(999), RootSlotTable::kNoSlot);
+  EXPECT_EQ(table.byte_size(), 3u * (4 + 2));
+}
+
+TEST(BinManifest, RoundTripsThroughJson) {
+  test::TempDir dir;
+  const auto comps = make_components({6, 4, 2});
+  const auto plan = greedy_bin_pack(comps, 2);
+  const std::vector<BinFile> files{{dir.file("x.p0.t0.b0.fastq"), 12},
+                                   {dir.file("x.p0.t1.b1.fastq"), 5},
+                                   {dir.file("x.p1.t0.b0.fastq"), 3}};
+  const std::vector<std::uint16_t> file_bins{0, 1, 0};
+  const auto manifest = build_bin_manifest("x \"quoted\"", 12, comps, plan, files, file_bins);
+  const std::string path = dir.file("x.bins.json");
+  save_bin_manifest(manifest, path);
+
+  const auto loaded = load_bin_manifest(path);
+  EXPECT_EQ(loaded.dataset, manifest.dataset);
+  EXPECT_EQ(loaded.num_bins, manifest.num_bins);
+  EXPECT_EQ(loaded.total_reads, manifest.total_reads);
+  EXPECT_EQ(loaded.num_components, manifest.num_components);
+  EXPECT_NEAR(loaded.skew, manifest.skew, 1e-6);
+  ASSERT_EQ(loaded.bins.size(), manifest.bins.size());
+  for (std::size_t b = 0; b < loaded.bins.size(); ++b) {
+    EXPECT_EQ(loaded.bins[b].components, manifest.bins[b].components);
+    EXPECT_EQ(loaded.bins[b].reads, manifest.bins[b].reads);
+    EXPECT_EQ(loaded.bins[b].weight_bp, manifest.bins[b].weight_bp);
+    ASSERT_EQ(loaded.bins[b].files.size(), manifest.bins[b].files.size());
+    for (std::size_t f = 0; f < loaded.bins[b].files.size(); ++f) {
+      EXPECT_EQ(loaded.bins[b].files[f].path, manifest.bins[b].files[f].path);
+      EXPECT_EQ(loaded.bins[b].files[f].records, manifest.bins[b].files[f].records);
+    }
+  }
+}
+
+TEST(BinManifest, LoadRejectsMissingFileAndGarbage) {
+  test::TempDir dir;
+  EXPECT_THROW(load_bin_manifest(dir.file("nope.json")), util::Error);
+  const std::string path = dir.file("bad.json");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"dataset\": \"x\", \"bins\": 3, \"rows\": []}", f);
+  std::fclose(f);
+  EXPECT_THROW(load_bin_manifest(path), util::Error);  // 3 bins, 0 rows
+}
+
+}  // namespace
+}  // namespace metaprep::part

@@ -18,6 +18,7 @@
 #include "sim/genome.hpp"
 #include "sim/read_sim.hpp"
 #include "test_support.hpp"
+#include "util/error.hpp"
 
 namespace metaprep::core {
 namespace {
@@ -177,7 +178,39 @@ TEST(Pipeline, ImpossibleBudgetThrows) {
 TEST(Pipeline, MismatchedKThrows) {
   Fixture fixture(15, 100);
   auto cfg = base_config(21, fixture.dir.str());
-  EXPECT_THROW(run_metaprep(fixture.index, cfg), std::invalid_argument);
+  EXPECT_THROW(run_metaprep(fixture.index, cfg), metaprep::util::Error);
+}
+
+TEST(Pipeline, EmptyInputYieldsEmptyResultWithoutGhostFiles) {
+  // R == 0 hardening: an index over an empty FASTQ must short-circuit to a
+  // well-formed empty result in both pipeline modes — no throw, no sentinel
+  // largest root, and no ghost ".other.fastq" (or bin) files on disk.
+  Fixture fixture(15, 0);
+  for (auto mode : {PipelineMode::kBarrier, PipelineMode::kOverlap}) {
+    for (int bins : {0, 2}) {
+      test::TempDir out;
+      auto cfg = base_config(15, out.str());
+      cfg.num_ranks = 2;
+      cfg.threads_per_rank = 2;
+      cfg.pipeline_mode = mode;
+      cfg.write_output = true;
+      cfg.output_bins = bins;
+      const auto r = run_metaprep(fixture.index, cfg);
+      EXPECT_EQ(r.num_reads, 0u);
+      EXPECT_TRUE(r.labels.empty());
+      EXPECT_EQ(r.num_components, 0u);
+      EXPECT_EQ(r.largest_size, 0u);
+      EXPECT_DOUBLE_EQ(r.largest_fraction, 0.0);
+      EXPECT_TRUE(r.output_files.empty());
+      EXPECT_TRUE(r.bin_manifest_path.empty());
+      std::size_t on_disk = 0;
+      for (const auto& e : std::filesystem::directory_iterator(out.str())) {
+        (void)e;
+        ++on_disk;
+      }
+      EXPECT_EQ(on_disk, 0u);
+    }
+  }
 }
 
 TEST(Pipeline, ComponentAccountingConsistent) {
