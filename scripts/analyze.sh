@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# clang-tidy static analysis over the exported compile database.
+#
+#   scripts/analyze.sh [build-dir] [-- extra clang-tidy args]
+#
+# Uses the repo .clang-tidy profile (bugprone-*, concurrency-*,
+# performance-*, narrowing).  Needs a configured build directory
+# (CMAKE_EXPORT_COMPILE_COMMANDS is always on; any `cmake -B build -S .`
+# produces build/compile_commands.json).
+#
+# Environments without clang-tidy (this repo's CI container ships only the
+# gcc toolchain) skip with exit 0 so tier1.sh can include this leg
+# unconditionally; install clang-tidy to make the leg bite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift $(( $# > 0 ? 1 : 0 )) || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "$TIDY" ]]; then
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then TIDY="$candidate"; break; fi
+  done
+fi
+if [[ -z "$TIDY" ]]; then
+  echo "analyze.sh: clang-tidy not found; skipping static analysis (install clang-tidy to enable)" >&2
+  exit 0
+fi
+
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "analyze.sh: $BUILD_DIR/compile_commands.json missing; run: cmake -B $BUILD_DIR -S ." >&2
+  exit 2
+fi
+
+# First-party sources only: the compile database also covers tests/ and
+# bench/, which are gtest/gbenchmark macro soup clang-tidy dislikes.
+mapfile -t FILES < <(find src -name '*.cpp' | sort)
+
+echo "analyze.sh: $TIDY over ${#FILES[@]} files (profile: .clang-tidy)"
+"$TIDY" -p "$BUILD_DIR" --quiet "$@" "${FILES[@]}"
+echo "analyze.sh: clean"

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Repo-idiom lint for first-party sources (src/), no toolchain required.
+#
+#   scripts/lint.sh
+#
+# Rules (suppress a finding by putting `// NOLINT(metaprep-<rule>): <why>`
+# on the offending line or the line directly above it — the justification
+# is mandatory):
+#   metaprep-no-adhoc-throw   `throw std::runtime_error` anywhere except
+#                             src/util/error.* — use the util::Error
+#                             factories (io_error/parse_error/comm_error/
+#                             config_error) so failures stay typed.
+#   metaprep-no-naked-new     `new T(...)` outside a smart-pointer factory —
+#                             the only blessed uses are intentionally leaked
+#                             process-lifetime singletons and private-ctor
+#                             registries, each NOLINT-justified inline.
+#   metaprep-pragma-once      every header under src/ starts its include
+#                             guard with `#pragma once`.
+#   metaprep-no-using-namespace-header
+#                             no `using namespace` at file scope in headers.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+report() {  # file:line  rule  message
+  echo "lint: $1: [$2] $3" >&2
+  fail=1
+}
+
+# awk helper: scan a file for a regex on comment-stripped lines, honoring
+# same-line or previous-line NOLINT(metaprep-<rule>) suppressions (which are
+# inside comments, so they are checked before stripping).
+scan() {
+  local rule="$1" regex="$2" file="$3" msg="$4"
+  awk -v rule="$rule" -v regex="$regex" -v file="$file" -v msg="$msg" '
+    {
+      raw = $0
+      nolint_here = (raw ~ ("NOLINT\\(metaprep-" rule "\\)"))
+      line = raw
+      sub(/\/\/.*$/, "", line)   # strip line comments
+      if (line ~ regex && !nolint_here && !prev_nolint) {
+        printf "lint: %s:%d: [metaprep-%s] %s\n", file, NR, rule, msg
+        found = 1
+      }
+      prev_nolint = nolint_here
+    }
+    END { exit found ? 1 : 0 }
+  ' "$file" >&2 || fail=1
+}
+
+# --- Rule: no ad-hoc std::runtime_error outside the error taxonomy --------
+while IFS= read -r f; do
+  case "$f" in
+    src/util/error.*) continue ;;  # the taxonomy itself derives from it
+  esac
+  scan "no-adhoc-throw" "throw[[:space:]]+std::runtime_error" "$f" \
+       "use a util::Error factory (io_error/parse_error/comm_error/config_error)"
+done < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
+
+# --- Rule: no naked new ---------------------------------------------------
+while IFS= read -r f; do
+  scan "no-naked-new" "[^_[:alnum:]]new[[:space:]]+[A-Za-z_:][A-Za-z0-9_:<>, ]*[({[]" "$f" \
+       "prefer std::make_unique/containers; NOLINT-justify intentional singletons"
+done < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
+
+# --- Rule: headers carry #pragma once ------------------------------------
+while IFS= read -r f; do
+  if ! grep -q '^#pragma once' "$f"; then
+    report "$f:1" "metaprep-pragma-once" "header is missing #pragma once"
+  fi
+done < <(find src -name '*.hpp' | sort)
+
+# --- Rule: no using namespace in headers ---------------------------------
+while IFS= read -r f; do
+  scan "no-using-namespace-header" "^[[:space:]]*using[[:space:]]+namespace[[:space:]]" "$f" \
+       "using-directives in headers leak into every includer"
+done < <(find src -name '*.hpp' | sort)
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "lint: FAILED (see findings above; suppress only with an inline justification)" >&2
+  exit 1
+fi
+echo "lint: clean (src/: $(find src -name '*.cpp' -o -name '*.hpp' | wc -l) files)"

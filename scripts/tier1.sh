@@ -11,6 +11,10 @@
 #   3. Address+UBSanitizer build running the fault-injection (test_faults)
 #      and FASTQ parsing (test_fastq) suites — the paths that do raw buffer
 #      arithmetic and deliberately corrupt / truncate input.
+#   4. Correctness tooling: repo-idiom lint (scripts/lint.sh), clang-tidy
+#      static analysis when available (scripts/analyze.sh), and the src/check
+#      verification layer live (METAPREP_CHECK=1) over the seeded-violation
+#      suite plus a checked differential slice.
 #
 # Usage: scripts/tier1.sh [-jN]   (default -j$(nproc))
 set -euo pipefail
@@ -18,12 +22,22 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:--j$(nproc)}"
 
+echo "=== tier 1: repo-idiom lint (scripts/lint.sh) ==="
+scripts/lint.sh
+
 echo "=== tier 1: configure + build (default preset) ==="
 cmake --preset default
 cmake --build --preset default "${JOBS}"
 
 echo "=== tier 1: full test suite ==="
 ctest --preset default "${JOBS}"
+
+echo "=== tier 1: clang-tidy static analysis (skips when clang-tidy absent) ==="
+scripts/analyze.sh build
+
+echo "=== tier 1: checked mode (METAPREP_CHECK=1 seeded violations + differential slice) ==="
+METAPREP_CHECK=1 ./build/tests/test_check
+METAPREP_CHECK=1 ./build/tests/test_differential --gtest_filter='*P2*'
 
 echo "=== tier 1: ThreadSanitizer build (test_obs + test_mpsim + test_dsu + test_differential) ==="
 cmake --preset tsan

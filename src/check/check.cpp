@@ -1,0 +1,88 @@
+#include "check/check.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace metaprep::check {
+
+namespace {
+
+#if METAPREP_CHECKED
+bool env_enabled() {
+  static const bool value = [] {
+    const char* v = std::getenv("METAPREP_CHECK");
+    if (v == nullptr) return false;
+    return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
+           std::strcmp(v, "true") == 0;
+  }();
+  return value;
+}
+#endif
+
+std::atomic<int>& force_count() noexcept {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+}  // namespace
+
+#if METAPREP_CHECKED
+bool enabled() noexcept {
+  return force_count().load(std::memory_order_relaxed) > 0 || env_enabled();
+}
+#endif
+
+void force_enable() noexcept { force_count().fetch_add(1, std::memory_order_relaxed); }
+void force_disable() noexcept { force_count().fetch_sub(1, std::memory_order_relaxed); }
+
+const char* to_string(ViolationKind kind) noexcept {
+  switch (kind) {
+    case ViolationKind::kUnmatchedSend: return "unmatched-send";
+    case ViolationKind::kUnwaitedRequest: return "unwaited-request";
+    case ViolationKind::kDoubleWait: return "double-wait";
+    case ViolationKind::kRecvReorder: return "recv-reorder";
+    case ViolationKind::kDeadlock: return "deadlock";
+    case ViolationKind::kOffsetOverlap: return "offset-overlap";
+    case ViolationKind::kDoubleRelease: return "double-release";
+    case ViolationKind::kForeignRelease: return "foreign-release";
+    case ViolationKind::kUseAfterReturn: return "use-after-return";
+    case ViolationKind::kDsuCycle: return "dsu-cycle";
+    case ViolationKind::kDsuBounds: return "dsu-bounds";
+    case ViolationKind::kSizeConservation: return "size-conservation";
+  }
+  return "unknown";
+}
+
+std::size_t CheckReport::count(ViolationKind kind) const noexcept {
+  std::size_t n = 0;
+  for (const Violation& v : violations) {
+    if (v.kind == kind) ++n;
+  }
+  return n;
+}
+
+const Violation* CheckReport::first(ViolationKind kind) const noexcept {
+  for (const Violation& v : violations) {
+    if (v.kind == kind) return &v;
+  }
+  return nullptr;
+}
+
+std::string CheckReport::to_string() const {
+  std::ostringstream out;
+  for (const Violation& v : violations) {
+    out << "check: " << check::to_string(v.kind) << ": " << v.message << '\n';
+    for (const BlockedOp& b : v.blocked) {
+      out << "  rank " << b.rank << " blocked in " << b.op;
+      if (b.peer >= 0) out << " on rank " << b.peer << " tag " << b.tag;
+      out << " (clock " << b.clock << ")\n";
+    }
+  }
+  return out.str();
+}
+
+CheckError::CheckError(CheckReport report)
+    : std::runtime_error(report.to_string()), report_(std::move(report)) {}
+
+}  // namespace metaprep::check

@@ -1,0 +1,132 @@
+// Correctness-tooling layer: compile-out-able verification subsystem.
+//
+// The pipeline's concurrency discipline — mailbox FIFO per (src, tag),
+// buffer-pool lease lifetimes, atomic DSU adoption, precomputed all-to-all
+// offset geometry — is hand-maintained and only probed by TSan on the
+// schedules TSan happens to see.  This layer makes the discipline
+// *checkable*: mpsim grows a protocol checker (src/check/protocol.hpp), the
+// hot structures grow invariant hooks (dsu::verify_forest, BufferPool lease
+// stamps), and every violation is reported as a structured CheckReport
+// instead of a hang or a silently wrong answer.
+//
+// Gating is two-level:
+//  * compile time: the METAPREP_CHECKED macro (CMake option of the same
+//    name, default ON).  With METAPREP_CHECKED=0 every hook compiles away
+//    and the binaries contain zero checker code.
+//  * run time: enabled() — true when the METAPREP_CHECK environment
+//    variable is "1"/"on"/"true" at process start, or when a test forces it
+//    via ScopedCheckEnable.  When disabled at runtime, the per-operation
+//    cost is one relaxed atomic load and a branch.
+//
+// This library is deliberately std-only (it sits *below* util in the link
+// order so BufferPool and the DSU can use it without a dependency cycle).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#if !defined(METAPREP_CHECKED)
+#define METAPREP_CHECKED 1
+#endif
+
+namespace metaprep::check {
+
+/// True when checking was compiled in AND enabled at runtime (env
+/// METAPREP_CHECK, or a ScopedCheckEnable in scope).  With
+/// METAPREP_CHECKED=0 this is constexpr-false, so every
+/// `if (check::enabled())` hook folds away entirely.
+#if METAPREP_CHECKED
+[[nodiscard]] bool enabled() noexcept;
+#else
+[[nodiscard]] constexpr bool enabled() noexcept { return false; }
+#endif
+
+/// Test/e2e override of the environment gate (reference-counted so nested
+/// scopes compose).  Prefer ScopedCheckEnable.
+void force_enable() noexcept;
+void force_disable() noexcept;
+
+/// RAII runtime-enable for tests: checking is on while any instance lives.
+class ScopedCheckEnable {
+ public:
+  ScopedCheckEnable() noexcept { force_enable(); }
+  ~ScopedCheckEnable() { force_disable(); }
+  ScopedCheckEnable(const ScopedCheckEnable&) = delete;
+  ScopedCheckEnable& operator=(const ScopedCheckEnable&) = delete;
+};
+
+/// What a violation is, machine-readably (tests assert on this, not on
+/// message strings).
+enum class ViolationKind {
+  kUnmatchedSend,    ///< message still in a mailbox when the World wound down
+  kUnwaitedRequest,  ///< irecv posted but never completed by wait/wait_all
+  kDoubleWait,       ///< wait() called twice on the same Request
+  kRecvReorder,      ///< same-(src, tag) irecvs waited out of posting order
+  kDeadlock,         ///< cycle of blocked ranks in the wait-for graph
+  kOffsetOverlap,    ///< non-monotone send/recv block offsets in an all-to-all
+  kDoubleRelease,    ///< BufferPool lease returned twice (moved-from buffer)
+  kForeignRelease,   ///< buffer returned that was never leased from the pool
+  kUseAfterReturn,   ///< released buffer written while on the free list
+  kDsuCycle,         ///< parent-pointer forest contains a cycle
+  kDsuBounds,        ///< parent pointer out of [0, n)
+  kSizeConservation, ///< component sizes after flatten do not sum to n
+};
+
+[[nodiscard]] const char* to_string(ViolationKind kind) noexcept;
+
+/// One blocked operation in a deadlock report: what the rank was stuck on.
+struct BlockedOp {
+  int rank = -1;
+  std::string op;          ///< "recv", "wait(irecv)", "barrier"
+  int peer = -1;           ///< awaited source rank (-1 for barrier)
+  int tag = 0;
+  std::uint64_t clock = 0; ///< rank-local Lamport component of its vector clock
+};
+
+/// One rule violation, with enough structure for a test (or a human) to see
+/// exactly which ranks/sites are involved.
+struct Violation {
+  ViolationKind kind{};
+  std::string message;          ///< human-readable one-liner
+  std::vector<int> ranks;       ///< ranks involved (deadlock cycle order)
+  std::vector<BlockedOp> blocked;  ///< per-rank blocked-op trace (deadlocks)
+  int src = -1;                 ///< source rank / lease site where it applies
+  int dst = -1;                 ///< destination rank where it applies
+  int tag = 0;                  ///< mpsim tag where it applies
+  std::uint64_t count = 0;      ///< e.g. messages left unmatched
+  std::uint64_t bytes = 0;      ///< payload bytes involved
+  std::uint64_t detail_a = 0;   ///< kind-specific (expected seq, node id, ...)
+  std::uint64_t detail_b = 0;   ///< kind-specific (observed seq, parent, ...)
+};
+
+/// The checker's structured output.  Accumulated per World / per structure
+/// and carried inside CheckError when a violation is fatal.
+struct CheckReport {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool empty() const noexcept { return violations.empty(); }
+  [[nodiscard]] std::size_t count(ViolationKind kind) const noexcept;
+  [[nodiscard]] const Violation* first(ViolationKind kind) const noexcept;
+  /// Multi-line rendering: one "check: <kind>: <message>" line per
+  /// violation, blocked-op traces indented beneath deadlocks.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown when a check fails.  Derives std::runtime_error (this layer sits
+/// below util::Error) so existing catch sites keep working; the structured
+/// report rides along for tests and tooling.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(CheckReport report);
+
+  [[nodiscard]] const CheckReport& report() const noexcept { return report_; }
+
+ private:
+  CheckReport report_;
+};
+
+}  // namespace metaprep::check

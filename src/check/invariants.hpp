@@ -1,0 +1,32 @@
+// Structural invariants for the pipeline's hot data structures.
+//
+// These are the checks that TSan and asserts cannot express: a Union-Find
+// parent array that is a valid forest (every pointer in bounds, no cycles —
+// the property union-by-index is supposed to guarantee even under races),
+// and conservation laws ("the component sizes after the rank-0 flatten sum
+// to exactly R reads").  All functions throw CheckError with a structured
+// Violation naming the offending node/value; callers gate on
+// check::enabled() so the production path never pays for the scans.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "check/check.hpp"
+
+namespace metaprep::check {
+
+/// Verify @p parents is a valid parent-pointer forest: every entry is a
+/// valid index (else kDsuBounds, detail_a = node, detail_b = parent) and
+/// following parent pointers from any node reaches a root (else kDsuCycle,
+/// detail_a = a node on the cycle).  O(n) via visit stamping.  @p what
+/// names the structure in the report (e.g. "MergeCC merged forest").
+void verify_parent_forest(std::span<const std::uint32_t> parents, const char* what);
+
+/// Verify a conservation law: @p observed == @p expected (else
+/// kSizeConservation with both values in detail_a/detail_b).  @p what names
+/// the quantity (e.g. "component sizes after flatten").
+void verify_size_conservation(std::uint64_t observed, std::uint64_t expected,
+                              const char* what);
+
+}  // namespace metaprep::check

@@ -1,0 +1,135 @@
+// Happens-before / deadlock checker for a message-passing substrate.
+//
+// The checker is substrate-agnostic: ranks and tags are plain ints, and the
+// owner (mpsim::World) feeds it events — send, recv, irecv post, wait,
+// barrier — plus "I am blocked on X" state transitions.  From those it
+// maintains
+//  * a vector clock per rank (ticked on send/recv, joined on recv and
+//    barrier) so every blocked-op trace carries a causal timestamp,
+//  * per-(src, dst, tag) send/recv sequence numbers, verifying the mailbox
+//    FIFO contract on every delivery,
+//  * per-(rank, src, tag) irecv posting/wait counters, flagging receives
+//    completed out of posting order (the bug where wait_all order drift
+//    lands payloads in the wrong buffers),
+//  * a wait-for graph over blocked ranks, probed periodically by blocked
+//    ranks; a cycle is reported as a structured deadlock (every blocked
+//    rank's operation, peer, tag, clock) instead of hanging the test suite.
+//
+// Immediate-fatal violations (double wait, recv reorder, FIFO breach,
+// deadlock) throw CheckError at the offending call; end-of-world violations
+// (unmatched sends, unwaited requests) are accumulated and thrown by the
+// owner after all ranks have finished.
+//
+// All methods are thread-safe (one internal mutex); the checker is only
+// instantiated when check::enabled(), so the production fast path never
+// touches it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "check/check.hpp"
+
+namespace metaprep::check {
+
+class ProtocolChecker {
+ public:
+  explicit ProtocolChecker(int num_ranks);
+
+  /// Clear all state for a fresh run (the owner reuses one checker per
+  /// World, and a World may host several run() invocations).
+  void reset();
+
+  // --- messaging events -----------------------------------------------
+  /// A message (src -> dst, tag) entered the destination mailbox.  Returns
+  /// the per-(src, dst, tag) send sequence number the owner must stamp on
+  /// the message so on_recv can verify FIFO delivery.
+  std::uint64_t on_send(int src, int dst, int tag, std::size_t bytes);
+
+  /// A message was taken from the mailbox.  Joins the sender's clock into
+  /// the receiver's and verifies @p seq is the next expected for the
+  /// (src, dst, tag) stream; throws CheckError(kRecvReorder) otherwise.
+  void on_recv(int src, int dst, int tag, std::uint64_t seq);
+
+  /// An irecv was posted; returns its posting index for on_wait_recv.
+  std::uint64_t on_post_recv(int rank, int src, int tag);
+
+  /// A pending receive completed in wait.  Throws CheckError(kRecvReorder)
+  /// when an earlier-posted irecv for the same (src, tag) is still pending.
+  void on_wait_recv(int rank, int src, int tag, std::uint64_t post_seq);
+
+  /// wait() was invoked on a request that already completed a wait.
+  [[noreturn]] void on_double_wait(int rank, int peer, int tag, const char* kind);
+
+  // --- blocking state / deadlock detection ----------------------------
+  void block_recv(int rank, int src, int tag, const char* op);
+  void block_barrier(int rank);
+  void unblock(int rank);
+
+  /// Arrival at the barrier: accumulates the rank's clock into the phase
+  /// join; the P-th arrival folds the joined clock into every rank.
+  void on_barrier_arrive(int rank);
+
+  /// Probe the wait-for graph.  @p mailbox_has(dst, src, tag) must return
+  /// true when dst's mailbox already holds a (src, tag) message (such a
+  /// blocked rank is about to wake and contributes no edge) — conservative
+  /// "true" is always safe.  Throws CheckError(kDeadlock) with the full
+  /// per-rank blocked-op trace when a cycle of blocked ranks exists.
+  void detect_deadlock(const std::function<bool(int, int, int)>& mailbox_has);
+
+  // --- end-of-world accounting ----------------------------------------
+  /// Owner reports a message still sitting in a mailbox after all ranks
+  /// returned.
+  void note_unmatched_send(int src, int dst, int tag, std::uint64_t count,
+                           std::uint64_t bytes);
+
+  /// Appends kUnwaitedRequest violations for outstanding irecvs, then
+  /// returns the accumulated deferred report (clearing it).
+  [[nodiscard]] CheckReport take_final_report();
+
+  /// The rank's own Lamport component (diagnostics / tests).
+  [[nodiscard]] std::uint64_t clock(int rank) const;
+
+ private:
+  struct Blocked {
+    bool active = false;
+    bool barrier = false;
+    int peer = -1;
+    int tag = 0;
+    std::string op;
+  };
+
+  using Key = std::tuple<int, int, int>;  // (src, dst, tag)
+
+  [[nodiscard]] BlockedOp blocked_trace_locked(int rank) const;
+
+  int num_ranks_;
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::uint64_t>> vc_;       ///< vc_[rank][component]
+  std::map<Key, std::uint64_t> send_seq_;
+  std::map<Key, std::uint64_t> recv_seq_;
+  std::map<Key, std::deque<std::vector<std::uint64_t>>> msg_clocks_;
+  std::map<Key, std::uint64_t> post_seq_;            ///< (rank, src, tag)
+  std::map<Key, std::uint64_t> wait_seq_;            ///< (rank, src, tag)
+  std::vector<std::uint64_t> outstanding_recv_;      ///< per rank
+  std::vector<Blocked> blocked_;
+  std::vector<std::uint64_t> barrier_join_;
+  int barrier_arrivals_ = 0;
+  CheckReport deferred_;
+};
+
+/// Validates the P+1-entry block-offset contract of the staged all-to-all:
+/// offsets must be monotone non-decreasing (blocks must not overlap).
+/// Throws CheckError(kOffsetOverlap) naming the rank and first bad index.
+void validate_block_offsets(std::span<const std::uint64_t> offsets, int rank,
+                            const char* which);
+
+}  // namespace metaprep::check

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "io/binary.hpp"
+#include "util/error.hpp"
 
 namespace metaprep::core {
 
@@ -90,7 +91,7 @@ DatasetIndex load_index(const std::string& path) {
 
   if (index.part.histograms.size() !=
       index.part.chunks.size() * (std::size_t{1} << (2 * index.part.m)))
-    throw std::runtime_error("load_index: inconsistent FASTQPart histogram size");
+    throw util::parse_error("load_index: inconsistent FASTQPart histogram size");
   return index;
 }
 

@@ -1,11 +1,13 @@
 #include "core/manifest.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
 #include "io/fastq.hpp"
+#include "util/error.hpp"
 
 namespace metaprep::core {
 
@@ -54,7 +56,7 @@ Manifest build_manifest(const DatasetIndex& index, const PipelineResult& result)
 
 void save_manifest(const Manifest& m, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) throw std::runtime_error("manifest: cannot write " + path);
+  if (f == nullptr) throw util::io_error("manifest: cannot open for writing", path, util::Error::kNoOffset, errno);
   std::fprintf(f, "#dataset\t%s\n", m.dataset.c_str());
   std::fprintf(f, "#k\t%d\n", m.k);
   std::fprintf(f, "#reads\t%u\n", m.num_reads);
@@ -72,7 +74,7 @@ void save_manifest(const Manifest& m, const std::string& path) {
 
 Manifest load_manifest(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) throw std::runtime_error("manifest: cannot read " + path);
+  if (f == nullptr) throw util::io_error("manifest: cannot open for reading", path, util::Error::kNoOffset, errno);
   Manifest m;
   char line[4096];
   bool header_seen = false;

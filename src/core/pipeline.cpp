@@ -9,6 +9,7 @@
 #include <span>
 #include <utility>
 
+#include "check/invariants.hpp"
 #include "core/memory_model.hpp"
 #include "core/plan.hpp"
 #include "dsu/dsu.hpp"
@@ -681,7 +682,9 @@ void run_passes_overlap(PassCtx& ctx) {
   auto release_tuples = [&](TupleBuffer&& b) {
     live_bytes -= tuple_bytes_of(b.size());
     pool.release(std::move(b.keys));
-    pool.release(std::move(b.keys_hi));
+    // keys_hi is only leased for wide keys; releasing the empty vector would
+    // (correctly) trip the pool's double-release check.
+    if (b.wide) pool.release(std::move(b.keys_hi));
     pool.release(std::move(b.vals));
   };
 
@@ -1195,6 +1198,15 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
       std::vector<std::uint32_t> roots;
       for (auto& tr_roots : thread_roots) {
         roots.insert(roots.end(), tr_roots.begin(), tr_roots.end());
+      }
+      if (check::enabled()) {
+        // The merged forest must still be a forest (union-by-index promises
+        // acyclicity even under the CAS races of LocalCC), and the per-root
+        // size counts must conserve the read count: every read labeled once.
+        check::verify_parent_forest(parents, "MergeCC merged forest (rank 0)");
+        std::uint64_t labeled = 0;
+        for (std::uint32_t root : roots) labeled += sizes[root];
+        check::verify_size_conservation(labeled, R, "MergeCC flatten component sizes");
       }
       // Top-N roots by component size (N is small; partial selection).
       const auto take = std::min<std::size_t>(static_cast<std::size_t>(top_n), roots.size());

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "check/invariants.hpp"
 #include "obs/metrics.hpp"
 
 namespace metaprep::dsu {
@@ -52,6 +53,10 @@ std::vector<std::uint32_t> SerialDSU::labels() {
   std::vector<std::uint32_t> out(parent_.size());
   for (std::uint32_t i = 0; i < parent_.size(); ++i) out[i] = find(i);
   return out;
+}
+
+void SerialDSU::verify_forest(const char* what) const {
+  check::verify_parent_forest(parent_, what);
 }
 
 std::uint32_t SerialDSU::component_count() {
@@ -146,6 +151,10 @@ std::uint32_t AtomicDSU::component_count() {
     if (find(i) == i) ++n;
   }
   return n;
+}
+
+void AtomicDSU::verify_forest(const char* what) const {
+  check::verify_parent_forest(parents(), what);
 }
 
 int process_edges_algorithm1(AtomicDSU& dsu,

@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "check/check.hpp"
+
 namespace metaprep::dsu {
 
 /// Sequential Union-Find with path splitting and union-by-index.  Reference
@@ -52,6 +54,17 @@ class SerialDSU {
 
   /// Number of distinct components.
   std::uint32_t component_count();
+
+  /// Assert the parent array is a valid forest (bounds + acyclicity);
+  /// throws check::CheckError naming the offending node otherwise.  @p what
+  /// labels the structure in the report.
+  void verify_forest(const char* what = "SerialDSU") const;
+
+#if METAPREP_CHECKED
+  /// Test hook: corrupt the forest directly (e.g. inject a parent cycle) to
+  /// prove verify_forest catches it.  Compiled out with METAPREP_CHECKED=0.
+  void debug_set_parent(std::uint32_t x, std::uint32_t p) { parent_[x] = p; }
+#endif
 
  private:
   std::vector<std::uint32_t> parent_;
@@ -95,6 +108,17 @@ class AtomicDSU {
 
   /// Reset to singleton components.
   void reset();
+
+  /// Assert the (quiescent) parent snapshot is a valid forest; throws
+  /// check::CheckError naming the offending node otherwise.
+  void verify_forest(const char* what = "AtomicDSU") const;
+
+#if METAPREP_CHECKED
+  /// Test hook: corrupt the forest directly (see SerialDSU::debug_set_parent).
+  void debug_set_parent(std::uint32_t x, std::uint32_t p) {
+    parent_[x].store(p, std::memory_order_relaxed);
+  }
+#endif
 
  private:
   std::vector<std::atomic<std::uint32_t>> parent_;

@@ -2,12 +2,15 @@
 
 #include <cstdio>
 #include <stdexcept>
+#include <cerrno>
+
+#include "util/error.hpp"
 
 namespace metaprep::io {
 
 std::vector<FastaRecord> read_fasta(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) throw std::runtime_error("fasta: " + path + ": cannot open for reading");
+  if (f == nullptr) throw util::io_error("cannot open for reading", path, util::Error::kNoOffset, errno);
   std::vector<FastaRecord> records;
   std::string line;
   char buf[1 << 16];
@@ -18,7 +21,7 @@ std::vector<FastaRecord> read_fasta(const std::string& path) {
     } else {
       if (records.empty()) {
         std::fclose(f);
-        throw std::runtime_error("fasta: " + path + ": sequence before first header");
+        throw util::parse_error("sequence before first header", path);
       }
       records.back().seq += line;
     }
@@ -43,7 +46,7 @@ void write_fasta(const std::string& path, const std::vector<FastaRecord>& record
                  std::size_t line_width) {
   if (line_width == 0) throw std::invalid_argument("fasta: line_width must be > 0");
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) throw std::runtime_error("fasta: " + path + ": cannot open for writing");
+  if (f == nullptr) throw util::io_error("cannot open for writing", path, util::Error::kNoOffset, errno);
   for (const auto& rec : records) {
     std::fputc('>', f);
     std::fwrite(rec.id.data(), 1, rec.id.size(), f);

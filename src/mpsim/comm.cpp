@@ -1,8 +1,10 @@
 #include "mpsim/comm.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
+#include "check/protocol.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -19,6 +21,7 @@ World::World(int num_ranks, CostModelParams cost) : num_ranks_(num_ranks), cost_
   sim_comm_seconds_.assign(static_cast<std::size_t>(num_ranks), 0.0);
   traffic_bytes_.assign(static_cast<std::size_t>(num_ranks) * static_cast<std::size_t>(num_ranks),
                         0);
+  if (check::enabled()) checker_ = std::make_unique<check::ProtocolChecker>(num_ranks);
 }
 
 World::~World() = default;
@@ -30,6 +33,12 @@ void World::run(const std::function<void(Comm&)>& fn) {
     mb->poisoned = false;
     mb->queues.clear();
   }
+  {
+    std::lock_guard lock(barrier_mutex_);
+    barrier_poisoned_ = false;
+    barrier_count_ = 0;
+  }
+  if (checker_) checker_->reset();
 
   std::exception_ptr first_exception;
   std::mutex exception_mutex;
@@ -56,6 +65,35 @@ void World::run(const std::function<void(Comm&)>& fn) {
     for (auto& t : threads) t.join();
   }
   if (first_exception) std::rethrow_exception(first_exception);
+  finalize_check();
+}
+
+void World::finalize_check() {
+  if (!checker_) return;
+  // Every rank has returned cleanly; anything still queued is a send that
+  // never found its recv.
+  for (int dest = 0; dest < num_ranks_; ++dest) {
+    Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
+    std::lock_guard lock(mb.mutex);
+    for (const auto& [key, queue] : mb.queues) {
+      if (queue.empty()) continue;
+      std::uint64_t bytes = 0;
+      for (const Message& m : queue) bytes += m.payload.size();
+      checker_->note_unmatched_send(key.first, dest, key.second, queue.size(), bytes);
+    }
+  }
+  check::CheckReport report = checker_->take_final_report();
+  if (!report.empty()) throw check::CheckError(std::move(report));
+}
+
+bool World::mailbox_has(int dest, int src, int tag) {
+  if (dest < 0 || dest >= num_ranks_) return true;
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
+  std::unique_lock lock(mb.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) return true;  // contended: owner is active, no edge
+  if (mb.poisoned) return true;        // about to wake with comm_error, no edge
+  auto it = mb.queues.find({src, tag});
+  return it != mb.queues.end() && !it->second.empty();
 }
 
 void World::poison_all() {
@@ -65,6 +103,13 @@ void World::poison_all() {
       mb->poisoned = true;
     }
     mb->cv.notify_all();
+  }
+  // Ranks parked inside barrier() watch barrier_poisoned_, not the mailbox
+  // flags; without it a failure elsewhere would leave them waiting forever
+  // on a phase change that can no longer happen.
+  {
+    std::lock_guard lock(barrier_mutex_);
+    barrier_poisoned_ = true;
   }
   barrier_cv_.notify_all();
 }
@@ -81,6 +126,9 @@ void World::deliver(int src, int dest, int tag, const void* data, std::size_t by
   Message msg;
   msg.payload.resize(bytes);
   std::memcpy(msg.payload.data(), data, bytes);
+  // Stamp-then-push is safe: a rank's sends to one (dest, tag) stream are
+  // issued from its own thread, so stamp order equals enqueue order.
+  if (checker_) msg.seq = checker_->on_send(src, dest, tag, bytes);
   {
     std::lock_guard lock(mb.mutex);
     mb.queues[{src, tag}].push_back(std::move(msg));
@@ -115,15 +163,44 @@ World::Message World::take(int src, int dest, int tag) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
   std::unique_lock lock(mb.mutex);
   const std::pair<int, int> key{src, tag};
-  mb.cv.wait(lock, [&] {
+  const auto ready = [&] {
     if (mb.poisoned) return true;
     auto it = mb.queues.find(key);
     return it != mb.queues.end() && !it->second.empty();
-  });
+  };
+  if (checker_ && !ready()) {
+    // Checked blocking path: register as blocked, poll with a short timeout,
+    // and probe the wait-for graph on each timeout so a cross-rank deadlock
+    // becomes a structured CheckError instead of a hung test run.  Lock
+    // order is mailbox -> checker everywhere; the deadlock probe touches
+    // mailboxes only through try_lock, outside the checker mutex.
+    checker_->block_recv(dest, src, tag, "recv");
+    try {
+      while (!ready()) {
+        if (mb.cv.wait_for(lock, std::chrono::milliseconds(10)) ==
+            std::cv_status::timeout) {
+          lock.unlock();
+          checker_->detect_deadlock(
+              [this](int d, int s, int t) { return mailbox_has(d, s, t); });
+          lock.lock();
+        }
+      }
+    } catch (...) {
+      checker_->unblock(dest);
+      throw;
+    }
+    checker_->unblock(dest);
+  } else if (!checker_) {
+    mb.cv.wait(lock, ready);
+  }
   if (mb.poisoned) throw util::comm_error("mpsim: world poisoned by a failed rank");
   auto it = mb.queues.find(key);
   Message msg = std::move(it->second.front());
   it->second.pop_front();
+  lock.unlock();
+  // Verify mailbox FIFO and join the sender's vector clock.  Safe outside
+  // the mailbox lock: this rank's thread is the stream's only consumer.
+  if (checker_) checker_->on_recv(src, dest, tag, msg.seq);
   return msg;
 }
 
@@ -186,15 +263,25 @@ Request Comm::irecv(int src, int tag, void* data, std::size_t bytes) {
   r.data_ = data;
   r.bytes_ = bytes;
   r.done_ = false;
+  if (world_->checker_) r.post_seq_ = world_->checker_->on_post_recv(rank_, src, tag);
   return r;
 }
 
 void Comm::wait(Request& request) {
-  if (request.done()) return;
+  check::ProtocolChecker* checker = world_->checker_.get();
+  if (request.done()) {
+    // A pending-recv request that already completed one wait: flag the
+    // double completion (waiting a finished isend is legal, as in MPI).
+    if (checker && request.kind_ == Request::Kind::kRecv && request.waited_)
+      checker->on_double_wait(rank_, request.peer_, request.tag_, "irecv");
+    return;
+  }
   // Only pending receives reach here; sends complete inside isend.
   World::Message msg = world_->take(request.peer_, rank_, request.tag_);
   request.done_ = true;  // the request is consumed even if the size check throws
+  request.waited_ = true;
   world_->note_async_completed();
+  if (checker) checker->on_wait_recv(rank_, request.peer_, request.tag_, request.post_seq_);
   if (msg.payload.size() != request.bytes_)
     throw util::comm_error("mpsim wait: size mismatch (got " +
                            std::to_string(msg.payload.size()) + ", expected " +
@@ -215,6 +302,10 @@ std::vector<Request> Comm::ialltoallv_staged(const void* sendbuf,
   if (send_offsets.size() != static_cast<std::size_t>(P) + 1 ||
       recv_offsets.size() != static_cast<std::size_t>(P) + 1)
     throw std::invalid_argument("ialltoallv_staged: offset arrays must have P+1 entries");
+  if (world_->checker_) {
+    check::validate_block_offsets(send_offsets, rank_, "ialltoallv_staged send");
+    check::validate_block_offsets(recv_offsets, rank_, "ialltoallv_staged recv");
+  }
 
   const auto* sbytes = static_cast<const std::byte*>(sendbuf);
   auto* rbytes = static_cast<std::byte*>(recvbuf);
@@ -258,14 +349,43 @@ std::vector<std::byte> Comm::recv_any_size(int src, int tag) {
 
 void Comm::barrier() {
   if (size() == 1) return;
+  check::ProtocolChecker* checker = world_->checker_.get();
   std::unique_lock lock(world_->barrier_mutex_);
+  if (world_->barrier_poisoned_)
+    throw util::comm_error("mpsim: world poisoned by a failed rank");
+  if (checker) checker->on_barrier_arrive(rank_);
   const std::uint64_t phase = world_->barrier_phase_;
   if (++world_->barrier_count_ == size()) {
     world_->barrier_count_ = 0;
     ++world_->barrier_phase_;
     world_->barrier_cv_.notify_all();
+  } else if (checker) {
+    checker->block_barrier(rank_);
+    try {
+      while (world_->barrier_phase_ == phase && !world_->barrier_poisoned_) {
+        if (world_->barrier_cv_.wait_for(lock, std::chrono::milliseconds(10)) ==
+            std::cv_status::timeout) {
+          lock.unlock();
+          checker->detect_deadlock(
+              [w = world_](int d, int s, int t) { return w->mailbox_has(d, s, t); });
+          lock.lock();
+        }
+      }
+    } catch (...) {
+      checker->unblock(rank_);
+      throw;
+    }
+    checker->unblock(rank_);
+    if (world_->barrier_phase_ == phase && world_->barrier_poisoned_)
+      throw util::comm_error("mpsim: world poisoned while in barrier");
   } else {
-    world_->barrier_cv_.wait(lock, [&] { return world_->barrier_phase_ != phase; });
+    // A rank failing elsewhere can never advance the phase, so the wait
+    // also watches the poison flag (set by poison_all) to avoid hanging.
+    world_->barrier_cv_.wait(lock, [&] {
+      return world_->barrier_phase_ != phase || world_->barrier_poisoned_;
+    });
+    if (world_->barrier_phase_ == phase && world_->barrier_poisoned_)
+      throw util::comm_error("mpsim: world poisoned while in barrier");
   }
 }
 
@@ -343,6 +463,10 @@ void Comm::alltoallv_staged(const void* sendbuf, std::span<const std::uint64_t> 
   if (send_offsets.size() != static_cast<std::size_t>(P) + 1 ||
       recv_offsets.size() != static_cast<std::size_t>(P) + 1)
     throw std::invalid_argument("alltoallv_staged: offset arrays must have P+1 entries");
+  if (world_->checker_) {
+    check::validate_block_offsets(send_offsets, rank_, "alltoallv_staged send");
+    check::validate_block_offsets(recv_offsets, rank_, "alltoallv_staged recv");
+  }
 
   const auto* sbytes = static_cast<const std::byte*>(sendbuf);
   auto* rbytes = static_cast<std::byte*>(recvbuf);

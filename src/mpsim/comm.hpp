@@ -28,6 +28,12 @@
 #include <span>
 #include <vector>
 
+#include "check/check.hpp"
+
+namespace metaprep::check {
+class ProtocolChecker;
+}
+
 namespace metaprep::mpsim {
 
 /// Interconnect parameters; defaults follow the paper's Edison numbers
@@ -62,6 +68,11 @@ class Request {
   void* data_ = nullptr;
   std::size_t bytes_ = 0;
   bool done_ = true;
+  // Protocol-checker bookkeeping (src/check): whether a wait already
+  // consumed this request, and its posting index within the (rank, src,
+  // tag) irecv stream.  Dead weight when checking is off.
+  bool waited_ = false;
+  std::uint64_t post_seq_ = 0;
 };
 
 /// Per-rank communicator handle, valid only inside World::run.
@@ -98,6 +109,8 @@ class Comm {
   Request irecv(int src, int tag, void* data, std::size_t bytes);
 
   /// Complete one request (blocks for pending receives; no-op when done).
+  /// Under check::enabled(), re-waiting a receive request that a previous
+  /// wait already completed raises a kDoubleWait violation.
   void wait(Request& request);
 
   /// Complete requests in index order (see irecv on why order matters).
@@ -208,6 +221,7 @@ class World {
 
   struct Message {
     std::vector<std::byte> payload;
+    std::uint64_t seq = 0;  ///< per-(src, dest, tag) send index (checker FIFO proof)
   };
 
   struct Mailbox {
@@ -223,6 +237,16 @@ class World {
   void note_async_posted();
   void note_async_completed() noexcept;
 
+  /// Non-blocking probe: does dest's mailbox hold a (src, tag) message right
+  /// now?  Returns true on lock contention (conservative: "may have one"),
+  /// which suppresses the deadlock edge — never a false deadlock.
+  [[nodiscard]] bool mailbox_has(int dest, int src, int tag);
+
+  /// After all rank threads joined: scan mailboxes for leftover messages
+  /// (unmatched sends) and throw CheckError if the checker accumulated any
+  /// deferred violations.  Only called when no rank threw.
+  void finalize_check();
+
   int num_ranks_;
   CostModelParams cost_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -237,6 +261,10 @@ class World {
   std::condition_variable barrier_cv_;
   int barrier_count_ = 0;
   std::uint64_t barrier_phase_ = 0;
+  bool barrier_poisoned_ = false;  ///< set by poison_all to free parked ranks
+
+  /// Protocol checker; non-null only when check::enabled() at construction.
+  std::unique_ptr<check::ProtocolChecker> checker_;
 };
 
 }  // namespace metaprep::mpsim

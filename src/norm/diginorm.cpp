@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "io/fastq.hpp"
+#include "util/error.hpp"
 #include "kmer/scanner.hpp"
 
 namespace metaprep::norm {
@@ -61,7 +62,7 @@ DiginormStats normalize_fastq_pair(const std::string& r1_path, const std::string
   io::FastqRecord rec1, rec2;
   while (in1.next(rec1)) {
     if (!in2.next(rec2)) {
-      throw std::runtime_error("normalize_fastq_pair: " + r2_path + " has fewer records");
+      throw util::parse_error("normalize_fastq_pair: R2 has fewer records than R1", r2_path);
     }
     if (normalizer.offer_pair(rec1.seq, rec2.seq)) {
       out1.write(rec1);
@@ -69,7 +70,7 @@ DiginormStats normalize_fastq_pair(const std::string& r1_path, const std::string
     }
   }
   if (in2.next(rec2)) {
-    throw std::runtime_error("normalize_fastq_pair: " + r2_path + " has more records");
+    throw util::parse_error("normalize_fastq_pair: R2 has more records than R1", r2_path);
   }
   return normalizer.stats();
 }

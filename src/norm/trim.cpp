@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "io/fastq.hpp"
+#include "util/error.hpp"
 
 namespace metaprep::norm {
 
@@ -28,7 +29,7 @@ TrimStats trim_fastq_pair(const std::string& r1_path, const std::string& r2_path
   io::FastqRecord rec1, rec2;
   while (in1.next(rec1)) {
     if (!in2.next(rec2))
-      throw std::runtime_error("trim_fastq_pair: " + r2_path + " has fewer records");
+      throw util::parse_error("trim_fastq_pair: R2 has fewer records than R1", r2_path);
     ++stats.pairs_in;
     stats.bases_in += rec1.seq.size() + rec2.seq.size();
     const std::size_t len1 = trimmed_length(rec1.seq, rec1.qual, options);
@@ -42,7 +43,7 @@ TrimStats trim_fastq_pair(const std::string& r1_path, const std::string& r2_path
                std::string_view(rec2.qual).substr(0, len2));
   }
   if (in2.next(rec2))
-    throw std::runtime_error("trim_fastq_pair: " + r2_path + " has more records");
+    throw util::parse_error("trim_fastq_pair: R2 has more records than R1", r2_path);
   return stats;
 }
 

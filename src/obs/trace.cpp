@@ -58,6 +58,7 @@ TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
 
 TraceSession& TraceSession::global() {
   static TraceSession* instance = [] {
+    // NOLINT(metaprep-no-naked-new): intentionally leaked process-lifetime singleton
     auto* s = new TraceSession();  // never destroyed
     const char* env = std::getenv("METAPREP_TRACE");
     if (env != nullptr && std::strcmp(env, "0") != 0) {
@@ -214,9 +215,11 @@ std::string TraceSession::to_chrome_json() const {
 void TraceSession::write_chrome_json(const std::string& path) const {
   const std::string body = to_chrome_json();
   std::FILE* f = std::fopen(path.c_str(), "wb");
+  // NOLINT(metaprep-no-adhoc-throw): obs links below util; util::Error unavailable
   if (f == nullptr) throw std::runtime_error("trace: cannot open " + path);
   const std::size_t wrote = std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
+  // NOLINT(metaprep-no-adhoc-throw): obs links below util; util::Error unavailable
   if (wrote != body.size()) throw std::runtime_error("trace: short write to " + path);
 }
 

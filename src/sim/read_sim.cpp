@@ -6,6 +6,7 @@
 
 #include "io/fastq.hpp"
 #include "kmer/codec.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace metaprep::sim {
@@ -122,7 +123,7 @@ InMemoryDataset simulate_in_memory(const DatasetConfig& config) {
         break;
       }
       if (attempt > 1000)
-        throw std::runtime_error("simulate_dataset: genomes too short for insert size");
+        throw util::config_error("simulate_dataset: genomes too short for insert size");
     }
   }
   return out;

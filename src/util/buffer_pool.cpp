@@ -1,10 +1,35 @@
 #include "util/buffer_pool.hpp"
 
 #include <algorithm>
+#include <sstream>
 
+#include "check/check.hpp"
 #include "obs/metrics.hpp"
 
 namespace metaprep::util {
+
+namespace {
+
+constexpr std::uint64_t kPoison64 = 0xDEADBEEFDEADBEEFULL;
+constexpr std::uint32_t kPoison32 = 0xDEADBEEFU;
+
+[[noreturn]] void throw_pool_violation(check::ViolationKind kind, std::uint64_t generation,
+                                       std::uint64_t capacity_bytes, const char* detail) {
+  check::Violation v;
+  v.kind = kind;
+  v.detail_a = generation;
+  v.bytes = capacity_bytes;
+  std::ostringstream msg;
+  msg << "BufferPool: " << detail;
+  if (generation != 0) msg << " (lease generation " << generation << ")";
+  msg << ", " << capacity_bytes << " byte(s) of capacity";
+  v.message = msg.str();
+  check::CheckReport report;
+  report.violations.push_back(std::move(v));
+  throw check::CheckError(std::move(report));
+}
+
+}  // namespace
 
 BufferPool& BufferPool::global() {
   static BufferPool pool;
@@ -12,51 +37,96 @@ BufferPool& BufferPool::global() {
 }
 
 template <typename T>
-std::vector<T> BufferPool::acquire_from(std::vector<std::vector<T>>& list, std::size_t n) {
+std::vector<T> BufferPool::acquire_from(std::vector<FreeEntry<T>>& list, LeaseMap& leases,
+                                        std::size_t n, T poison) {
+  const bool checked = check::enabled();
   // Best fit: smallest capacity that still holds n, so one oversized buffer
   // is not burned on a tiny request.
   std::size_t best = list.size();
   for (std::size_t i = 0; i < list.size(); ++i) {
-    if (list[i].capacity() < n) continue;
-    if (best == list.size() || list[i].capacity() < list[best].capacity()) best = i;
+    if (list[i].buf.capacity() < n) continue;
+    if (best == list.size() || list[i].buf.capacity() < list[best].buf.capacity()) best = i;
   }
-  if (best == list.size()) return std::vector<T>(n);  // miss: fresh allocation
-  std::vector<T> out = std::move(list[best]);
-  list[best] = std::move(list.back());
-  list.pop_back();
-  bytes_held_ -= out.capacity() * sizeof(T);
-  ++reuse_hits_;
-  publish_gauges_locked();
-  out.resize(n);
+  std::vector<T> out;
+  if (best == list.size()) {
+    out.assign(n, T{});  // miss: fresh allocation
+  } else {
+    FreeEntry<T> entry = std::move(list[best]);
+    list[best] = std::move(list.back());
+    list.pop_back();
+    bytes_held_ -= entry.buf.capacity() * sizeof(T);
+    ++reuse_hits_;
+    publish_gauges_locked();
+    if (checked && entry.poisoned) {
+      // Release filled size()==capacity() with poison; any break means a
+      // caller wrote through a dangling handle while we held the storage.
+      for (const T& x : entry.buf) {
+        if (x != poison) {
+          throw_pool_violation(check::ViolationKind::kUseAfterReturn, 0,
+                               entry.buf.capacity() * sizeof(T),
+                               "released buffer was written while on the free list");
+        }
+      }
+    }
+    out = std::move(entry.buf);
+    out.resize(n);
+  }
+  if (checked) {
+    // Zero-size leases still need a registrable data pointer.
+    if (out.capacity() == 0) out.reserve(1);
+    leases[out.data()] = next_generation_++;
+  }
   return out;
 }
 
 template <typename T>
-void BufferPool::release_into(std::vector<std::vector<T>>& list, std::vector<T>&& v) {
-  if (v.capacity() == 0) return;
-  bytes_held_ += v.capacity() * sizeof(T);
-  list.push_back(std::move(v));
+void BufferPool::release_into(std::vector<FreeEntry<T>>& list, LeaseMap& leases,
+                              std::vector<T>&& v, T poison) {
+  if (check::enabled()) {
+    if (v.capacity() == 0) {
+      // An empty/moved-from vector is the signature of re-releasing a lease
+      // release() already consumed.
+      throw_pool_violation(check::ViolationKind::kDoubleRelease, 0, 0,
+                           "empty/moved-from buffer released (lease already returned?)");
+    }
+    auto it = leases.find(v.data());
+    if (it == leases.end()) {
+      throw_pool_violation(check::ViolationKind::kForeignRelease, 0,
+                           v.capacity() * sizeof(T),
+                           "buffer released that the pool never leased");
+    }
+    leases.erase(it);
+    v.resize(v.capacity());
+    std::fill(v.begin(), v.end(), poison);
+    bytes_held_ += v.capacity() * sizeof(T);
+    list.push_back(FreeEntry<T>{std::move(v), /*poisoned=*/true});
+  } else {
+    if (v.capacity() == 0) return;
+    if (!leases.empty()) leases.erase(v.data());  // tolerate toggled-off checking
+    bytes_held_ += v.capacity() * sizeof(T);
+    list.push_back(FreeEntry<T>{std::move(v), /*poisoned=*/false});
+  }
   publish_gauges_locked();
 }
 
 std::vector<std::uint64_t> BufferPool::acquire_u64(std::size_t n) {
   std::lock_guard lock(mutex_);
-  return acquire_from(free64_, n);
+  return acquire_from(free64_, leases64_, n, kPoison64);
 }
 
 std::vector<std::uint32_t> BufferPool::acquire_u32(std::size_t n) {
   std::lock_guard lock(mutex_);
-  return acquire_from(free32_, n);
+  return acquire_from(free32_, leases32_, n, kPoison32);
 }
 
 void BufferPool::release(std::vector<std::uint64_t>&& v) {
   std::lock_guard lock(mutex_);
-  release_into(free64_, std::move(v));
+  release_into(free64_, leases64_, std::move(v), kPoison64);
 }
 
 void BufferPool::release(std::vector<std::uint32_t>&& v) {
   std::lock_guard lock(mutex_);
-  release_into(free32_, std::move(v));
+  release_into(free32_, leases32_, std::move(v), kPoison32);
 }
 
 std::uint64_t BufferPool::bytes_held() const {

@@ -19,10 +19,19 @@
 // `pool.reuse_hits` (acquires served from the free list since process
 // start); both are also readable directly via bytes_held()/reuse_hits()
 // when the metrics registry is disabled.
+//
+// Checked mode (check::enabled()): every acquire registers a
+// generation-stamped lease keyed by the buffer's data pointer, and every
+// release must match a live lease.  Releasing an empty/moved-from vector is
+// flagged as a double release, releasing storage the pool never leased as a
+// foreign release.  Released buffers are filled with a poison pattern and
+// re-scanned on the next acquire, so a caller that kept a dangling span and
+// wrote through it is caught as use-after-return at the reuse point.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <vector>
 
@@ -58,15 +67,31 @@ class BufferPool {
   void trim();
 
  private:
+  /// Free-list entry; `poisoned` records whether checked-mode release filled
+  /// the storage with the poison pattern (a buffer released while checking
+  /// was off must not be poison-scanned on reuse).
   template <typename T>
-  std::vector<T> acquire_from(std::vector<std::vector<T>>& list, std::size_t n);
+  struct FreeEntry {
+    std::vector<T> buf;
+    bool poisoned = false;
+  };
+  /// Live leases in checked mode: buffer data pointer -> generation stamp.
+  using LeaseMap = std::map<const void*, std::uint64_t>;
+
   template <typename T>
-  void release_into(std::vector<std::vector<T>>& list, std::vector<T>&& v);
+  std::vector<T> acquire_from(std::vector<FreeEntry<T>>& list, LeaseMap& leases,
+                              std::size_t n, T poison);
+  template <typename T>
+  void release_into(std::vector<FreeEntry<T>>& list, LeaseMap& leases,
+                    std::vector<T>&& v, T poison);
   void publish_gauges_locked() const;
 
   mutable std::mutex mutex_;
-  std::vector<std::vector<std::uint64_t>> free64_;
-  std::vector<std::vector<std::uint32_t>> free32_;
+  std::vector<FreeEntry<std::uint64_t>> free64_;
+  std::vector<FreeEntry<std::uint32_t>> free32_;
+  LeaseMap leases64_;
+  LeaseMap leases32_;
+  std::uint64_t next_generation_ = 1;
   std::uint64_t bytes_held_ = 0;
   std::uint64_t reuse_hits_ = 0;
 };

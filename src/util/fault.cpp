@@ -38,6 +38,7 @@ std::uint64_t site_hash(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
 }  // namespace
 
 FaultPlan& FaultPlan::global() {
+  // NOLINT(metaprep-no-naked-new): intentionally leaked process-lifetime singleton
   static FaultPlan* plan = new FaultPlan();  // leaked: process lifetime
   return *plan;
 }

@@ -1,0 +1,380 @@
+// Seeded-violation tests for the correctness-tooling layer (src/check).
+//
+// Every scenario plants a real protocol/invariant bug and asserts the
+// checker's *structured* report — kind, ranks, sites, counts — not merely
+// that something threw.  A clean-run negative control proves the checker
+// stays silent on correct programs.
+#include "check/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "dsu/dsu.hpp"
+#include "mpsim/comm.hpp"
+#include "util/buffer_pool.hpp"
+
+namespace metaprep {
+namespace {
+
+using check::CheckError;
+using check::CheckReport;
+using check::ScopedCheckEnable;
+using check::ViolationKind;
+using mpsim::Comm;
+using mpsim::World;
+
+#if !METAPREP_CHECKED
+
+TEST(Check, CompiledOut) {
+  GTEST_SKIP() << "METAPREP_CHECKED=0: verification hooks compiled out";
+}
+
+#else
+
+/// Run fn and return the CheckReport it must raise.
+template <typename Fn>
+CheckReport expect_check_error(Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+  } catch (const CheckError& e) {
+    return e.report();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "expected CheckError, got: " << e.what();
+    return {};
+  }
+  ADD_FAILURE() << "expected CheckError, got clean completion";
+  return {};
+}
+
+TEST(Check, RuntimeGateDefaultsOff) {
+  if (check::enabled()) GTEST_SKIP() << "METAPREP_CHECK set in this environment";
+  World world(2);  // constructed without a checker
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::uint64_t x = 1;
+      comm.send(1, 5, &x, sizeof(x));
+      // No matching recv on rank 1: without the runtime gate this must stay
+      // permissive (seed behavior), not raise an unmatched-send report.
+    }
+  });
+}
+
+TEST(Check, ScopedEnableTogglesTheGate) {
+  const bool ambient = check::enabled();
+  {
+    ScopedCheckEnable on;
+    EXPECT_TRUE(check::enabled());
+  }
+  EXPECT_EQ(check::enabled(), ambient);
+}
+
+// --- seeded scenario 1: send with no matching recv ----------------------
+TEST(Check, UnmatchedSendIsReportedWithRanksAndTag) {
+  ScopedCheckEnable on;
+  World world(2);
+  const CheckReport report = expect_check_error([&] {
+    world.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        const std::uint64_t payload[2] = {7, 9};
+        comm.send(1, 33, payload, sizeof(payload));
+        comm.send(1, 33, payload, sizeof(payload));  // two strays, same stream
+      }
+    });
+  });
+  ASSERT_EQ(report.count(ViolationKind::kUnmatchedSend), 1u);
+  const check::Violation* v = report.first(ViolationKind::kUnmatchedSend);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->src, 0);
+  EXPECT_EQ(v->dst, 1);
+  EXPECT_EQ(v->tag, 33);
+  EXPECT_EQ(v->count, 2u);
+  EXPECT_EQ(v->bytes, 32u);
+}
+
+// --- seeded scenario 2: two-rank circular wait --------------------------
+TEST(Check, TwoRankCircularWaitReportsDeadlockCycleWithBlockedTrace) {
+  ScopedCheckEnable on;
+  World world(2);
+  const CheckReport report = expect_check_error([&] {
+    world.run([](Comm& comm) {
+      // Each rank blocks receiving from the other; nobody ever sends.
+      std::uint64_t x = 0;
+      comm.recv(1 - comm.rank(), 4, &x, sizeof(x));
+    });
+  });
+  ASSERT_EQ(report.count(ViolationKind::kDeadlock), 1u);
+  const check::Violation* v = report.first(ViolationKind::kDeadlock);
+  ASSERT_NE(v, nullptr);
+  // The cycle names both ranks...
+  std::vector<int> cycle = v->ranks;
+  std::sort(cycle.begin(), cycle.end());
+  EXPECT_EQ(cycle, (std::vector<int>{0, 1}));
+  // ...and the blocked-op trace says what each was stuck on.
+  ASSERT_EQ(v->blocked.size(), 2u);
+  for (const check::BlockedOp& op : v->blocked) {
+    EXPECT_EQ(op.op, "recv");
+    EXPECT_EQ(op.peer, 1 - op.rank);
+    EXPECT_EQ(op.tag, 4);
+  }
+}
+
+TEST(Check, BarrierVersusRecvDeadlockIsDetected) {
+  ScopedCheckEnable on;
+  World world(2);
+  const CheckReport report = expect_check_error([&] {
+    world.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        comm.barrier();  // waits for rank 1, which waits for rank 0's send
+      } else {
+        std::uint64_t x = 0;
+        comm.recv(0, 9, &x, sizeof(x));
+      }
+    });
+  });
+  const check::Violation* v = report.first(ViolationKind::kDeadlock);
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->blocked.size(), 2u);
+  bool saw_barrier = false, saw_recv = false;
+  for (const check::BlockedOp& op : v->blocked) {
+    if (op.op == "barrier") saw_barrier = true;
+    if (op.op == "recv") saw_recv = true;
+  }
+  EXPECT_TRUE(saw_barrier);
+  EXPECT_TRUE(saw_recv);
+}
+
+// --- double wait / out-of-order wait ------------------------------------
+TEST(Check, DoubleWaitOnCompletedIrecvIsFlagged) {
+  ScopedCheckEnable on;
+  World world(2);
+  const CheckReport report = expect_check_error([&] {
+    world.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        const std::uint64_t x = 11;
+        comm.send(1, 2, &x, sizeof(x));
+      } else {
+        std::uint64_t got = 0;
+        mpsim::Request r = comm.irecv(0, 2, &got, sizeof(got));
+        comm.wait(r);
+        comm.wait(r);  // second completion of the same request
+      }
+    });
+  });
+  const check::Violation* v = report.first(ViolationKind::kDoubleWait);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->dst, 1);
+  EXPECT_EQ(v->src, 0);
+  EXPECT_EQ(v->tag, 2);
+}
+
+TEST(Check, WaitingSecondPostedIrecvFirstIsRecvReorder) {
+  ScopedCheckEnable on;
+  World world(2);
+  const CheckReport report = expect_check_error([&] {
+    world.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        const std::uint64_t a = 1, b = 2;
+        comm.send(1, 7, &a, sizeof(a));
+        comm.send(1, 7, &b, sizeof(b));
+      } else {
+        std::uint64_t first = 0, second = 0;
+        mpsim::Request r1 = comm.irecv(0, 7, &first, sizeof(first));
+        mpsim::Request r2 = comm.irecv(0, 7, &second, sizeof(second));
+        comm.wait(r2);  // drift: completes before the earlier-posted r1
+        comm.wait(r1);
+      }
+    });
+  });
+  const check::Violation* v = report.first(ViolationKind::kRecvReorder);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->dst, 1);
+  EXPECT_EQ(v->src, 0);
+  EXPECT_EQ(v->tag, 7);
+  EXPECT_EQ(v->detail_a, 0u);  // expected posting index
+  EXPECT_EQ(v->detail_b, 1u);  // completed posting index
+}
+
+TEST(Check, UnwaitedIrecvIsReportedAtEndOfRun) {
+  ScopedCheckEnable on;
+  World world(2);
+  const CheckReport report = expect_check_error([&] {
+    world.run([](Comm& comm) {
+      if (comm.rank() == 1) {
+        std::uint64_t got = 0;
+        mpsim::Request r = comm.irecv(0, 3, &got, sizeof(got));
+        (void)r;  // dropped without wait
+      }
+    });
+  });
+  const check::Violation* v = report.first(ViolationKind::kUnwaitedRequest);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->dst, 1);
+  EXPECT_EQ(v->count, 1u);
+}
+
+// --- offset geometry -----------------------------------------------------
+TEST(Check, NonMonotoneAlltoallOffsetsAreFlagged) {
+  ScopedCheckEnable on;
+  World world(2);
+  const CheckReport report = expect_check_error([&] {
+    world.run([](Comm& comm) {
+      std::vector<std::uint64_t> buf(4, 0);
+      const std::vector<std::uint64_t> bad_send{8, 0, 8};  // 8 > 0: overlap
+      const std::vector<std::uint64_t> good_recv{0, 4, 8};
+      comm.alltoallv_staged(buf.data(), bad_send, buf.data(), good_recv, 100);
+    });
+  });
+  const check::Violation* v = report.first(ViolationKind::kOffsetOverlap);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->detail_a, 0u);  // first non-monotone index
+  EXPECT_EQ(v->detail_b, 8u);  // the offending offset value
+}
+
+// --- seeded scenario 3: BufferPool lease returned twice -----------------
+TEST(Check, BufferPoolDoubleReleaseIsFlagged) {
+  ScopedCheckEnable on;
+  util::BufferPool pool;
+  auto buf = pool.acquire_u64(16);
+  pool.release(std::move(buf));
+  const CheckReport report = expect_check_error([&] {
+    pool.release(std::move(buf));  // NOLINT(bugprone-use-after-move): the seeded bug
+  });
+  EXPECT_EQ(report.count(ViolationKind::kDoubleRelease), 1u);
+}
+
+TEST(Check, BufferPoolForeignReleaseIsFlagged) {
+  ScopedCheckEnable on;
+  util::BufferPool pool;
+  std::vector<std::uint32_t> never_leased(8, 1);
+  const CheckReport report = expect_check_error([&] {
+    pool.release(std::move(never_leased));
+  });
+  EXPECT_EQ(report.count(ViolationKind::kForeignRelease), 1u);
+}
+
+TEST(Check, BufferPoolUseAfterReturnIsCaughtOnReuse) {
+  ScopedCheckEnable on;
+  util::BufferPool pool;
+  auto buf = pool.acquire_u64(8);
+  std::uint64_t* dangling = buf.data();
+  pool.release(std::move(buf));
+  dangling[3] = 42;  // write through a handle kept across the release
+  const CheckReport report = expect_check_error([&] {
+    auto again = pool.acquire_u64(8);
+    (void)again;
+  });
+  EXPECT_EQ(report.count(ViolationKind::kUseAfterReturn), 1u);
+}
+
+TEST(Check, BufferPoolCleanLeaseCycleIsSilent) {
+  ScopedCheckEnable on;
+  util::BufferPool pool;
+  for (int round = 0; round < 3; ++round) {
+    auto a = pool.acquire_u64(64);
+    auto b = pool.acquire_u32(32);
+    for (auto& x : a) x = 5;
+    for (auto& x : b) x = 6;
+    pool.release(std::move(a));
+    pool.release(std::move(b));
+  }
+  EXPECT_EQ(pool.buffers_held(), 2u);
+}
+
+// --- seeded scenario 4: DSU parent cycle --------------------------------
+TEST(Check, SerialDsuInjectedParentCycleIsDetected) {
+  dsu::SerialDSU d(6);
+  d.unite(0, 1);
+  d.verify_forest();  // healthy forest passes
+  d.debug_set_parent(2, 3);
+  d.debug_set_parent(3, 2);  // 2 <-> 3 cycle
+  const CheckReport report = expect_check_error([&] { d.verify_forest("test forest"); });
+  const check::Violation* v = report.first(ViolationKind::kDsuCycle);
+  ASSERT_NE(v, nullptr);
+  // The report names a node actually on the injected cycle.
+  EXPECT_TRUE(v->detail_a == 2 || v->detail_a == 3);
+}
+
+TEST(Check, AtomicDsuInjectedParentCycleIsDetected) {
+  dsu::AtomicDSU d(5);
+  d.unite(0, 4);
+  d.verify_forest();
+  d.debug_set_parent(1, 2);
+  d.debug_set_parent(2, 1);
+  const CheckReport report = expect_check_error([&] { d.verify_forest(); });
+  EXPECT_EQ(report.count(ViolationKind::kDsuCycle), 1u);
+}
+
+TEST(Check, DsuOutOfBoundsParentIsDetected) {
+  dsu::SerialDSU d(4);
+  d.debug_set_parent(1, 99);
+  const CheckReport report = expect_check_error([&] { d.verify_forest(); });
+  const check::Violation* v = report.first(ViolationKind::kDsuBounds);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->detail_a, 1u);
+  EXPECT_EQ(v->detail_b, 99u);
+}
+
+TEST(Check, SizeConservationMismatchIsDetected) {
+  check::verify_size_conservation(10, 10, "balanced");  // silent when equal
+  const CheckReport report =
+      expect_check_error([&] { check::verify_size_conservation(9, 10, "unbalanced"); });
+  const check::Violation* v = report.first(ViolationKind::kSizeConservation);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->detail_a, 9u);
+  EXPECT_EQ(v->detail_b, 10u);
+}
+
+// --- negative control ----------------------------------------------------
+TEST(Check, CleanMessagingRunRaisesNothing) {
+  ScopedCheckEnable on;
+  World world(4);
+  world.run([](Comm& comm) {
+    const int P = comm.size();
+    const int p = comm.rank();
+    // Balanced point-to-point ring.
+    std::uint64_t token = static_cast<std::uint64_t>(p);
+    std::uint64_t got = 0;
+    mpsim::Request r = comm.irecv((p + P - 1) % P, 1, &got, sizeof(got));
+    comm.isend((p + 1) % P, 1, &token, sizeof(token));
+    comm.wait(r);
+    EXPECT_EQ(got, static_cast<std::uint64_t>((p + P - 1) % P));
+    comm.barrier();
+    // Staged all-to-all with monotone offsets.
+    std::vector<std::uint64_t> sendbuf(static_cast<std::size_t>(P), 7);
+    std::vector<std::uint64_t> recvbuf(static_cast<std::size_t>(P), 0);
+    std::vector<std::uint64_t> offs(static_cast<std::size_t>(P) + 1);
+    for (int q = 0; q <= P; ++q) offs[static_cast<std::size_t>(q)] = 8ull * q;
+    comm.alltoallv_staged(sendbuf.data(), offs, recvbuf.data(), offs, 200);
+    comm.barrier();
+    const std::uint64_t total = comm.allreduce_sum(1);
+    EXPECT_EQ(total, static_cast<std::uint64_t>(P));
+  });
+}
+
+TEST(Check, ReportToStringNamesKindsAndRanks) {
+  ScopedCheckEnable on;
+  World world(2);
+  const CheckReport report = expect_check_error([&] {
+    world.run([](Comm& comm) {
+      if (comm.rank() == 0) {
+        const std::uint64_t x = 1;
+        comm.send(1, 12, &x, sizeof(x));
+      }
+    });
+  });
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("unmatched-send"), std::string::npos);
+  EXPECT_NE(text.find("rank 1"), std::string::npos);
+  EXPECT_NE(text.find("tag 12"), std::string::npos);
+}
+
+#endif  // METAPREP_CHECKED
+
+}  // namespace
+}  // namespace metaprep

@@ -290,7 +290,7 @@ TEST_P(OutputGridTest, BinnedOutputPartitionsReadSetExactly) {
   // space, so the scatter must ship strictly less than the old broadcast.
   // (At P = 2 the lone non-root rank can straddle the paired-file boundary
   // and legitimately need the whole range.)
-  if (c.P >= 4) EXPECT_LT(result.label_scatter_bytes, old_broadcast);
+  if (c.P >= 4) { EXPECT_LT(result.label_scatter_bytes, old_broadcast); }
   EXPECT_EQ(result.root_table_bytes,
             static_cast<std::uint64_t>(c.P - 1) * (8 + 6 * comps.size()));
   EXPECT_EQ(static_cast<std::uint64_t>(

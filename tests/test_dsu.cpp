@@ -144,7 +144,7 @@ TEST(AtomicDSU, AdoptedParentsSupportConcurrentFlatten) {
   }
   EXPECT_EQ(counted, n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    if (sizes[i] > 0) EXPECT_EQ(labels[i], i);  // only roots accumulate size
+    if (sizes[i] > 0) { EXPECT_EQ(labels[i], i); }  // only roots accumulate size
   }
 }
 
