@@ -157,6 +157,11 @@ class BenchJsonWriter {
       quoted += '"';
       return raw(key, quoted);
     }
+    /// Embed pre-serialized JSON (an array or object) verbatim under @p key —
+    /// e.g. MetricsRegistry::snapshot_delta()'s per-row metric deltas.
+    Row& json(const std::string& key, const std::string& json_value) {
+      return raw(key, json_value.empty() ? "null" : json_value);
+    }
 
    private:
     friend class BenchJsonWriter;

@@ -15,7 +15,12 @@ int main() {
   bench::print_title("Table 3: multipass time/memory sweep, MM, P=4, T=4, k=27");
 
   bench::ScratchDir dir("tab3");
+  bench::maybe_enable_metrics();
   const auto ds = bench::make_dataset(sim::Preset::MM, dir.str());
+  // Baseline the delta tracker here so indexing-time metrics (and, per row,
+  // every earlier configuration's counts) stop leaking into later rows: each
+  // row below embeds only the metrics its own run accrued.
+  (void)obs::metrics().snapshot_delta();
 
   util::TablePrinter table(bench::step_headers(
       {"Passes", "Mode", "Peak tuple buf/rank (MB)", "Model est./rank (MB)"}));
@@ -58,7 +63,8 @@ int main() {
         .str("mode", mode)
         .num("passes", s)
         .num("wall_s", run.wall_seconds)
-        .num("peak_tuple_buf_bytes", result.max_tuple_buffer_bytes);
+        .num("peak_tuple_buf_bytes", result.max_tuple_buffer_bytes)
+        .json("metrics_delta", obs::metrics().snapshot_delta());
    }
   }
   table.print();

@@ -17,6 +17,15 @@
 //       trace_event JSON (open in chrome://tracing or ui.perfetto.dev);
 //       --metrics-out writes a JSONL metrics snapshot.  The METAPREP_TRACE
 //       env var ("1", or an output path) enables tracing for any subcommand.
+//       --attr-out writes the structured performance-attribution artifact
+//       (phase walls, imbalance, critical path, memory high-water) that
+//       tools/metaprep-report ingests; --comm-matrix-out dumps the
+//       per-(src,dst) bytes/messages matrix; --progress draws a one-line
+//       stderr progress indicator.
+//
+//   sim    --out=DIR [--preset=HG|LL|MM|IS] [--sim-scale=0.05]
+//       Generate a synthetic Table 2 dataset (see src/sim/presets.hpp) and
+//       print the FASTQ paths — feeds `index` when no real data is at hand.
 //
 //   info   --index=INDEX.bin
 //       Print index statistics and the memory-model table.
@@ -35,6 +44,7 @@
 #include "core/memory_model.hpp"
 #include "core/pipeline.hpp"
 #include "norm/diginorm.hpp"
+#include "sim/presets.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
@@ -51,9 +61,11 @@ int usage() {
                "       metaprep_cli run --index=INDEX.bin [--ranks --threads --passes "
                "--memory-gb --filter-min --filter-max --out --no-output --output-bins=B "
                "--parse-mode=strict|lenient --pipeline-mode=barrier|overlap "
-               "--trace-out=T.json --metrics-out=M.jsonl "
+               "--trace-out=T.json --metrics-out=M.jsonl --attr-out=A.json "
+               "--comm-matrix-out=C.json --progress "
                "--fault-seed=N --fault-read-rate=P --fault-corrupt-rate=P "
                "--fault-comm-drop-rate=P --fault-comm-delay-rate=P]\n"
+               "       metaprep_cli sim --out=DIR [--preset=HG|LL|MM|IS --sim-scale=S]\n"
                "       metaprep_cli info --index=INDEX.bin\n"
                "       metaprep_cli diginorm --out=PREFIX [--k --cutoff] R1.fastq R2.fastq\n");
   return 2;
@@ -154,6 +166,9 @@ int cmd_run(const util::Args& args) {
   cfg.pipeline_mode = pipeline_mode_arg(args);
   cfg.trace_out = args.get("trace-out", "");
   cfg.metrics_out = args.get("metrics-out", "");
+  cfg.attr_out = args.get("attr-out", "");
+  cfg.comm_matrix_out = args.get("comm-matrix-out", "");
+  cfg.progress = args.has("progress");
   std::filesystem::create_directories(cfg.output_dir);
   const bool faults_armed = arm_fault_plan(args);
 
@@ -212,6 +227,26 @@ int cmd_run(const util::Args& args) {
   return 0;
 }
 
+int cmd_sim(const util::Args& args) {
+  if (!args.has("out")) return usage();
+  const std::string preset_str = args.get("preset", "HG");
+  sim::Preset preset;
+  if (preset_str == "HG") preset = sim::Preset::HG;
+  else if (preset_str == "LL") preset = sim::Preset::LL;
+  else if (preset_str == "MM") preset = sim::Preset::MM;
+  else if (preset_str == "IS") preset = sim::Preset::IS;
+  else throw util::config_error("--preset must be HG, LL, MM or IS (got '" + preset_str + "')");
+  const double scale = args.get_double("sim-scale", 0.05);
+  const std::string dir = args.get("out", ".");
+  std::filesystem::create_directories(dir);
+  const auto ds = sim::make_preset(preset, scale, dir);
+  std::printf("simulated %s at scale %g: %llu pairs, %llu bases\n", ds.name.c_str(), scale,
+              static_cast<unsigned long long>(ds.num_pairs),
+              static_cast<unsigned long long>(ds.total_bases));
+  for (const auto& f : ds.files) std::printf("%s\n", f.c_str());
+  return 0;
+}
+
 int cmd_info(const util::Args& args) {
   if (!args.has("index")) return usage();
   const auto index = core::load_index(args.get("index", ""));
@@ -256,6 +291,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "index") return cmd_index(args);
     if (cmd == "run") return cmd_run(args);
+    if (cmd == "sim") return cmd_sim(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "diginorm") return cmd_diginorm(args);
   } catch (const std::exception& e) {

@@ -49,9 +49,14 @@ update = os.environ.get("METAPREP_BENCH_UPDATE") == "1"
 # Besides total wall, the merge/output tail phases (MergeCC flatten,
 # Merge-Comm label scatter, CC-I/O) are tracked min-of-N and gated too.
 PHASES = ("mergecc_s", "merge_comm_s", "ccio_s")
+# Critical-path attribution from the traced A/B repeats is *recorded* next to
+# the wall times (so BENCH_fig5.json shows where the time went) but never
+# gated: the traced run is separate from the timed one.
+CRIT = ("crit_path_s", "crit_wait_s", "crit_compute_s")
 mins = {}
 hits = {}
 phase_mins = {}
+crit_mins = {}
 with open(tmp_json) as f:
     for line in f:
         line = line.strip()
@@ -71,6 +76,11 @@ with open(tmp_json) as f:
                     v = float(row[ph])
                     cur = phase_mins.setdefault(key, {})
                     cur[ph] = min(cur.get(ph, v), v)
+            for c in CRIT:
+                if c in row:
+                    v = float(row[c])
+                    cur = crit_mins.setdefault(key, {})
+                    cur[c] = min(cur.get(c, v), v)
 
 if not mins:
     sys.exit("bench_guard: no fig5_singlenode rows captured")
@@ -82,6 +92,7 @@ result = {
         {"mode": m, "passes": p, "threads": t, "wall_s": w}
         | ({"pool_reuse_hits": hits[(m, p, t)]} if (m, p, t) in hits else {})
         | {ph: v for ph, v in sorted(phase_mins.get((m, p, t), {}).items())}
+        | {c: v for c, v in sorted(crit_mins.get((m, p, t), {}).items())}
         for (m, p, t), w in sorted(mins.items())
     ],
 }

@@ -39,6 +39,60 @@ echo "=== tier 1: checked mode (METAPREP_CHECK=1 seeded violations + differentia
 METAPREP_CHECK=1 ./build/tests/test_check
 METAPREP_CHECK=1 ./build/tests/test_differential --gtest_filter='*P2*'
 
+echo "=== tier 1: attribution report leg (traced fig5-style run -> metaprep-report) ==="
+REPORT_DIR="$(mktemp -d /tmp/metaprep_tier1_report.XXXXXX)"
+trap 'rm -rf "${REPORT_DIR}"' EXIT
+./build/examples/metaprep_cli sim --out="${REPORT_DIR}/data" --preset=HG --sim-scale=0.2 >/dev/null
+./build/examples/metaprep_cli index --out="${REPORT_DIR}/idx.bin" --chunks=32 \
+  "${REPORT_DIR}/data/HG_1.fastq" "${REPORT_DIR}/data/HG_2.fastq" >/dev/null
+./build/examples/metaprep_cli run --index="${REPORT_DIR}/idx.bin" \
+  --ranks=4 --threads=4 --passes=2 --out="${REPORT_DIR}/out" \
+  --attr-out="${REPORT_DIR}/attr.json" --trace-out="${REPORT_DIR}/trace.json" \
+  --metrics-out="${REPORT_DIR}/metrics.jsonl" \
+  --comm-matrix-out="${REPORT_DIR}/comm.json" >/dev/null
+# Human-readable path must render; offline trace re-analysis must agree on
+# the phase set; the JSON document must satisfy the attribution schema.
+./build/tools/metaprep-report --attr="${REPORT_DIR}/attr.json" >/dev/null
+./build/tools/metaprep-report --trace="${REPORT_DIR}/trace.json" \
+  --metrics="${REPORT_DIR}/metrics.jsonl" >/dev/null
+./build/tools/metaprep-report --attr="${REPORT_DIR}/attr.json" --json \
+  > "${REPORT_DIR}/report.json"
+python3 - "${REPORT_DIR}/report.json" "${REPORT_DIR}/comm.json" <<'PYEOF'
+import json, sys
+
+d = json.load(open(sys.argv[1]))
+assert d["ranks"] == 4 and d["threads"] == 4 and d["passes"] == 2, d
+assert d["wall_s"] > 0 and d["trace_span_s"] > 0
+
+phases = {p["name"]: p for p in d["phases"]}
+assert phases, "no phases in attr.json"
+for name in ("KmerGen", "KmerGen-Comm", "LocalSort", "LocalCC", "MergeCC"):
+    assert name in phases, f"missing phase {name}"
+for p in phases.values():
+    assert p["imbalance"] >= 1.0 or p["self_s"] == 0, p
+    assert len(p["per_rank"]) >= 1
+
+cp = d["critical_path"]
+assert cp["steps"], "empty critical path"
+assert 0 < cp["length_s"] <= d["wall_s"] * 1.001, cp["length_s"]
+assert abs(cp["wait_s"] + cp["compute_s"] - cp["length_s"]) < 1e-6
+
+comm = d["comm"]
+assert comm["ranks"] == 4 and len(comm["bytes"]) == 4 and len(comm["msgs"]) == 4
+assert comm["skew"] > 0, "no off-diagonal traffic recorded"
+side = json.load(open(sys.argv[2]))
+assert side["bytes"] == comm["bytes"], "comm-matrix-out disagrees with attr.json"
+
+mem = {m["name"]: m for m in d["memory"]["subsystems"]}
+for name in ("tuples", "dsu", "io"):
+    assert name in mem and mem[name]["high_water_bytes"] > 0, name
+    assert mem[name]["predicted_bytes"] > 0, f"{name} lacks a memory_model prediction"
+assert d["memory"]["peak_rss_bytes"] > 0
+assert d["memory"]["rss_samples"], "no phase-boundary RSS samples"
+print("report leg: schema OK "
+      f"({len(phases)} phases, crit path {cp['length_s']:.3f}s of {d['wall_s']:.3f}s)")
+PYEOF
+
 echo "=== tier 1: ThreadSanitizer build (test_obs + test_mpsim + test_dsu + test_differential) ==="
 cmake --preset tsan
 cmake --build --preset tsan "${JOBS}" --target test_obs test_mpsim test_dsu test_differential

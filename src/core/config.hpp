@@ -112,6 +112,19 @@ struct MetaprepConfig {
   /// leaving only a relaxed-atomic check in the hot paths.
   std::string trace_out;
   std::string metrics_out;
+
+  /// Performance attribution (src/obs/attr).  When @ref attr_out is
+  /// non-empty the run is traced (even without @ref trace_out) and the
+  /// structured attribution report — phase walls, imbalance factors,
+  /// critical path, comm matrix, memory by subsystem — is written there as
+  /// JSON (`metaprep-report` ingests it).  @ref comm_matrix_out dumps just
+  /// the per-(src,dst) bytes/messages matrices.  Both default off.
+  std::string attr_out;
+  std::string comm_matrix_out;
+
+  /// One-line stderr progress (phase, % chunks, elapsed; CLI --progress).
+  /// Off by default and silent in tests.
+  bool progress = false;
 };
 
 }  // namespace metaprep::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -16,7 +17,10 @@
 #include "io/fastq.hpp"
 #include "kmer/scanner.hpp"
 #include "mpsim/comm.hpp"
+#include "obs/attr.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "part/part.hpp"
 #include "sort/radix.hpp"
@@ -56,6 +60,23 @@ struct TupleBuffer {
     keys_hi.swap(other.keys_hi);
     vals.swap(other.vals);
     std::swap(wide, other.wide);
+    std::swap(mem_charged, other.mem_charged);
+  }
+
+  /// Memory attribution (src/obs/mem): reconcile the "tuples" subsystem with
+  /// this buffer's current capacity.  Called after resizes in the barrier
+  /// schedule; the overlap schedule leases from BufferPool, whose charges are
+  /// tagged via MemScope instead, so it never calls this.
+  std::uint64_t mem_charged = 0;
+  void mem_account() {
+    const std::uint64_t now =
+        keys.capacity() * 8 + keys_hi.capacity() * 8 + vals.capacity() * 4;
+    if (now >= mem_charged) {
+      obs::mem_charge("tuples", now - mem_charged);
+    } else {
+      obs::mem_credit("tuples", mem_charged - now);
+    }
+    mem_charged = now;
   }
 };
 
@@ -99,6 +120,7 @@ struct RankShared {
   std::uint64_t merge_comm_bytes = 0;
   std::vector<part::BinFile> bin_files;       ///< binned-output files this rank wrote
   std::vector<std::uint16_t> bin_file_bins;   ///< bin of bin_files[i]
+  std::vector<obs::RssSample> rss_samples;    ///< rank 0 only: peak RSS per phase boundary
 };
 
 /// Everything the per-rank pass loop needs, bundled so the barrier and
@@ -116,6 +138,7 @@ struct PassCtx {
   obs::Counter& m_tuples;
   obs::Counter& m_cc_edges;
   obs::Gauge& m_rss;
+  obs::Gauge& m_peak;
   int p, P, T, S, k, m;
   bool wide;
 };
@@ -124,6 +147,24 @@ struct PassCtx {
 inline double span_begin(obs::TraceSession& tr) { return tr.enabled() ? tr.now_us() : -1.0; }
 inline void span_end(obs::TraceSession& tr, const char* name, double t0) {
   if (t0 >= 0.0) tr.record(name, t0, tr.now_us() - t0);
+}
+
+/// Phase boundary (ISSUE satellite: per-phase RSS growth).  Records the
+/// process peak RSS into the proc.peak_rss_bytes gauge and — on rank 0 of a
+/// traced run — appends an (phase, peak) sample for the attribution report.
+/// Collapses to two relaxed loads when neither tracing nor metrics are on.
+void phase_boundary(PassCtx& ctx, const char* phase) {
+  if (!ctx.tr.enabled() && !obs::metrics().enabled()) return;
+  const std::uint64_t peak = util::peak_rss_bytes();
+  if (peak == 0) return;  // /proc unavailable
+  ctx.m_peak.set_max(static_cast<double>(peak));
+  if (ctx.p == 0 && ctx.tr.enabled()) ctx.my.rss_samples.push_back({phase, peak});
+}
+
+/// Progress line updates happen on rank 0 only (the phases are globally
+/// synchronized by the exchange anyway, so rank 0's view is representative).
+inline void progress_phase(const PassCtx& ctx, const char* phase) {
+  if (ctx.p == 0) obs::Progress::global().phase(phase);
 }
 
 // ---------------------------------------------------------------------------
@@ -185,6 +226,7 @@ void run_passes_barrier(PassCtx& ctx) {
     const std::vector<std::uint64_t> cursor_start = cursor;
     const std::uint64_t total_out = send_offsets.back();
     kmer_out.resize(total_out);
+    kmer_out.mem_account();
     my.tuples += total_out;
     m_tuples.add(total_out);
 
@@ -221,6 +263,7 @@ void run_passes_barrier(PassCtx& ctx) {
     std::vector<double> gen_seconds(static_cast<std::size_t>(T), 0.0);
     const bool substitute_components = config.cc_opt && s > 0;
 
+    progress_phase(ctx, "KmerGen");
     team.run([&](int t) {
       obs::TraceSession::set_thread_identity(p, t);
       std::uint64_t* cur = cursor.data() + static_cast<std::size_t>(t) * P;
@@ -231,6 +274,7 @@ void run_passes_barrier(PassCtx& ctx) {
         const auto buffer =
             io::read_file_range(index.files[chunk.file], chunk.offset, chunk.size);
         span_end(tr, "KmerGen-I/O", io_t0);
+        const obs::MemCharge io_mem("io", buffer.size());
         io_seconds[static_cast<std::size_t>(t)] += io_timer.seconds();
 
         WallTimer gen_timer;
@@ -311,6 +355,7 @@ void run_passes_barrier(PassCtx& ctx) {
     }
 
     // ---- KmerGen-Comm: staged All-to-all of the tuple arrays. ----
+    progress_phase(ctx, "KmerGen-Comm");
     {
       obs::TraceSpan comm_span("KmerGen-Comm");
       WallTimer comm_timer;
@@ -340,10 +385,14 @@ void run_passes_barrier(PassCtx& ctx) {
       }
       my.times.add("KmerGen-Comm", comm_timer.seconds());
     }
+    kmer_in.mem_account();
+    kmer_out.mem_account();
     my.max_buffer_bytes = std::max(my.max_buffer_bytes, kmer_in.bytes() + kmer_out.bytes());
+    phase_boundary(ctx, "KmerGen-Comm");
 
     // ---- LocalSort (§3.4): parallel range partitioning into T disjoint
     // thread ranges, then serial radix sort per thread. ----
+    progress_phase(ctx, "LocalSort");
     {
       const double sort_t0 = span_begin(tr);
       WallTimer sort_timer;
@@ -439,9 +488,11 @@ void run_passes_barrier(PassCtx& ctx) {
       });
       my.times.add("LocalSort", sort_timer.seconds());
       span_end(tr, "LocalSort", sort_t0);
+      phase_boundary(ctx, "LocalSort");
 
       // ---- LocalCC (§3.5, Algorithm 1): runs of equal k-mers become
       // read-graph edges; union-find with buffered re-verification. ----
+      progress_phase(ctx, "LocalCC");
       const double cc_t0 = span_begin(tr);
       WallTimer cc_timer;
       std::vector<int> thread_iters(static_cast<std::size_t>(T), 0);
@@ -482,6 +533,7 @@ void run_passes_barrier(PassCtx& ctx) {
       });
       my.times.add("LocalCC", cc_timer.seconds());
       span_end(tr, "LocalCC", cc_t0);
+      phase_boundary(ctx, "LocalCC");
       my.cc_iterations =
           std::max(my.cc_iterations,
                    *std::max_element(thread_iters.begin(), thread_iters.end()));
@@ -670,6 +722,7 @@ void run_passes_overlap(PassCtx& ctx) {
   std::uint64_t live_bytes = 0;
   auto tuple_bytes_of = [wide](std::size_t n) { return n * (wide ? 20ull : 12ull); };
   auto acquire_tuples = [&](std::size_t n) {
+    const obs::MemScope tuples_scope("tuples");  // tags the pool lease below
     TupleBuffer b;
     b.wide = wide;
     b.keys = pool.acquire_u64(n);
@@ -680,6 +733,7 @@ void run_passes_overlap(PassCtx& ctx) {
     return b;
   };
   auto release_tuples = [&](TupleBuffer&& b) {
+    const obs::MemScope tuples_scope("tuples");
     live_bytes -= tuple_bytes_of(b.size());
     pool.release(std::move(b.keys));
     // keys_hi is only leased for wide keys; releasing the empty vector would
@@ -713,6 +767,7 @@ void run_passes_overlap(PassCtx& ctx) {
     const std::uint32_t hi = geom[static_cast<std::size_t>(npasses) - 1].pass_hi;
     std::vector<double> io_seconds(static_cast<std::size_t>(T), 0.0);
     std::vector<double> gen_seconds(static_cast<std::size_t>(T), 0.0);
+    progress_phase(ctx, "KmerGen");
     team.run([&](int t) {
       obs::TraceSession::set_thread_identity(p, t);
       std::uint64_t* cur0 = cursor[0].data() + static_cast<std::size_t>(t) * nslots;
@@ -755,6 +810,7 @@ void run_passes_overlap(PassCtx& ctx) {
         const auto buffer =
             io::read_file_range(index.files[chunk.file], chunk.offset, chunk.size);
         span_end(tr, "KmerGen-I/O", io_t0);
+        const obs::MemCharge io_mem("io", buffer.size());
         io_seconds[static_cast<std::size_t>(t)] += io_timer.seconds();
 
         WallTimer gen_timer;
@@ -781,10 +837,12 @@ void run_passes_overlap(PassCtx& ctx) {
             popt);
         span_end(tr, "KmerGen", gen_t0);
         gen_seconds[static_cast<std::size_t>(t)] += gen_timer.seconds();
+        obs::Progress::global().chunk_done();
       }
     });
     my.times.add("KmerGen-I/O", *std::max_element(io_seconds.begin(), io_seconds.end()));
     my.times.add("KmerGen", *std::max_element(gen_seconds.begin(), gen_seconds.end()));
+    phase_boundary(ctx, "KmerGen");
 
     // Sentinel fill (lenient-parsing gaps), per pass: same rule as barrier
     // mode, except the key is the slot's first bin (the sub-block must stay
@@ -824,6 +882,7 @@ void run_passes_overlap(PassCtx& ctx) {
     // ---- Post every pass's exchange; sends are buffered, so the send
     // buffers go back to the pool immediately (the mailbox owns the
     // in-flight copies — DESIGN.md "Buffer-pool ownership"). ----
+    progress_phase(ctx, "KmerGen-Comm");
     for (int i = 0; i < npasses; ++i) {
       obs::TraceSpan comm_span("KmerGen-Comm");
       WallTimer comm_timer;
@@ -841,6 +900,7 @@ void run_passes_overlap(PassCtx& ctx) {
       }
       my.times.add("KmerGen-Comm", comm_timer.seconds());
     }
+    phase_boundary(ctx, "KmerGen-Comm");
 
     // ---- Drain the group: while pass s0 sorts and unions, pass s0+1's
     // exchange stays in flight (straggler ranks may still be generating
@@ -863,6 +923,7 @@ void run_passes_overlap(PassCtx& ctx) {
       // ---- LocalSort: the fine-grained exchange already delivered every
       // tuple into its dest thread's region, so only the stable radix sort
       // remains (barrier mode's partition copy is structurally gone). ----
+      progress_phase(ctx, "LocalSort");
       {
         const double sort_t0 = span_begin(tr);
         WallTimer sort_timer;
@@ -891,9 +952,11 @@ void run_passes_overlap(PassCtx& ctx) {
         release_tuples(std::move(scratch));
         my.times.add("LocalSort", sort_timer.seconds());
         span_end(tr, "LocalSort", sort_t0);
+        phase_boundary(ctx, "LocalSort");
       }
 
       // ---- LocalCC: identical to barrier mode, over the sorted regions. ----
+      progress_phase(ctx, "LocalCC");
       {
         const double cc_t0 = span_begin(tr);
         WallTimer cc_timer;
@@ -935,6 +998,7 @@ void run_passes_overlap(PassCtx& ctx) {
         });
         my.times.add("LocalCC", cc_timer.seconds());
         span_end(tr, "LocalCC", cc_t0);
+        phase_boundary(ctx, "LocalCC");
         my.cc_iterations =
             std::max(my.cc_iterations,
                      *std::max_element(thread_iters.begin(), thread_iters.end()));
@@ -946,6 +1010,40 @@ void run_passes_overlap(PassCtx& ctx) {
       span_end(tr, "Pass", pass_t0[si]);
     }
   }  // pass groups
+}
+
+/// Dump the per-(src, dst) traffic matrices (--comm-matrix-out) as one JSON
+/// object: {"ranks": P, "skew": s, "bytes": [[..]], "msgs": [[..]]}.
+void write_comm_matrix(const std::string& path, int ranks,
+                       const std::vector<std::uint64_t>& bytes,
+                       const std::vector<std::uint64_t>& msgs, double skew) {
+  std::string out = "{\n  \"ranks\": " + std::to_string(ranks) + ",\n  \"skew\": ";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", skew);
+  out += buf;
+  auto emit = [&](const char* name, const std::vector<std::uint64_t>& mat) {
+    out += ",\n  \"";
+    out += name;
+    out += "\": [";
+    for (int i = 0; i < ranks; ++i) {
+      out += i > 0 ? ",\n    [" : "\n    [";
+      for (int j = 0; j < ranks; ++j) {
+        if (j > 0) out += ",";
+        out += std::to_string(mat[static_cast<std::size_t>(i) * ranks + j]);
+      }
+      out += "]";
+    }
+    out += "\n  ]";
+  };
+  emit("bytes", bytes);
+  emit("msgs", msgs);
+  out += "\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw util::io_error("comm matrix: cannot open for writing", path);
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  const int rc = std::fclose(f);
+  if (written != out.size() || rc != 0)
+    throw util::io_error("comm matrix: short write", path);
 }
 
 }  // namespace
@@ -966,21 +1064,25 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
   const std::uint32_t R = index.total_reads;
   const int m = index.mer_hist.m;
 
+  // Memory-model input, shared by pass derivation (S == 0) and the
+  // attribution report's predicted-vs-actual reconciliation.
+  MemoryModelInput mm;
+  mm.total_tuples = index.mer_hist.total();
+  mm.total_reads = R;
+  mm.num_chunks = index.part.num_chunks();
+  mm.max_chunk_bytes = index.max_chunk_bytes();
+  mm.m = m;
+  mm.num_ranks = P;
+  mm.threads_per_rank = T;
+  mm.tuple_bytes = tuple_bytes;
+
   int S = config.num_passes;
   if (S == 0) {
-    MemoryModelInput mm;
-    mm.total_tuples = index.mer_hist.total();
-    mm.total_reads = R;
-    mm.num_chunks = index.part.num_chunks();
-    mm.max_chunk_bytes = index.max_chunk_bytes();
-    mm.m = m;
-    mm.num_ranks = P;
-    mm.threads_per_rank = T;
-    mm.tuple_bytes = tuple_bytes;
     S = min_passes_for_budget(mm, config.memory_budget_bytes);
     if (S == 0)
       throw util::config_error("run_metaprep: memory budget too small for any pass count");
   }
+  mm.num_passes = S;
 
   // Zero-component hardening: an empty dataset short-circuits to a fully
   // formed empty result in either pipeline mode — no passes, no comm, no
@@ -1005,6 +1107,18 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
       trs.write_chrome_json(config.trace_out);
       if (!was_enabled) trs.disable();
     }
+    if (!config.attr_out.empty()) {
+      obs::AttrReport empty;
+      empty.ranks = P;
+      empty.threads = T;
+      empty.passes = S;
+      empty.write_json(config.attr_out);
+    }
+    if (!config.comm_matrix_out.empty()) {
+      write_comm_matrix(config.comm_matrix_out, P,
+                        std::vector<std::uint64_t>(static_cast<std::size_t>(P) * P, 0),
+                        std::vector<std::uint64_t>(static_cast<std::size_t>(P) * P, 0), 0.0);
+    }
     return result;
   }
 
@@ -1015,9 +1129,11 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
 
   // Observability: when the config names output files, this run owns the
   // global tracer/metrics (cleared + enabled here, exported after the run).
+  // attr_out needs the span data, so it forces tracing like trace_out.
   obs::TraceSession& tr = obs::TraceSession::global();
   const bool trace_was_enabled = tr.enabled();
-  if (!config.trace_out.empty()) {
+  const bool want_trace = !config.trace_out.empty() || !config.attr_out.empty();
+  if (want_trace) {
     tr.clear();
     tr.enable();
   }
@@ -1026,10 +1142,33 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     obs::metrics().reset_values();
     obs::metrics().set_enabled(true);
   }
+  // Memory attribution rides with tracing: its subsystem high-water marks
+  // feed the same report, and its cost discipline is the same one-relaxed-
+  // load-when-off, so untraced runs are unaffected.
+  obs::MemRegistry& memreg = obs::MemRegistry::global();
+  const bool mem_was_enabled = memreg.enabled();
+  const bool traced_run = tr.enabled();
+  if (traced_run && !mem_was_enabled) {
+    memreg.reset();
+    memreg.set_enabled(true);
+  }
+  // --progress: one stderr line driven by the pipeline's phase boundaries.
+  // Total ticks = chunk reads per KmerGen sweep (overlap mode reads each
+  // chunk once per pass *group*) plus the CC-I/O sweep when output is on.
+  obs::Progress& prog = obs::Progress::global();
+  if (config.progress) {
+    const std::uint64_t nchunks = index.part.num_chunks();
+    const std::uint64_t sweeps = config.pipeline_mode == PipelineMode::kOverlap
+                                     ? (static_cast<std::uint64_t>(S) + 1) / 2
+                                     : static_cast<std::uint64_t>(S);
+    prog.set_enabled(true);
+    prog.begin_run(nchunks * sweeps + (config.write_output ? nchunks : 0));
+  }
   // Hot-path metric handles resolved once (registry lookup takes a mutex).
   obs::Counter& m_tuples = obs::metrics().counter("pipeline.tuples_total");
   obs::Counter& m_cc_edges = obs::metrics().counter("pipeline.cc_edges_total");
   obs::Gauge& m_rss = obs::metrics().gauge("mem.rss_peak");
+  obs::Gauge& m_peak = obs::metrics().gauge("proc.peak_rss_bytes");
   // Manual span markers for steps whose lifetime doesn't match a C++ scope.
   auto span_begin = [&tr]() { return tr.enabled() ? tr.now_us() : -1.0; };
   auto span_end = [&tr](const char* name, double t0) {
@@ -1068,6 +1207,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
   std::vector<part::Component> components_shared;  // written by rank 0 only
   part::BinPlan bin_plan_shared;                   // written by rank 0 only
 
+  WallTimer run_timer;  // measured wall for the attribution report
   world.run([&](mpsim::Comm& comm) {
     const int p = comm.rank();
     obs::TraceSession::set_thread_identity(p, 0);
@@ -1075,8 +1215,8 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     ThreadTeam team(T);
     dsu::AtomicDSU local_cc(R);
 
-    PassCtx ctx{index,    config,     plan,  ca, comm, team, local_cc, my, tr,
-                m_tuples, m_cc_edges, m_rss, p,  P,    T,    S,        k,  m,  wide};
+    PassCtx ctx{index,    config,     plan,  ca,     comm, team, local_cc, my, tr,
+                m_tuples, m_cc_edges, m_rss, m_peak, p,    P,    T,        S,  k,  m, wide};
     if (config.pipeline_mode == PipelineMode::kOverlap) {
       run_passes_overlap(ctx);
     } else {
@@ -1084,6 +1224,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     }
 
     // ---- MergeCC (§3.6): combine rank-local component arrays. ----
+    progress_phase(ctx, "MergeCC");
     std::vector<std::uint32_t> parents = local_cc.parents();
     if (config.merge_strategy == MergeStrategy::kPairwiseTree) {
       // The paper's method (Figure 4): pairwise merge over ceil(log P)
@@ -1265,11 +1406,13 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
       }
       if (p != 0) my.times.add("Merge-Comm", bc_timer.seconds());
     }
+    phase_boundary(ctx, "MergeCC");
 
     // ---- CC-I/O (§3.6): each thread extracts reads from its FASTQ chunks
     // and writes them to per-thread output files.  Labels come from the
     // scattered slice, indexed relative to this rank's slice offset. ----
     if (config.write_output) {
+      progress_phase(ctx, "CC-I/O");
       obs::TraceSpan io_span("CC-I/O");
       WallTimer io_timer;
       const std::uint64_t my_slice_off = slice_off[static_cast<std::size_t>(p)];
@@ -1328,6 +1471,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
           const ChunkRecord& chunk = index.part.chunks[c];
           const auto buffer =
               io::read_file_range(index.files[chunk.file], chunk.offset, chunk.size);
+          const obs::MemCharge io_mem("io", buffer.size());
           std::uint32_t read_id = chunk.first_read_id;
           io::ParseOptions popt{config.parse_mode, index.files[chunk.file], chunk.offset,
                                 [&read_id] { ++read_id; }};
@@ -1345,6 +1489,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
                 ++read_id;
               },
               popt);
+          obs::Progress::global().chunk_done();
         }
         // Explicit close so a failed flush (e.g. ENOSPC) surfaces as a typed
         // Error instead of being swallowed by the destructor.
@@ -1371,8 +1516,14 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
         }
       }
       my.times.add("CC-I/O", io_timer.seconds());
+      phase_boundary(ctx, "CC-I/O");
     }
   });
+  const double run_wall_s = run_timer.seconds();
+  if (config.progress) {
+    prog.finish();
+    prog.set_enabled(false);
+  }
 
   // ---- Assemble the result. ----
   PipelineResult result;
@@ -1405,6 +1556,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     result.cc_iterations_max = std::max(result.cc_iterations_max, rs.cc_iterations);
   }
   result.traffic_matrix = world.traffic_matrix();
+  result.message_matrix = world.message_matrix();
   result.total_traffic_bytes = world.total_traffic_bytes();
   result.message_count = world.message_count();
   result.sim_comm_seconds = world.max_simulated_comm_seconds();
@@ -1447,6 +1599,45 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     m.counter("part.root_table_bytes").add(result.root_table_bytes);
   }
 
+  // ---- Performance attribution (src/obs/attr): whenever the run was
+  // traced, fold the span analysis, the comm matrices, and the measured-vs-
+  // modeled memory reconciliation into one AttrReport. ----
+  const double comm_skew = obs::comm_matrix_skew(result.traffic_matrix, P);
+  if (traced_run) {
+    obs::AttrReport ar = obs::PhaseAccountant::analyze(tr.snapshot(), run_wall_s * 1e6);
+    ar.ranks = P;
+    ar.threads = T;
+    ar.passes = S;
+    ar.comm_ranks = P;
+    ar.comm_bytes = result.traffic_matrix;
+    ar.comm_msgs = result.message_matrix;
+    ar.comm_skew = comm_skew;
+    ar.peak_rss_bytes = util::peak_rss_bytes();
+    ar.rss_samples = shared[0].rss_samples;
+    // The model predicts bytes per task; the registry measures the whole
+    // process hosting all P ranks, so predictions scale by P.  "sort" and
+    // "pool" have no model term and report measured-only.
+    const MemoryBreakdown pred = estimate_memory(mm);
+    const auto up = static_cast<std::uint64_t>(P);
+    for (const auto& [name, usage] : obs::MemRegistry::global().snapshot()) {
+      obs::MemSubsystem ms;
+      ms.name = name;
+      ms.high_water_bytes =
+          usage.high_water > 0 ? static_cast<std::uint64_t>(usage.high_water) : 0;
+      if (name == "tuples") {
+        ms.predicted_bytes = (pred.kmer_out + pred.kmer_in) * up;
+      } else if (name == "dsu") {
+        ms.predicted_bytes = (pred.p_array + pred.p_prime) * up;
+      } else if (name == "io") {
+        ms.predicted_bytes = pred.fastq_buffer * up;
+      }
+      ar.memory.push_back(std::move(ms));
+    }
+    ar.mem_predicted_total = pred.total * up;
+    result.has_attr = true;
+    result.attr = std::move(ar);
+  }
+
   // Publish run-level metrics and export the requested artifacts.
   {
     obs::MetricsRegistry& m = obs::metrics();
@@ -1459,14 +1650,39 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
         .set_max(static_cast<double>(result.cc_iterations_max));
     m.gauge("mpsim.sim_comm_seconds").set_max(result.sim_comm_seconds);
     m_rss.set_max(static_cast<double>(util::peak_rss_bytes()));
+    m_peak.set_max(static_cast<double>(util::peak_rss_bytes()));
+    // Comm-matrix export as metrics: the off-diagonal byte cells land in one
+    // histogram (the distribution is what skew summarizes) plus the skew
+    // gauge, so metrics-only consumers see the exchange shape too.
+    if (m.enabled() && P > 1) {
+      obs::Histogram& h = m.histogram("mpsim.comm_matrix");
+      for (int i = 0; i < P; ++i) {
+        for (int j = 0; j < P; ++j) {
+          if (i == j) continue;
+          const std::uint64_t v = result.traffic_matrix[static_cast<std::size_t>(i) * P + j];
+          if (v > 0) h.record(v);
+        }
+      }
+      m.gauge("mpsim.comm_matrix_skew").set_max(comm_skew);
+    }
+    if (result.has_attr) {
+      for (const auto& ms : result.attr.memory) {
+        m.gauge("mem." + ms.name + ".high_water")
+            .set_max(static_cast<double>(ms.high_water_bytes));
+      }
+    }
     if (!config.metrics_out.empty()) {
       m.write_jsonl(config.metrics_out);
       m.set_enabled(metrics_were_enabled);
     }
-    if (!config.trace_out.empty()) {
-      tr.write_chrome_json(config.trace_out);
-      if (!trace_was_enabled) tr.disable();
+    if (!config.attr_out.empty()) result.attr.write_json(config.attr_out);
+    if (!config.comm_matrix_out.empty()) {
+      write_comm_matrix(config.comm_matrix_out, P, result.traffic_matrix,
+                        result.message_matrix, comm_skew);
     }
+    if (!config.trace_out.empty()) tr.write_chrome_json(config.trace_out);
+    if (want_trace && !trace_was_enabled) tr.disable();
+    if (traced_run && !mem_was_enabled) memreg.set_enabled(false);
   }
   return result;
 }

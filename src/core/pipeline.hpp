@@ -17,6 +17,7 @@
 
 #include "core/config.hpp"
 #include "core/indices.hpp"
+#include "obs/attr.hpp"
 #include "util/timer.hpp"
 
 namespace metaprep::core {
@@ -37,6 +38,7 @@ struct PipelineResult {
   std::uint64_t max_tuple_buffer_bytes = 0;  ///< peak kmerIn+kmerOut, any rank
   std::uint64_t merge_comm_bytes = 0;    ///< bytes shipped during MergeCC (all ranks)
   std::vector<std::uint64_t> traffic_matrix;  ///< P x P bytes src->dest (whole run)
+  std::vector<std::uint64_t> message_matrix;  ///< P x P message counts src->dest
   std::uint64_t total_traffic_bytes = 0;
   std::uint64_t message_count = 0;
   double sim_comm_seconds = 0.0;         ///< modeled interconnect time (max rank)
@@ -52,6 +54,12 @@ struct PipelineResult {
   std::vector<std::uint64_t> bin_weights_bp;  ///< planned weight per output bin
   double bin_skew = 0.0;                  ///< max/mean bin weight (0 unless binning)
   std::string bin_manifest_path;          ///< "<output_dir>/<name>.bins.json" when written
+
+  // Performance attribution: filled whenever the run was traced (trace_out,
+  // attr_out, or an externally-enabled TraceSession), so benches and tests
+  // read the analysis without re-parsing files.
+  bool has_attr = false;
+  obs::AttrReport attr;
 };
 
 /// Run the full preprocessing pipeline.  @p index must have been created

@@ -23,8 +23,10 @@ obs::Counter& unions_counter() {
 
 }  // namespace
 
-SerialDSU::SerialDSU(std::uint32_t n) : parent_(n) {
+SerialDSU::SerialDSU(std::uint32_t n)
+    : parent_(n), mem_charged_(static_cast<std::uint64_t>(n) * sizeof(std::uint32_t)) {
   std::iota(parent_.begin(), parent_.end(), 0U);
+  obs::mem_charge("dsu", mem_charged_);
 }
 
 std::uint32_t SerialDSU::find(std::uint32_t x) {
@@ -67,12 +69,18 @@ std::uint32_t SerialDSU::component_count() {
   return n;
 }
 
-AtomicDSU::AtomicDSU(std::uint32_t n) : parent_(n) { reset(); }
+AtomicDSU::AtomicDSU(std::uint32_t n)
+    : parent_(n), mem_charged_(static_cast<std::uint64_t>(n) * sizeof(std::uint32_t)) {
+  reset();
+  obs::mem_charge("dsu", mem_charged_);
+}
 
-AtomicDSU::AtomicDSU(std::span<const std::uint32_t> parents) : parent_(parents.size()) {
+AtomicDSU::AtomicDSU(std::span<const std::uint32_t> parents)
+    : parent_(parents.size()), mem_charged_(parents.size_bytes()) {
   for (std::size_t i = 0; i < parents.size(); ++i) {
     parent_[i].store(parents[i], std::memory_order_relaxed);
   }
+  obs::mem_charge("dsu", mem_charged_);
 }
 
 void AtomicDSU::reset() {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "obs/mem.hpp"
 
 namespace metaprep::dsu {
 
@@ -34,10 +35,34 @@ class SerialDSU {
   /// Adopt an existing parent-pointer forest (e.g. a component array
   /// received from another rank during MergeCC).  Every entry must be a
   /// valid index.
-  explicit SerialDSU(std::vector<std::uint32_t> parents) : parent_(std::move(parents)) {}
+  explicit SerialDSU(std::vector<std::uint32_t> parents)
+      : parent_(std::move(parents)), mem_charged_(parent_.size() * sizeof(std::uint32_t)) {
+    obs::mem_charge("dsu", mem_charged_);
+  }
+
+  // The "dsu" memory charge follows the parent array's ownership, so copies
+  // are disallowed and moves transfer the charge.
+  SerialDSU(const SerialDSU&) = delete;
+  SerialDSU& operator=(const SerialDSU&) = delete;
+  SerialDSU(SerialDSU&& other) noexcept
+      : parent_(std::move(other.parent_)),
+        mem_charged_(std::exchange(other.mem_charged_, 0)) {}
+  SerialDSU& operator=(SerialDSU&& other) noexcept {
+    if (this != &other) {
+      obs::mem_credit("dsu", mem_charged_);
+      parent_ = std::move(other.parent_);
+      mem_charged_ = std::exchange(other.mem_charged_, 0);
+    }
+    return *this;
+  }
+  ~SerialDSU() { obs::mem_credit("dsu", mem_charged_); }
 
   /// Move the parent array back out (ends this object's usefulness).
-  [[nodiscard]] std::vector<std::uint32_t> take_parents() { return std::move(parent_); }
+  [[nodiscard]] std::vector<std::uint32_t> take_parents() {
+    obs::mem_credit("dsu", mem_charged_);
+    mem_charged_ = 0;
+    return std::move(parent_);
+  }
 
   [[nodiscard]] std::uint32_t size() const noexcept {
     return static_cast<std::uint32_t>(parent_.size());
@@ -68,6 +93,7 @@ class SerialDSU {
 
  private:
   std::vector<std::uint32_t> parent_;
+  std::uint64_t mem_charged_ = 0;  ///< bytes charged to the "dsu" subsystem
 };
 
 /// Concurrent Union-Find used by LocalCC.  All methods are safe to call from
@@ -80,6 +106,10 @@ class AtomicDSU {
   /// on rank 0, so the final flatten can run find() from many threads).
   /// Every entry must be a valid index.
   explicit AtomicDSU(std::span<const std::uint32_t> parents);
+
+  AtomicDSU(const AtomicDSU&) = delete;
+  AtomicDSU& operator=(const AtomicDSU&) = delete;
+  ~AtomicDSU() { obs::mem_credit("dsu", mem_charged_); }
 
   [[nodiscard]] std::uint32_t size() const noexcept {
     return static_cast<std::uint32_t>(parent_.size());
@@ -122,6 +152,7 @@ class AtomicDSU {
 
  private:
   std::vector<std::atomic<std::uint32_t>> parent_;
+  std::uint64_t mem_charged_ = 0;  ///< bytes charged to the "dsu" subsystem
 };
 
 /// Algorithm 1 of the paper, for one thread's share of the edges: process

@@ -6,6 +6,7 @@
 
 #include "check/protocol.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/retry.hpp"
@@ -21,6 +22,8 @@ World::World(int num_ranks, CostModelParams cost) : num_ranks_(num_ranks), cost_
   sim_comm_seconds_.assign(static_cast<std::size_t>(num_ranks), 0.0);
   traffic_bytes_.assign(static_cast<std::size_t>(num_ranks) * static_cast<std::size_t>(num_ranks),
                         0);
+  traffic_msgs_.assign(static_cast<std::size_t>(num_ranks) * static_cast<std::size_t>(num_ranks),
+                       0);
   if (check::enabled()) checker_ = std::make_unique<check::ProtocolChecker>(num_ranks);
 }
 
@@ -129,6 +132,17 @@ void World::deliver(int src, int dest, int tag, const void* data, std::size_t by
   // Stamp-then-push is safe: a rank's sends to one (dest, tag) stream are
   // issued from its own thread, so stamp order equals enqueue order.
   if (checker_) msg.seq = checker_->on_send(src, dest, tag, bytes);
+  // Flow markers pair this enqueue with the matching take() on the receiver
+  // thread; the critical-path walker (obs/attr) turns them into send->recv
+  // DAG edges.  One relaxed load when tracing is off; self-sends need no
+  // edge (same-thread program order already covers them).
+  if (src != dest) {
+    obs::TraceSession& tr = obs::TraceSession::global();
+    if (tr.enabled()) {
+      msg.flow = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
+      tr.flow_marker("msg", msg.flow, /*is_send=*/true);
+    }
+  }
   {
     std::lock_guard lock(mb.mutex);
     mb.queues[{src, tag}].push_back(std::move(msg));
@@ -145,6 +159,8 @@ void World::deliver(int src, int dest, int tag, const void* data, std::size_t by
           cost_.latency_s + static_cast<double>(bytes) / cost_.link_bandwidth_Bps;
       traffic_bytes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_ranks_) +
                      static_cast<std::size_t>(dest)] += bytes;
+      traffic_msgs_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_ranks_) +
+                    static_cast<std::size_t>(dest)] += 1;
       ++message_count_;
     }
     // Cross-rank edge metrics: same quantities as the traffic matrix, but
@@ -201,6 +217,11 @@ World::Message World::take(int src, int dest, int tag) {
   // Verify mailbox FIFO and join the sender's vector clock.  Safe outside
   // the mailbox lock: this rank's thread is the stream's only consumer.
   if (checker_) checker_->on_recv(src, dest, tag, msg.seq);
+  // Close the flow edge on the receiver thread (see the deliver() marker).
+  if (msg.flow != 0) {
+    obs::TraceSession& tr = obs::TraceSession::global();
+    if (tr.enabled()) tr.flow_marker("msg", msg.flow, /*is_send=*/false);
+  }
   return msg;
 }
 
@@ -509,12 +530,18 @@ void World::reset_cost_model() {
   std::lock_guard lock(cost_mutex_);
   for (auto& v : sim_comm_seconds_) v = 0.0;
   for (auto& v : traffic_bytes_) v = 0;
+  for (auto& v : traffic_msgs_) v = 0;
   message_count_ = 0;
 }
 
 std::vector<std::uint64_t> World::traffic_matrix() const {
   std::lock_guard lock(cost_mutex_);
   return traffic_bytes_;
+}
+
+std::vector<std::uint64_t> World::message_matrix() const {
+  std::lock_guard lock(cost_mutex_);
+  return traffic_msgs_;
 }
 
 std::uint64_t World::total_traffic_bytes() const {

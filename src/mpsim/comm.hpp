@@ -206,6 +206,9 @@ class World {
   /// this world (self-sends excluded; row-major P x P).  Lets the exchange
   /// pattern of the staged all-to-all (§3.3) be inspected directly.
   [[nodiscard]] std::vector<std::uint64_t> traffic_matrix() const;
+  /// Message counts per (src, dest) pair, same shape/exclusions as
+  /// traffic_matrix().  Together they are the `mpsim.comm_matrix` export.
+  [[nodiscard]] std::vector<std::uint64_t> message_matrix() const;
   [[nodiscard]] std::uint64_t total_traffic_bytes() const;
   [[nodiscard]] std::uint64_t message_count() const;
 
@@ -221,7 +224,8 @@ class World {
 
   struct Message {
     std::vector<std::byte> payload;
-    std::uint64_t seq = 0;  ///< per-(src, dest, tag) send index (checker FIFO proof)
+    std::uint64_t seq = 0;   ///< per-(src, dest, tag) send index (checker FIFO proof)
+    std::uint64_t flow = 0;  ///< trace flow id pairing send/recv markers (0 = untraced)
   };
 
   struct Mailbox {
@@ -252,9 +256,11 @@ class World {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<double> sim_comm_seconds_;
   std::vector<std::uint64_t> traffic_bytes_;  ///< P x P, row-major (src, dest)
+  std::vector<std::uint64_t> traffic_msgs_;   ///< P x P, row-major (src, dest)
   std::uint64_t message_count_ = 0;
   mutable std::mutex cost_mutex_;
   std::atomic<std::int64_t> async_inflight_{0};
+  std::atomic<std::uint64_t> next_flow_id_{1};  ///< trace flow ids (never 0)
 
   // Barrier state.
   std::mutex barrier_mutex_;

@@ -1,0 +1,80 @@
+#include "obs/mem.hpp"
+
+#include <algorithm>
+
+namespace metaprep::obs {
+
+namespace {
+
+/// Thread-local MemScope tag stack.  Plain array: scopes are strictly
+/// nested (RAII), so push/pop at the top is enough.
+struct TagStack {
+  const char* tags[MemScope::kMaxDepth] = {};
+  int depth = 0;
+};
+
+thread_local TagStack tag_stack;
+
+}  // namespace
+
+MemRegistry& MemRegistry::global() {
+  // NOLINT(metaprep-no-naked-new): intentionally leaked process-lifetime singleton
+  static MemRegistry* instance = new MemRegistry();  // never destroyed
+  return *instance;
+}
+
+void MemRegistry::charge(const char* subsystem, std::uint64_t bytes) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  MemUsage& u = usage_[subsystem];
+  u.current += static_cast<std::int64_t>(bytes);
+  u.high_water = std::max(u.high_water, u.current);
+}
+
+void MemRegistry::credit(const char* subsystem, std::uint64_t bytes) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  usage_[subsystem].current -= static_cast<std::int64_t>(bytes);
+}
+
+void MemRegistry::set_current(const char* subsystem, std::uint64_t bytes) {
+  if (!enabled()) return;
+  std::lock_guard lock(mutex_);
+  MemUsage& u = usage_[subsystem];
+  u.current = static_cast<std::int64_t>(bytes);
+  u.high_water = std::max(u.high_water, u.current);
+}
+
+std::vector<std::pair<std::string, MemUsage>> MemRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, MemUsage>> out;
+  out.reserve(usage_.size());
+  for (const auto& [name, u] : usage_) {
+    MemUsage clamped = u;
+    clamped.high_water = std::max<std::int64_t>(clamped.high_water, 0);
+    out.emplace_back(name, clamped);
+  }
+  return out;
+}
+
+void MemRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  usage_.clear();
+}
+
+MemScope::MemScope(const char* subsystem) noexcept {
+  if (tag_stack.depth < kMaxDepth) {
+    tag_stack.tags[tag_stack.depth++] = subsystem;
+    pushed_ = true;
+  }
+}
+
+MemScope::~MemScope() {
+  if (pushed_) --tag_stack.depth;
+}
+
+const char* MemScope::current(const char* fallback) noexcept {
+  return tag_stack.depth > 0 ? tag_stack.tags[tag_stack.depth - 1] : fallback;
+}
+
+}  // namespace metaprep::obs

@@ -1,0 +1,134 @@
+// Per-subsystem memory attribution (Table 5's "memory per structure").
+//
+// The memory model (core/memory_model) *predicts* bytes per structure; this
+// registry *measures* them: instrumented allocation sites charge/credit a
+// named subsystem ("tuples", "dsu", "sort", "io", "pool", ...) and the
+// registry keeps a current count plus a high-water mark per name.  The
+// attribution report reconciles the high-water marks against the model's
+// prediction so the predicted-vs-actual delta becomes a printed number.
+//
+// Two tagging styles:
+//  - explicit: mem_charge("dsu", bytes) / mem_credit("dsu", bytes) at sites
+//    that know what they are (DSU parent arrays, radix count tables);
+//  - scoped:   MemScope("tuples") pushes a thread-local subsystem tag so a
+//    *generic* allocator below (the buffer pool) can attribute the bytes it
+//    hands out to its caller via MemScope::current().
+//
+// Cost discipline mirrors src/check and the tracer: when the registry is
+// disabled (the default), every charge/credit is one relaxed atomic load and
+// a branch — no lock, no map lookup — so instrumented allocation sites add
+// nothing to untraced runs.  Enable/snapshot are for quiescent points only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace metaprep::obs {
+
+/// Measured bytes for one subsystem.
+struct MemUsage {
+  std::int64_t current = 0;      // charges minus credits right now
+  std::int64_t high_water = 0;   // max of current since reset
+};
+
+class MemRegistry {
+ public:
+  /// The process-wide registry used by all instrumented allocation sites.
+  static MemRegistry& global();
+
+  MemRegistry() = default;
+  MemRegistry(const MemRegistry&) = delete;
+  MemRegistry& operator=(const MemRegistry&) = delete;
+
+  void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Add @p bytes to @p subsystem's current count (raising the high-water
+  /// mark if needed).  No-op when disabled.
+  void charge(const char* subsystem, std::uint64_t bytes);
+
+  /// Subtract @p bytes from @p subsystem's current count.  No-op when
+  /// disabled; the count may go negative if enable happened mid-lease (the
+  /// snapshot clamps high_water at >= 0, which is what reports consume).
+  void credit(const char* subsystem, std::uint64_t bytes);
+
+  /// Overwrite @p subsystem's current count (for externally-tracked pools
+  /// that already know their exact byte total).  No-op when disabled.
+  void set_current(const char* subsystem, std::uint64_t bytes);
+
+  /// Per-subsystem usage, sorted by name.  Quiescent use only.
+  [[nodiscard]] std::vector<std::pair<std::string, MemUsage>> snapshot() const;
+
+  /// Drop all counts and high-water marks.
+  void reset();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, MemUsage> usage_;
+};
+
+/// Convenience forwarders against the global registry.  One relaxed load
+/// when the registry is disabled.
+inline void mem_charge(const char* subsystem, std::uint64_t bytes) {
+  MemRegistry& r = MemRegistry::global();
+  if (r.enabled()) r.charge(subsystem, bytes);
+}
+inline void mem_credit(const char* subsystem, std::uint64_t bytes) {
+  MemRegistry& r = MemRegistry::global();
+  if (r.enabled()) r.credit(subsystem, bytes);
+}
+inline void mem_set_current(const char* subsystem, std::uint64_t bytes) {
+  MemRegistry& r = MemRegistry::global();
+  if (r.enabled()) r.set_current(subsystem, bytes);
+}
+
+/// RAII subsystem tag: while alive, MemScope::current() on this thread
+/// returns the innermost scope's name, letting generic allocators attribute
+/// bytes to their caller.  Nesting is bounded (kMaxDepth); overflow keeps
+/// the outer tag.
+class MemScope {
+ public:
+  static constexpr int kMaxDepth = 8;
+
+  explicit MemScope(const char* subsystem) noexcept;
+  MemScope(const MemScope&) = delete;
+  MemScope& operator=(const MemScope&) = delete;
+  ~MemScope();
+
+  /// Innermost tag on the calling thread, or @p fallback when untagged.
+  [[nodiscard]] static const char* current(const char* fallback) noexcept;
+
+ private:
+  bool pushed_ = false;
+};
+
+/// RAII charge: charges @p bytes to @p subsystem on construction, credits
+/// the same amount on destruction.  The charge/credit pair is decided at
+/// construction time so a registry toggled mid-scope stays balanced.
+class MemCharge {
+ public:
+  MemCharge(const char* subsystem, std::uint64_t bytes) noexcept
+      : subsystem_(subsystem), bytes_(bytes),
+        active_(MemRegistry::global().enabled()) {
+    if (active_) MemRegistry::global().charge(subsystem_, bytes_);
+  }
+  MemCharge(const MemCharge&) = delete;
+  MemCharge& operator=(const MemCharge&) = delete;
+  ~MemCharge() {
+    if (active_) MemRegistry::global().credit(subsystem_, bytes_);
+  }
+
+ private:
+  const char* subsystem_;
+  std::uint64_t bytes_;
+  bool active_;
+};
+
+}  // namespace metaprep::obs

@@ -59,6 +59,62 @@ void MetricsRegistry::reset_values() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  counter_baseline_.clear();
+  histogram_baseline_.clear();
+}
+
+std::string MetricsRegistry::snapshot_delta() {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << '[';
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    const std::uint64_t now = c->value();
+    std::uint64_t& base = counter_baseline_[name];
+    // A reset() between snapshots can move the value below the baseline;
+    // clamp instead of wrapping around.
+    const std::uint64_t delta = now >= base ? now - base : now;
+    base = now;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << name << "\",\"type\":\"counter\",\"value\":" << delta << '}';
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << name << "\",\"type\":\"gauge\",\"value\":"
+        << json_number(g->value()) << '}';
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistBaseline& base = histogram_baseline_[name];
+    if (base.buckets.empty()) base.buckets.assign(Histogram::kBuckets, 0);
+    const auto buckets = h->bucket_counts();
+    const std::uint64_t sum_now = h->sum();
+    std::uint64_t count_delta = 0;
+    std::vector<std::uint64_t> bucket_delta(buckets.size(), 0);
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      const std::uint64_t b = base.buckets[i];
+      bucket_delta[i] = buckets[i] >= b ? buckets[i] - b : buckets[i];
+      count_delta += bucket_delta[i];
+    }
+    const std::uint64_t sum_delta = sum_now >= base.sum ? sum_now - base.sum : sum_now;
+    base.sum = sum_now;
+    base.buckets = buckets;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << name << "\",\"type\":\"histogram\",\"count\":" << count_delta
+        << ",\"sum\":" << sum_delta << ",\"buckets\":[";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < bucket_delta.size(); ++i) {
+      if (bucket_delta[i] == 0) continue;
+      if (!bfirst) out << ',';
+      out << '[' << i << ',' << bucket_delta[i] << ']';
+      bfirst = false;
+    }
+    out << "]}";
+  }
+  out << ']';
+  return out.str();
 }
 
 std::string MetricsRegistry::to_jsonl() const {

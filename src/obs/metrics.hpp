@@ -146,15 +146,32 @@ class MetricsRegistry {
   /// Write to_jsonl() to @p path (truncates).  Throws on I/O failure.
   void write_jsonl(const std::string& path) const;
 
+  /// Per-interval export: counters and histograms report the *delta* since
+  /// the previous snapshot_delta() call (or since reset_values(), which
+  /// clears the baseline); gauges report their current value (point-in-time
+  /// measurements have no meaningful delta).  Returned as one JSON array of
+  /// the same per-metric objects to_jsonl() emits, so multi-run processes
+  /// (bench_tab3_multipass rows) can attribute counts to the run that
+  /// produced them instead of accumulating pass-1 counts into pass-2 rows.
+  [[nodiscard]] std::string snapshot_delta();
+
   /// Distinct metric names registered so far.
   [[nodiscard]] std::vector<std::string> names() const;
 
  private:
+  /// Baseline captured by the previous snapshot_delta() call.
+  struct HistBaseline {
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> buckets;
+  };
+
   mutable std::mutex mutex_;
   std::atomic<bool> enabled_{false};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::uint64_t> counter_baseline_;
+  std::map<std::string, HistBaseline> histogram_baseline_;
 };
 
 /// Shorthand for MetricsRegistry::global().

@@ -1,0 +1,67 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+
+namespace metaprep::obs {
+
+Progress& Progress::global() {
+  // NOLINT(metaprep-no-naked-new): intentionally leaked process-lifetime singleton
+  static Progress* instance = new Progress();  // never destroyed
+  return *instance;
+}
+
+void Progress::begin_run(std::uint64_t total_chunks) {
+  if (!enabled()) return;
+  done_.store(0, std::memory_order_relaxed);
+  total_.store(total_chunks, std::memory_order_relaxed);
+  phase_.store("IndexLoad", std::memory_order_relaxed);
+  last_draw_ms_.store(-1000000, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Progress::phase(const char* name) {
+  if (!enabled()) return;
+  phase_.store(name, std::memory_order_relaxed);
+  draw(/*force=*/true);
+}
+
+void Progress::chunk_done() {
+  if (!enabled()) return;
+  done_.fetch_add(1, std::memory_order_relaxed);
+  draw(/*force=*/false);
+}
+
+void Progress::finish() {
+  if (!enabled()) return;
+  draw(/*force=*/true);
+  std::fputc('\n', stderr);
+}
+
+void Progress::draw(bool force) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - epoch_).count();
+  // ~10 Hz throttle; a CAS keeps concurrent chunk ticks from stacking
+  // redraws (the loser simply skips — the next tick redraws soon enough).
+  std::int64_t last = last_draw_ms_.load(std::memory_order_relaxed);
+  if (!force && ms - last < 100) return;
+  if (!last_draw_ms_.compare_exchange_strong(last, ms, std::memory_order_relaxed))
+    return;
+  const char* ph = phase_.load(std::memory_order_relaxed);
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  if (total > 0) {
+    std::fprintf(stderr, "\r[metaprep] %-14s %3.0f%% (%llu/%llu chunks) %.1fs   ",
+                 ph != nullptr ? ph : "", 100.0 * static_cast<double>(done) /
+                                              static_cast<double>(total),
+                 static_cast<unsigned long long>(done),
+                 static_cast<unsigned long long>(total),
+                 static_cast<double>(ms) / 1e3);
+  } else {
+    std::fprintf(stderr, "\r[metaprep] %-14s %.1fs   ", ph != nullptr ? ph : "",
+                 static_cast<double>(ms) / 1e3);
+  }
+  std::fflush(stderr);
+}
+
+}  // namespace metaprep::obs

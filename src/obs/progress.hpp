@@ -1,0 +1,54 @@
+// One-line stderr progress: phase name, % chunks done, elapsed seconds.
+//
+// Driven by the same phase boundaries the PhaseAccountant consumes; off by
+// default (config.progress / --progress) and silent in tests.  Cost
+// discipline matches the tracer: when disabled, every hook is one relaxed
+// atomic load and a branch; when enabled, chunk ticks are relaxed atomic
+// increments and the line is redrawn at most ~10 times per second.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace metaprep::obs {
+
+class Progress {
+ public:
+  /// The process-wide reporter used by the pipeline's hooks.
+  static Progress& global();
+
+  Progress() = default;
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  void set_enabled(bool on) noexcept { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Start a run: resets counters and the elapsed clock.  @p total_chunks
+  /// scales the percentage (0 disables the percent column).
+  void begin_run(std::uint64_t total_chunks);
+
+  /// Set the phase label shown on the line.  @p name must be a literal.
+  void phase(const char* name);
+
+  /// One chunk finished; redraws the line (throttled).
+  void chunk_done();
+
+  /// Final redraw + newline so the shell prompt lands on a clean line.
+  void finish();
+
+ private:
+  void draw(bool force);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<const char*> phase_{nullptr};
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::int64_t> last_draw_ms_{-1000000};
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+}  // namespace metaprep::obs

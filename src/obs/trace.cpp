@@ -105,6 +105,20 @@ void TraceSession::instant(const char* name) {
   record(name, now_us(), /*dur_us=*/-1.0);
 }
 
+void TraceSession::flow_marker(const char* name, std::uint64_t flow_id, bool is_send) {
+  if (!enabled()) return;
+  if (tls.tid < 0) tls.tid = next_auto_tid_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent ev;
+  ev.name = name;
+  ev.ts_us = now_us();
+  ev.dur_us = -1.0;
+  ev.pid = tls.pid;
+  ev.tid = tls.tid;
+  ev.flow = flow_id;
+  ev.flow_dir = is_send ? TraceEvent::kFlowSend : TraceEvent::kFlowRecv;
+  local_buffer().events.push_back(std::move(ev));
+}
+
 void TraceSession::clear() {
   std::lock_guard lock(mutex_);
   buffers_.clear();
@@ -117,6 +131,13 @@ std::size_t TraceSession::event_count() const {
   std::size_t n = 0;
   for (const auto& b : buffers_) n += b->events.size();
   return n;
+}
+
+std::vector<TraceEvent> TraceSession::snapshot() const {
+  std::vector<TraceEvent> all;
+  std::lock_guard lock(mutex_);
+  for (const auto& b : buffers_) all.insert(all.end(), b->events.begin(), b->events.end());
+  return all;
 }
 
 std::string TraceSession::to_chrome_json() const {
@@ -139,10 +160,20 @@ std::string TraceSession::to_chrome_json() const {
     first = false;
     out << "{\"name\":\"";
     append_escaped(out, ev.name);
-    char buf[160];
-    std::snprintf(buf, sizeof(buf),
-                  "\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d%s}", ph, ts,
-                  ev.pid, ev.tid, std::strcmp(ph, "i") == 0 ? ",\"s\":\"t\"" : "");
+    char buf[200];
+    if (ev.flow_dir != 0) {
+      // Flow events: Chrome requires a shared cat+id to join the "s" start
+      // with its "f" finish; "bp":"e" binds the finish to the enclosing slice.
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"cat\":\"comm\",\"ph\":\"%s\",\"id\":%llu,\"ts\":%.3f,"
+                    "\"pid\":%d,\"tid\":%d%s}",
+                    ph, static_cast<unsigned long long>(ev.flow), ts, ev.pid, ev.tid,
+                    std::strcmp(ph, "f") == 0 ? ",\"bp\":\"e\"" : "");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d%s}", ph, ts,
+                    ev.pid, ev.tid, std::strcmp(ph, "i") == 0 ? ",\"s\":\"t\"" : "");
+    }
     out << buf;
   };
 
@@ -201,7 +232,12 @@ std::string TraceSession::to_chrome_json() const {
       track.push_back({open.back()->ts_us + open.back()->dur_us, "E", open.back()});
       open.pop_back();
     }
-    for (const TraceEvent* in : instants) track.push_back({in->ts_us, "i", in});
+    for (const TraceEvent* in : instants) {
+      const char* ph = in->flow_dir == TraceEvent::kFlowSend   ? "s"
+                       : in->flow_dir == TraceEvent::kFlowRecv ? "f"
+                                                               : "i";
+      track.push_back({in->ts_us, ph, in});
+    }
     // Stable: equal-timestamp B/E keep sweep (nesting) order, instants after.
     std::stable_sort(track.begin(), track.end(),
                      [](const Item& a, const Item& b) { return a.ts < b.ts; });

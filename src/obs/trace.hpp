@@ -28,13 +28,22 @@
 namespace metaprep::obs {
 
 /// One closed span: [ts_us, ts_us + dur_us) on (pid, tid), timestamps in
-/// microseconds since the session epoch.
+/// microseconds since the session epoch.  dur_us < 0 marks a point event:
+/// either a plain instant (flow_dir == 0) or a cross-thread flow marker
+/// (flow_dir == kFlowSend / kFlowRecv) carrying a message id that pairs a
+/// send with its matching receive — the edges the critical-path walker and
+/// the Chrome "s"/"f" flow arrows are built from.
 struct TraceEvent {
+  static constexpr int kFlowSend = 1;
+  static constexpr int kFlowRecv = 2;
+
   std::string name;
   double ts_us = 0.0;
   double dur_us = 0.0;
   int pid = 0;
   int tid = 0;
+  std::uint64_t flow = 0;  // message id; 0 = not a flow marker
+  int flow_dir = 0;        // 0 = none, kFlowSend, kFlowRecv
 };
 
 class TraceSession {
@@ -72,11 +81,20 @@ class TraceSession {
   /// Zero-duration marker (exported as an instant event).
   void instant(const char* name);
 
+  /// Flow marker: a send (is_send) or matching receive point for message
+  /// @p flow_id, stamped at now_us() on the calling thread.  Exported as
+  /// Chrome "s"/"f" flow events; consumed by attr's critical-path walker.
+  void flow_marker(const char* name, std::uint64_t flow_id, bool is_send);
+
   /// Drop all recorded events and start a fresh epoch.  Quiescent use only.
   void clear();
 
   /// Events recorded so far across all threads.  Quiescent use only.
   [[nodiscard]] std::size_t event_count() const;
+
+  /// Copy of every recorded event, in per-thread completion order.
+  /// Quiescent use only — this is the PhaseAccountant's input.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
 
   /// Serialize to the Chrome trace_event JSON array format.  Spans are
   /// emitted as matched "B"/"E" pairs sorted by timestamp, plus "M" metadata

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 
 namespace metaprep::sort {
@@ -25,6 +26,7 @@ void counting_pass(std::span<const std::uint64_t> keys, std::span<const Val> val
                    const DigitFn& digit_of) {
   const std::size_t nbuckets = std::size_t{1} << digit_bits;
   std::vector<std::size_t> count(nbuckets, 0);
+  const obs::MemCharge count_mem("sort", nbuckets * sizeof(std::size_t));
   for (std::size_t i = 0; i < keys.size(); ++i) ++count[digit_of(i)];
   std::size_t acc = 0;
   for (std::size_t b = 0; b < nbuckets; ++b) {
@@ -90,6 +92,8 @@ void radix_sort_kv64(std::vector<std::uint64_t>& keys, std::vector<std::uint32_t
                      int key_bits, int digit_bits) {
   std::vector<std::uint64_t> tk(keys.size());
   std::vector<std::uint32_t> tv(vals.size());
+  const obs::MemCharge scratch_mem("sort", tk.size() * sizeof(std::uint64_t) +
+                                               tv.size() * sizeof(std::uint32_t));
   radix_sort_kv64(keys, vals, tk, tv, key_bits, digit_bits);
 }
 
@@ -127,6 +131,7 @@ void radix_sort_kv128(std::span<std::uint64_t> keys_hi, std::span<std::uint64_t>
       const int shift = pass * digit_bits;
       const std::size_t nbuckets = std::size_t{1} << digit_bits;
       std::vector<std::size_t> count(nbuckets, 0);
+      const obs::MemCharge count_mem("sort", nbuckets * sizeof(std::size_t));
       auto digit_of = [&](std::size_t i) {
         const std::uint64_t w = use_lo ? sl[i] : sh[i];
         return static_cast<std::size_t>((w >> shift) & digit_mask);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "check/check.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 
 namespace metaprep::util {
@@ -76,12 +77,17 @@ std::vector<T> BufferPool::acquire_from(std::vector<FreeEntry<T>>& list, LeaseMa
     if (out.capacity() == 0) out.reserve(1);
     leases[out.data()] = next_generation_++;
   }
+  // Memory attribution: leased bytes belong to the caller's subsystem (the
+  // pipeline tags tuple leases with MemScope("tuples")); acquire and release
+  // sites must agree on the tag for the charge to balance.
+  obs::mem_charge(obs::MemScope::current("pool"), out.capacity() * sizeof(T));
   return out;
 }
 
 template <typename T>
 void BufferPool::release_into(std::vector<FreeEntry<T>>& list, LeaseMap& leases,
                               std::vector<T>&& v, T poison) {
+  obs::mem_credit(obs::MemScope::current("pool"), v.capacity() * sizeof(T));
   if (check::enabled()) {
     if (v.capacity() == 0) {
       // An empty/moved-from vector is the signature of re-releasing a lease
@@ -157,6 +163,9 @@ void BufferPool::publish_gauges_locked() const {
   static obs::Gauge& g_hits = obs::metrics().gauge("pool.reuse_hits");
   g_bytes.set(static_cast<double>(bytes_held_));
   g_hits.set(static_cast<double>(reuse_hits_));
+  // Bytes parked on the free list are the pool's own footprint (leased bytes
+  // are attributed to the acquiring subsystem above).
+  obs::mem_set_current("pool", bytes_held_);
 }
 
 }  // namespace metaprep::util

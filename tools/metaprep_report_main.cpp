@@ -1,0 +1,70 @@
+// metaprep-report: offline analyzer for the pipeline's observability output.
+//
+//   metaprep-report --attr attr.json                    # round-trip + print
+//   metaprep-report --trace trace.json [--wall 1.23]    # re-analyze a trace
+//   metaprep-report --trace t.json --metrics m.jsonl    # overlay RSS/mem/skew
+//   ... --json                                          # machine-readable
+//
+// With --attr, the structured artifact the pipeline wrote is the source of
+// truth.  With only --trace, the same PhaseAccountant that ran online
+// re-derives phases, imbalance, and the critical path from the Chrome trace;
+// --metrics then fills in the gauges a bare trace cannot carry.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "obs/attr.hpp"
+#include "report.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s (--attr=FILE | --trace=FILE) [--metrics=FILE]\n"
+               "          [--wall=SECONDS] [--json]\n"
+               "\n"
+               "  --attr=FILE     attr.json written by the pipeline (--attr-out)\n"
+               "  --trace=FILE    Chrome trace written by the pipeline (--trace-out);\n"
+               "                  re-analyzed when --attr is not given\n"
+               "  --metrics=FILE  metrics JSONL (--metrics-out); fills peak RSS,\n"
+               "                  mem.*.high_water and comm skew missing from a trace\n"
+               "  --wall=SECONDS  measured wall clock for --trace analysis\n"
+               "  --json          print the attr.json document instead of the table\n",
+               prog);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace metaprep;
+  const util::Args args(argc, argv);
+  const std::string attr_path = args.get("attr", "");
+  const std::string trace_path = args.get("trace", "");
+  const std::string metrics_path = args.get("metrics", "");
+  if (attr_path.empty() && trace_path.empty()) return usage(args.program().c_str());
+
+  try {
+    obs::AttrReport report;
+    if (!attr_path.empty()) {
+      report = report::load_attr(attr_path);
+    } else {
+      const auto events = report::load_chrome_trace(trace_path);
+      report = obs::PhaseAccountant::analyze(events, args.get_double("wall", 0.0) * 1e6);
+    }
+    if (!metrics_path.empty())
+      report::merge_metrics(report, report::load_metrics(metrics_path));
+
+    if (args.has("json")) {
+      std::fputs(report.to_json().c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::fputs(obs::format_report(report).c_str(), stdout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metaprep-report: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,61 @@
+// Offline ingestion for `metaprep-report`: load the pipeline's observability
+// artifacts back into the in-process structures so the analyzer can run
+// without re-executing the pipeline.
+//
+// Three inputs, all optional at the CLI but at least one of attr/trace is
+// required:
+//   - attr.json        (--attr-out)        -> AttrReport, round-tripped
+//   - Chrome trace     (--trace-out)       -> TraceEvents, re-analyzed by
+//                                            PhaseAccountant (same walker the
+//                                            pipeline ran online)
+//   - metrics JSONL    (--metrics-out)     -> overlay of RSS / mem.* /
+//                                            comm-skew gauges for reports
+//                                            built from a bare trace
+//
+// Lives in tools/ (not src/obs) because it depends on util/json, and mp_obs
+// deliberately links below mp_util.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/attr.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace metaprep::report {
+
+/// Rebuild an AttrReport from a parsed attr.json document (the inverse of
+/// AttrReport::to_json).  Missing optional sections default to empty;
+/// structurally wrong documents throw util::parse_error.
+obs::AttrReport attr_from_json(const util::JsonValue& doc);
+
+/// parse_json_file + attr_from_json.
+obs::AttrReport load_attr(const std::string& path);
+
+/// Parse a Chrome trace_event JSON file (TraceSession::write_chrome_json
+/// output) back into closed spans and flow markers: "B"/"E" pairs become
+/// spans, "s"/"f" become send/recv flow markers, "i" instants are kept as
+/// point events, "M" metadata is dropped.  Unclosed spans at end-of-trace
+/// (a truncated file) are dropped rather than fabricated.
+std::vector<obs::TraceEvent> load_chrome_trace(const std::string& path);
+
+/// One line of the metrics JSONL export.
+struct MetricSample {
+  std::string name;
+  std::string type;        ///< "counter" | "gauge" | "histogram"
+  double value = 0.0;      ///< counter/gauge value; histogram sum
+  std::uint64_t count = 0; ///< histogram only
+};
+
+/// Parse a MetricsRegistry::write_jsonl file.
+std::vector<MetricSample> load_metrics(const std::string& path);
+
+/// Overlay metric gauges onto @p r, filling only what the report does not
+/// already carry: proc.peak_rss_bytes, mem.<subsystem>.high_water, and
+/// mpsim.comm_matrix_skew.  Lets `--trace + --metrics` approximate the full
+/// attr.json without the pipeline's in-memory state.
+void merge_metrics(obs::AttrReport& r, const std::vector<MetricSample>& metrics);
+
+}  // namespace metaprep::report
