@@ -61,11 +61,12 @@ int usage() {
                "       metaprep_cli run --index=INDEX.bin [--ranks --threads --passes "
                "--memory-gb --filter-min --filter-max --out --no-output --output-bins=B "
                "--parse-mode=strict|lenient --pipeline-mode=barrier|overlap "
+               "--read-store=text|packed --packed-store=ARENA.mprs "
                "--trace-out=T.json --metrics-out=M.jsonl --attr-out=A.json "
                "--comm-matrix-out=C.json --progress "
                "--fault-seed=N --fault-read-rate=P --fault-corrupt-rate=P "
                "--fault-comm-drop-rate=P --fault-comm-delay-rate=P]\n"
-               "       metaprep_cli sim --out=DIR [--preset=HG|LL|MM|IS --sim-scale=S]\n"
+               "       metaprep_cli sim --out=DIR [--preset=HG|LL|MM|IS|XL --sim-scale=S]\n"
                "       metaprep_cli info --index=INDEX.bin\n"
                "       metaprep_cli diginorm --out=PREFIX [--k --cutoff] R1.fastq R2.fastq\n");
   return 2;
@@ -76,6 +77,13 @@ io::ParseMode parse_mode_arg(const util::Args& args) {
   if (mode == "strict") return io::ParseMode::kStrict;
   if (mode == "lenient") return io::ParseMode::kLenient;
   throw util::config_error("--parse-mode must be 'strict' or 'lenient' (got '" + mode + "')");
+}
+
+core::ReadStore read_store_arg(const util::Args& args) {
+  const std::string store = args.get("read-store", "text");
+  if (store == "text") return core::ReadStore::kText;
+  if (store == "packed") return core::ReadStore::kPacked;
+  throw util::config_error("--read-store must be 'text' or 'packed' (got '" + store + "')");
 }
 
 core::PipelineMode pipeline_mode_arg(const util::Args& args) {
@@ -164,6 +172,8 @@ int cmd_run(const util::Args& args) {
   cfg.output_bins = static_cast<int>(args.get_int("output-bins", 0));
   cfg.parse_mode = parse_mode_arg(args);
   cfg.pipeline_mode = pipeline_mode_arg(args);
+  cfg.read_store = read_store_arg(args);
+  cfg.packed_store_path = args.get("packed-store", "");
   cfg.trace_out = args.get("trace-out", "");
   cfg.metrics_out = args.get("metrics-out", "");
   cfg.attr_out = args.get("attr-out", "");
@@ -214,7 +224,7 @@ int cmd_run(const util::Args& args) {
     }
   }
   if (cfg.write_output) {
-    const auto manifest = core::build_manifest(index, result);
+    const auto manifest = core::build_manifest(index, result, cfg.parse_mode);
     core::save_manifest(manifest, cfg.output_dir + "/manifest.tsv");
     std::printf("%zu output FASTQ files under %s (see manifest.tsv)\n",
                 result.output_files.size(), cfg.output_dir.c_str());
@@ -235,7 +245,8 @@ int cmd_sim(const util::Args& args) {
   else if (preset_str == "LL") preset = sim::Preset::LL;
   else if (preset_str == "MM") preset = sim::Preset::MM;
   else if (preset_str == "IS") preset = sim::Preset::IS;
-  else throw util::config_error("--preset must be HG, LL, MM or IS (got '" + preset_str + "')");
+  else if (preset_str == "XL") preset = sim::Preset::XL;
+  else throw util::config_error("--preset must be HG, LL, MM, IS or XL (got '" + preset_str + "')");
   const double scale = args.get_double("sim-scale", 0.05);
   const std::string dir = args.get("out", ".");
   std::filesystem::create_directories(dir);

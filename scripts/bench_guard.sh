@@ -10,7 +10,23 @@
 #     BENCH_fig5.json baseline, or
 #   * the pipelined scheduler stopped paying for itself: on the passes=2 A/B
 #     rows, overlap must stay >= 10% faster than barrier and must report
-#     pool_reuse_hits > 0 (machine-independent invariants).
+#     pool_reuse_hits > 0 (machine-independent invariants), or
+#   * the packed read store stopped paying for itself: on the XL-mini
+#     passes=2 read-store rows, packed must beat text on the *read path* —
+#     min-of-all-samples (PackedIngest + KmerGen-I/O + KmerGen), i.e. the
+#     steps the read store actually touches.  Gating the read-path sum
+#     instead of total wall keeps LocalSort/LocalCC scheduler noise (which
+#     dwarfs the parse savings in absolute terms) from flipping the verdict;
+#     the bench also times each store three times per process, interleaved,
+#     so N runs yield 3N samples per store.  The comparison carries a 2%
+#     noise allowance: host-load drift between samples is ~3% here while a
+#     real regression (the per-pass text re-parse coming back) costs >8% on
+#     this path, so the slack kills false failures without masking true
+#     ones — and the structural check below (KmerGen-I/O == 0) is
+#     noise-free.  The packed run must additionally report a nonzero
+#     PackedIngest inside the measured wall.  The achieved read-path margin
+#     is recorded as "packed_margin" in the baseline (wall mins stay
+#     recorded per row).
 #
 # Regenerate the committed baseline with METAPREP_BENCH_UPDATE=1.
 #
@@ -49,6 +65,11 @@ update = os.environ.get("METAPREP_BENCH_UPDATE") == "1"
 # Besides total wall, the merge/output tail phases (MergeCC flatten,
 # Merge-Comm label scatter, CC-I/O) are tracked min-of-N and gated too.
 PHASES = ("mergecc_s", "merge_comm_s", "ccio_s")
+# Read-store axis extras: recorded min-of-N next to the walls, gated by the
+# packed invariants below (not by the 10% phase-regression rule).  The
+# derived read_path_s (sum of the three per row) is what the packed-vs-text
+# comparison gates on.
+RS_FIELDS = ("kmergen_io_s", "kmergen_s", "packed_ingest_s")
 # Critical-path attribution from the traced A/B repeats is *recorded* next to
 # the wall times (so BENCH_fig5.json shows where the time went) but never
 # gated: the traced run is separate from the timed one.
@@ -57,6 +78,7 @@ mins = {}
 hits = {}
 phase_mins = {}
 crit_mins = {}
+rs_mins = {}
 with open(tmp_json) as f:
     for line in f:
         line = line.strip()
@@ -81,6 +103,15 @@ with open(tmp_json) as f:
                     v = float(row[c])
                     cur = crit_mins.setdefault(key, {})
                     cur[c] = min(cur.get(c, v), v)
+            for rf in RS_FIELDS:
+                if rf in row:
+                    v = float(row[rf])
+                    cur = rs_mins.setdefault(key, {})
+                    cur[rf] = min(cur.get(rf, v), v)
+            if all(rf in row for rf in RS_FIELDS):
+                rp = sum(float(row[rf]) for rf in RS_FIELDS)
+                cur = rs_mins.setdefault(key, {})
+                cur["read_path_s"] = min(cur.get("read_path_s", rp), rp)
 
 if not mins:
     sys.exit("bench_guard: no fig5_singlenode rows captured")
@@ -93,6 +124,7 @@ result = {
         | ({"pool_reuse_hits": hits[(m, p, t)]} if (m, p, t) in hits else {})
         | {ph: v for ph, v in sorted(phase_mins.get((m, p, t), {}).items())}
         | {c: v for c, v in sorted(crit_mins.get((m, p, t), {}).items())}
+        | {rf: v for rf, v in sorted(rs_mins.get((m, p, t), {}).items())}
         for (m, p, t), w in sorted(mins.items())
     ],
 }
@@ -115,6 +147,41 @@ if "barrier" in ab and "overlap" in ab:
         failures.append("overlap run reported pool_reuse_hits == 0")
 else:
     failures.append("missing barrier/overlap passes=2 rows in bench output")
+
+# Invariant 1b: the packed read store pays for itself on the XL-mini S=2
+# read-store rows, and actually eliminated the per-pass text parse.  The
+# comparison is on the read path (PackedIngest + KmerGen-I/O + KmerGen):
+# the steps the store touches, where the win is structural — gating total
+# wall would let LocalSort scheduler noise (10x the parse cost) decide.
+# The bench emits three interleaved samples per store per process and
+# same-key rows share one min, so this is a min over 3N samples each way.
+# RS_SLACK absorbs host-load drift between batches (~3% observed); a true
+# regression (per-pass re-parse back in the wall) costs >8% on this path.
+RS_SLACK = 1.02
+rs = {m: w for (m, p, t), w in mins.items() if m in ("text", "packed") and p == 2}
+if "text" in rs and "packed" in rs:
+    packed_key = next(k for k in mins if k[0] == "packed")
+    text_key = next(k for k in mins if k[0] == "text")
+    rp_text = rs_mins.get(text_key, {}).get("read_path_s")
+    rp_packed = rs_mins.get(packed_key, {}).get("read_path_s")
+    if rp_text is None or rp_packed is None:
+        failures.append("read-store rows lack read-path step fields")
+    else:
+        if rp_packed >= rp_text * RS_SLACK:
+            failures.append(
+                f"packed read store no longer beats text on the S=2 read path: "
+                f"text={rp_text:.4f}s packed={rp_packed:.4f}s "
+                f"(walls: text={rs['text']:.4f}s packed={rs['packed']:.4f}s)"
+            )
+        result["packed_margin"] = round(1.0 - rp_packed / rp_text, 4)
+    if rs_mins.get(packed_key, {}).get("kmergen_io_s", 1.0) != 0.0:
+        failures.append("packed run still reports KmerGen-I/O > 0 (text re-parse alive)")
+    if rs_mins.get(text_key, {}).get("kmergen_io_s", 0.0) <= 0.0:
+        failures.append("text run reports KmerGen-I/O == 0 (axis mislabeled?)")
+    if rs_mins.get(packed_key, {}).get("packed_ingest_s", 0.0) <= 0.0:
+        failures.append("packed run reports PackedIngest == 0 (arena outside the wall?)")
+else:
+    failures.append("missing text/packed passes=2 read-store rows in bench output")
 
 # Invariant 2: no config regressed > 10% (+0.02 s absolute slack for tiny
 # rows) against the committed baseline.

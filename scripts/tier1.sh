@@ -5,12 +5,14 @@
 #      "default" preset).
 #   2. ThreadSanitizer build of the concurrency-heavy binaries, running the
 #      observability (test_obs), simulated-MPI (test_mpsim), and union-find
-#      (test_dsu) suites plus the binned-output differential legs — the
-#      paths that stress cross-thread event buffers, mailboxes, and the
-#      parallel MergeCC flatten (atomic_ref size counting).
-#   3. Address+UBSanitizer build running the fault-injection (test_faults)
-#      and FASTQ parsing (test_fastq) suites — the paths that do raw buffer
-#      arithmetic and deliberately corrupt / truncate input.
+#      (test_dsu) suites plus the binned-output and packed-read-store
+#      differential legs — the paths that stress cross-thread event buffers,
+#      mailboxes, the parallel MergeCC flatten (atomic_ref size counting),
+#      and the threads-over-mmap packed KmerGen scan.
+#   3. Address+UBSanitizer build running the fault-injection (test_faults),
+#      FASTQ parsing (test_fastq), and packed-arena (test_packed_store)
+#      suites — the paths that do raw buffer arithmetic and deliberately
+#      corrupt / truncate input.
 #   4. Correctness tooling: repo-idiom lint (scripts/lint.sh), clang-tidy
 #      static analysis when available (scripts/analyze.sh), and the src/check
 #      verification layer live (METAPREP_CHECK=1) over the seeded-violation
@@ -38,6 +40,10 @@ scripts/analyze.sh build
 echo "=== tier 1: checked mode (METAPREP_CHECK=1 seeded violations + differential slice) ==="
 METAPREP_CHECK=1 ./build/tests/test_check
 METAPREP_CHECK=1 ./build/tests/test_differential --gtest_filter='*P2*'
+
+echo "=== tier 1: packed-vs-text differential (read-store grid + lenient consistency) ==="
+./build/tests/test_differential --gtest_filter='*Packed*'
+./build/tests/test_packed_store
 
 echo "=== tier 1: attribution report leg (traced fig5-style run -> metaprep-report) ==="
 REPORT_DIR="$(mktemp -d /tmp/metaprep_tier1_report.XXXXXX)"
@@ -106,15 +112,20 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_dsu
 echo "=== tier 1: TSan differential binned-output legs (P2, parallel MergeCC tail) ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_differential \
   --gtest_filter='OutputGrid/*P2*'
+echo "=== tier 1: TSan packed read-store legs (threads over one shared mmap arena) ==="
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_differential \
+  --gtest_filter='Grid/*T2*Packed*'
 
-echo "=== tier 1: ASan+UBSan build (test_faults + test_fastq) ==="
+echo "=== tier 1: ASan+UBSan build (test_faults + test_fastq + test_packed_store) ==="
 cmake --preset asan
-cmake --build --preset asan "${JOBS}" --target test_faults test_fastq
+cmake --build --preset asan "${JOBS}" --target test_faults test_fastq test_packed_store
 
 echo "=== tier 1: ASan test_faults ==="
 ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_faults
 echo "=== tier 1: ASan test_fastq ==="
 ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_fastq
+echo "=== tier 1: ASan test_packed_store (arena corruption + packed scan bounds) ==="
+ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_packed_store
 
 echo "=== tier 1: bench guard (fig5 min-of-N vs BENCH_fig5.json) ==="
 scripts/bench_guard.sh

@@ -53,6 +53,17 @@ enum class PipelineMode {
   kOverlap,
 };
 
+/// Where KmerGen gets its records each pass (CLI --read-store).
+enum class ReadStore {
+  /// Re-read and re-parse FASTQ text per chunk every pass (the paper's
+  /// behaviour; parse cost is paid S times).
+  kText,
+  /// One lenient/strict ingest pass packs every record into a 2-bit
+  /// mmap-able arena (io::PackedStore); every pass scans the arena
+  /// word-at-a-time and the per-pass text parse disappears.
+  kPacked,
+};
+
 struct MetaprepConfig {
   int k = 27;                 ///< k-mer length (<= 63; > 32 uses 128-bit k-mers)
   int num_ranks = 1;          ///< P: simulated MPI tasks
@@ -100,6 +111,17 @@ struct MetaprepConfig {
 
   /// Pass scheduling (CLI --pipeline-mode=barrier|overlap).
   PipelineMode pipeline_mode = PipelineMode::kBarrier;
+
+  /// Record source for the KmerGen scans (CLI --read-store=text|packed).
+  /// Text is the default and bit-identical to the historical behaviour;
+  /// packed builds the arena once (PackedIngest step) and produces the same
+  /// components and output bins (differential-tested).
+  ReadStore read_store = ReadStore::kText;
+
+  /// Packed mode only: where to write the arena file.  Empty (default)
+  /// uses a unique file under the system temp directory, deleted when the
+  /// run finishes; non-empty paths are kept for reuse/inspection.
+  std::string packed_store_path;
 
   /// Interconnect cost model for the simulated-comm-seconds report.
   mpsim::CostModelParams cost_model;

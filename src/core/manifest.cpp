@@ -32,7 +32,8 @@ std::string partition_class_of(const std::string& path) {
   return "unknown";
 }
 
-Manifest build_manifest(const DatasetIndex& index, const PipelineResult& result) {
+Manifest build_manifest(const DatasetIndex& index, const PipelineResult& result,
+                        io::ParseMode parse_mode) {
   Manifest m;
   m.dataset = index.name;
   m.k = index.k;
@@ -43,12 +44,16 @@ Manifest build_manifest(const DatasetIndex& index, const PipelineResult& result)
     ManifestEntry e;
     e.path = path;
     e.partition = partition_class_of(path);
-    io::FastqReader reader(path);
+    io::ParseOptions popt;
+    popt.mode = parse_mode;
+    io::FastqReader reader(path, popt);
     io::FastqRecord rec;
     while (reader.next(rec)) {
       ++e.records;
       e.bases += rec.seq.size();
     }
+    e.skipped = reader.records_skipped();
+    m.records_skipped += e.skipped;
     m.entries.push_back(std::move(e));
   }
   return m;
@@ -63,11 +68,14 @@ void save_manifest(const Manifest& m, const std::string& path) {
   std::fprintf(f, "#components\t%llu\n",
                static_cast<unsigned long long>(m.num_components));
   std::fprintf(f, "#largest\t%llu\n", static_cast<unsigned long long>(m.largest_size));
-  std::fprintf(f, "path\tpartition\trecords\tbases\n");
+  std::fprintf(f, "#skipped\t%llu\n",
+               static_cast<unsigned long long>(m.records_skipped));
+  std::fprintf(f, "path\tpartition\trecords\tbases\tskipped\n");
   for (const auto& e : m.entries) {
-    std::fprintf(f, "%s\t%s\t%llu\t%llu\n", e.path.c_str(), e.partition.c_str(),
+    std::fprintf(f, "%s\t%s\t%llu\t%llu\t%llu\n", e.path.c_str(), e.partition.c_str(),
                  static_cast<unsigned long long>(e.records),
-                 static_cast<unsigned long long>(e.bases));
+                 static_cast<unsigned long long>(e.bases),
+                 static_cast<unsigned long long>(e.skipped));
   }
   std::fclose(f);
 }
@@ -92,6 +100,7 @@ Manifest load_manifest(const std::string& path) {
       if (key == "#reads") m.num_reads = static_cast<std::uint32_t>(std::stoul(value));
       if (key == "#components") m.num_components = std::stoull(value);
       if (key == "#largest") m.largest_size = std::stoull(value);
+      if (key == "#skipped") m.records_skipped = std::stoull(value);
       continue;
     }
     if (!header_seen) {  // column header row
@@ -99,13 +108,15 @@ Manifest load_manifest(const std::string& path) {
       continue;
     }
     ManifestEntry e;
-    std::string records, bases;
+    std::string records, bases, skipped;
     std::getline(is, e.path, '\t');
     std::getline(is, e.partition, '\t');
     std::getline(is, records, '\t');
     std::getline(is, bases, '\t');
+    std::getline(is, skipped, '\t');  // absent in pre-skip-column manifests
     e.records = std::stoull(records);
     e.bases = std::stoull(bases);
+    e.skipped = skipped.empty() ? 0 : std::stoull(skipped);
     m.entries.push_back(std::move(e));
   }
   std::fclose(f);

@@ -21,6 +21,7 @@ struct ManifestEntry {
   std::string partition;        ///< "lc", "c<N>", or "other"
   std::uint64_t records = 0;    ///< FASTQ records in the file
   std::uint64_t bases = 0;
+  std::uint64_t skipped = 0;    ///< lenient-verify resync events in the file
 };
 
 struct Manifest {
@@ -29,6 +30,7 @@ struct Manifest {
   std::uint32_t num_reads = 0;
   std::uint64_t num_components = 0;
   std::uint64_t largest_size = 0;
+  std::uint64_t records_skipped = 0;  ///< sum of per-entry skipped counts
   std::vector<ManifestEntry> entries;
 
   /// Total records across all entries (2 * num_reads for paired data when
@@ -36,8 +38,14 @@ struct Manifest {
   [[nodiscard]] std::uint64_t total_records() const;
 };
 
-/// Build a manifest by scanning the run's output files.
-Manifest build_manifest(const DatasetIndex& index, const PipelineResult& result);
+/// Build a manifest by scanning the run's output files with the same
+/// ParseMode the pipeline ran under.  A lenient run's outputs must be
+/// verifiable leniently too: the old always-strict re-parse threw on any
+/// record the pipeline had deliberately carried through (and, worse, on
+/// operator-corrupted outputs it mislabeled the failure as a pipeline bug).
+/// In lenient mode resync events are counted per entry (skipped column).
+Manifest build_manifest(const DatasetIndex& index, const PipelineResult& result,
+                        io::ParseMode parse_mode = io::ParseMode::kStrict);
 
 /// Serialize to TSV ("#key\tvalue" metadata lines, then one row per file).
 void save_manifest(const Manifest& manifest, const std::string& path);

@@ -1,0 +1,184 @@
+#include "core/packed_ingest.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/mem.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace metaprep::core {
+namespace {
+
+/// Read-only mmap of one input FASTQ: the ingest is the only consumer of
+/// the text from here on, so parsing straight out of the page cache beats
+/// copying the whole file into a buffer first.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      throw util::io_error("cannot open FASTQ for packed ingest", path,
+                           util::Error::kNoOffset, errno);
+    }
+    struct ::stat st{};
+    if (::fstat(fd, &st) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw util::io_error("cannot stat FASTQ for packed ingest", path,
+                           util::Error::kNoOffset, err);
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ != 0) {
+      map_ = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      const int map_errno = errno;
+      if (map_ == MAP_FAILED) {
+        ::close(fd);
+        throw util::io_error("cannot mmap FASTQ for packed ingest", path,
+                             util::Error::kNoOffset, map_errno);
+      }
+    }
+    ::close(fd);
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() {
+    if (map_ != MAP_FAILED && map_ != nullptr) ::munmap(map_, size_);
+  }
+
+  [[nodiscard]] std::string_view view() const noexcept {
+    return map_ == MAP_FAILED || map_ == nullptr
+               ? std::string_view{}
+               : std::string_view(static_cast<const char*>(map_), size_);
+  }
+
+ private:
+  void* map_ = MAP_FAILED;
+  std::size_t size_ = 0;
+};
+
+/// Parse chunks [@p begin, @p end) of the index into @p builder, whose
+/// chunk table is shard-local (global chunk c is local chunk c - begin).
+/// Chunks are laid out file by file, so each FASTQ is mapped at most once
+/// per shard and every chunk parses as a zero-copy window into the mapping.
+void pack_chunk_range(const DatasetIndex& index, io::ParseMode parse_mode,
+                      std::uint32_t begin, std::uint32_t end,
+                      io::PackedStoreBuilder& builder) {
+  std::optional<MappedFile> mapped;
+  std::uint32_t cached_file = 0xFFFFFFFFu;
+  std::optional<obs::MemCharge> io_mem;
+  for (std::uint32_t c = begin; c < end; ++c) {
+    const ChunkRecord& chunk = index.part.chunks[c];
+    builder.begin_chunk(c - begin);
+    if (chunk.file != cached_file) {
+      mapped.emplace(index.files[chunk.file]);
+      io_mem.emplace("io", mapped->view().size());
+      cached_file = chunk.file;
+    }
+    std::uint32_t read_id = chunk.first_read_id;
+    io::ParseOptions popt{parse_mode, index.files[chunk.file], chunk.offset,
+                          [&read_id, &builder] {
+                            builder.add_skip(read_id);
+                            ++read_id;
+                          }};
+    io::for_each_record_in_buffer(mapped->view().substr(chunk.offset, chunk.size),
+                                  [&](std::string_view, std::string_view seq,
+                                      std::string_view) {
+                                    builder.add_record(read_id, seq);
+                                    ++read_id;
+                                  },
+                                  popt);
+  }
+}
+
+/// Full ingest: shard the chunk table into @p threads contiguous ranges
+/// balanced by chunk bytes, pack each range in a worker, merge in order.
+/// The merged builder is byte-identical to a serial build.
+io::PackedStoreBuilder build_arena(const DatasetIndex& index,
+                                   io::ParseMode parse_mode, int threads) {
+  const std::uint32_t num_chunks = index.part.num_chunks();
+  io::PackedStoreBuilder builder(num_chunks,
+                                 /*expected_records=*/2ull * index.total_reads,
+                                 /*expected_bases=*/index.total_bases);
+  const int n =
+      std::clamp(threads, 1, num_chunks == 0 ? 1 : static_cast<int>(num_chunks));
+  if (n <= 1) {
+    pack_chunk_range(index, parse_mode, 0, num_chunks, builder);
+    return builder;
+  }
+
+  // Shard bounds: split on cumulative chunk bytes so a skewed chunk table
+  // still yields balanced parse work.
+  std::uint64_t total_bytes = 0;
+  for (const ChunkRecord& chunk : index.part.chunks) total_bytes += chunk.size;
+  std::vector<std::uint32_t> bounds(static_cast<std::size_t>(n) + 1, 0);
+  std::uint64_t acc = 0;
+  std::uint32_t c = 0;
+  for (int s = 0; s < n; ++s) {
+    const std::uint64_t target = total_bytes * static_cast<std::uint64_t>(s + 1) /
+                                 static_cast<std::uint64_t>(n);
+    while (c < num_chunks && acc < target) {
+      acc += index.part.chunks[c].size;
+      ++c;
+    }
+    bounds[static_cast<std::size_t>(s) + 1] = c;
+  }
+  bounds.back() = num_chunks;
+
+  std::vector<io::PackedStoreBuilder> shards;
+  shards.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    shards.emplace_back(bounds[si + 1] - bounds[si],
+                        2ull * index.total_reads / static_cast<std::uint64_t>(n) + 1,
+                        index.total_bases / static_cast<std::uint64_t>(n) + 32);
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(n));
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      workers.emplace_back([&, s] {
+        const auto si = static_cast<std::size_t>(s);
+        try {
+          pack_chunk_range(index, parse_mode, bounds[si], bounds[si + 1], shards[si]);
+        } catch (...) {
+          errors[si] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  builder.merge_all(std::move(shards), n);
+  return builder;
+}
+
+}  // namespace
+
+io::PackedStoreStats build_packed_store(const DatasetIndex& index,
+                                        const std::string& path,
+                                        io::ParseMode parse_mode, int threads) {
+  return build_arena(index, parse_mode, threads).write(path);
+}
+
+io::PackedStore build_packed_store_in_memory(const DatasetIndex& index,
+                                             io::ParseMode parse_mode, int threads,
+                                             io::PackedStoreStats* stats) {
+  return build_arena(index, parse_mode, threads).finish(stats);
+}
+
+}  // namespace metaprep::core

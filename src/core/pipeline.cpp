@@ -1,17 +1,22 @@
 #include "core/pipeline.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <span>
+#include <thread>
 #include <utility>
 
 #include "check/invariants.hpp"
 #include "core/memory_model.hpp"
+#include "core/packed_ingest.hpp"
 #include "core/plan.hpp"
 #include "dsu/dsu.hpp"
 #include "io/fastq.hpp"
@@ -121,6 +126,8 @@ struct RankShared {
   std::vector<part::BinFile> bin_files;       ///< binned-output files this rank wrote
   std::vector<std::uint16_t> bin_file_bins;   ///< bin of bin_files[i]
   std::vector<obs::RssSample> rss_samples;    ///< rank 0 only: peak RSS per phase boundary
+  std::uint64_t records_skipped = 0;  ///< distinct records lenient parsing dropped
+                                      ///< (first KmerGen sweep over this rank's chunks)
 };
 
 /// Everything the per-rank pass loop needs, bundled so the barrier and
@@ -139,6 +146,9 @@ struct PassCtx {
   obs::Counter& m_cc_edges;
   obs::Gauge& m_rss;
   obs::Gauge& m_peak;
+  /// Non-null in --read-store=packed runs: the mmap'd 2-bit arena KmerGen
+  /// scans instead of re-reading FASTQ text each pass.
+  const io::PackedStore* packed;
   int p, P, T, S, k, m;
   bool wide;
 };
@@ -165,6 +175,81 @@ void phase_boundary(PassCtx& ctx, const char* phase) {
 /// synchronized by the exchange anyway, so rank 0's view is representative).
 inline void progress_phase(const PassCtx& ctx, const char* phase) {
   if (ctx.p == 0) obs::Progress::global().phase(phase);
+}
+
+/// One chunk's record stream for KmerGen, shared by the barrier and overlap
+/// schedulers.  Text mode reads the chunk's byte range and parses it;
+/// packed mode walks the arena's record range for the chunk — same records,
+/// same order, same read IDs, so the emitted tuple stream is bit-identical.
+/// Per record: value = find(read_id) under the §3.5.1 substitution, then
+/// emit64(km, value) / emit128(km, value) per canonical k-mer.  @p io_s and
+/// @p gen_s accumulate the KmerGen-I/O and KmerGen step walls for this
+/// thread.  Returns the lenient-parse skips this scan observed (always 0 in
+/// packed mode: ingest already recorded them in the arena).
+template <typename Emit64, typename Emit128>
+std::uint64_t scan_chunk(PassCtx& ctx, std::uint32_t c, bool substitute,
+                         double& io_s, double& gen_s, Emit64&& emit64,
+                         Emit128&& emit128) {
+  const DatasetIndex& index = ctx.index;
+  dsu::AtomicDSU& local_cc = ctx.local_cc;
+  const int k = ctx.k;
+  std::uint64_t skipped = 0;
+  if (ctx.packed != nullptr) {
+    const io::PackedStore& ps = *ctx.packed;
+    WallTimer gen_timer;
+    const double gen_t0 = span_begin(ctx.tr);
+    for (std::uint64_t r = ps.chunk_begin(c), e = ps.chunk_end(c); r < e; ++r) {
+      const io::PackedStore::Record rec = ps.record(r);
+      const std::uint32_t value = substitute ? local_cc.find(rec.read_id) : rec.read_id;
+      if (!ctx.wide) {
+        kmer::for_each_canonical_kmer64_packed(
+            rec.words, rec.len, rec.npos, rec.ncount, k,
+            [&](std::uint64_t km, std::size_t) { emit64(km, value); });
+      } else {
+        kmer::for_each_canonical_kmer128_packed(
+            rec.words, rec.len, rec.npos, rec.ncount, k,
+            [&](kmer::Kmer128 km, std::size_t) { emit128(km, value); });
+      }
+    }
+    span_end(ctx.tr, "KmerGen", gen_t0);
+    gen_s += gen_timer.seconds();
+  } else {
+    const ChunkRecord& chunk = index.part.chunks[c];
+    WallTimer io_timer;
+    const double io_t0 = span_begin(ctx.tr);
+    const auto buffer =
+        io::read_file_range(index.files[chunk.file], chunk.offset, chunk.size);
+    span_end(ctx.tr, "KmerGen-I/O", io_t0);
+    const obs::MemCharge io_mem("io", buffer.size());
+    io_s += io_timer.seconds();
+
+    WallTimer gen_timer;
+    const double gen_t0 = span_begin(ctx.tr);
+    std::uint32_t read_id = chunk.first_read_id;
+    io::ParseOptions popt{ctx.config.parse_mode, index.files[chunk.file], chunk.offset,
+                          [&read_id] { ++read_id; }};
+    const io::BufferParseStats stats = io::for_each_record_in_buffer(
+        std::string_view(buffer.data(), buffer.size()),
+        [&](std::string_view, std::string_view seq, std::string_view) {
+          // LocalCC-Opt (§3.5.1): from pass 2 on, enumerate the component
+          // ID instead of the read ID for better locality.
+          const std::uint32_t value = substitute ? local_cc.find(read_id) : read_id;
+          if (!ctx.wide) {
+            kmer::for_each_canonical_kmer64(
+                seq, k, [&](std::uint64_t km, std::size_t) { emit64(km, value); });
+          } else {
+            kmer::for_each_canonical_kmer128(
+                seq, k, [&](kmer::Kmer128 km, std::size_t) { emit128(km, value); });
+          }
+          ++read_id;
+        },
+        popt);
+    span_end(ctx.tr, "KmerGen", gen_t0);
+    gen_s += gen_timer.seconds();
+    skipped = stats.skipped;
+  }
+  obs::Progress::global().chunk_done();
+  return skipped;
 }
 
 // ---------------------------------------------------------------------------
@@ -264,62 +349,42 @@ void run_passes_barrier(PassCtx& ctx) {
     const bool substitute_components = config.cc_opt && s > 0;
 
     progress_phase(ctx, "KmerGen");
+    std::vector<std::uint64_t> skip_counts(static_cast<std::size_t>(T), 0);
     team.run([&](int t) {
       obs::TraceSession::set_thread_identity(p, t);
       std::uint64_t* cur = cursor.data() + static_cast<std::size_t>(t) * P;
+      auto emit64 = [&](std::uint64_t km, std::uint32_t value) {
+        const std::uint32_t bin = kmer::prefix_bin64(km, k, m);
+        if (bin < pass_lo || bin >= pass_hi) return;
+        const std::uint16_t d = dest_of_bin[bin - pass_lo];
+        const std::uint64_t at = cur[d]++;
+        kmer_out.keys[at] = km;
+        kmer_out.vals[at] = value;
+      };
+      auto emit128 = [&](kmer::Kmer128 km, std::uint32_t value) {
+        const std::uint32_t bin = kmer::prefix_bin128(km, k, m);
+        if (bin < pass_lo || bin >= pass_hi) return;
+        const std::uint16_t d = dest_of_bin[bin - pass_lo];
+        const std::uint64_t at = cur[d]++;
+        kmer_out.keys[at] = km.lo;
+        kmer_out.keys_hi[at] = km.hi;
+        kmer_out.vals[at] = value;
+      };
       for (std::uint32_t c = ca.thread_begin(p, t); c < ca.thread_end(p, t); ++c) {
-        const ChunkRecord& chunk = index.part.chunks[c];
-        WallTimer io_timer;
-        const double io_t0 = span_begin(tr);
-        const auto buffer =
-            io::read_file_range(index.files[chunk.file], chunk.offset, chunk.size);
-        span_end(tr, "KmerGen-I/O", io_t0);
-        const obs::MemCharge io_mem("io", buffer.size());
-        io_seconds[static_cast<std::size_t>(t)] += io_timer.seconds();
-
-        WallTimer gen_timer;
-        const double gen_t0 = span_begin(tr);
-        std::uint32_t read_id = chunk.first_read_id;
-        io::ParseOptions popt{config.parse_mode, index.files[chunk.file], chunk.offset,
-                              [&read_id] { ++read_id; }};
-        io::for_each_record_in_buffer(
-            std::string_view(buffer.data(), buffer.size()),
-            [&](std::string_view, std::string_view seq, std::string_view) {
-              // LocalCC-Opt (§3.5.1): from pass 2 on, enumerate the
-              // component ID instead of the read ID for better locality.
-              const std::uint32_t value =
-                  substitute_components ? local_cc.find(read_id) : read_id;
-              if (!wide) {
-                kmer::for_each_canonical_kmer64(
-                    seq, k, [&](std::uint64_t km, std::size_t) {
-                      const std::uint32_t bin = kmer::prefix_bin64(km, k, m);
-                      if (bin < pass_lo || bin >= pass_hi) return;
-                      const std::uint16_t d = dest_of_bin[bin - pass_lo];
-                      const std::uint64_t at = cur[d]++;
-                      kmer_out.keys[at] = km;
-                      kmer_out.vals[at] = value;
-                    });
-              } else {
-                kmer::for_each_canonical_kmer128(
-                    seq, k, [&](kmer::Kmer128 km, std::size_t) {
-                      const std::uint32_t bin = kmer::prefix_bin128(km, k, m);
-                      if (bin < pass_lo || bin >= pass_hi) return;
-                      const std::uint16_t d = dest_of_bin[bin - pass_lo];
-                      const std::uint64_t at = cur[d]++;
-                      kmer_out.keys[at] = km.lo;
-                      kmer_out.keys_hi[at] = km.hi;
-                      kmer_out.vals[at] = value;
-                    });
-              }
-              ++read_id;
-            },
-            popt);
-        span_end(tr, "KmerGen", gen_t0);
-        gen_seconds[static_cast<std::size_t>(t)] += gen_timer.seconds();
+        skip_counts[static_cast<std::size_t>(t)] +=
+            scan_chunk(ctx, c, substitute_components,
+                       io_seconds[static_cast<std::size_t>(t)],
+                       gen_seconds[static_cast<std::size_t>(t)], emit64, emit128);
       }
     });
     my.times.add("KmerGen-I/O", *std::max_element(io_seconds.begin(), io_seconds.end()));
     my.times.add("KmerGen", *std::max_element(gen_seconds.begin(), gen_seconds.end()));
+    if (s == 0) {
+      // The first sweep visits every record exactly once, so its skip count
+      // is the number of *distinct* records lenient parsing dropped (later
+      // passes re-discover the same skips in text mode).
+      for (std::uint64_t sk : skip_counts) my.records_skipped += sk;
+    }
 
     // Lenient parsing may have skipped records that the (clean-data) chunk
     // histograms counted, leaving some (thread, dest) blocks under-filled.
@@ -704,7 +769,6 @@ void post_overlap_exchange(PassCtx& ctx, int s, const OverlapGeom& g,
 }
 
 void run_passes_overlap(PassCtx& ctx) {
-  const DatasetIndex& index = ctx.index;
   const MetaprepConfig& config = ctx.config;
   const ChunkAssignment& ca = ctx.ca;
   mpsim::Comm& comm = ctx.comm;
@@ -767,6 +831,7 @@ void run_passes_overlap(PassCtx& ctx) {
     const std::uint32_t hi = geom[static_cast<std::size_t>(npasses) - 1].pass_hi;
     std::vector<double> io_seconds(static_cast<std::size_t>(T), 0.0);
     std::vector<double> gen_seconds(static_cast<std::size_t>(T), 0.0);
+    std::vector<std::uint64_t> skip_counts(static_cast<std::size_t>(T), 0);
     progress_phase(ctx, "KmerGen");
     team.run([&](int t) {
       obs::TraceSession::set_thread_identity(p, t);
@@ -803,45 +868,22 @@ void run_passes_overlap(PassCtx& ctx) {
           out1.vals[at] = value;
         }
       };
+      // §3.5.1 substitution happens inside scan_chunk, one group staler
+      // than barrier mode (components as of pass s0-1 for both passes in
+      // the group).
       for (std::uint32_t c = ca.thread_begin(p, t); c < ca.thread_end(p, t); ++c) {
-        const ChunkRecord& chunk = index.part.chunks[c];
-        WallTimer io_timer;
-        const double io_t0 = span_begin(tr);
-        const auto buffer =
-            io::read_file_range(index.files[chunk.file], chunk.offset, chunk.size);
-        span_end(tr, "KmerGen-I/O", io_t0);
-        const obs::MemCharge io_mem("io", buffer.size());
-        io_seconds[static_cast<std::size_t>(t)] += io_timer.seconds();
-
-        WallTimer gen_timer;
-        const double gen_t0 = span_begin(tr);
-        std::uint32_t read_id = chunk.first_read_id;
-        io::ParseOptions popt{config.parse_mode, index.files[chunk.file], chunk.offset,
-                              [&read_id] { ++read_id; }};
-        io::for_each_record_in_buffer(
-            std::string_view(buffer.data(), buffer.size()),
-            [&](std::string_view, std::string_view seq, std::string_view) {
-              // §3.5.1 substitution, one group staler than barrier mode
-              // (components as of pass s0-1 for both passes in the group).
-              const std::uint32_t value =
-                  substitute_components ? local_cc.find(read_id) : read_id;
-              if (!wide) {
-                kmer::for_each_canonical_kmer64(
-                    seq, k, [&](std::uint64_t km, std::size_t) { emit64(km, value); });
-              } else {
-                kmer::for_each_canonical_kmer128(
-                    seq, k, [&](kmer::Kmer128 km, std::size_t) { emit128(km, value); });
-              }
-              ++read_id;
-            },
-            popt);
-        span_end(tr, "KmerGen", gen_t0);
-        gen_seconds[static_cast<std::size_t>(t)] += gen_timer.seconds();
-        obs::Progress::global().chunk_done();
+        skip_counts[static_cast<std::size_t>(t)] +=
+            scan_chunk(ctx, c, substitute_components,
+                       io_seconds[static_cast<std::size_t>(t)],
+                       gen_seconds[static_cast<std::size_t>(t)], emit64, emit128);
       }
     });
     my.times.add("KmerGen-I/O", *std::max_element(io_seconds.begin(), io_seconds.end()));
     my.times.add("KmerGen", *std::max_element(gen_seconds.begin(), gen_seconds.end()));
+    if (s0 == 0) {
+      // First chunk sweep == one visit per record: distinct-skip count.
+      for (std::uint64_t sk : skip_counts) my.records_skipped += sk;
+    }
     phase_boundary(ctx, "KmerGen");
 
     // Sentinel fill (lenient-parsing gaps), per pass: same rule as barrier
@@ -1208,6 +1250,40 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
   part::BinPlan bin_plan_shared;                   // written by rank 0 only
 
   WallTimer run_timer;  // measured wall for the attribution report
+
+  // ---- PackedIngest (--read-store=packed): the run's single FASTQ parse.
+  // Every record lands 2-bit-packed in an arena; the KmerGen scans below
+  // walk the arena and the per-pass text re-parse disappears.  A named
+  // --packed-store arena is serialized and mmapped back (it outlives the
+  // run); an ephemeral arena stays in memory and never touches disk.  The
+  // ingest is deliberately inside the measured wall: packed mode must pay
+  // for its arena to claim a win over text mode.  The parse itself is
+  // sharded over the run's worker budget, capped at the machine's real
+  // core count — mpsim ranks oversubscribe cores by design, but for the
+  // ingest (pure local CPU work, no simulated communication) extra threads
+  // on a small host are pure overhead.  Shards merge deterministically, so
+  // the arena bytes never depend on the thread count. ----
+  io::PackedStore packed_store;
+  io::PackedStoreStats packed_stats{};
+  double packed_ingest_s = 0.0;
+  const bool packed_is_temp = config.packed_store_path.empty();
+  if (config.read_store == ReadStore::kPacked) {
+    const int ingest_threads = std::clamp(
+        static_cast<int>(std::thread::hardware_concurrency()), 1, P * T);
+    WallTimer ingest_timer;
+    const double ingest_t0 = span_begin();
+    if (packed_is_temp) {
+      packed_store = build_packed_store_in_memory(index, config.parse_mode,
+                                                  ingest_threads, &packed_stats);
+    } else {
+      packed_stats = build_packed_store(index, config.packed_store_path,
+                                        config.parse_mode, ingest_threads);
+      packed_store = io::PackedStore::open(config.packed_store_path);
+    }
+    span_end("PackedIngest", ingest_t0);
+    packed_ingest_s = ingest_timer.seconds();
+  }
+
   world.run([&](mpsim::Comm& comm) {
     const int p = comm.rank();
     obs::TraceSession::set_thread_identity(p, 0);
@@ -1215,8 +1291,12 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     ThreadTeam team(T);
     dsu::AtomicDSU local_cc(R);
 
-    PassCtx ctx{index,    config,     plan,  ca,     comm, team, local_cc, my, tr,
-                m_tuples, m_cc_edges, m_rss, m_peak, p,    P,    T,        S,  k,  m, wide};
+    PassCtx ctx{index,  config, plan,   ca,
+                comm,   team,   local_cc, my,
+                tr,     m_tuples, m_cc_edges, m_rss,
+                m_peak, packed_store.is_open() ? &packed_store : nullptr,
+                p,      P,      T,      S,
+                k,      m,      wide};
     if (config.pipeline_mode == PipelineMode::kOverlap) {
       run_passes_overlap(ctx);
     } else {
@@ -1524,6 +1604,11 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     prog.finish();
     prog.set_enabled(false);
   }
+  if (packed_store.is_open() && packed_is_temp) {
+    // Drop the in-memory arena before assembling the result so its pages
+    // are returned (and the packed mem subsystem credited) inside the run.
+    packed_store = io::PackedStore();
+  }
 
   // ---- Assemble the result. ----
   PipelineResult result;
@@ -1554,6 +1639,15 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     result.max_tuple_buffer_bytes = std::max(result.max_tuple_buffer_bytes, rs.max_buffer_bytes);
     for (auto& f : rs.output_files) result.output_files.push_back(std::move(f));
     result.cc_iterations_max = std::max(result.cc_iterations_max, rs.cc_iterations);
+    result.records_skipped += rs.records_skipped;
+  }
+  if (config.read_store == ReadStore::kPacked) {
+    // The arena recorded every skip at ingest; the scans saw none.  Text
+    // mode accumulated the same distinct-record count from pass 1.
+    result.records_skipped = packed_stats.skipped;
+    result.packed_ingest_seconds = packed_ingest_s;
+    result.packed_store_bytes = packed_stats.file_bytes;
+    result.step_times.add("PackedIngest", packed_ingest_s);
   }
   result.traffic_matrix = world.traffic_matrix();
   result.message_matrix = world.message_matrix();

@@ -55,6 +55,14 @@ struct PipelineResult {
   double bin_skew = 0.0;                  ///< max/mean bin weight (0 unless binning)
   std::string bin_manifest_path;          ///< "<output_dir>/<name>.bins.json" when written
 
+  // Parse accounting + packed read store (--read-store=packed).
+  // records_skipped counts *distinct* records lenient parsing dropped (the
+  // io.records_skipped metric counts skip events, which text mode re-pays
+  // every pass); identical between text and packed runs on the same input.
+  std::uint64_t records_skipped = 0;
+  double packed_ingest_seconds = 0.0;    ///< PackedIngest step wall (packed mode)
+  std::uint64_t packed_store_bytes = 0;  ///< arena file size (packed mode)
+
   // Performance attribution: filled whenever the run was traced (trace_out,
   // attr_out, or an externally-enabled TraceSession), so benches and tests
   // read the analysis without re-parsing files.

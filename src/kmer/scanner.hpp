@@ -77,6 +77,79 @@ void for_each_canonical_kmer128(std::string_view seq, int k, Fn&& fn) {
   }
 }
 
+/// A packed record view as stored by io::PackedStore: 2-bit codes LSB-first
+/// within each 64-bit word (base i in bits [2*(i%32), 2*(i%32)+1] of word
+/// i/32), plus a sorted list of ambiguous-base positions (which were packed
+/// as code 0 and must reset the window exactly like an 'N' character).
+///
+/// Invoke fn(canonical_kmer, start_position) for every valid k-mer window —
+/// bit-exactly the same invocations as for_each_canonical_kmer64 on the
+/// original text.  Requires 1 <= k <= kMaxK64.
+template <typename Fn>
+void for_each_canonical_kmer64_packed(const std::uint64_t* words, std::uint32_t len,
+                                      const std::uint32_t* npos, std::uint32_t ncount,
+                                      int k, Fn&& fn) {
+  if (static_cast<int>(len) < k) return;
+  const std::uint64_t mask = kmer_mask64(k);
+  const int rc_shift = 2 * (k - 1);
+  std::uint64_t fwd = 0;
+  std::uint64_t rc = 0;
+  int valid = 0;
+  std::uint32_t nj = 0;
+  std::uint64_t w = 0;
+  for (std::uint32_t i = 0; i < len; ++i, w >>= 2) {
+    if ((i & 31u) == 0) w = words[i >> 5];
+    if (nj < ncount && npos[nj] == i) {
+      ++nj;
+      valid = 0;
+      fwd = 0;
+      rc = 0;
+      continue;
+    }
+    const std::uint64_t code = w & 3u;
+    fwd = ((fwd << 2) | code) & mask;
+    rc = (rc >> 2) | ((3 - code) << rc_shift);
+    if (++valid >= k) fn(fwd < rc ? fwd : rc, i + 1 - static_cast<std::size_t>(k));
+  }
+}
+
+/// 128-bit packed variant: bit-exact against for_each_canonical_kmer128 on
+/// the original text.  Requires 1 <= k <= kMaxK128.
+template <typename Fn>
+void for_each_canonical_kmer128_packed(const std::uint64_t* words, std::uint32_t len,
+                                       const std::uint32_t* npos, std::uint32_t ncount,
+                                       int k, Fn&& fn) {
+  if (static_cast<int>(len) < k) return;
+  const Kmer128 mask = kmer_mask128(k);
+  const int top = 2 * (k - 1);
+  Kmer128 fwd{};
+  Kmer128 rc{};
+  int valid = 0;
+  std::uint32_t nj = 0;
+  std::uint64_t w = 0;
+  for (std::uint32_t i = 0; i < len; ++i, w >>= 2) {
+    if ((i & 31u) == 0) w = words[i >> 5];
+    if (nj < ncount && npos[nj] == i) {
+      ++nj;
+      valid = 0;
+      fwd = {};
+      rc = {};
+      continue;
+    }
+    const auto code = static_cast<std::uint8_t>(w & 3u);
+    fwd = push_base128(fwd, code, mask);
+    rc.lo = (rc.lo >> 2) | (rc.hi << 62);
+    rc.hi >>= 2;
+    const std::uint64_t comp = static_cast<std::uint64_t>(3 - code);
+    if (top >= 64) {
+      rc.hi |= comp << (top - 64);
+    } else {
+      rc.lo |= comp << top;
+    }
+    if (++valid >= k) fn(fwd < rc ? fwd : rc, i + 1 - static_cast<std::size_t>(k));
+  }
+}
+
 /// Append all canonical k-mers of @p seq to @p out (scalar path).
 void scan_canonical_kmers64(std::string_view seq, int k, std::vector<std::uint64_t>& out);
 

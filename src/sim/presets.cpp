@@ -11,6 +11,7 @@ std::string preset_name(Preset p) {
     case Preset::LL: return "LL";
     case Preset::MM: return "MM";
     case Preset::IS: return "IS";
+    case Preset::XL: return "XL";
   }
   throw std::invalid_argument("unknown preset");
 }
@@ -73,6 +74,21 @@ DatasetConfig preset_config(Preset p, double scale) {
       c.num_pairs = scaled(100'000);
       c.abundance_sigma = 2.0;  // soil: long-tailed abundance
       c.reads.seed = 1404;
+      break;
+    case Preset::XL:
+      // "XL-mini" (ROADMAP Open item 1): big enough that bench walls
+      // measure real per-read work instead of fixed parse/setup cost
+      // (~15x HG pairs), small enough for min-of-N gating in CI.
+      c.genomes.num_species = 40;
+      c.genomes.min_genome_len = scaled(12'000);
+      c.genomes.max_genome_len = scaled(25'000);  // total ~740 kbp -> ~20x
+      c.genomes.repeat_fraction = 0.04;
+      c.genomes.shared_fraction = 0.020;
+      c.genomes.shared_unit_len = 150;
+      c.genomes.seed = 505;
+      c.num_pairs = scaled(75'000);
+      c.abundance_sigma = 1.2;
+      c.reads.seed = 1505;
       break;
   }
   return c;

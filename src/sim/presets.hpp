@@ -11,6 +11,8 @@
 //   LL        30       ~3x      low     most diverse of the small three, LC ~76%
 //   MM         8      ~20x      high    mock community: LC ~99.5%, huge k-mer counts
 //   IS       120       ~8x      low     largest dataset; multipass + multi-node runs
+//   XL        40      ~20x      low     "XL-mini" bench preset: ~15x HG read count,
+//                                       so parse/scan/sort work dominates fixed costs
 //
 // Relative read counts follow Table 2 (LL ~1.7x HG, MM ~4.3x HG); IS is
 // compressed from 89x to 20x HG to stay runnable in a container.  `scale`
@@ -23,7 +25,7 @@
 
 namespace metaprep::sim {
 
-enum class Preset { HG, LL, MM, IS };
+enum class Preset { HG, LL, MM, IS, XL };
 
 /// Short identifier used in file names and bench output ("HG", "LL", ...).
 std::string preset_name(Preset p);

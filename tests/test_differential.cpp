@@ -95,12 +95,14 @@ Fixture& fixture() {
 struct GridCase {
   int P, T, S;
   PipelineMode mode;
+  ReadStore store;
 };
 
 std::string case_name(const ::testing::TestParamInfo<GridCase>& info) {
   const auto& c = info.param;
   return "P" + std::to_string(c.P) + "T" + std::to_string(c.T) + "S" + std::to_string(c.S) +
-         (c.mode == PipelineMode::kOverlap ? "overlap" : "barrier");
+         (c.mode == PipelineMode::kOverlap ? "overlap" : "barrier") +
+         (c.store == ReadStore::kPacked ? "Packed" : "Text");
 }
 
 std::vector<GridCase> full_grid() {
@@ -109,7 +111,9 @@ std::vector<GridCase> full_grid() {
     for (int T : {1, 2}) {
       for (int S : {1, 2, 3}) {
         for (auto mode : {PipelineMode::kBarrier, PipelineMode::kOverlap}) {
-          cases.push_back({P, T, S, mode});
+          for (auto store : {ReadStore::kText, ReadStore::kPacked}) {
+            cases.push_back({P, T, S, mode, store});
+          }
         }
       }
     }
@@ -129,13 +133,15 @@ TEST_P(DifferentialGridTest, PartitionMatchesSerialOracle) {
   cfg.threads_per_rank = c.T;
   cfg.num_passes = c.S;
   cfg.pipeline_mode = c.mode;
+  cfg.read_store = c.store;
   cfg.write_output = false;
 
   const auto result = run_metaprep(f.index, cfg);
   EXPECT_EQ(result.num_reads, f.index.total_reads);
   EXPECT_EQ(result.passes_used, c.S);
   // Identical partition everywhere on the grid: each cell equals the oracle,
-  // so all 36 cells equal each other transitively.
+  // so all 72 cells ({P} x {T} x {S} x {mode} x {text, packed}) equal each
+  // other transitively.
   EXPECT_EQ(test::normalize_partition(result.labels), f.oracle);
 }
 
@@ -152,21 +158,28 @@ struct OutputGridCase {
   int P;
   PipelineMode mode;
   int bins;
+  ReadStore store;
 };
 
 std::string output_case_name(const ::testing::TestParamInfo<OutputGridCase>& info) {
   const auto& c = info.param;
   return "P" + std::to_string(c.P) +
          (c.mode == PipelineMode::kOverlap ? "overlap" : "barrier") + "B" +
-         std::to_string(c.bins);
+         std::to_string(c.bins) + (c.store == ReadStore::kPacked ? "Packed" : "Text");
 }
 
 std::vector<OutputGridCase> output_grid() {
   std::vector<OutputGridCase> cases;
   for (int P : {2, 4}) {
     for (auto mode : {PipelineMode::kBarrier, PipelineMode::kOverlap}) {
-      for (int bins : {1, 2, 4}) cases.push_back({P, mode, bins});
+      for (int bins : {1, 2, 4}) cases.push_back({P, mode, bins, ReadStore::kText});
     }
+  }
+  // Packed read store on a representative slice: the bin files themselves
+  // (not just the labels) must be byte-identical to the text runs, which the
+  // per-file record census below establishes against the same oracle plan.
+  for (auto mode : {PipelineMode::kBarrier, PipelineMode::kOverlap}) {
+    cases.push_back({4, mode, 4, ReadStore::kPacked});
   }
   return cases;
 }
@@ -193,6 +206,7 @@ TEST_P(OutputGridTest, BinnedOutputPartitionsReadSetExactly) {
   cfg.threads_per_rank = 2;
   cfg.num_passes = 2;
   cfg.pipeline_mode = c.mode;
+  cfg.read_store = c.store;
   cfg.write_output = true;
   cfg.output_dir = out.str();
   cfg.output_bins = c.bins;

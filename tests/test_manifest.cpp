@@ -3,12 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <map>
 
 #include "core/index_create.hpp"
 #include "core/pipeline.hpp"
 #include "sim/read_sim.hpp"
 #include "test_support.hpp"
+#include "util/error.hpp"
 
 namespace metaprep::core {
 namespace {
@@ -96,6 +98,62 @@ TEST(Manifest, SaveLoadRoundTrip) {
 
 TEST(Manifest, LoadMissingFileThrows) {
   EXPECT_THROW(load_manifest("/nonexistent/m.tsv"), std::runtime_error);
+}
+
+/// Clobber the first record separator ('+' at line start) of @p path in
+/// place, keeping the byte length unchanged.
+void corrupt_first_separator(const std::string& path) {
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+  }
+  std::size_t pos = 0;
+  while (pos < bytes.size() &&
+         !(bytes[pos] == '+' && (pos == 0 || bytes[pos - 1] == '\n'))) {
+    ++pos;
+  }
+  ASSERT_LT(pos, bytes.size());
+  bytes[pos] = 'J';
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Regression for the always-strict re-parse: build_manifest used to ignore
+// the run's ParseMode, so verifying a lenient run's (or operator-damaged)
+// output threw instead of counting the skip.
+TEST(Manifest, ParseModeThreadsThroughToVerification) {
+  ManifestFixture fx(1);
+  ASSERT_FALSE(fx.result.output_files.empty());
+  const std::string& victim = fx.result.output_files.front();
+  corrupt_first_separator(victim);
+
+  // Strict (the default) refuses the damaged file with a typed parse error.
+  try {
+    (void)build_manifest(fx.index, fx.result);
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.category(), util::ErrorCategory::kParse);
+    EXPECT_EQ(e.path(), victim);
+  }
+
+  // Lenient counts the resync on the damaged entry and completes.
+  const auto m = build_manifest(fx.index, fx.result, io::ParseMode::kLenient);
+  EXPECT_EQ(m.records_skipped, 1u);
+  EXPECT_EQ(m.total_records(), 2ull * fx.result.num_reads - 1);
+  for (const auto& e : m.entries) {
+    EXPECT_EQ(e.skipped, e.path == victim ? 1u : 0u) << e.path;
+  }
+
+  // The skipped column survives a save/load round trip.
+  const std::string path = fx.dir.file("manifest.tsv");
+  save_manifest(m, path);
+  const auto loaded = load_manifest(path);
+  EXPECT_EQ(loaded.records_skipped, 1u);
+  ASSERT_EQ(loaded.entries.size(), m.entries.size());
+  for (std::size_t i = 0; i < m.entries.size(); ++i) {
+    EXPECT_EQ(loaded.entries[i].skipped, m.entries[i].skipped);
+  }
 }
 
 }  // namespace

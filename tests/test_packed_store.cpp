@@ -1,0 +1,575 @@
+// Tests for the packed mmap read store (io::PackedStore) and its scanners.
+//
+// Three layers:
+//  * arena round-trips — builder -> file -> mmap preserves every record,
+//    chunk range, N position, and skip ID, including the degenerate shapes
+//    (empty arena, all-N reads, reads shorter than k, arenas spanning mmap
+//    page boundaries);
+//  * corruption — truncated files, bad magic/version, corrupt header or
+//    payload bytes must surface as typed util::Error, never a crash;
+//  * scanner equivalence — the packed word-at-a-time scanners must be
+//    bit-exact (same k-mers, same start positions, same order) against the
+//    char scanners on the original text, for random reads with Ns and
+//    lowercase, across the 64-bit and 128-bit paths.
+#include "io/packed_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/index_create.hpp"
+#include "core/packed_ingest.hpp"
+#include "core/pipeline.hpp"
+#include "kmer/scanner.hpp"
+#include "test_support.hpp"
+#include "util/error.hpp"
+
+namespace metaprep::io {
+namespace {
+
+using test::TempDir;
+
+/// Decode a packed record back to text: ACGT from the 2-bit codes, 'N' at
+/// every recorded ambiguous position.
+std::string decode_record(const PackedStore::Record& rec) {
+  static constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  std::string out(rec.len, '?');
+  for (std::uint32_t i = 0; i < rec.len; ++i) {
+    out[i] = kBases[(rec.words[i >> 5] >> (2 * (i & 31))) & 3];
+  }
+  for (std::uint32_t j = 0; j < rec.ncount; ++j) out[rec.npos[j]] = 'N';
+  return out;
+}
+
+/// What decode_record should produce for @p seq: uppercased, every
+/// non-ACGT symbol replaced by 'N'.
+std::string canonical_text(const std::string& seq) {
+  std::string out = seq;
+  for (char& c : out) {
+    switch (c) {
+      case 'a': c = 'A'; break;
+      case 'c': c = 'C'; break;
+      case 'g': c = 'G'; break;
+      case 't': c = 'T'; break;
+      case 'A': case 'C': case 'G': case 'T': break;
+      default: c = 'N'; break;
+    }
+  }
+  return out;
+}
+
+/// Build an arena holding @p chunks (each a list of sequences), assigning
+/// read IDs sequentially, and return its opened view.
+PackedStore build_arena(const std::string& path,
+                        const std::vector<std::vector<std::string>>& chunks,
+                        const std::vector<std::uint32_t>& skips = {}) {
+  PackedStoreBuilder builder(static_cast<std::uint32_t>(chunks.size()));
+  std::uint32_t id = 0;
+  for (std::uint32_t c = 0; c < chunks.size(); ++c) {
+    builder.begin_chunk(c);
+    for (const auto& seq : chunks[c]) builder.add_record(id++, seq);
+  }
+  for (auto s : skips) builder.add_skip(s);
+  builder.write(path);
+  return PackedStore::open(path);
+}
+
+TEST(PackedStore, BuilderRoundTripPreservesRecordsAndChunks) {
+  TempDir dir;
+  const std::vector<std::vector<std::string>> chunks = {
+      {"ACGTACGTACGT", "TTTTNGGGG", "acgtN"},
+      {},  // empty chunk in the middle must keep ranges consistent
+      {"GATTACA", std::string(70, 'C')},
+  };
+  const auto ps = build_arena(dir.file("a.mprs"), chunks);
+  EXPECT_TRUE(ps.is_open());
+  EXPECT_EQ(ps.num_chunks(), 3u);
+  EXPECT_EQ(ps.num_records(), 5u);
+  EXPECT_EQ(ps.total_bases(), 12u + 9 + 5 + 7 + 70);
+  EXPECT_EQ(ps.chunk_begin(0), 0u);
+  EXPECT_EQ(ps.chunk_end(0), 3u);
+  EXPECT_EQ(ps.chunk_begin(1), ps.chunk_end(1));
+  EXPECT_EQ(ps.chunk_begin(2), 3u);
+  EXPECT_EQ(ps.chunk_end(2), 5u);
+  std::uint32_t id = 0;
+  for (const auto& chunk : chunks) {
+    for (const auto& seq : chunk) {
+      const auto rec = ps.record(id);
+      EXPECT_EQ(rec.read_id, id);
+      EXPECT_EQ(rec.len, seq.size());
+      EXPECT_EQ(decode_record(rec), canonical_text(seq)) << "record " << id;
+      ++id;
+    }
+  }
+  ps.verify_payload();  // pristine arena passes the full integrity audit
+}
+
+TEST(PackedStore, FinishInMemoryMatchesWrittenArena) {
+  TempDir dir;
+  const std::vector<std::vector<std::string>> chunks = {
+      {"ACGTACGTACGT", "TTTTNGGGG", "acgtN"},
+      {},
+      {"GATTACA", std::string(70, 'C')},
+  };
+  const auto disk = build_arena(dir.file("disk.mprs"), chunks, {7, 3});
+
+  PackedStoreBuilder builder(static_cast<std::uint32_t>(chunks.size()));
+  std::uint32_t id = 0;
+  for (std::uint32_t c = 0; c < chunks.size(); ++c) {
+    builder.begin_chunk(c);
+    for (const auto& seq : chunks[c]) builder.add_record(id++, seq);
+  }
+  builder.add_skip(7);
+  builder.add_skip(3);
+  PackedStoreStats stats{};
+  const PackedStore mem = builder.finish(&stats);
+
+  EXPECT_TRUE(mem.is_open());
+  EXPECT_TRUE(mem.path().empty());  // never serialized
+  EXPECT_EQ(stats.records, disk.num_records());
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(mem.file_bytes(), disk.file_bytes());  // size its file would be
+  ASSERT_EQ(mem.num_records(), disk.num_records());
+  ASSERT_EQ(mem.num_chunks(), disk.num_chunks());
+  EXPECT_EQ(mem.total_bases(), disk.total_bases());
+  for (std::uint32_t c = 0; c < mem.num_chunks(); ++c) {
+    EXPECT_EQ(mem.chunk_begin(c), disk.chunk_begin(c));
+    EXPECT_EQ(mem.chunk_end(c), disk.chunk_end(c));
+  }
+  for (std::uint64_t r = 0; r < mem.num_records(); ++r) {
+    EXPECT_EQ(decode_record(mem.record(r)), decode_record(disk.record(r)));
+    EXPECT_EQ(mem.record(r).read_id, disk.record(r).read_id);
+  }
+  ASSERT_EQ(mem.skipped_read_ids().size(), disk.skipped_read_ids().size());
+  EXPECT_TRUE(std::equal(mem.skipped_read_ids().begin(), mem.skipped_read_ids().end(),
+                         disk.skipped_read_ids().begin()));
+  mem.verify_payload();  // no serialized payload: must be a no-op, not a throw
+}
+
+TEST(PackedStore, EmptyArenaRoundTrips) {
+  TempDir dir;
+  const auto ps = build_arena(dir.file("empty.mprs"), {{}, {}});
+  EXPECT_EQ(ps.num_records(), 0u);
+  EXPECT_EQ(ps.num_chunks(), 2u);
+  EXPECT_EQ(ps.total_bases(), 0u);
+  EXPECT_EQ(ps.chunk_begin(0), ps.chunk_end(1));
+  EXPECT_TRUE(ps.skipped_read_ids().empty());
+  ps.verify_payload();
+}
+
+TEST(PackedStore, TrailingChunksNeedNoExplicitBegin) {
+  // The pipeline appends chunks in order but write() must pad any trailing
+  // empty chunks so chunk_end(last) stays valid.
+  TempDir dir;
+  PackedStoreBuilder builder(4);
+  builder.begin_chunk(0);
+  builder.add_record(0, "ACGT");
+  builder.write(dir.file("t.mprs"));
+  const auto ps = PackedStore::open(dir.file("t.mprs"));
+  EXPECT_EQ(ps.num_chunks(), 4u);
+  EXPECT_EQ(ps.chunk_end(0), 1u);
+  EXPECT_EQ(ps.chunk_begin(3), 1u);
+  EXPECT_EQ(ps.chunk_end(3), 1u);
+}
+
+TEST(PackedStore, OutOfOrderChunkThrowsConfigError) {
+  PackedStoreBuilder builder(3);
+  builder.begin_chunk(0);
+  try {
+    builder.begin_chunk(2);  // skipped chunk 1
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.category(), util::ErrorCategory::kConfig);
+  }
+}
+
+TEST(PackedStore, SkipListRoundTrips) {
+  TempDir dir;
+  const std::vector<std::uint32_t> skips = {7, 3, 3, 900000};
+  const auto ps = build_arena(dir.file("s.mprs"), {{"ACGT"}}, skips);
+  const auto got = ps.skipped_read_ids();
+  ASSERT_EQ(got.size(), skips.size());
+  for (std::size_t i = 0; i < skips.size(); ++i) EXPECT_EQ(got[i], skips[i]);
+  ps.verify_payload();
+}
+
+TEST(PackedStore, AllNReadYieldsNoKmers) {
+  TempDir dir;
+  const std::string seq(50, 'N');
+  const auto ps = build_arena(dir.file("n.mprs"), {{seq}});
+  const auto rec = ps.record(0);
+  EXPECT_EQ(rec.ncount, seq.size());
+  int calls = 0;
+  kmer::for_each_canonical_kmer64_packed(rec.words, rec.len, rec.npos, rec.ncount, 15,
+                                         [&](std::uint64_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  kmer::for_each_canonical_kmer128_packed(rec.words, rec.len, rec.npos, rec.ncount, 33,
+                                          [&](kmer::Kmer128, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(PackedStore, ReadShorterThanKYieldsNoKmers) {
+  TempDir dir;
+  const auto ps = build_arena(dir.file("short.mprs"), {{"ACGTACGTAC", ""}});
+  for (std::uint64_t r = 0; r < ps.num_records(); ++r) {
+    const auto rec = ps.record(r);
+    int calls = 0;
+    kmer::for_each_canonical_kmer64_packed(rec.words, rec.len, rec.npos, rec.ncount, 31,
+                                           [&](std::uint64_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0) << "record " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corruption: every malformed arena must fail with a typed util::Error.
+
+/// Write @p bytes to a fresh file at @p path.
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The full byte content of @p path.
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+/// A small valid arena file's bytes (built fresh per test).
+std::string valid_arena_bytes(TempDir& dir) {
+  const std::string path = dir.file("valid.mprs");
+  build_arena(path, {{"ACGTACGTACGTACGTNACGT", "GGGGCCCCAAAATTTT"}});
+  return slurp(path);
+}
+
+template <typename Fn>
+void expect_error(util::ErrorCategory category, Fn&& fn) {
+  try {
+    fn();
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    EXPECT_EQ(e.category(), category) << e.what();
+  }
+}
+
+TEST(PackedStore, MissingFileThrowsIoError) {
+  expect_error(util::ErrorCategory::kIo,
+               [] { (void)PackedStore::open("/nonexistent/x.mprs"); });
+}
+
+TEST(PackedStore, FileShorterThanHeaderThrowsIoError) {
+  TempDir dir;
+  const std::string path = dir.file("stub.mprs");
+  write_bytes(path, "");  // empty file
+  expect_error(util::ErrorCategory::kIo, [&] { (void)PackedStore::open(path); });
+  write_bytes(path, "MPRS\x01");  // a few header bytes only
+  expect_error(util::ErrorCategory::kIo, [&] { (void)PackedStore::open(path); });
+}
+
+TEST(PackedStore, BadMagicThrowsParseError) {
+  TempDir dir;
+  auto bytes = valid_arena_bytes(dir);
+  bytes[0] ^= 0x5A;
+  const std::string path = dir.file("magic.mprs");
+  write_bytes(path, bytes);
+  expect_error(util::ErrorCategory::kParse, [&] { (void)PackedStore::open(path); });
+}
+
+TEST(PackedStore, VersionMismatchThrowsParseError) {
+  TempDir dir;
+  auto bytes = valid_arena_bytes(dir);
+  bytes[4] = 0x7F;  // version field, little-endian low byte
+  const std::string path = dir.file("version.mprs");
+  write_bytes(path, bytes);
+  expect_error(util::ErrorCategory::kParse, [&] { (void)PackedStore::open(path); });
+}
+
+TEST(PackedStore, CorruptHeaderCountThrowsParseError) {
+  TempDir dir;
+  auto bytes = valid_arena_bytes(dir);
+  bytes[8] ^= 0x01;  // num_records low byte: header checksum must catch it
+  const std::string path = dir.file("count.mprs");
+  write_bytes(path, bytes);
+  expect_error(util::ErrorCategory::kParse, [&] { (void)PackedStore::open(path); });
+}
+
+TEST(PackedStore, TruncatedPayloadThrowsIoError) {
+  TempDir dir;
+  auto bytes = valid_arena_bytes(dir);
+  bytes.pop_back();  // header valid, payload one byte short
+  const std::string path = dir.file("trunc.mprs");
+  write_bytes(path, bytes);
+  expect_error(util::ErrorCategory::kIo, [&] { (void)PackedStore::open(path); });
+}
+
+TEST(PackedStore, CorruptPayloadFailsVerifyPayloadOnly) {
+  TempDir dir;
+  auto bytes = valid_arena_bytes(dir);
+  bytes.back() ^= 0x40;  // flip a base bit in the last word
+  const std::string path = dir.file("payload.mprs");
+  write_bytes(path, bytes);
+  const auto ps = PackedStore::open(path);  // open is O(1), stays lazy
+  expect_error(util::ErrorCategory::kParse, [&] { ps.verify_payload(); });
+}
+
+// ---------------------------------------------------------------------------
+// Scanner equivalence: packed scan == char scan, bit for bit.
+
+std::string random_read(std::mt19937& rng, std::size_t len) {
+  static constexpr char kAlphabet[] = "ACGTacgtN";  // Ns and lowercase mixed in
+  std::uniform_int_distribution<int> pick(0, 8);
+  std::uniform_int_distribution<int> rare(0, 9);
+  std::string s(len, 'A');
+  for (auto& c : s) {
+    // mostly uppercase ACGT, ~10% chance of the full alphabet (N, lowercase)
+    c = rare(rng) == 0 ? kAlphabet[pick(rng)] : kAlphabet[pick(rng) % 4];
+  }
+  return s;
+}
+
+TEST(PackedStore, PackedScanner64MatchesCharScannerBitExactly) {
+  TempDir dir;
+  std::mt19937 rng(20260809);
+  std::vector<std::string> reads;
+  for (std::size_t len : {0u, 1u, 31u, 32u, 33u, 64u, 65u, 100u, 151u, 250u}) {
+    for (int rep = 0; rep < 4; ++rep) reads.push_back(random_read(rng, len));
+  }
+  const auto ps = build_arena(dir.file("scan64.mprs"), {reads});
+  for (int k : {1, 2, 15, 27, 31, 32}) {
+    for (std::uint64_t r = 0; r < ps.num_records(); ++r) {
+      std::vector<std::pair<std::uint64_t, std::size_t>> from_text;
+      std::vector<std::pair<std::uint64_t, std::size_t>> from_packed;
+      kmer::for_each_canonical_kmer64(reads[r], k, [&](std::uint64_t km, std::size_t pos) {
+        from_text.emplace_back(km, pos);
+      });
+      const auto rec = ps.record(r);
+      kmer::for_each_canonical_kmer64_packed(
+          rec.words, rec.len, rec.npos, rec.ncount, k,
+          [&](std::uint64_t km, std::size_t pos) { from_packed.emplace_back(km, pos); });
+      EXPECT_EQ(from_packed, from_text) << "k=" << k << " record " << r;
+    }
+  }
+}
+
+TEST(PackedStore, PackedScanner128MatchesCharScannerBitExactly) {
+  TempDir dir;
+  std::mt19937 rng(809);
+  std::vector<std::string> reads;
+  for (int rep = 0; rep < 12; ++rep) reads.push_back(random_read(rng, 40 + rep * 13));
+  const auto ps = build_arena(dir.file("scan128.mprs"), {reads});
+  for (int k : {33, 47, 63}) {
+    for (std::uint64_t r = 0; r < ps.num_records(); ++r) {
+      std::vector<std::pair<kmer::Kmer128, std::size_t>> from_text;
+      std::vector<std::pair<kmer::Kmer128, std::size_t>> from_packed;
+      kmer::for_each_canonical_kmer128(
+          reads[r], k,
+          [&](kmer::Kmer128 km, std::size_t pos) { from_text.emplace_back(km, pos); });
+      const auto rec = ps.record(r);
+      kmer::for_each_canonical_kmer128_packed(
+          rec.words, rec.len, rec.npos, rec.ncount, k,
+          [&](kmer::Kmer128 km, std::size_t pos) { from_packed.emplace_back(km, pos); });
+      EXPECT_EQ(from_packed, from_text) << "k=" << k << " record " << r;
+    }
+  }
+}
+
+TEST(PackedStore, ArenaSpanningPageBoundariesScansCorrectly) {
+  // > 3 pages of base words alone, so records straddle mmap page boundaries;
+  // every record must still decode and scan identically to the text.
+  TempDir dir;
+  std::mt19937 rng(4096);
+  std::vector<std::vector<std::string>> chunks(4);
+  std::vector<std::string> all;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    for (int i = 0; i < 120; ++i) {
+      chunks[c].push_back(random_read(rng, 100));
+      all.push_back(chunks[c].back());
+    }
+  }
+  const std::string path = dir.file("pages.mprs");
+  const auto ps = build_arena(path, chunks);
+  EXPECT_GT(ps.file_bytes(), 3u * 4096);
+  ps.verify_payload();
+  constexpr int kK = 21;
+  for (std::uint64_t r = 0; r < ps.num_records(); ++r) {
+    std::vector<std::pair<std::uint64_t, std::size_t>> from_text;
+    std::vector<std::pair<std::uint64_t, std::size_t>> from_packed;
+    kmer::for_each_canonical_kmer64(all[r], kK, [&](std::uint64_t km, std::size_t pos) {
+      from_text.emplace_back(km, pos);
+    });
+    const auto rec = ps.record(r);
+    ASSERT_EQ(decode_record(rec), canonical_text(all[r])) << "record " << r;
+    kmer::for_each_canonical_kmer64_packed(
+        rec.words, rec.len, rec.npos, rec.ncount, kK,
+        [&](std::uint64_t km, std::size_t pos) { from_packed.emplace_back(km, pos); });
+    ASSERT_EQ(from_packed, from_text) << "record " << r;
+  }
+}
+
+TEST(PackedStore, MergedShardsMatchSerialBuild) {
+  TempDir dir;
+  const std::vector<std::vector<std::string>> chunks = {
+      {"ACGTACGTACGT", "TTTTNGGGG"}, {"acgtN"}, {}, {"GATTACA"},
+      {std::string(70, 'C'), "AaCcGgTt"},
+  };
+  // Serial reference build.
+  build_arena(dir.file("serial.mprs"), chunks, {9});
+
+  // Same records via three shards of 2 + 1 + 2 chunks, merged in order.
+  PackedStoreBuilder merged(static_cast<std::uint32_t>(chunks.size()));
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges = {
+      {0, 2}, {2, 3}, {3, 5}};
+  std::uint32_t id = 0;
+  for (const auto& [begin, end] : ranges) {
+    PackedStoreBuilder shard(end - begin);
+    for (std::uint32_t c = begin; c < end; ++c) {
+      shard.begin_chunk(c - begin);
+      for (const auto& seq : chunks[c]) shard.add_record(id++, seq);
+    }
+    if (begin == 0) shard.add_skip(9);
+    merged.merge(std::move(shard));
+  }
+  merged.write(dir.file("merged.mprs"));
+
+  EXPECT_EQ(slurp(dir.file("merged.mprs")), slurp(dir.file("serial.mprs")));
+}
+
+TEST(PackedStore, MergeOverrunningChunkTableThrowsConfigError) {
+  PackedStoreBuilder merged(2);
+  PackedStoreBuilder big(3);
+  expect_error(util::ErrorCategory::kConfig, [&] { merged.merge(std::move(big)); });
+}
+
+// ---------------------------------------------------------------------------
+// Lenient-parse consistency (satellite of the lenient-parse bugfix): a FASTQ
+// corpus corrupted *after* indexing must flow through the packed and text
+// pipelines identically — same skipped records, same partition.
+
+/// One paired dataset of @p pairs random reads; returns {file1, file2}.
+std::vector<std::string> write_paired_fastq(TempDir& dir, int pairs, std::mt19937& rng) {
+  std::vector<std::string> files;
+  for (int mate = 1; mate <= 2; ++mate) {
+    std::vector<std::string> reads;
+    reads.reserve(static_cast<std::size_t>(pairs));
+    for (int i = 0; i < pairs; ++i) reads.push_back(random_read(rng, 80));
+    files.push_back(test::write_fastq(dir.file("corr_" + std::to_string(mate) + ".fastq"),
+                                      reads, "corr." + std::to_string(mate) + "."));
+  }
+  return files;
+}
+
+/// Corrupt record @p idx of @p path in place (same byte length): clobber its
+/// '+' separator so strict parsing fails and lenient parsing resyncs.
+void corrupt_record_separator(const std::string& path, int idx) {
+  auto bytes = slurp(path);
+  std::size_t pos = 0;
+  for (int seen = 0; pos < bytes.size(); ++pos) {
+    if (bytes[pos] == '+' && (pos == 0 || bytes[pos - 1] == '\n')) {
+      if (seen++ == idx) break;
+    }
+  }
+  ASSERT_LT(pos, bytes.size());
+  bytes[pos] = 'J';
+  write_bytes(path, bytes);
+}
+
+TEST(PackedStore, CorruptedFastqAgreesBetweenPackedAndTextPipelines) {
+  TempDir dir;
+  std::mt19937 rng(77);
+  const auto files = write_paired_fastq(dir, 60, rng);
+  core::IndexCreateOptions opt;
+  opt.k = 15;
+  opt.m = 5;
+  opt.target_chunks = 6;
+  const auto index = core::create_index("corr", files, true, opt);
+
+  // Corrupt two records after indexing: chunk byte ranges stay valid, the
+  // records just fail to parse.
+  corrupt_record_separator(files[0], 11);
+  corrupt_record_separator(files[1], 42);
+
+  // Strict ingest refuses the corpus with a typed parse error...
+  expect_error(util::ErrorCategory::kParse, [&] {
+    core::build_packed_store(index, dir.file("strict.mprs"), ParseMode::kStrict);
+  });
+
+  // ...lenient ingest records exactly the corrupted read IDs in the arena.
+  const auto stats =
+      core::build_packed_store(index, dir.file("lenient.mprs"), ParseMode::kLenient);
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_EQ(stats.records, 2u * 60 - 2);
+  const auto arena = PackedStore::open(dir.file("lenient.mprs"));
+  std::vector<std::uint32_t> skipped(arena.skipped_read_ids().begin(),
+                                     arena.skipped_read_ids().end());
+  std::sort(skipped.begin(), skipped.end());
+  EXPECT_EQ(skipped, (std::vector<std::uint32_t>{11, 42}));
+
+  // Both pipelines, both schedulers: identical skip counts and partitions.
+  core::MetaprepConfig cfg;
+  cfg.k = 15;
+  cfg.num_ranks = 2;
+  cfg.threads_per_rank = 2;
+  cfg.num_passes = 2;
+  cfg.parse_mode = ParseMode::kLenient;
+  cfg.write_output = false;
+  std::vector<std::vector<std::uint32_t>> partitions;
+  for (auto mode : {core::PipelineMode::kBarrier, core::PipelineMode::kOverlap}) {
+    for (auto store : {core::ReadStore::kText, core::ReadStore::kPacked}) {
+      cfg.pipeline_mode = mode;
+      cfg.read_store = store;
+      const auto result = core::run_metaprep(index, cfg);
+      EXPECT_EQ(result.records_skipped, 2u)
+          << "mode=" << static_cast<int>(mode) << " store=" << static_cast<int>(store);
+      partitions.push_back(test::normalize_partition(result.labels));
+    }
+  }
+  for (std::size_t i = 1; i < partitions.size(); ++i) {
+    EXPECT_EQ(partitions[i], partitions[0]) << "combination " << i;
+  }
+}
+
+TEST(PackedStore, ParallelIngestIsByteIdenticalToSerial) {
+  TempDir dir;
+  std::mt19937 rng(123);
+  const auto files = write_paired_fastq(dir, 80, rng);
+  core::IndexCreateOptions opt;
+  opt.k = 15;
+  opt.m = 5;
+  opt.target_chunks = 7;
+  const auto index = core::create_index("par", files, true, opt);
+  corrupt_record_separator(files[1], 20);  // lenient skips must merge too
+
+  const auto s1 =
+      core::build_packed_store(index, dir.file("t1.mprs"), ParseMode::kLenient, 1);
+  EXPECT_EQ(s1.skipped, 1u);
+  core::build_packed_store(index, dir.file("t4.mprs"), ParseMode::kLenient, 4);
+  // More workers than chunks must clamp, not break the shard bounds.
+  core::build_packed_store(index, dir.file("t9.mprs"), ParseMode::kLenient, 9);
+  const auto serial = slurp(dir.file("t1.mprs"));
+  EXPECT_EQ(slurp(dir.file("t4.mprs")), serial);
+  EXPECT_EQ(slurp(dir.file("t9.mprs")), serial);
+
+  // The in-memory ephemeral path sees the same records and skips.
+  PackedStoreStats stats{};
+  const auto mem =
+      core::build_packed_store_in_memory(index, ParseMode::kLenient, 3, &stats);
+  const auto disk = PackedStore::open(dir.file("t1.mprs"));
+  ASSERT_EQ(mem.num_records(), disk.num_records());
+  EXPECT_EQ(stats.records, disk.num_records());
+  EXPECT_EQ(mem.file_bytes(), disk.file_bytes());
+  for (std::uint64_t r = 0; r < mem.num_records(); ++r) {
+    ASSERT_EQ(decode_record(mem.record(r)), decode_record(disk.record(r)))
+        << "record " << r;
+  }
+  ASSERT_EQ(mem.skipped_read_ids().size(), 1u);
+  EXPECT_EQ(mem.skipped_read_ids()[0], disk.skipped_read_ids()[0]);
+}
+
+}  // namespace
+}  // namespace metaprep::io
