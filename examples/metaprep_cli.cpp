@@ -62,6 +62,7 @@ int usage() {
                "--memory-gb --filter-min --filter-max --out --no-output --output-bins=B "
                "--parse-mode=strict|lenient --pipeline-mode=barrier|overlap "
                "--read-store=text|packed --packed-store=ARENA.mprs "
+               "--comm-compress=none|superkmer|bloom|both --superkmer-minimizer-len=M "
                "--trace-out=T.json --metrics-out=M.jsonl --attr-out=A.json "
                "--comm-matrix-out=C.json --progress "
                "--fault-seed=N --fault-read-rate=P --fault-corrupt-rate=P "
@@ -84,6 +85,16 @@ core::ReadStore read_store_arg(const util::Args& args) {
   if (store == "text") return core::ReadStore::kText;
   if (store == "packed") return core::ReadStore::kPacked;
   throw util::config_error("--read-store must be 'text' or 'packed' (got '" + store + "')");
+}
+
+core::CommCompress comm_compress_arg(const util::Args& args) {
+  const std::string mode = args.get("comm-compress", "none");
+  if (mode == "none") return core::CommCompress::kNone;
+  if (mode == "superkmer") return core::CommCompress::kSuperKmer;
+  if (mode == "bloom") return core::CommCompress::kBloom;
+  if (mode == "both") return core::CommCompress::kBoth;
+  throw util::config_error("--comm-compress must be 'none', 'superkmer', 'bloom', or 'both' "
+                           "(got '" + mode + "')");
 }
 
 core::PipelineMode pipeline_mode_arg(const util::Args& args) {
@@ -173,6 +184,9 @@ int cmd_run(const util::Args& args) {
   cfg.parse_mode = parse_mode_arg(args);
   cfg.pipeline_mode = pipeline_mode_arg(args);
   cfg.read_store = read_store_arg(args);
+  cfg.comm_compress = comm_compress_arg(args);
+  cfg.superkmer_minimizer_len =
+      static_cast<int>(args.get_int("superkmer-minimizer-len", 10));
   cfg.packed_store_path = args.get("packed-store", "");
   cfg.trace_out = args.get("trace-out", "");
   cfg.metrics_out = args.get("metrics-out", "");
@@ -198,6 +212,15 @@ int cmd_run(const util::Args& args) {
               result.num_reads, static_cast<unsigned long long>(result.num_components),
               result.passes_used, static_cast<unsigned long long>(result.largest_size),
               result.largest_fraction * 100.0);
+  if (cfg.comm_compress != core::CommCompress::kNone) {
+    std::printf("exchange: %llu bytes shipped (%llu raw, ratio %.3f), "
+                "%llu super-k-mer records, %llu singletons dropped\n",
+                static_cast<unsigned long long>(result.exchange_bytes),
+                static_cast<unsigned long long>(result.exchange_bytes_raw),
+                result.superkmer_ratio,
+                static_cast<unsigned long long>(result.superkmer_records),
+                static_cast<unsigned long long>(result.bloom_dropped));
+  }
   util::TablePrinter table({"Step", "ms (max over ranks)"});
   for (const auto& [step, seconds] : result.step_times.map()) {
     table.add_row({step, util::TablePrinter::fmt(seconds * 1e3, 2)});

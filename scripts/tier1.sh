@@ -10,9 +10,11 @@
 #      mailboxes, the parallel MergeCC flatten (atomic_ref size counting),
 #      and the threads-over-mmap packed KmerGen scan.
 #   3. Address+UBSanitizer build running the fault-injection (test_faults),
-#      FASTQ parsing (test_fastq), and packed-arena (test_packed_store)
-#      suites — the paths that do raw buffer arithmetic and deliberately
-#      corrupt / truncate input.
+#      FASTQ parsing (test_fastq), packed-arena (test_packed_store), and
+#      exchange-compression (test_superkmer, test_bloom, the comm-compress
+#      differential grid) suites — the paths that do raw buffer arithmetic
+#      and deliberately corrupt / truncate input, including the super-k-mer
+#      wire decode.
 #   4. Correctness tooling: repo-idiom lint (scripts/lint.sh), clang-tidy
 #      static analysis when available (scripts/analyze.sh), and the src/check
 #      verification layer live (METAPREP_CHECK=1) over the seeded-violation
@@ -44,6 +46,13 @@ METAPREP_CHECK=1 ./build/tests/test_differential --gtest_filter='*P2*'
 echo "=== tier 1: packed-vs-text differential (read-store grid + lenient consistency) ==="
 ./build/tests/test_differential --gtest_filter='*Packed*'
 ./build/tests/test_packed_store
+
+echo "=== tier 1: exchange-compression unit suites (super-k-mer records + counting Bloom) ==="
+./build/tests/test_superkmer
+./build/tests/test_bloom
+
+echo "=== tier 1: checked comm-compress differential (protocol checker over compressed payloads) ==="
+METAPREP_CHECK=1 ./build/tests/test_differential --gtest_filter='CompressGrid/*'
 
 echo "=== tier 1: attribution report leg (traced fig5-style run -> metaprep-report) ==="
 REPORT_DIR="$(mktemp -d /tmp/metaprep_tier1_report.XXXXXX)"
@@ -116,9 +125,10 @@ echo "=== tier 1: TSan packed read-store legs (threads over one shared mmap aren
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_differential \
   --gtest_filter='Grid/*T2*Packed*'
 
-echo "=== tier 1: ASan+UBSan build (test_faults + test_fastq + test_packed_store) ==="
+echo "=== tier 1: ASan+UBSan build (test_faults + test_fastq + test_packed_store + compress legs) ==="
 cmake --preset asan
-cmake --build --preset asan "${JOBS}" --target test_faults test_fastq test_packed_store
+cmake --build --preset asan "${JOBS}" --target test_faults test_fastq test_packed_store \
+  test_superkmer test_bloom test_differential
 
 echo "=== tier 1: ASan test_faults ==="
 ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_faults
@@ -126,6 +136,11 @@ echo "=== tier 1: ASan test_fastq ==="
 ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_fastq
 echo "=== tier 1: ASan test_packed_store (arena corruption + packed scan bounds) ==="
 ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_packed_store
+echo "=== tier 1: ASan exchange-compression (wire encode/decode + Bloom probe bounds) ==="
+ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_superkmer
+ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_bloom
+ASAN_OPTIONS="halt_on_error=1" ./build-asan/tests/test_differential \
+  --gtest_filter='CompressGrid/*'
 
 echo "=== tier 1: bench guard (fig5 min-of-N vs BENCH_fig5.json) ==="
 scripts/bench_guard.sh

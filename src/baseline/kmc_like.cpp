@@ -4,8 +4,8 @@
 #include <stdexcept>
 
 #include "io/fastq.hpp"
-#include "kmer/minimizer.hpp"
 #include "kmer/scanner.hpp"
+#include "kmer/superkmer.hpp"
 #include "util/timer.hpp"
 
 namespace metaprep::baseline {
@@ -17,18 +17,24 @@ struct Bins {
   std::vector<std::vector<std::string>> super;
   std::uint64_t super_count = 0;
   std::uint64_t super_bases = 0;
+  /// Shared decomposition core (kmer/superkmer) — the same scanner the
+  /// pipeline's --comm-compress emit path runs, streamed to avoid the
+  /// per-read run vector the old kmer::super_kmers() call allocated.
+  kmer::SuperKmerScanner scanner;
 };
 
 void bin_read(std::string_view seq, const KmcLikeOptions& opt, Bins& bins) {
-  for (const auto& sk : kmer::super_kmers(seq, opt.k, opt.minimizer_len)) {
-    const std::size_t len = static_cast<std::size_t>(sk.kmer_count) +
-                            static_cast<std::size_t>(opt.k) - 1;
-    const auto bin = static_cast<std::size_t>(sk.minimizer %
-                                              static_cast<std::uint64_t>(opt.num_bins));
-    bins.super[bin].emplace_back(seq.substr(sk.start, len));
-    ++bins.super_count;
-    bins.super_bases += len;
-  }
+  bins.scanner.scan(
+      seq, opt.k, opt.minimizer_len,
+      [&](std::uint32_t start, std::uint32_t kmer_count, std::uint64_t minimizer) {
+        const std::size_t len =
+            static_cast<std::size_t>(kmer_count) + static_cast<std::size_t>(opt.k) - 1;
+        const auto bin =
+            static_cast<std::size_t>(minimizer % static_cast<std::uint64_t>(opt.num_bins));
+        bins.super[bin].emplace_back(seq.substr(start, len));
+        ++bins.super_count;
+        bins.super_bases += len;
+      });
 }
 
 KmcLikeResult finish(Bins& bins, const KmcLikeOptions& opt, double stage1_seconds) {

@@ -20,7 +20,9 @@
 #include "core/plan.hpp"
 #include "dsu/dsu.hpp"
 #include "io/fastq.hpp"
+#include "kmer/bloom.hpp"
 #include "kmer/scanner.hpp"
+#include "kmer/superkmer.hpp"
 #include "mpsim/comm.hpp"
 #include "obs/attr.hpp"
 #include "obs/mem.hpp"
@@ -128,6 +130,11 @@ struct RankShared {
   std::vector<obs::RssSample> rss_samples;    ///< rank 0 only: peak RSS per phase boundary
   std::uint64_t records_skipped = 0;  ///< distinct records lenient parsing dropped
                                       ///< (first KmerGen sweep over this rank's chunks)
+  // Exchange-compression accounting (--comm-compress; see PipelineResult).
+  std::uint64_t exchange_bytes = 0;      ///< cross-rank KmerGen-Comm bytes shipped
+  std::uint64_t exchange_bytes_raw = 0;  ///< uncompressed-equivalent of the same traffic
+  std::uint64_t superkmer_records = 0;   ///< wire records this rank emitted
+  std::uint64_t bloom_dropped = 0;       ///< k-mer occurrences the Bloom prefilter dropped
 };
 
 /// Everything the per-rank pass loop needs, bundled so the barrier and
@@ -189,7 +196,7 @@ inline void progress_phase(const PassCtx& ctx, const char* phase) {
 template <typename Emit64, typename Emit128>
 std::uint64_t scan_chunk(PassCtx& ctx, std::uint32_t c, bool substitute,
                          double& io_s, double& gen_s, Emit64&& emit64,
-                         Emit128&& emit128) {
+                         Emit128&& emit128, bool tick_progress = true) {
   const DatasetIndex& index = ctx.index;
   dsu::AtomicDSU& local_cc = ctx.local_cc;
   const int k = ctx.k;
@@ -248,7 +255,76 @@ std::uint64_t scan_chunk(PassCtx& ctx, std::uint32_t c, bool substitute,
     gen_s += gen_timer.seconds();
     skipped = stats.skipped;
   }
-  obs::Progress::global().chunk_done();
+  if (tick_progress) obs::Progress::global().chunk_done();
+  return skipped;
+}
+
+/// Record-granular variant of scan_chunk for the compressed emit path: same
+/// I/O scaffolding and §3.5.1 substitution, but the callback receives the
+/// whole record's bases (RecordView) instead of per-k-mer events, so the
+/// super-k-mer scanner can see run structure.
+struct RecordView {
+  const char* text = nullptr;            ///< text mode: raw sequence chars
+  const std::uint64_t* words = nullptr;  ///< packed mode: 2-bit LSB-first words
+  std::uint32_t len = 0;
+  const std::uint32_t* npos = nullptr;   ///< packed mode: N positions
+  std::uint32_t ncount = 0;
+  /// 2-bit code of base i.  Only called for positions inside a valid
+  /// super-k-mer run, which the scanner guarantees is free of invalid bases.
+  [[nodiscard]] std::uint8_t code_at(std::size_t i) const noexcept {
+    if (words != nullptr)
+      return static_cast<std::uint8_t>((words[i >> 5] >> (2 * (i & 31))) & 3u);
+    return kmer::base_code(text[i]);
+  }
+};
+
+template <typename RecFn>
+std::uint64_t scan_chunk_records(PassCtx& ctx, std::uint32_t c, bool substitute,
+                                 double& io_s, double& gen_s, bool tick_progress,
+                                 RecFn&& rec_fn) {
+  const DatasetIndex& index = ctx.index;
+  dsu::AtomicDSU& local_cc = ctx.local_cc;
+  std::uint64_t skipped = 0;
+  if (ctx.packed != nullptr) {
+    const io::PackedStore& ps = *ctx.packed;
+    WallTimer gen_timer;
+    const double gen_t0 = span_begin(ctx.tr);
+    for (std::uint64_t r = ps.chunk_begin(c), e = ps.chunk_end(c); r < e; ++r) {
+      const io::PackedStore::Record rec = ps.record(r);
+      const std::uint32_t value = substitute ? local_cc.find(rec.read_id) : rec.read_id;
+      rec_fn(value, RecordView{nullptr, rec.words, rec.len, rec.npos, rec.ncount});
+    }
+    span_end(ctx.tr, "KmerGen", gen_t0);
+    gen_s += gen_timer.seconds();
+  } else {
+    const ChunkRecord& chunk = index.part.chunks[c];
+    WallTimer io_timer;
+    const double io_t0 = span_begin(ctx.tr);
+    const auto buffer =
+        io::read_file_range(index.files[chunk.file], chunk.offset, chunk.size);
+    span_end(ctx.tr, "KmerGen-I/O", io_t0);
+    const obs::MemCharge io_mem("io", buffer.size());
+    io_s += io_timer.seconds();
+
+    WallTimer gen_timer;
+    const double gen_t0 = span_begin(ctx.tr);
+    std::uint32_t read_id = chunk.first_read_id;
+    io::ParseOptions popt{ctx.config.parse_mode, index.files[chunk.file], chunk.offset,
+                          [&read_id] { ++read_id; }};
+    const io::BufferParseStats stats = io::for_each_record_in_buffer(
+        std::string_view(buffer.data(), buffer.size()),
+        [&](std::string_view, std::string_view seq, std::string_view) {
+          const std::uint32_t value = substitute ? local_cc.find(read_id) : read_id;
+          rec_fn(value, RecordView{seq.data(), nullptr,
+                                   static_cast<std::uint32_t>(seq.size()), nullptr, 0});
+          ++read_id;
+        },
+        popt);
+    span_end(ctx.tr, "KmerGen", gen_t0);
+    gen_s += gen_timer.seconds();
+    skipped = stats.skipped;
+  }
+  if (tick_progress) obs::Progress::global().chunk_done();
   return skipped;
 }
 
@@ -446,6 +522,13 @@ void run_passes_barrier(PassCtx& ctx) {
           comm.alltoallv_staged(kmer_out.keys_hi.data(), so8, kmer_in.keys_hi.data(), ro8,
                                 tag_base + 2 * (P + 1));
         }
+        // Exchange-volume accounting (cross-rank tuples only, matching the
+        // traffic matrix); uncompressed, so shipped == raw.
+        const std::uint64_t cross =
+            total_out - (send_offsets[static_cast<std::size_t>(p) + 1] -
+                         send_offsets[static_cast<std::size_t>(p)]);
+        my.exchange_bytes += cross * (wide ? 20u : 12u);
+        my.exchange_bytes_raw += cross * (wide ? 20u : 12u);
         kmer_out.resize(total_in);  // becomes the partition/sort buffer
       }
       my.times.add("KmerGen-Comm", comm_timer.seconds());
@@ -939,6 +1022,13 @@ void run_passes_overlap(PassCtx& ctx) {
         post_overlap_exchange(ctx, s0 + i, geom[si], send_buf[si], recv_buf[si], pending[si]);
         release_tuples(std::move(send_buf[si]));
         send_buf[si] = TupleBuffer{};
+        // Cross-rank tuples = everything outside my own P*T slot block.
+        const std::uint64_t cross =
+            geom[si].total_out -
+            (geom[si].slot_start[(static_cast<std::size_t>(p) + 1) * T] -
+             geom[si].slot_start[static_cast<std::size_t>(p) * T]);
+        my.exchange_bytes += cross * (wide ? 20u : 12u);
+        my.exchange_bytes_raw += cross * (wide ? 20u : 12u);
       }
       my.times.add("KmerGen-Comm", comm_timer.seconds());
     }
@@ -1054,6 +1144,646 @@ void run_passes_overlap(PassCtx& ctx) {
   }  // pass groups
 }
 
+// ---------------------------------------------------------------------------
+// Compressed exchange (--comm-compress): super-k-mer aggregation and/or the
+// counting-Bloom singleton prefilter over a variable-size staged exchange.
+//
+// Routing.  superkmer/both route whole runs by minimizer-hash bin
+// (kmer::minimizer_bin): the minimizer is a deterministic function of the
+// canonical k-mer, so every occurrence of a k-mer lands on one
+// (pass, rank, thread) and frequency counting stays global.  bloom-only
+// keeps the prefix-bin routing of the uncompressed schedules.  Payloads are
+// variable-size, so the precomputed-offset all-to-all is replaced by exactly
+// one isend per (src, dest, pass) — sent even when empty, so the receive
+// loop has a deterministic message count and World::finalize_check stays
+// clean.
+//
+// Message layout per (src -> dest, pass): u64 lens[T] header (bytes per
+// dest-thread section), then section dt = 0..T-1, each the concatenation of
+// the source's T thread streams for slot d*T+dt.  The receiver sizes T sort
+// regions (one per dest thread, blocks ordered by src rank — the same order
+// the uncompressed schedules produce), expands records at exact offsets,
+// then LocalSort/LocalCC run unchanged.  Equivalence arguments: DESIGN.md
+// "Exchange compression".
+// ---------------------------------------------------------------------------
+
+/// Tag space disjoint from barrier (1000+), overlap (2'000'000+), and
+/// MergeCC (1<<20): one tag per pass.
+constexpr int kCompressTagBase = 3'000'000;
+
+/// Little-endian byte append/read for the message headers.
+inline void append_le(std::vector<std::byte>& out, std::uint64_t v, int nbytes) {
+  for (int b = 0; b < nbytes; ++b)
+    out.push_back(static_cast<std::byte>((v >> (8 * b)) & 0xFF));
+}
+inline std::uint64_t read_le(const std::byte* p, int nbytes) {
+  std::uint64_t v = 0;
+  for (int b = 0; b < nbytes; ++b)
+    v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(p[b])) << (8 * b);
+  return v;
+}
+
+/// Reusable per-thread scratch for the super-k-mer emit path: the scanner's
+/// window state plus the record's canonical k-mers indexed by window start
+/// (runs only cover valid windows, so only those slots are read).
+struct SuperKmerScratch {
+  kmer::SuperKmerScanner scanner;
+  std::vector<std::uint64_t> km_lo;
+  std::vector<std::uint64_t> km_hi;
+};
+
+/// Enumerate a record's super-k-mer runs; fn(start, kmer_count, minimizer).
+/// Fills sc.km_lo/km_hi with the canonical k-mer per window first so the
+/// caller can hash/encode the run's k-mers by position.
+template <typename Fn>
+void for_each_run(SuperKmerScratch& sc, const RecordView& rec, int k, int msk,
+                  bool wide, Fn&& fn) {
+  if (rec.len < static_cast<std::uint32_t>(k)) return;
+  const std::uint32_t nwin = rec.len - static_cast<std::uint32_t>(k) + 1;
+  sc.km_lo.resize(nwin);
+  if (wide) sc.km_hi.resize(nwin);
+  if (rec.words != nullptr) {
+    if (!wide) {
+      kmer::for_each_canonical_kmer64_packed(
+          rec.words, rec.len, rec.npos, rec.ncount, k,
+          [&](std::uint64_t km, std::size_t pos) { sc.km_lo[pos] = km; });
+    } else {
+      kmer::for_each_canonical_kmer128_packed(
+          rec.words, rec.len, rec.npos, rec.ncount, k, [&](kmer::Kmer128 km, std::size_t pos) {
+            sc.km_lo[pos] = km.lo;
+            sc.km_hi[pos] = km.hi;
+          });
+    }
+    sc.scanner.scan_packed(rec.words, rec.len, rec.npos, rec.ncount, k, msk,
+                           std::forward<Fn>(fn));
+  } else {
+    const std::string_view seq(rec.text, rec.len);
+    if (!wide) {
+      kmer::for_each_canonical_kmer64(
+          seq, k, [&](std::uint64_t km, std::size_t pos) { sc.km_lo[pos] = km; });
+    } else {
+      kmer::for_each_canonical_kmer128(seq, k, [&](kmer::Kmer128 km, std::size_t pos) {
+        sc.km_lo[pos] = km.lo;
+        sc.km_hi[pos] = km.hi;
+      });
+    }
+    sc.scanner.scan(seq, k, msk, std::forward<Fn>(fn));
+  }
+}
+
+/// One pass's routing geometry for the compressed exchange: the bin range
+/// plus a bin -> slot (d*T+dt) table, uniform over minimizer-hash bins in
+/// superkmer modes, the PassPlan's prefix-bin geometry in bloom-only mode.
+struct CompressPassGeom {
+  std::uint32_t lo = 0, hi = 0;
+  std::vector<std::uint16_t> slot_of_bin;  ///< bin - lo -> slot d*T+dt
+};
+
+struct CompressPlan {
+  bool superkmer = false;
+  bool bloom = false;
+  std::uint32_t nbins = 0;
+  std::vector<CompressPassGeom> pass;      ///< S entries
+  std::vector<std::uint16_t> rank_of_bin;  ///< global bin -> owner rank
+};
+
+CompressPlan make_compress_plan(const PassPlan& plan, int S, int P, int T,
+                                std::uint32_t prefix_nbins, bool superkmer,
+                                bool bloom) {
+  CompressPlan cp;
+  cp.superkmer = superkmer;
+  cp.bloom = bloom;
+  const std::size_t nslots = static_cast<std::size_t>(P) * T;
+  cp.pass.resize(static_cast<std::size_t>(S));
+  if (superkmer) {
+    cp.nbins = kmer::kNumMinimizerBins;
+    const auto pass_bounds = util::split_range(cp.nbins, S);
+    for (int s = 0; s < S; ++s) {
+      CompressPassGeom& pg = cp.pass[static_cast<std::size_t>(s)];
+      pg.lo = static_cast<std::uint32_t>(pass_bounds[static_cast<std::size_t>(s)]);
+      pg.hi = static_cast<std::uint32_t>(pass_bounds[static_cast<std::size_t>(s) + 1]);
+      const auto slot_rel = util::split_range(pg.hi - pg.lo, static_cast<int>(nslots));
+      std::vector<std::uint32_t> bounds(nslots + 1);
+      for (std::size_t i = 0; i <= nslots; ++i)
+        bounds[i] = pg.lo + static_cast<std::uint32_t>(slot_rel[i]);
+      pg.slot_of_bin = bin_owner_table(bounds);
+    }
+  } else {
+    cp.nbins = prefix_nbins;
+    for (int s = 0; s < S; ++s) {
+      CompressPassGeom& pg = cp.pass[static_cast<std::size_t>(s)];
+      pg.lo = plan.pass_range(s).begin;
+      pg.hi = plan.pass_range(s).end;
+      std::vector<std::uint32_t> bounds;
+      bounds.reserve(nslots + 1);
+      bounds.push_back(plan.thread_bounds(s, 0).front());
+      for (int d = 0; d < P; ++d) {
+        const auto& tb = plan.thread_bounds(s, d);
+        for (int t = 1; t <= T; ++t) bounds.push_back(tb[static_cast<std::size_t>(t)]);
+      }
+      pg.slot_of_bin = bin_owner_table(bounds);
+    }
+  }
+  cp.rank_of_bin.assign(cp.nbins, 0);
+  for (int s = 0; s < S; ++s) {
+    const CompressPassGeom& pg = cp.pass[static_cast<std::size_t>(s)];
+    for (std::uint32_t b = pg.lo; b < pg.hi; ++b) {
+      cp.rank_of_bin[b] =
+          static_cast<std::uint16_t>(pg.slot_of_bin[b - pg.lo] / static_cast<unsigned>(T));
+    }
+  }
+  return cp;
+}
+
+/// The compressed pass scheduler.  Barrier mode runs one pass per group;
+/// overlap mode fuses two passes per chunk sweep (same grouping as
+/// run_passes_overlap, same one-group-staler §3.5.1 substitution).
+/// @p blooms is non-null in bloom/both modes: P destination-owned counting
+/// Blooms, globally counted in a pre-scan below (shared-memory stand-in for
+/// an MPI-3 one-sided accumulate window; DESIGN.md).
+void run_passes_compressed(PassCtx& ctx, const CompressPlan& cplan,
+                           std::vector<kmer::CountingBloom>* blooms) {
+  const MetaprepConfig& config = ctx.config;
+  const ChunkAssignment& ca = ctx.ca;
+  mpsim::Comm& comm = ctx.comm;
+  ThreadTeam& team = ctx.team;
+  dsu::AtomicDSU& local_cc = ctx.local_cc;
+  RankShared& my = ctx.my;
+  obs::TraceSession& tr = ctx.tr;
+  const int p = ctx.p, P = ctx.P, T = ctx.T, S = ctx.S, k = ctx.k, m = ctx.m;
+  const bool wide = ctx.wide;
+  const int msk = config.superkmer_minimizer_len;
+  const std::uint64_t tuple_bytes = wide ? 20 : 12;
+  const std::size_t fixed_rec = wide ? 20 : 12;  ///< bloom-only record size
+  const std::uint32_t R = ctx.index.total_reads;
+  const std::size_t nslots = static_cast<std::size_t>(P) * T;
+  const int group_sz = config.pipeline_mode == PipelineMode::kOverlap ? 2 : 1;
+
+  auto hash_at = [&](const SuperKmerScratch& sc, std::uint32_t pos) {
+    return wide ? kmer::kmer_hash128(sc.km_hi[pos], sc.km_lo[pos])
+                : kmer::kmer_hash64(sc.km_lo[pos]);
+  };
+
+  // ---- BloomCount: one extra scan over this rank's chunks inserting every
+  // k-mer occurrence into its destination rank's filter, so counts are
+  // global before any drop decision.  The barrier publishes all inserts
+  // (count() is read-only afterwards); a k-mer seen once on each of two
+  // ranks still counts 2 at its single destination, so only true global
+  // singletons can be suppressed. ----
+  if (blooms != nullptr) {
+    progress_phase(ctx, "BloomCount");
+    const double bc_t0 = span_begin(tr);
+    WallTimer bc_timer;
+    team.run([&](int t) {
+      obs::TraceSession::set_thread_identity(p, t);
+      double io_s = 0.0, gen_s = 0.0;  // folded into BloomCount's own step wall
+      if (cplan.superkmer) {
+        SuperKmerScratch sc;
+        for (std::uint32_t c = ca.thread_begin(p, t); c < ca.thread_end(p, t); ++c) {
+          scan_chunk_records(
+              ctx, c, false, io_s, gen_s, false,
+              [&](std::uint32_t, const RecordView& rec) {
+                for_each_run(sc, rec, k, msk, wide,
+                             [&](std::uint32_t start, std::uint32_t count, std::uint64_t mz) {
+                               kmer::CountingBloom& bl =
+                                   (*blooms)[cplan.rank_of_bin[kmer::minimizer_bin(mz)]];
+                               for (std::uint32_t j = 0; j < count; ++j)
+                                 bl.insert(hash_at(sc, start + j));
+                             });
+              });
+        }
+      } else {
+        auto count64 = [&](std::uint64_t km, std::uint32_t) {
+          const std::uint32_t bin = kmer::prefix_bin64(km, k, m);
+          (*blooms)[cplan.rank_of_bin[bin]].insert(kmer::kmer_hash64(km));
+        };
+        auto count128 = [&](kmer::Kmer128 km, std::uint32_t) {
+          const std::uint32_t bin = kmer::prefix_bin128(km, k, m);
+          (*blooms)[cplan.rank_of_bin[bin]].insert(kmer::kmer_hash128(km.hi, km.lo));
+        };
+        for (std::uint32_t c = ca.thread_begin(p, t); c < ca.thread_end(p, t); ++c) {
+          scan_chunk(ctx, c, false, io_s, gen_s, count64, count128, false);
+        }
+      }
+    });
+    comm.barrier();  // happens-before: all inserts visible to all readers
+    my.times.add("BloomCount", bc_timer.seconds());
+    span_end(tr, "BloomCount", bc_t0);
+    phase_boundary(ctx, "BloomCount");
+  }
+
+  TupleBuffer tuples;
+  TupleBuffer scratch;
+  tuples.wide = wide;
+  scratch.wide = wide;
+
+  for (int s0 = 0; s0 < S; s0 += group_sz) {
+    const int npasses = std::min(group_sz, S - s0);
+    std::array<double, 2> pass_t0{span_begin(tr), -1.0};
+    const std::uint32_t g0lo = cplan.pass[static_cast<std::size_t>(s0)].lo;
+    const std::uint32_t g0hi = cplan.pass[static_cast<std::size_t>(s0)].hi;
+    const std::uint32_t g1lo =
+        npasses > 1 ? cplan.pass[static_cast<std::size_t>(s0) + 1].lo : 0;
+    const std::uint32_t g1hi =
+        npasses > 1 ? cplan.pass[static_cast<std::size_t>(s0) + 1].hi : 0;
+
+    // Per (pass-in-group, my thread, slot) byte streams; concatenated into
+    // one message per (dest, pass) below.
+    std::array<std::vector<std::vector<std::vector<std::byte>>>, 2> streams;
+    for (int i = 0; i < npasses; ++i) {
+      streams[static_cast<std::size_t>(i)].assign(
+          static_cast<std::size_t>(T), std::vector<std::vector<std::byte>>(nslots));
+    }
+
+    // ---- KmerGen (fused over the group in overlap mode): emit wire
+    // records instead of fixed tuples.  Lenient-parse skips simply emit
+    // nothing — variable-size messages need no sentinel padding. ----
+    const bool substitute_components = config.cc_opt && s0 > 0;
+    std::vector<double> io_seconds(static_cast<std::size_t>(T), 0.0);
+    std::vector<double> gen_seconds(static_cast<std::size_t>(T), 0.0);
+    std::vector<std::uint64_t> skip_counts(static_cast<std::size_t>(T), 0);
+    std::vector<std::uint64_t> raw_counts(static_cast<std::size_t>(T), 0);
+    std::vector<std::uint64_t> kept_counts(static_cast<std::size_t>(T), 0);
+    std::vector<std::uint64_t> rec_counts(static_cast<std::size_t>(T), 0);
+    std::vector<std::uint64_t> drop_counts(static_cast<std::size_t>(T), 0);
+    progress_phase(ctx, "KmerGen");
+    team.run([&](int t) {
+      obs::TraceSession::set_thread_identity(p, t);
+      const std::size_t ut = static_cast<std::size_t>(t);
+      // pass-in-group of a routing bin, or -1 when outside the group.
+      auto group_pass_of = [&](std::uint32_t bin) -> int {
+        if (bin >= g0lo && bin < g0hi) return 0;
+        if (npasses > 1 && bin >= g1lo && bin < g1hi) return 1;
+        return -1;
+      };
+      if (cplan.superkmer) {
+        SuperKmerScratch sc;
+        auto handle_record = [&](std::uint32_t value, const RecordView& rec) {
+          for_each_run(sc, rec, k, msk, wide,
+                       [&](std::uint32_t start, std::uint32_t count, std::uint64_t mz) {
+            const std::uint32_t bin = kmer::minimizer_bin(mz);
+            const int i = group_pass_of(bin);
+            if (i < 0) return;
+            const CompressPassGeom& pg = cplan.pass[static_cast<std::size_t>(s0 + i)];
+            const std::uint16_t slot = pg.slot_of_bin[bin - pg.lo];
+            const int d = slot / T;
+            std::vector<std::byte>& stream =
+                streams[static_cast<std::size_t>(i)][ut][slot];
+            if (d != p) raw_counts[ut] += count;
+            auto emit_subrun = [&](std::uint32_t a, std::uint32_t cnt) {
+              while (cnt > 0) {
+                const std::uint32_t take = std::min(cnt, kmer::kMaxSuperKmerRun);
+                kmer::append_superkmer_record(
+                    stream, value, take, k,
+                    [&](std::size_t j) { return rec.code_at(start + a + j); });
+                ++rec_counts[ut];
+                a += take;
+                cnt -= take;
+              }
+            };
+            if (blooms == nullptr) {
+              kept_counts[ut] += count;
+              emit_subrun(0, count);
+            } else {
+              // Bloom-surviving maximal sub-runs: every k-mer in a kept
+              // sub-run has global count >= 2 at its (single) destination.
+              const kmer::CountingBloom& bl = (*blooms)[d];
+              std::uint32_t a = 0;
+              while (a < count) {
+                if (bl.count(hash_at(sc, start + a)) < 2) {
+                  ++drop_counts[ut];
+                  ++a;
+                  continue;
+                }
+                std::uint32_t b = a + 1;
+                while (b < count && bl.count(hash_at(sc, start + b)) >= 2) ++b;
+                kept_counts[ut] += b - a;
+                emit_subrun(a, b - a);
+                a = b;
+              }
+            }
+          });
+        };
+        for (std::uint32_t c = ca.thread_begin(p, t); c < ca.thread_end(p, t); ++c) {
+          skip_counts[ut] += scan_chunk_records(ctx, c, substitute_components,
+                                                io_seconds[ut], gen_seconds[ut],
+                                                true, handle_record);
+        }
+      } else {
+        // bloom-only: prefix-bin routing, fixed-size (k-mer, value) records.
+        auto route = [&](std::uint32_t bin) -> std::pair<int, std::vector<std::byte>*> {
+          const int i = group_pass_of(bin);
+          if (i < 0) return {-1, nullptr};
+          const CompressPassGeom& pg = cplan.pass[static_cast<std::size_t>(s0 + i)];
+          const std::uint16_t slot = pg.slot_of_bin[bin - pg.lo];
+          return {slot / T, &streams[static_cast<std::size_t>(i)][ut][slot]};
+        };
+        auto emit64 = [&](std::uint64_t km, std::uint32_t value) {
+          const auto [d, stream] = route(kmer::prefix_bin64(km, k, m));
+          if (d < 0) return;
+          if (d != p) ++raw_counts[ut];
+          if ((*blooms)[d].count(kmer::kmer_hash64(km)) < 2) {
+            ++drop_counts[ut];
+            return;
+          }
+          ++kept_counts[ut];
+          append_le(*stream, km, 8);
+          append_le(*stream, value, 4);
+        };
+        auto emit128 = [&](kmer::Kmer128 km, std::uint32_t value) {
+          const auto [d, stream] = route(kmer::prefix_bin128(km, k, m));
+          if (d < 0) return;
+          if (d != p) ++raw_counts[ut];
+          if ((*blooms)[d].count(kmer::kmer_hash128(km.hi, km.lo)) < 2) {
+            ++drop_counts[ut];
+            return;
+          }
+          ++kept_counts[ut];
+          append_le(*stream, km.lo, 8);
+          append_le(*stream, km.hi, 8);
+          append_le(*stream, value, 4);
+        };
+        for (std::uint32_t c = ca.thread_begin(p, t); c < ca.thread_end(p, t); ++c) {
+          skip_counts[ut] += scan_chunk(ctx, c, substitute_components, io_seconds[ut],
+                                        gen_seconds[ut], emit64, emit128);
+        }
+      }
+    });
+    my.times.add("KmerGen-I/O", *std::max_element(io_seconds.begin(), io_seconds.end()));
+    my.times.add("KmerGen", *std::max_element(gen_seconds.begin(), gen_seconds.end()));
+    if (s0 == 0) {
+      for (std::uint64_t sk : skip_counts) my.records_skipped += sk;
+    }
+    for (int t = 0; t < T; ++t) {
+      const std::size_t ut = static_cast<std::size_t>(t);
+      my.exchange_bytes_raw += raw_counts[ut] * tuple_bytes;
+      my.tuples += kept_counts[ut];
+      my.bloom_dropped += drop_counts[ut];
+      if (cplan.superkmer) my.superkmer_records += rec_counts[ut];
+      ctx.m_tuples.add(kept_counts[ut]);
+    }
+    phase_boundary(ctx, "KmerGen");
+
+    // ---- KmerGen-Comm: one message per (dest, pass), always sent (the
+    // u64 lens[T] header makes even an empty message well-formed and keeps
+    // the receive count deterministic). ----
+    progress_phase(ctx, "KmerGen-Comm");
+    std::array<std::vector<std::byte>, 2> self_msg;
+    for (int i = 0; i < npasses; ++i) {
+      obs::TraceSpan comm_span("KmerGen-Comm");
+      WallTimer comm_timer;
+      const std::size_t si = static_cast<std::size_t>(i);
+      for (int d = 0; d < P; ++d) {
+        std::vector<std::byte> msg;
+        std::size_t total = 8u * static_cast<std::size_t>(T);
+        for (int dt = 0; dt < T; ++dt) {
+          for (int t = 0; t < T; ++t) {
+            total += streams[si][static_cast<std::size_t>(t)]
+                            [static_cast<std::size_t>(d) * T + dt].size();
+          }
+        }
+        msg.reserve(total);
+        for (int dt = 0; dt < T; ++dt) {
+          std::uint64_t len = 0;
+          for (int t = 0; t < T; ++t) {
+            len += streams[si][static_cast<std::size_t>(t)]
+                          [static_cast<std::size_t>(d) * T + dt].size();
+          }
+          append_le(msg, len, 8);
+        }
+        for (int dt = 0; dt < T; ++dt) {
+          for (int t = 0; t < T; ++t) {
+            auto& st = streams[si][static_cast<std::size_t>(t)]
+                              [static_cast<std::size_t>(d) * T + dt];
+            msg.insert(msg.end(), st.begin(), st.end());
+            st.clear();
+            st.shrink_to_fit();
+          }
+        }
+        if (d == p) {
+          self_msg[si] = std::move(msg);
+        } else {
+          my.exchange_bytes += msg.size();
+          comm.isend(d, kCompressTagBase + s0 + i, msg.data(), msg.size());
+        }
+      }
+      my.times.add("KmerGen-Comm", comm_timer.seconds());
+    }
+    phase_boundary(ctx, "KmerGen-Comm");
+
+    // ---- Drain the group pass by pass: receive, expand, sort, union. ----
+    for (int i = 0; i < npasses; ++i) {
+      const std::size_t si = static_cast<std::size_t>(i);
+      if (pass_t0[si] < 0.0) pass_t0[si] = span_begin(tr);
+      std::vector<std::vector<std::byte>> msgs(static_cast<std::size_t>(P));
+      msgs[static_cast<std::size_t>(p)] = std::move(self_msg[si]);
+      if (P > 1) {
+        obs::TraceSpan wait_span("KmerGen-Comm");
+        WallTimer wait_timer;
+        for (int stage = 1; stage < P; ++stage) {
+          const int q = (p - stage + P) % P;
+          msgs[static_cast<std::size_t>(q)] =
+              comm.recv_any_size(q, kCompressTagBase + s0 + i);
+        }
+        my.times.add("KmerGen-Comm", wait_timer.seconds());
+      }
+      std::uint64_t msg_bytes = 0;
+      for (const auto& msg : msgs) msg_bytes += msg.size();
+      const obs::MemCharge msgs_mem("comm", msg_bytes);
+
+      // ---- Expand: size the T sort regions from the headers, validate
+      // and count every record, then decode at exact offsets in parallel.
+      // Region dt holds blocks ordered by src rank q ascending — the same
+      // (src rank, src thread, generation order) sequence the uncompressed
+      // schedules deliver, so the stable sort sees equivalent input. ----
+      progress_phase(ctx, "Expand");
+      const double ex_t0 = span_begin(tr);
+      WallTimer ex_timer;
+      std::vector<std::uint64_t> sec_off(nslots, 0);
+      std::vector<std::uint64_t> sec_len(nslots, 0);
+      for (int q = 0; q < P; ++q) {
+        const auto& msg = msgs[static_cast<std::size_t>(q)];
+        if (msg.size() < 8u * static_cast<std::size_t>(T))
+          throw util::parse_error("comm-compress: message shorter than its header");
+        std::uint64_t off = 8u * static_cast<std::size_t>(T);
+        for (int dt = 0; dt < T; ++dt) {
+          const std::uint64_t len = read_le(msg.data() + 8 * dt, 8);
+          if (len > msg.size() - off)
+            throw util::parse_error("comm-compress: section overruns message");
+          sec_off[static_cast<std::size_t>(q) * T + dt] = off;
+          sec_len[static_cast<std::size_t>(q) * T + dt] = len;
+          off += len;
+        }
+        if (off != msg.size())
+          throw util::parse_error("comm-compress: trailing bytes after last section");
+      }
+      std::vector<std::uint64_t> block_count(nslots, 0);
+      team.run([&](int t) {
+        for (int q = 0; q < P; ++q) {
+          const std::size_t idx = static_cast<std::size_t>(q) * T + t;
+          const std::byte* data = msgs[static_cast<std::size_t>(q)].data() + sec_off[idx];
+          if (cplan.superkmer) {
+            block_count[idx] = kmer::count_superkmer_stream(data, sec_len[idx], k).kmers;
+          } else {
+            if (sec_len[idx] % fixed_rec != 0)
+              throw util::parse_error("comm-compress: truncated tuple record");
+            block_count[idx] = sec_len[idx] / fixed_rec;
+          }
+        }
+      });
+      std::vector<std::uint64_t> region_start(static_cast<std::size_t>(T) + 1, 0);
+      for (int dt = 0; dt < T; ++dt) {
+        std::uint64_t tot = 0;
+        for (int q = 0; q < P; ++q) tot += block_count[static_cast<std::size_t>(q) * T + dt];
+        region_start[static_cast<std::size_t>(dt) + 1] =
+            region_start[static_cast<std::size_t>(dt)] + tot;
+      }
+      std::vector<std::uint64_t> block_off(nslots, 0);
+      for (int dt = 0; dt < T; ++dt) {
+        std::uint64_t off = region_start[static_cast<std::size_t>(dt)];
+        for (int q = 0; q < P; ++q) {
+          block_off[static_cast<std::size_t>(q) * T + dt] = off;
+          off += block_count[static_cast<std::size_t>(q) * T + dt];
+        }
+      }
+      const std::uint64_t total_in = region_start[static_cast<std::size_t>(T)];
+      tuples.resize(total_in);
+      tuples.mem_account();
+      scratch.resize(total_in);
+      scratch.mem_account();
+      my.max_buffer_bytes =
+          std::max(my.max_buffer_bytes, tuples.bytes() + scratch.bytes() + msg_bytes);
+      team.run([&](int t) {
+        obs::TraceSession::set_thread_identity(p, t);
+        for (int q = 0; q < P; ++q) {
+          const std::size_t idx = static_cast<std::size_t>(q) * T + t;
+          const std::byte* data = msgs[static_cast<std::size_t>(q)].data() + sec_off[idx];
+          std::uint64_t at = block_off[idx];
+          if (cplan.superkmer) {
+            kmer::SuperKmerReader reader(data, sec_len[idx], k);
+            while (!reader.done()) {
+              reader.next_header();
+              const std::uint32_t value = reader.value();
+              if (value >= R)
+                throw util::parse_error("comm-compress: record value out of range");
+              if (!wide) {
+                reader.expand64([&](std::uint64_t km) {
+                  tuples.keys[at] = km;
+                  tuples.vals[at] = value;
+                  ++at;
+                });
+              } else {
+                reader.expand128([&](kmer::Kmer128 km) {
+                  tuples.keys[at] = km.lo;
+                  tuples.keys_hi[at] = km.hi;
+                  tuples.vals[at] = value;
+                  ++at;
+                });
+              }
+            }
+          } else {
+            for (const std::byte* rp = data; rp != data + sec_len[idx]; rp += fixed_rec) {
+              const std::uint32_t value =
+                  static_cast<std::uint32_t>(read_le(rp + fixed_rec - 4, 4));
+              if (value >= R)
+                throw util::parse_error("comm-compress: record value out of range");
+              tuples.keys[at] = read_le(rp, 8);
+              if (wide) tuples.keys_hi[at] = read_le(rp + 8, 8);
+              tuples.vals[at] = value;
+              ++at;
+            }
+          }
+        }
+      });
+      my.times.add("Expand", ex_timer.seconds());
+      span_end(tr, "Expand", ex_t0);
+      phase_boundary(ctx, "Expand");
+
+      // ---- LocalSort: stable radix per dest-thread region. ----
+      progress_phase(ctx, "LocalSort");
+      {
+        const double sort_t0 = span_begin(tr);
+        WallTimer sort_timer;
+        team.run([&](int t) {
+          const std::uint64_t rlo = region_start[static_cast<std::size_t>(t)];
+          const std::uint64_t rhi = region_start[static_cast<std::size_t>(t) + 1];
+          const std::size_t n = rhi - rlo;
+          if (n == 0) return;
+          if (!wide) {
+            sort::radix_sort_kv64(std::span(tuples.keys).subspan(rlo, n),
+                                  std::span(tuples.vals).subspan(rlo, n),
+                                  std::span(scratch.keys).subspan(rlo, n),
+                                  std::span(scratch.vals).subspan(rlo, n), 2 * k,
+                                  config.sort_digit_bits);
+          } else {
+            sort::radix_sort_kv128(std::span(tuples.keys_hi).subspan(rlo, n),
+                                   std::span(tuples.keys).subspan(rlo, n),
+                                   std::span(tuples.vals).subspan(rlo, n),
+                                   std::span(scratch.keys_hi).subspan(rlo, n),
+                                   std::span(scratch.keys).subspan(rlo, n),
+                                   std::span(scratch.vals).subspan(rlo, n), 2 * k,
+                                   config.sort_digit_bits);
+          }
+        });
+        my.times.add("LocalSort", sort_timer.seconds());
+        span_end(tr, "LocalSort", sort_t0);
+        phase_boundary(ctx, "LocalSort");
+      }
+
+      // ---- LocalCC: identical to the uncompressed schedules.  Decoded
+      // values are validated < R above, so no sentinel guard is needed. ----
+      progress_phase(ctx, "LocalCC");
+      {
+        const double cc_t0 = span_begin(tr);
+        WallTimer cc_timer;
+        std::vector<int> thread_iters(static_cast<std::size_t>(T), 0);
+        team.run([&](int t) {
+          const std::uint64_t rlo = region_start[static_cast<std::size_t>(t)];
+          const std::uint64_t rhi = region_start[static_cast<std::size_t>(t) + 1];
+          std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+          std::uint64_t i2 = rlo;
+          while (i2 < rhi) {
+            std::uint64_t j = i2 + 1;
+            if (!wide) {
+              while (j < rhi && tuples.keys[j] == tuples.keys[i2]) ++j;
+            } else {
+              while (j < rhi && tuples.keys[j] == tuples.keys[i2] &&
+                     tuples.keys_hi[j] == tuples.keys_hi[i2])
+                ++j;
+            }
+            const std::uint64_t freq = j - i2;
+            if (config.filter.accepts(freq)) {
+              for (std::uint64_t x = i2 + 1; x < j; ++x) {
+                const std::uint32_t u = tuples.vals[x - 1];
+                const std::uint32_t v = tuples.vals[x];
+                if (u == v) continue;
+                const std::uint32_t ru = local_cc.find(u);
+                const std::uint32_t rv = local_cc.find(v);
+                if (ru != rv) {
+                  local_cc.unite_once(ru, rv);
+                  edges.emplace_back(u, v);
+                }
+              }
+            }
+            i2 = j;
+          }
+          thread_iters[static_cast<std::size_t>(t)] =
+              1 + dsu::process_edges_algorithm1(local_cc, edges);
+          ctx.m_cc_edges.add(edges.size());
+        });
+        my.times.add("LocalCC", cc_timer.seconds());
+        span_end(tr, "LocalCC", cc_t0);
+        phase_boundary(ctx, "LocalCC");
+        my.cc_iterations =
+            std::max(my.cc_iterations,
+                     *std::max_element(thread_iters.begin(), thread_iters.end()));
+      }
+      ctx.m_rss.set_max(static_cast<double>(util::current_rss_bytes()));
+      span_end(tr, "Pass", pass_t0[si]);
+    }
+  }  // pass groups
+}
+
 /// Dump the per-(src, dst) traffic matrices (--comm-matrix-out) as one JSON
 /// object: {"ranks": P, "skew": s, "bytes": [[..]], "msgs": [[..]]}.
 void write_comm_matrix(const std::string& path, int ranks,
@@ -1101,6 +1831,24 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
   if (P < 1 || T < 1) throw util::config_error("run_metaprep: P and T must be >= 1");
   if (config.output_bins < 0 || config.output_bins > 0xFFFF)
     throw util::config_error("run_metaprep: output_bins must be in [0, 65535]");
+  const bool compress = config.comm_compress != CommCompress::kNone;
+  const bool cp_superkmer = config.comm_compress == CommCompress::kSuperKmer ||
+                            config.comm_compress == CommCompress::kBoth;
+  const bool cp_bloom = config.comm_compress == CommCompress::kBloom ||
+                        config.comm_compress == CommCompress::kBoth;
+  if (compress) {
+    if (static_cast<std::size_t>(P) * static_cast<std::size_t>(T) > 0xFFFF)
+      throw util::config_error("comm-compress: P*T must fit the 16-bit slot table");
+    if (cp_superkmer &&
+        (config.superkmer_minimizer_len < 1 ||
+         config.superkmer_minimizer_len > std::min(k, 31)))
+      throw util::config_error(
+          "comm-compress: superkmer_minimizer_len must be in [1, min(k, 31)]");
+    if (cp_bloom && (config.bloom_counters_per_key < 1 || config.bloom_hashes < 1 ||
+                     config.bloom_hashes > 8))
+      throw util::config_error(
+          "comm-compress: bloom_counters_per_key must be >= 1 and bloom_hashes in [1, 8]");
+  }
   const bool wide = k > kmer::kMaxK64;
   const int tuple_bytes = wide ? 20 : 12;
   const std::uint32_t R = index.total_reads;
@@ -1167,7 +1915,30 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
   const PassPlan plan(index.mer_hist, S, P, T);
   const ChunkAssignment ca(index.part.num_chunks(), P, T);
   const std::size_t nbins = index.mer_hist.counts.size();
-  (void)nbins;
+
+  // Exchange-compression routing plan and (bloom modes) the P destination-
+  // owned counting filters.  Each filter is sized for its rank's expected
+  // share of k-mer occurrences; the bloom bytes are charged to their own
+  // memory subsystem and are deliberately NOT wire traffic (a shared-memory
+  // stand-in for an MPI-3 one-sided accumulate window; DESIGN.md).
+  CompressPlan cplan;
+  if (compress) {
+    cplan = make_compress_plan(plan, S, P, T, static_cast<std::uint32_t>(nbins),
+                               cp_superkmer, cp_bloom);
+  }
+  std::vector<kmer::CountingBloom> blooms;
+  std::uint64_t bloom_bytes = 0;
+  if (cp_bloom) {
+    const std::uint64_t expected =
+        std::max<std::uint64_t>(1, mm.total_tuples / static_cast<std::uint64_t>(P));
+    blooms.reserve(static_cast<std::size_t>(P));
+    for (int d = 0; d < P; ++d) {
+      blooms.emplace_back(expected, config.bloom_counters_per_key, config.bloom_hashes,
+                          config.bloom_seed + static_cast<std::uint64_t>(d));
+      bloom_bytes += blooms.back().memory_bytes();
+    }
+    obs::mem_charge("bloom", bloom_bytes);
+  }
 
   // Observability: when the config names output files, this run owns the
   // global tracer/metrics (cleared + enabled here, exported after the run).
@@ -1297,7 +2068,9 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
                 m_peak, packed_store.is_open() ? &packed_store : nullptr,
                 p,      P,      T,      S,
                 k,      m,      wide};
-    if (config.pipeline_mode == PipelineMode::kOverlap) {
+    if (compress) {
+      run_passes_compressed(ctx, cplan, cp_bloom ? &blooms : nullptr);
+    } else if (config.pipeline_mode == PipelineMode::kOverlap) {
       run_passes_overlap(ctx);
     } else {
       run_passes_barrier(ctx);
@@ -1604,6 +2377,11 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     prog.finish();
     prog.set_enabled(false);
   }
+  if (cp_bloom) {
+    blooms.clear();
+    blooms.shrink_to_fit();
+    obs::mem_credit("bloom", bloom_bytes);
+  }
   if (packed_store.is_open() && packed_is_temp) {
     // Drop the in-memory arena before assembling the result so its pages
     // are returned (and the packed mem subsystem credited) inside the run.
@@ -1640,6 +2418,14 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     for (auto& f : rs.output_files) result.output_files.push_back(std::move(f));
     result.cc_iterations_max = std::max(result.cc_iterations_max, rs.cc_iterations);
     result.records_skipped += rs.records_skipped;
+    result.exchange_bytes += rs.exchange_bytes;
+    result.exchange_bytes_raw += rs.exchange_bytes_raw;
+    result.superkmer_records += rs.superkmer_records;
+    result.bloom_dropped += rs.bloom_dropped;
+  }
+  if (result.exchange_bytes_raw > 0) {
+    result.superkmer_ratio = static_cast<double>(result.exchange_bytes) /
+                             static_cast<double>(result.exchange_bytes_raw);
   }
   if (config.read_store == ReadStore::kPacked) {
     // The arena recorded every skip at ingest; the scans saw none.  Text
@@ -1691,6 +2477,12 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     obs::MetricsRegistry& m = obs::metrics();
     m.counter("part.label_scatter_bytes").add(result.label_scatter_bytes);
     m.counter("part.root_table_bytes").add(result.root_table_bytes);
+    m.counter("comm.alltoallv_bytes").add(result.exchange_bytes);
+    m.counter("comm.alltoallv_bytes_raw").add(result.exchange_bytes_raw);
+    m.counter("comm.superkmer_records").add(result.superkmer_records);
+    m.counter("comm.bloom_dropped").add(result.bloom_dropped);
+    if (result.exchange_bytes_raw > 0)
+      m.gauge("comm.superkmer_ratio").set(result.superkmer_ratio);
   }
 
   // ---- Performance attribution (src/obs/attr): whenever the run was

@@ -55,6 +55,18 @@ struct PipelineResult {
   double bin_skew = 0.0;                  ///< max/mean bin weight (0 unless binning)
   std::string bin_manifest_path;          ///< "<output_dir>/<name>.bins.json" when written
 
+  // Exchange compression (--comm-compress).  exchange_bytes counts the
+  // cross-rank KmerGen-Comm payload actually shipped (self-blocks excluded,
+  // consistent with the traffic matrix); exchange_bytes_raw is the
+  // uncompressed-equivalent volume — expanded tuples, pre-Bloom-drop — of
+  // the same traffic, so ratio = bytes/raw isolates the compression from
+  // routing differences.  Under kNone the two are equal.
+  std::uint64_t exchange_bytes = 0;
+  std::uint64_t exchange_bytes_raw = 0;
+  std::uint64_t superkmer_records = 0;   ///< wire records emitted (superkmer/both)
+  std::uint64_t bloom_dropped = 0;       ///< k-mer occurrences suppressed (bloom/both)
+  double superkmer_ratio = 0.0;          ///< exchange_bytes / exchange_bytes_raw (0 if raw 0)
+
   // Parse accounting + packed read store (--read-store=packed).
   // records_skipped counts *distinct* records lenient parsing dropped (the
   // io.records_skipped metric counts skip events, which text mode re-pays

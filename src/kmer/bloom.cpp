@@ -1,0 +1,55 @@
+#include "kmer/bloom.hpp"
+
+#include <atomic>
+
+#include "util/rng.hpp"
+
+namespace metaprep::kmer {
+
+namespace {
+
+std::size_t next_pow2(std::uint64_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+constexpr std::size_t kMinCounters = 4096;
+
+}  // namespace
+
+CountingBloom::CountingBloom(std::uint64_t expected_keys, int counters_per_key, int hashes,
+                             std::uint64_t seed)
+    : hashes_(hashes), seed_(seed) {
+  const std::uint64_t want =
+      expected_keys * static_cast<std::uint64_t>(counters_per_key);
+  const std::size_t n = next_pow2(want < kMinCounters ? kMinCounters : want);
+  counters_.assign(n, 0);
+  mask_ = n - 1;
+}
+
+void CountingBloom::insert(std::uint64_t hash) noexcept {
+  util::SplitMix64 gen(hash ^ seed_);
+  for (int j = 0; j < hashes_; ++j) {
+    const std::size_t at = static_cast<std::size_t>(gen.next()) & mask_;
+    std::atomic_ref<std::uint8_t> cell(counters_[at]);
+    std::uint8_t cur = cell.load(std::memory_order_relaxed);
+    while (cur != 0xFF &&
+           !cell.compare_exchange_weak(cur, static_cast<std::uint8_t>(cur + 1),
+                                       std::memory_order_relaxed)) {
+    }
+  }
+}
+
+std::uint32_t CountingBloom::count(std::uint64_t hash) const noexcept {
+  util::SplitMix64 gen(hash ^ seed_);
+  std::uint32_t best = 0xFF;
+  for (int j = 0; j < hashes_; ++j) {
+    const std::size_t at = static_cast<std::size_t>(gen.next()) & mask_;
+    const std::uint32_t v = counters_[at];
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+}  // namespace metaprep::kmer

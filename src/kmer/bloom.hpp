@@ -1,0 +1,55 @@
+// Counting Bloom filter for the singleton-k-mer exchange prefilter.
+//
+// Pell et al. ("Scaling metagenome sequence assembly with probabilistic de
+// Bruijn graphs") and the mhm2 kcount two-pass Bloom both exploit the same
+// observation: in error-prone short-read data the majority of *distinct*
+// k-mers occur exactly once and are overwhelmingly sequencing errors.  A
+// singleton k-mer can never create a read-graph edge (an edge needs two
+// tuples with the same key), so suppressing frequency-1 k-mers from the
+// exchange preserves the component partition exactly — see DESIGN.md
+// "Exchange compression" for the proof sketch and the sizing math.
+//
+// The counters saturate at 255 and count() returns the MINIMUM over the h
+// probed positions, so the reported count never undercounts the true
+// insertion count: false positives can only *keep* a true singleton (ships
+// a few harmless bytes), never drop a k-mer that occurs twice.
+//
+// insert() is thread-safe (relaxed atomic saturating increments; the
+// pipeline separates the insert phase from the read phase with a barrier);
+// count() is safe only after all inserts are published.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace metaprep::kmer {
+
+class CountingBloom {
+ public:
+  CountingBloom() = default;
+  /// Sizes the table to the next power of two >= expected_keys *
+  /// counters_per_key (min 4096 counters, 8 bits each).  @p hashes probe
+  /// positions are derived deterministically from (key hash, seed), so two
+  /// filters built with the same parameters agree bit for bit.
+  CountingBloom(std::uint64_t expected_keys, int counters_per_key, int hashes,
+                std::uint64_t seed);
+
+  /// Saturating increment of the @p hashes counters for @p hash.
+  void insert(std::uint64_t hash) noexcept;
+  /// Minimum counter over the probed positions (>= true insert count).
+  [[nodiscard]] std::uint32_t count(std::uint64_t hash) const noexcept;
+
+  [[nodiscard]] std::size_t num_counters() const noexcept { return counters_.size(); }
+  [[nodiscard]] int hashes() const noexcept { return hashes_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::uint64_t memory_bytes() const noexcept { return counters_.size(); }
+
+ private:
+  std::vector<std::uint8_t> counters_;
+  std::uint64_t mask_ = 0;  ///< counters_.size() - 1 (power-of-two table)
+  int hashes_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace metaprep::kmer

@@ -1,9 +1,8 @@
 #include "kmer/minimizer.hpp"
 
-#include <deque>
-
 #include "kmer/codec.hpp"
 #include "kmer/scanner.hpp"
+#include "kmer/superkmer.hpp"
 
 namespace metaprep::kmer {
 
@@ -26,70 +25,15 @@ bool window_minimizer(std::string_view seq, std::size_t pos, int k, int m,
 }
 
 std::vector<SuperKmer> super_kmers(std::string_view seq, int k, int m) {
+  // Thin vector adapter over the shared streaming scanner (kmer/superkmer):
+  // the pipeline's compressed exchange and the KMC-2 baseline both use the
+  // scanner directly, so this wrapper is what keeps the three callers on one
+  // decomposition.
   std::vector<SuperKmer> result;
-  const auto len = static_cast<std::int64_t>(seq.size());
-  const std::int64_t nkmers = len - k + 1;
-  if (nkmers <= 0) return result;
-
-  // Sliding-window minimum over canonical m-mer values using a monotonic
-  // deque of (value, position); O(len) total.
-  std::vector<std::uint64_t> mmer(seq.size(), ~0ULL);
-  std::vector<bool> mmer_valid(seq.size(), false);
-  for_each_canonical_kmer64(seq, m, [&](std::uint64_t v, std::size_t pos) {
-    mmer[pos] = v;
-    mmer_valid[pos] = true;
+  SuperKmerScanner scanner;
+  scanner.scan(seq, k, m, [&](std::uint32_t start, std::uint32_t count, std::uint64_t mz) {
+    result.push_back(SuperKmer{start, count, mz});
   });
-
-  std::deque<std::pair<std::uint64_t, std::int64_t>> window;  // (value, pos)
-  const std::int64_t width = k - m + 1;  // m-mers per k-window
-  auto push_mmer = [&](std::int64_t pos) {
-    if (!mmer_valid[static_cast<std::size_t>(pos)]) return;
-    const std::uint64_t v = mmer[static_cast<std::size_t>(pos)];
-    while (!window.empty() && window.back().first >= v) window.pop_back();
-    window.emplace_back(v, pos);
-  };
-
-  // Count of valid m-mers inside the current k-window, to detect N's.
-  std::int64_t valid_in_window = 0;
-
-  for (std::int64_t p = 0; p < width - 1; ++p) {
-    push_mmer(p);
-    if (mmer_valid[static_cast<std::size_t>(p)]) ++valid_in_window;
-  }
-
-  SuperKmer current{};
-  bool open = false;
-  auto flush = [&] {
-    if (open) {
-      result.push_back(current);
-      open = false;
-    }
-  };
-
-  for (std::int64_t start = 0; start < nkmers; ++start) {
-    const std::int64_t newest = start + width - 1;
-    push_mmer(newest);
-    if (mmer_valid[static_cast<std::size_t>(newest)]) ++valid_in_window;
-    while (!window.empty() && window.front().second < start) window.pop_front();
-
-    const bool window_clean = valid_in_window == width;
-    if (!window_clean || window.empty()) {
-      flush();
-    } else {
-      const std::uint64_t mz = window.front().first;
-      if (open && current.minimizer == mz) {
-        ++current.kmer_count;
-      } else {
-        flush();
-        current = {static_cast<std::uint32_t>(start), 1, mz};
-        open = true;
-      }
-    }
-
-    const std::int64_t oldest = start;  // leaves the window next iteration
-    if (mmer_valid[static_cast<std::size_t>(oldest)]) --valid_in_window;
-  }
-  flush();
   return result;
 }
 

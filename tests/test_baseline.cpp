@@ -12,6 +12,7 @@
 #include "sim/genome.hpp"
 #include "core/index_create.hpp"
 #include "core/pipeline.hpp"
+#include "kmer/minimizer.hpp"
 #include "kmer/scanner.hpp"
 #include "sim/read_sim.hpp"
 #include "test_support.hpp"
@@ -52,6 +53,33 @@ TEST(KmcLike, TotalsMatchDirectScanner) {
   EXPECT_EQ(result.total_kmers, all.size());
   EXPECT_EQ(result.distinct_kmers, distinct);
   EXPECT_GT(result.super_kmers, 0u);
+}
+
+TEST(KmcLike, DelegatesToSharedSuperKmerScanner) {
+  // The baseline's binning and the pipeline's --comm-compress emit path
+  // share one decomposition core (kmer/superkmer).  The baseline's run
+  // census must therefore be reproducible, run for run, from the public
+  // kmer::super_kmers adapter on the same corpus — if the two ever drift,
+  // the KMC-2 comparison no longer measures the shipped code.
+  const auto reads = sample_reads(21, 120, 95);
+  KmcLikeOptions opt;
+  opt.k = 25;
+  opt.minimizer_len = 9;
+  const auto result = kmc_like_count_reads(reads, opt);
+
+  std::uint64_t runs = 0;
+  std::uint64_t bases = 0;
+  std::uint64_t kmers = 0;
+  for (const auto& r : reads) {
+    for (const auto& sk : kmer::super_kmers(r, opt.k, opt.minimizer_len)) {
+      ++runs;
+      bases += sk.kmer_count + static_cast<std::uint64_t>(opt.k) - 1;
+      kmers += sk.kmer_count;
+    }
+  }
+  EXPECT_EQ(result.super_kmers, runs);
+  EXPECT_EQ(result.super_kmer_bases, bases);
+  EXPECT_EQ(result.total_kmers, kmers);
 }
 
 TEST(KmcLike, SuperKmersCompress) {

@@ -1,0 +1,166 @@
+// Counting-Bloom prefilter tests: the structural guarantees the pipeline's
+// singleton suppression leans on (never undercount, deterministic layout,
+// bounded false-positive rate), plus the end-to-end leg proving a
+// --comm-compress=bloom run produces the same partition as the uncompressed
+// pipeline and the brute-force reference.
+#include "kmer/bloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/index_create.hpp"
+#include "core/pipeline.hpp"
+#include "sim/read_sim.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace metaprep::kmer {
+namespace {
+
+TEST(CountingBloom, EmptyFilterReportsZeroEverywhere) {
+  const CountingBloom bloom(1000, 8, 2, 42);
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(bloom.count(rng.next()), 0u);
+}
+
+TEST(CountingBloom, SizingIsPowerOfTwoWithFloor) {
+  // next_pow2(expected * counters_per_key), floored at 4096 counters.
+  EXPECT_EQ(CountingBloom(10, 8, 2, 1).num_counters(), 4096u);
+  EXPECT_EQ(CountingBloom(1000, 8, 2, 1).num_counters(), 8192u);
+  const CountingBloom b(20000, 8, 3, 9);
+  EXPECT_EQ(b.num_counters() & (b.num_counters() - 1), 0u);
+  EXPECT_GE(b.num_counters(), 20000u * 8u);
+  EXPECT_EQ(b.memory_bytes(), b.num_counters());  // 1 byte per counter
+  EXPECT_EQ(b.hashes(), 3);
+  EXPECT_EQ(b.seed(), 9u);
+}
+
+TEST(CountingBloom, NeverUndercountsAndSaturatesAt255) {
+  // The singleton-drop soundness argument: count() >= true insert count,
+  // always.  A k-mer inserted twice can never report < 2, so a repeated
+  // k-mer is never dropped; saturation keeps heavy k-mers at 255 (still
+  // >= 2) instead of wrapping.
+  CountingBloom bloom(500, 8, 2, 7);
+  util::Xoshiro256 rng(2);
+  std::map<std::uint64_t, std::uint32_t> truth;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t key = rng.next();
+    const auto n = static_cast<std::uint32_t>(1 + rng.next_below(6));
+    truth[key] += n;
+    for (std::uint32_t j = 0; j < n; ++j) bloom.insert(key);
+  }
+  for (const auto& [key, n] : truth) EXPECT_GE(bloom.count(key), n);
+
+  const std::uint64_t hot = 0xFEEDFACEULL;
+  for (int i = 0; i < 300; ++i) bloom.insert(hot);
+  EXPECT_EQ(bloom.count(hot), 255u);
+}
+
+TEST(CountingBloom, DeterministicAcrossInstancesWithTheSameSeed) {
+  // The pipeline builds one filter per destination rank from (bloom_seed +
+  // rank); every source inserting into the same filter must probe the same
+  // positions, and a rebuilt filter must agree bit for bit.
+  CountingBloom a(2000, 8, 2, 99);
+  CountingBloom b(2000, 8, 2, 99);
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 3000; ++i) keys.push_back(rng.next());
+  for (const auto key : keys) {
+    a.insert(key);
+    b.insert(key);
+  }
+  for (const auto key : keys) EXPECT_EQ(a.count(key), b.count(key));
+  util::Xoshiro256 probe(4);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t q = probe.next();
+    EXPECT_EQ(a.count(q), b.count(q));
+  }
+}
+
+TEST(CountingBloom, FalsePositiveRateWithinTwiceTheAnalyticBound) {
+  // Insert N distinct singletons; a "false positive" for the pipeline is a
+  // singleton reporting count >= 2 (it gets *retained* — harmless for
+  // correctness, it just ships bytes).  For h probes into m counters under
+  // hN total increments, P(all h probes were also bumped by another key)
+  // ~= (1 - e^(-hN/m))^h; the measured rate over 20k singletons must stay
+  // within 2x of that (generous slack over sampling noise).
+  constexpr std::uint64_t kN = 20000;
+  constexpr int kCountersPerKey = 8;
+  constexpr int kHashes = 2;
+  CountingBloom bloom(kN, kCountersPerKey, kHashes, 1234);
+
+  util::SplitMix64 gen(5);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) keys.push_back(gen.next());
+  for (const auto key : keys) bloom.insert(key);
+
+  std::uint64_t retained = 0;
+  for (const auto key : keys) {
+    if (bloom.count(key) >= 2) ++retained;
+  }
+  const double m = static_cast<double>(bloom.num_counters());
+  const double fill = 1.0 - std::exp(-static_cast<double>(kHashes * kN) / m);
+  const double analytic = std::pow(fill, kHashes);
+  const double measured = static_cast<double>(retained) / static_cast<double>(kN);
+  EXPECT_LE(measured, 2.0 * analytic) << "analytic " << analytic;
+
+  // Fresh keys must mostly read 0 under the same bound (min over probes).
+  util::SplitMix64 fresh(6);
+  std::uint64_t nonzero = 0;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    if (bloom.count(fresh.next()) > 0) ++nonzero;
+  }
+  EXPECT_LE(static_cast<double>(nonzero) / static_cast<double>(kN), 2.0 * analytic);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the Bloom prefilter must only suppress singletons, so a
+// --comm-compress=bloom run produces exactly the uncompressed partition.
+
+TEST(CountingBloomPipeline, BloomRunMatchesUncompressedOracle) {
+  test::TempDir dir;
+  sim::DatasetConfig scfg;
+  scfg.name = "bloom";
+  scfg.genomes.num_species = 3;
+  scfg.genomes.min_genome_len = 2000;
+  scfg.genomes.max_genome_len = 3500;
+  scfg.num_pairs = 150;
+  scfg.reads.seed = 515;  // default error_rate 0.004 -> singleton k-mers exist
+  const auto dataset = sim::simulate_dataset(scfg, dir.file("bloom"));
+  core::IndexCreateOptions opt;
+  opt.k = 15;
+  opt.m = 5;
+  opt.target_chunks = 6;
+  const auto index = core::create_index("bloom", dataset.files, true, opt);
+
+  core::MetaprepConfig cfg;
+  cfg.k = opt.k;
+  cfg.num_ranks = 2;
+  cfg.threads_per_rank = 2;
+  cfg.num_passes = 2;
+  cfg.write_output = false;
+  const auto plain = core::run_metaprep(index, cfg);
+
+  cfg.comm_compress = core::CommCompress::kBloom;
+  const auto bloom = core::run_metaprep(index, cfg);
+
+  EXPECT_EQ(bloom.num_reads, plain.num_reads);
+  EXPECT_EQ(bloom.num_components, plain.num_components);
+  EXPECT_EQ(test::normalize_partition(bloom.labels), test::normalize_partition(plain.labels));
+  // The filter actually fired: sequencing errors guarantee singletons, and
+  // suppressed occurrences shrink the tuple stream.
+  EXPECT_GT(bloom.bloom_dropped, 0u);
+  EXPECT_LT(bloom.total_tuples, plain.total_tuples);
+  EXPECT_LE(bloom.exchange_bytes, bloom.exchange_bytes_raw);
+  // Both also agree with the brute-force reference components.
+  const auto ref = core::reference_components(index, cfg.filter);
+  EXPECT_EQ(test::normalize_partition(bloom.labels), test::normalize_partition(ref));
+}
+
+}  // namespace
+}  // namespace metaprep::kmer

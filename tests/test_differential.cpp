@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -66,6 +68,7 @@ std::vector<std::uint32_t> serial_oracle(const std::vector<std::string>& files,
 struct Fixture {
   TempDir dir;
   DatasetIndex index;
+  std::vector<std::string> files;     ///< simulated FASTQ paths (R1, R2 pairs)
   std::vector<std::uint32_t> oracle;  ///< normalized serial partition
 
   Fixture() {
@@ -78,6 +81,7 @@ struct Fixture {
     cfg.num_pairs = 220;
     cfg.reads.seed = 4242;
     const auto dataset = sim::simulate_dataset(cfg, dir.file("diff"));
+    files = dataset.files;
     IndexCreateOptions opt;
     opt.k = kK;
     opt.m = 5;
@@ -314,6 +318,179 @@ TEST_P(OutputGridTest, BinnedOutputPartitionsReadSetExactly) {
 
 INSTANTIATE_TEST_SUITE_P(OutputGrid, OutputGridTest, ::testing::ValuesIn(output_grid()),
                          output_case_name);
+
+// ---------------------------------------------------------------------------
+// Exchange-compression grid: every --comm-compress mode must reproduce the
+// oracle partition across both schedulers, both read stores, and both parse
+// modes.  The lenient legs run on a deterministically corrupted copy of the
+// dataset (mangled record headers), indexed leniently, with the oracle
+// recomputed by the brute-force reference under the same parse mode —
+// compressed runs emit no sentinel padding, so lenient gaps must be
+// invisible in the partition, not just tolerated.
+
+/// Copy @p files, mangling the header '@' of two fixed records per file.
+/// The same record indices break in every file, so paired-end files keep
+/// equal parseable record counts.
+std::vector<std::string> corrupt_copy(const std::vector<std::string>& files,
+                                      const TempDir& dir) {
+  std::vector<std::string> out;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    std::ifstream in(files[fi]);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    for (const std::size_t rec : {std::size_t{5}, std::size_t{40}}) {
+      const std::size_t ln = rec * 4;  // sim output: 4 lines per record
+      if (ln < lines.size() && !lines[ln].empty() && lines[ln][0] == '@') lines[ln][0] = '#';
+    }
+    out.push_back(dir.file("corrupt_" + std::to_string(fi) + ".fastq"));
+    std::ofstream os(out.back());
+    for (const auto& l : lines) os << l << '\n';
+  }
+  return out;
+}
+
+struct LenientFixture {
+  TempDir dir;
+  DatasetIndex index;
+  std::vector<std::uint32_t> oracle;  ///< normalized lenient reference partition
+
+  LenientFixture() {
+    const auto files = corrupt_copy(fixture().files, dir);
+    IndexCreateOptions opt;
+    opt.k = kK;
+    opt.m = 5;
+    opt.parse_mode = io::ParseMode::kLenient;
+    opt.target_chunks = 9;
+    index = create_index("diff", files, true, opt);
+    oracle = test::normalize_partition(
+        reference_components(index, KmerFreqFilter{}, io::ParseMode::kLenient));
+  }
+};
+
+LenientFixture& lenient_fixture() {
+  static LenientFixture f;
+  return f;
+}
+
+struct CompressCase {
+  CommCompress compress;
+  PipelineMode mode;
+  ReadStore store;
+  io::ParseMode parse;
+};
+
+std::string compress_tag(CommCompress c) {
+  switch (c) {
+    case CommCompress::kNone: return "Cnone";
+    case CommCompress::kSuperKmer: return "Csuperkmer";
+    case CommCompress::kBloom: return "Cbloom";
+    case CommCompress::kBoth: return "Cboth";
+  }
+  return "C?";
+}
+
+std::string compress_case_name(const ::testing::TestParamInfo<CompressCase>& info) {
+  const auto& c = info.param;
+  return compress_tag(c.compress) +
+         (c.mode == PipelineMode::kOverlap ? "overlap" : "barrier") +
+         (c.store == ReadStore::kPacked ? "Packed" : "Text") +
+         (c.parse == io::ParseMode::kLenient ? "Lenient" : "Strict");
+}
+
+std::vector<CompressCase> compress_grid() {
+  std::vector<CompressCase> cases;
+  for (auto compress : {CommCompress::kNone, CommCompress::kSuperKmer, CommCompress::kBloom,
+                        CommCompress::kBoth}) {
+    for (auto mode : {PipelineMode::kBarrier, PipelineMode::kOverlap}) {
+      for (auto store : {ReadStore::kText, ReadStore::kPacked}) {
+        for (auto parse : {io::ParseMode::kStrict, io::ParseMode::kLenient}) {
+          cases.push_back({compress, mode, store, parse});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+class CommCompressGridTest : public ::testing::TestWithParam<CompressCase> {};
+
+TEST_P(CommCompressGridTest, PartitionMatchesOracle) {
+  const auto& c = GetParam();
+  const bool lenient = c.parse == io::ParseMode::kLenient;
+  const DatasetIndex& index = lenient ? lenient_fixture().index : fixture().index;
+  const auto& oracle = lenient ? lenient_fixture().oracle : fixture().oracle;
+
+  MetaprepConfig cfg;
+  cfg.k = kK;
+  cfg.num_ranks = 4;  // cross-rank traffic exists, so the byte counters fire
+  cfg.threads_per_rank = 2;
+  cfg.num_passes = 2;
+  cfg.pipeline_mode = c.mode;
+  cfg.read_store = c.store;
+  cfg.parse_mode = c.parse;
+  cfg.comm_compress = c.compress;
+  cfg.write_output = false;
+
+  const auto result = run_metaprep(index, cfg);
+  EXPECT_EQ(result.num_reads, index.total_reads);
+  EXPECT_EQ(result.passes_used, 2);
+  EXPECT_EQ(test::normalize_partition(result.labels), oracle);
+
+  // Byte accounting invariants.
+  if (c.compress == CommCompress::kNone) {
+    EXPECT_EQ(result.exchange_bytes, result.exchange_bytes_raw);
+    EXPECT_EQ(result.superkmer_records, 0u);
+    EXPECT_EQ(result.bloom_dropped, 0u);
+  } else {
+    EXPECT_GT(result.exchange_bytes_raw, 0u);
+    EXPECT_LE(result.exchange_bytes, result.exchange_bytes_raw);
+  }
+  const bool superkmer =
+      c.compress == CommCompress::kSuperKmer || c.compress == CommCompress::kBoth;
+  const bool bloom = c.compress == CommCompress::kBloom || c.compress == CommCompress::kBoth;
+  if (superkmer) {
+    EXPECT_GT(result.superkmer_records, 0u);
+    // Aggregation must actually shrink the wire volume on this corpus.
+    EXPECT_LT(result.exchange_bytes, result.exchange_bytes_raw);
+  }
+  if (bloom) { EXPECT_GT(result.bloom_dropped, 0u); }
+  if (c.compress == CommCompress::kSuperKmer && !lenient) {
+    // Strict super-k-mer-only runs re-expand every k-mer occurrence: the
+    // tuple census equals the index's global k-mer histogram exactly.
+    EXPECT_EQ(result.total_tuples, index.mer_hist.total());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CompressGrid, CommCompressGridTest,
+                         ::testing::ValuesIn(compress_grid()), compress_case_name);
+
+TEST(Differential, CompressModesAgreeTupleForTuple) {
+  // Beyond partition equality: strict super-k-mer runs must enumerate the
+  // *same tuple multiset size* as the uncompressed exchange while shipping
+  // strictly fewer bytes, and `both` must ship no more than `superkmer`.
+  auto& f = fixture();
+  for (int S : {1, 2}) {
+    MetaprepConfig cfg;
+    cfg.k = kK;
+    cfg.num_ranks = 4;
+    cfg.threads_per_rank = 2;
+    cfg.num_passes = S;
+    cfg.write_output = false;
+    const auto none = run_metaprep(f.index, cfg);
+    cfg.comm_compress = CommCompress::kSuperKmer;
+    const auto sk = run_metaprep(f.index, cfg);
+    cfg.comm_compress = CommCompress::kBoth;
+    const auto both = run_metaprep(f.index, cfg);
+
+    EXPECT_EQ(none.exchange_bytes, none.exchange_bytes_raw) << "S=" << S;
+    EXPECT_EQ(sk.total_tuples, none.total_tuples) << "S=" << S;
+    EXPECT_LT(sk.exchange_bytes, none.exchange_bytes) << "S=" << S;
+    EXPECT_LE(both.exchange_bytes, sk.exchange_bytes) << "S=" << S;
+    EXPECT_EQ(test::normalize_partition(sk.labels), f.oracle) << "S=" << S;
+    EXPECT_EQ(test::normalize_partition(both.labels), f.oracle) << "S=" << S;
+  }
+}
 
 TEST(Differential, ModesAgreeTupleForTuple) {
   // Beyond the partition: both modes must enumerate the same number of
