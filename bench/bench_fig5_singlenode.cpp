@@ -11,6 +11,7 @@
 
 #include "util/buffer_pool.hpp"
 
+#include <algorithm>
 #include <map>
 
 int main() {
@@ -68,24 +69,37 @@ int main() {
                                                        : core::PipelineMode::kBarrier;
     return cfg;
   };
-  // The timed A/B pair runs back to back, with nothing (not even an untraced
-  // repeat) in between: the overlap-vs-barrier ratio is gated by
-  // bench_guard.sh, and any extra run shifts the allocator/pool state one
-  // side depends on.  The traced repeats for the critical-path attribution
-  // follow AFTER both timed runs, where they can perturb nothing.
+  // The timed A/B pairs run back to back, with nothing (not even an untraced
+  // repeat) between the two sides of a pair: the overlap-vs-barrier ratio is
+  // gated by bench_guard.sh, and any extra run shifts the allocator/pool
+  // state one side depends on.  Each pair is sampled three times per process
+  // (interleaved, min wall per mode kept) — the same noise filter the
+  // read-store axis uses: on this oversubscribed single core a lone sample
+  // can swing the ~60 ms walls by several percent, enough to flip the gated
+  // ratio, while the min of three adjacent samples is stable.  The traced
+  // repeats for the critical-path attribution follow AFTER all timed
+  // samples, where they can perturb nothing.
   struct ModeRun {
     std::string mode;
     bench::TimedRun run;
     std::uint64_t reuse_hits;
   };
   std::vector<ModeRun> timed;
-  for (const char* mode : {"barrier", "overlap"}) {
-    const core::MetaprepConfig cfg = make_mode_cfg(mode);
-    const std::uint64_t hits_before = util::BufferPool::global().reuse_hits();
-    auto run = bench::timed_run(ds.index, cfg);
-    const std::uint64_t hits_delta =
-        util::BufferPool::global().reuse_hits() - hits_before;
-    timed.push_back({mode, std::move(run), hits_delta});
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const char* mode : {"barrier", "overlap"}) {
+      const core::MetaprepConfig cfg = make_mode_cfg(mode);
+      const std::uint64_t hits_before = util::BufferPool::global().reuse_hits();
+      auto run = bench::timed_run(ds.index, cfg);
+      const std::uint64_t hits_delta =
+          util::BufferPool::global().reuse_hits() - hits_before;
+      auto it = std::find_if(timed.begin(), timed.end(),
+                             [&](const ModeRun& mr) { return mr.mode == mode; });
+      if (it == timed.end()) {
+        timed.push_back({mode, std::move(run), hits_delta});
+      } else if (run.wall_seconds < it->run.wall_seconds) {
+        *it = {mode, std::move(run), hits_delta};
+      }
+    }
   }
   // Untimed traced repeats: per-span tracing perturbs the measured wall, so
   // only the attribution (not the timing) of these runs is recorded.

@@ -34,20 +34,31 @@
 //       Digital normalization (the companion Howe et al. strategy): stream
 //       the pairs, keep those whose estimated median k-mer abundance is
 //       below the cutoff, write PREFIX_1.fastq / PREFIX_2.fastq.
+//   daemon <verb> --socket=SOCK ...
+//       Client for a running metaprepd (tools/metaprepd).  Verbs: ping,
+//       submit (--index plus run-style flags), status/cancel/fetch (--job=N;
+//       status takes --wait to poll to a terminal state), list, pause,
+//       resume, shutdown.  Each invocation sends one JSON request line and
+//       prints the daemon's one-line JSON response.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "core/index_create.hpp"
 #include "core/manifest.hpp"
 #include "core/memory_model.hpp"
 #include "core/pipeline.hpp"
 #include "norm/diginorm.hpp"
+#include "serve/proto.hpp"
 #include "sim/presets.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
+#include "util/json.hpp"
+#include "util/socket.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -69,7 +80,13 @@ int usage() {
                "--fault-comm-drop-rate=P --fault-comm-delay-rate=P]\n"
                "       metaprep_cli sim --out=DIR [--preset=HG|LL|MM|IS|XL --sim-scale=S]\n"
                "       metaprep_cli info --index=INDEX.bin\n"
-               "       metaprep_cli diginorm --out=PREFIX [--k --cutoff] R1.fastq R2.fastq\n");
+               "       metaprep_cli diginorm --out=PREFIX [--k --cutoff] R1.fastq R2.fastq\n"
+               "       metaprep_cli daemon ping|submit|status|cancel|fetch|list|pause|resume|"
+               "shutdown --socket=SOCK\n"
+               "           submit: --index=INDEX.bin [--ranks --threads --passes --priority "
+               "--out=DIR --no-output --output-bins=B --pipeline-mode=barrier|overlap "
+               "--filter-min --filter-max]\n"
+               "           status|cancel|fetch: --job=N  (status: [--wait[=SECONDS]])\n");
   return 2;
 }
 
@@ -316,6 +333,84 @@ int cmd_info(const util::Args& args) {
   return 0;
 }
 
+/// One request/response exchange with a running metaprepd.
+std::string daemon_roundtrip(const std::string& socket_path, const std::string& request) {
+  util::SocketConn conn = util::connect_unix(socket_path);
+  conn.send_line(request);
+  std::string line;
+  if (!conn.recv_line(line))
+    throw util::io_error("daemon closed the connection without replying", socket_path);
+  return line;
+}
+
+int cmd_daemon(const util::Args& args) {
+  if (args.positional().size() < 2 || !args.has("socket")) return usage();
+  const std::string verb = args.positional()[1];
+  const std::string socket_path = args.get("socket", "");
+
+  std::string request;
+  if (verb == "submit") {
+    if (!args.has("index")) return usage();
+    serve::JsonLineWriter w;
+    w.field("cmd", std::string("submit"));
+    w.field("index", args.get("index", ""));
+    if (args.has("ranks")) w.field("ranks", static_cast<std::int64_t>(args.get_int("ranks", 1)));
+    if (args.has("threads"))
+      w.field("threads", static_cast<std::int64_t>(args.get_int("threads", 1)));
+    if (args.has("passes"))
+      w.field("passes", static_cast<std::int64_t>(args.get_int("passes", 1)));
+    if (args.has("priority"))
+      w.field("priority", static_cast<std::int64_t>(args.get_int("priority", 0)));
+    if (args.has("out")) w.field("out", args.get("out", "."));
+    if (args.has("no-output")) w.field("write_output", false);
+    if (args.has("output-bins"))
+      w.field("output_bins", static_cast<std::int64_t>(args.get_int("output-bins", 0)));
+    if (args.has("pipeline-mode")) w.field("pipeline_mode", args.get("pipeline-mode", ""));
+    if (args.has("filter-min"))
+      w.field("filter_min", static_cast<std::int64_t>(args.get_int("filter-min", 0)));
+    if (args.has("filter-max"))
+      w.field("filter_max", static_cast<std::int64_t>(args.get_int("filter-max", 0)));
+    request = w.finish();
+  } else if (verb == "status" || verb == "cancel" || verb == "fetch") {
+    if (!args.has("job")) return usage();
+    serve::JsonLineWriter w;
+    w.field("cmd", verb);
+    w.field("job", static_cast<std::int64_t>(args.get_int("job", 0)));
+    request = w.finish();
+  } else if (verb == "ping" || verb == "list" || verb == "pause" || verb == "resume" ||
+             verb == "shutdown") {
+    serve::JsonLineWriter w;
+    w.field("cmd", verb);
+    request = w.finish();
+  } else {
+    return usage();
+  }
+
+  std::string response = daemon_roundtrip(socket_path, request);
+  if (verb == "status" && args.has("wait")) {
+    // Poll the job to a terminal state (done/failed/cancelled).  A bare
+    // --wait flag parses as "1"; treat it as the default timeout.
+    const std::string wait_val = args.get("wait", "");
+    const double timeout_s = (wait_val.empty() || wait_val == "1") ? 120.0 : std::stod(wait_val);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+    for (;;) {
+      const util::JsonValue v = util::parse_json(response);
+      const std::string state = v.string_or("state", "");
+      if (state != "queued" && state != "running") break;
+      if (std::chrono::steady_clock::now() >= deadline)
+        throw util::io_error("daemon status --wait: timed out after " +
+                             std::to_string(timeout_s) + " s in state '" + state + "'");
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      response = daemon_roundtrip(socket_path, request);
+    }
+  }
+  std::printf("%s\n", response.c_str());
+  const util::JsonValue v = util::parse_json(response);
+  const util::JsonValue* ok = v.find("ok");
+  return ok != nullptr && ok->as_bool() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -328,6 +423,7 @@ int main(int argc, char** argv) {
     if (cmd == "sim") return cmd_sim(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "diginorm") return cmd_diginorm(args);
+    if (cmd == "daemon") return cmd_daemon(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "metaprep_cli: %s\n", e.what());
     return 1;

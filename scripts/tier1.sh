@@ -4,18 +4,25 @@
 #   1. Regular build + full ctest suite (RelWithDebInfo, CMakePresets
 #      "default" preset).
 #   2. ThreadSanitizer build of the concurrency-heavy binaries, running the
-#      observability (test_obs), simulated-MPI (test_mpsim), and union-find
-#      (test_dsu) suites plus the binned-output and packed-read-store
-#      differential legs — the paths that stress cross-thread event buffers,
-#      mailboxes, the parallel MergeCC flatten (atomic_ref size counting),
-#      and the threads-over-mmap packed KmerGen scan.
+#      observability (test_obs), simulated-MPI (test_mpsim), union-find
+#      (test_dsu), and service-layer (test_serve: concurrent sessions,
+#      cancellation, job queue) suites plus the binned-output and
+#      packed-read-store differential legs — the paths that stress
+#      cross-thread event buffers, mailboxes, the parallel MergeCC flatten
+#      (atomic_ref size counting), and the threads-over-mmap packed KmerGen
+#      scan.
 #   3. Address+UBSanitizer build running the fault-injection (test_faults),
 #      FASTQ parsing (test_fastq), packed-arena (test_packed_store), and
 #      exchange-compression (test_superkmer, test_bloom, the comm-compress
 #      differential grid) suites — the paths that do raw buffer arithmetic
 #      and deliberately corrupt / truncate input, including the super-k-mer
 #      wire decode.
-#   4. Correctness tooling: repo-idiom lint (scripts/lint.sh), clang-tidy
+#   4. metaprepd daemon smoke: start the job-queue daemon on an AF_UNIX
+#      socket, submit a job via `metaprep_cli daemon`, poll it to
+#      completion, fetch the partition manifest, cancel a queued job under
+#      pause, shut down cleanly — failing on a leaked child process or
+#      socket file.
+#   5. Correctness tooling: repo-idiom lint (scripts/lint.sh), clang-tidy
 #      static analysis when available (scripts/analyze.sh), and the src/check
 #      verification layer live (METAPREP_CHECK=1) over the seeded-violation
 #      suite plus a checked differential slice.
@@ -56,7 +63,7 @@ METAPREP_CHECK=1 ./build/tests/test_differential --gtest_filter='CompressGrid/*'
 
 echo "=== tier 1: attribution report leg (traced fig5-style run -> metaprep-report) ==="
 REPORT_DIR="$(mktemp -d /tmp/metaprep_tier1_report.XXXXXX)"
-trap 'rm -rf "${REPORT_DIR}"' EXIT
+trap 'if [ -n "${DPID:-}" ]; then kill "${DPID}" 2>/dev/null || true; fi; rm -rf "${REPORT_DIR}"' EXIT
 ./build/examples/metaprep_cli sim --out="${REPORT_DIR}/data" --preset=HG --sim-scale=0.2 >/dev/null
 ./build/examples/metaprep_cli index --out="${REPORT_DIR}/idx.bin" --chunks=32 \
   "${REPORT_DIR}/data/HG_1.fastq" "${REPORT_DIR}/data/HG_2.fastq" >/dev/null
@@ -108,9 +115,54 @@ print("report leg: schema OK "
       f"({len(phases)} phases, crit path {cp['length_s']:.3f}s of {d['wall_s']:.3f}s)")
 PYEOF
 
-echo "=== tier 1: ThreadSanitizer build (test_obs + test_mpsim + test_dsu + test_differential) ==="
+echo "=== tier 1: metaprepd daemon smoke (submit/status/fetch/cancel over AF_UNIX) ==="
+DSOCK="${REPORT_DIR}/metaprepd.sock"
+./build/tools/metaprepd --socket="${DSOCK}" --job-dir="${REPORT_DIR}/jobs" &
+DPID=$!
+for _ in $(seq 1 100); do
+  [ -S "${DSOCK}" ] && break
+  sleep 0.05
+done
+./build/examples/metaprep_cli daemon ping --socket="${DSOCK}" >/dev/null
+# Reuse the report leg's index: submit an overlap job and poll to completion.
+./build/examples/metaprep_cli daemon submit --socket="${DSOCK}" \
+  --index="${REPORT_DIR}/idx.bin" --ranks=2 --threads=2 --passes=2 \
+  --pipeline-mode=overlap --out="${REPORT_DIR}/dout" >/dev/null
+STATUS_OUT="$(./build/examples/metaprep_cli daemon status --socket="${DSOCK}" --job=1 --wait=120)"
+echo "${STATUS_OUT}" | grep -q '"state":"done"' \
+  || { echo "daemon smoke: job 1 did not complete: ${STATUS_OUT}"; exit 1; }
+./build/examples/metaprep_cli daemon fetch --socket="${DSOCK}" --job=1 \
+  | grep -q '"output_files":\[' \
+  || { echo "daemon smoke: fetch returned no partition manifest"; exit 1; }
+# Per-job observability artifacts, scoped by job id, plus the same
+# manifest.tsv sidecar a direct CLI run leaves next to the bins.
+test -s "${REPORT_DIR}/jobs/job-1.trace.json"
+test -s "${REPORT_DIR}/jobs/job-1.metrics.jsonl"
+test -s "${REPORT_DIR}/dout/manifest.tsv"
+# Deterministic queued-job cancel: pause dispatch so the worker never starts it.
+./build/examples/metaprep_cli daemon pause --socket="${DSOCK}" >/dev/null
+./build/examples/metaprep_cli daemon submit --socket="${DSOCK}" \
+  --index="${REPORT_DIR}/idx.bin" --no-output >/dev/null
+./build/examples/metaprep_cli daemon cancel --socket="${DSOCK}" --job=2 \
+  | grep -q '"cancelled":true' || { echo "daemon smoke: cancel failed"; exit 1; }
+./build/examples/metaprep_cli daemon resume --socket="${DSOCK}" >/dev/null
+./build/examples/metaprep_cli daemon status --socket="${DSOCK}" --job=2 \
+  | grep -q '"state":"cancelled"' \
+  || { echo "daemon smoke: cancelled job not reported cancelled"; exit 1; }
+./build/examples/metaprep_cli daemon shutdown --socket="${DSOCK}" >/dev/null
+wait "${DPID}"
+if kill -0 "${DPID}" 2>/dev/null; then
+  echo "daemon smoke: leaked metaprepd process ${DPID}"; exit 1
+fi
+DPID=""
+if [ -e "${DSOCK}" ]; then
+  echo "daemon smoke: leaked socket file ${DSOCK}"; exit 1
+fi
+echo "daemon smoke: OK (submit/status/fetch/cancel/shutdown, no leaks)"
+
+echo "=== tier 1: ThreadSanitizer build (test_obs + test_mpsim + test_dsu + test_differential + test_serve) ==="
 cmake --preset tsan
-cmake --build --preset tsan "${JOBS}" --target test_obs test_mpsim test_dsu test_differential
+cmake --build --preset tsan "${JOBS}" --target test_obs test_mpsim test_dsu test_differential test_serve
 
 echo "=== tier 1: TSan test_obs ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
@@ -124,6 +176,8 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_differential \
 echo "=== tier 1: TSan packed read-store legs (threads over one shared mmap arena) ==="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_differential \
   --gtest_filter='Grid/*T2*Packed*'
+echo "=== tier 1: TSan service layer (concurrent sessions + cancel + job queue) ==="
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_serve
 
 echo "=== tier 1: ASan+UBSan build (test_faults + test_fastq + test_packed_store + compress legs) ==="
 cmake --preset asan

@@ -25,13 +25,26 @@ std::atomic<int>& force_count() noexcept {
   return count;
 }
 
+// Per-thread tri-state override (-1 inherit, 0 off, 1 on); see check.hpp.
+thread_local int tls_override = -1;
+
 }  // namespace
 
 #if METAPREP_CHECKED
 bool enabled() noexcept {
+  const int o = tls_override;
+  if (o >= 0) return o != 0;
   return force_count().load(std::memory_order_relaxed) > 0 || env_enabled();
 }
 #endif
+
+int exchange_thread_override(int value) noexcept {
+  const int prev = tls_override;
+  tls_override = value < 0 ? -1 : (value != 0 ? 1 : 0);
+  return prev;
+}
+
+int thread_override() noexcept { return tls_override; }
 
 void force_enable() noexcept { force_count().fetch_add(1, std::memory_order_relaxed); }
 void force_disable() noexcept { force_count().fetch_sub(1, std::memory_order_relaxed); }

@@ -50,6 +50,16 @@ namespace metaprep::check {
 void force_enable() noexcept;
 void force_disable() noexcept;
 
+/// Per-thread override of the process-wide gate, used by pipeline sessions
+/// to give each concurrent job its own check setting.  Values: -1 inherit
+/// (consult force_enable / METAPREP_CHECK as before), 0 force-off, 1
+/// force-on — for the calling thread and any worker that installs the same
+/// override.  Returns the previous value so callers can restore it (RAII in
+/// util::SessionContext).  Precedence: thread override > force_enable >
+/// METAPREP_CHECK environment variable.
+int exchange_thread_override(int value) noexcept;
+[[nodiscard]] int thread_override() noexcept;
+
 /// RAII runtime-enable for tests: checking is on while any instance lives.
 class ScopedCheckEnable {
  public:

@@ -7,6 +7,17 @@
 #include "io/fastq.hpp"
 #include "mpsim/comm.hpp"
 
+namespace metaprep::obs {
+class TraceSession;
+class MetricsRegistry;
+class MemRegistry;
+}  // namespace metaprep::obs
+
+namespace metaprep::util {
+class BufferPool;
+class CancelToken;
+}  // namespace metaprep::util
+
 namespace metaprep::core {
 
 /// k-mer frequency filter (paper §4.4): only read-graph edges whose shared
@@ -187,6 +198,28 @@ struct MetaprepConfig {
   /// One-line stderr progress (phase, % chunks, elapsed; CLI --progress).
   /// Off by default and silent in tests.
   bool progress = false;
+
+  /// Session plumbing (src/serve).  All default null, which preserves the
+  /// historical behaviour: observability goes to the process-global
+  /// singletons and nothing can cancel the run.  A PipelineSession points
+  /// these at per-session instances so concurrent in-process runs keep
+  /// disjoint trace/metrics/memory state; run_metaprep installs them as the
+  /// calling thread's overrides for the duration of the run (propagated to
+  /// ThreadTeam workers and mpsim rank threads).  Non-owning: the pointees
+  /// must outlive the run.
+  obs::TraceSession* trace_session = nullptr;
+  obs::MetricsRegistry* metrics_registry = nullptr;
+  obs::MemRegistry* mem_registry = nullptr;
+
+  /// Buffer pool the overlap scheduler leases from.  Null = the process
+  /// pool.  The daemon passes one shared pool so jobs recycle each other's
+  /// tuple buffers.
+  util::BufferPool* buffer_pool = nullptr;
+
+  /// Cooperative cancel flag, polled at pass/chunk boundaries.  Null = not
+  /// cancellable.  When set mid-run the pipeline unwinds with
+  /// util::cancelled_error after returning every BufferPool lease.
+  const util::CancelToken* cancel_token = nullptr;
 };
 
 }  // namespace metaprep::core

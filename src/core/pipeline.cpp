@@ -32,9 +32,11 @@
 #include "part/part.hpp"
 #include "sort/radix.hpp"
 #include "util/buffer_pool.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/memusage.hpp"
 #include "util/prefix_sum.hpp"
+#include "util/session.hpp"
 #include "util/thread_team.hpp"
 
 namespace metaprep::core {
@@ -98,6 +100,30 @@ void accumulate_bounded_counts(const std::uint32_t* row,
     counts[i] += acc;
   }
 }
+
+/// Minimal scope guard for lease cleanup on exception unwind (a cancel or a
+/// typed Error mid-pass must return every BufferPool lease).  The callback
+/// must not throw during unwind, so failures inside it are swallowed.
+template <typename F>
+class ScopeExit {
+ public:
+  explicit ScopeExit(F f) : f_(std::move(f)) {}
+  ScopeExit(const ScopeExit&) = delete;
+  ScopeExit& operator=(const ScopeExit&) = delete;
+  ~ScopeExit() {
+    if (!armed_) return;
+    try {
+      f_();
+    } catch (...) {
+      // Unwind path: the original exception matters more.
+    }
+  }
+  void dismiss() noexcept { armed_ = false; }
+
+ private:
+  F f_;
+  bool armed_ = true;
+};
 
 /// Lookup table bin -> part index for a boundary vector covering
 /// [bounds.front(), bounds.back()).
@@ -197,6 +223,7 @@ template <typename Emit64, typename Emit128>
 std::uint64_t scan_chunk(PassCtx& ctx, std::uint32_t c, bool substitute,
                          double& io_s, double& gen_s, Emit64&& emit64,
                          Emit128&& emit128, bool tick_progress = true) {
+  util::throw_if_cancelled(ctx.config.cancel_token, "KmerGen chunk");
   const DatasetIndex& index = ctx.index;
   dsu::AtomicDSU& local_cc = ctx.local_cc;
   const int k = ctx.k;
@@ -282,6 +309,7 @@ template <typename RecFn>
 std::uint64_t scan_chunk_records(PassCtx& ctx, std::uint32_t c, bool substitute,
                                  double& io_s, double& gen_s, bool tick_progress,
                                  RecFn&& rec_fn) {
+  util::throw_if_cancelled(ctx.config.cancel_token, "KmerGen chunk");
   const DatasetIndex& index = ctx.index;
   dsu::AtomicDSU& local_cc = ctx.local_cc;
   std::uint64_t skipped = 0;
@@ -353,6 +381,7 @@ void run_passes_barrier(PassCtx& ctx) {
   kmer_in.wide = wide;
 
   for (int s = 0; s < S; ++s) {
+    util::throw_if_cancelled(config.cancel_token, "barrier pass");
     const double pass_t0 = span_begin(tr);
     const BinRange my_range = plan.rank_range(s, p);
     const auto& rank_bounds = plan.rank_bounds(s);
@@ -865,7 +894,8 @@ void run_passes_overlap(PassCtx& ctx) {
   if (nslots > 0xFFFF)
     throw util::config_error("overlap mode: P*T must fit the 16-bit slot table");
 
-  util::BufferPool& pool = util::BufferPool::global();
+  util::BufferPool& pool =
+      config.buffer_pool != nullptr ? *config.buffer_pool : util::BufferPool::global();
   std::uint64_t live_bytes = 0;
   auto tuple_bytes_of = [wide](std::size_t n) { return n * (wide ? 20ull : 12ull); };
   auto acquire_tuples = [&](std::size_t n) {
@@ -890,17 +920,30 @@ void run_passes_overlap(PassCtx& ctx) {
   };
 
   for (int s0 = 0; s0 < S; s0 += 2) {
+    util::throw_if_cancelled(config.cancel_token, "overlap pass group");
     const int npasses = std::min(2, S - s0);
     std::array<double, 2> pass_t0{span_begin(tr), -1.0};
     std::array<OverlapGeom, 2> geom;
     std::array<TupleBuffer, 2> send_buf;
     std::array<TupleBuffer, 2> recv_buf;
+    // Liveness flags + guard: any exception leaving this group (cancel,
+    // comm poison, CheckError) releases whatever is still leased.  Flags
+    // rather than emptiness tests so a zero-tuple lease is still returned.
+    std::array<bool, 2> send_live{false, false};
+    std::array<bool, 2> recv_live{false, false};
+    ScopeExit lease_guard([&] {
+      for (std::size_t i = 0; i < 2; ++i) {
+        if (send_live[i]) release_tuples(std::move(send_buf[i]));
+        if (recv_live[i]) release_tuples(std::move(recv_buf[i]));
+      }
+    });
     std::array<std::vector<mpsim::Request>, 2> pending;
     std::array<std::vector<std::uint64_t>, 2> cursor;
     for (int i = 0; i < npasses; ++i) {
       geom[static_cast<std::size_t>(i)] = overlap_geometry(ctx, s0 + i);
       send_buf[static_cast<std::size_t>(i)] =
           acquire_tuples(geom[static_cast<std::size_t>(i)].total_out);
+      send_live[static_cast<std::size_t>(i)] = true;
       cursor[static_cast<std::size_t>(i)] = geom[static_cast<std::size_t>(i)].cursor_start;
       my.tuples += geom[static_cast<std::size_t>(i)].total_out;
       ctx.m_tuples.add(geom[static_cast<std::size_t>(i)].total_out);
@@ -1017,11 +1060,15 @@ void run_passes_overlap(PassCtx& ctx) {
         // the sort buffer; no exchange, no copy.
         recv_buf[si] = std::move(send_buf[si]);
         send_buf[si] = TupleBuffer{};
+        recv_live[si] = send_live[si];
+        send_live[si] = false;
       } else {
         recv_buf[si] = acquire_tuples(geom[si].total_in);
+        recv_live[si] = true;
         post_overlap_exchange(ctx, s0 + i, geom[si], send_buf[si], recv_buf[si], pending[si]);
         release_tuples(std::move(send_buf[si]));
         send_buf[si] = TupleBuffer{};
+        send_live[si] = false;
         // Cross-rank tuples = everything outside my own P*T slot block.
         const std::uint64_t cross =
             geom[si].total_out -
@@ -1039,6 +1086,7 @@ void run_passes_overlap(PassCtx& ctx) {
     // it); its wait_all is the pipeline's only synchronization. ----
     const double window_t0 = span_begin(tr);
     for (int i = 0; i < npasses; ++i) {
+      util::throw_if_cancelled(config.cancel_token, "overlap drain");
       const std::size_t si = static_cast<std::size_t>(i);
       const OverlapGeom& g = geom[si];
       TupleBuffer& tuples = recv_buf[si];
@@ -1060,6 +1108,7 @@ void run_passes_overlap(PassCtx& ctx) {
         const double sort_t0 = span_begin(tr);
         WallTimer sort_timer;
         TupleBuffer scratch = acquire_tuples(g.total_in);
+        ScopeExit scratch_guard([&] { release_tuples(std::move(scratch)); });
         team.run([&](int t) {
           const std::uint64_t rlo = g.region_start[static_cast<std::size_t>(t)];
           const std::uint64_t rhi = g.region_start[static_cast<std::size_t>(t) + 1];
@@ -1081,6 +1130,7 @@ void run_passes_overlap(PassCtx& ctx) {
                                    config.sort_digit_bits);
           }
         });
+        scratch_guard.dismiss();
         release_tuples(std::move(scratch));
         my.times.add("LocalSort", sort_timer.seconds());
         span_end(tr, "LocalSort", sort_t0);
@@ -1138,6 +1188,7 @@ void run_passes_overlap(PassCtx& ctx) {
 
       release_tuples(std::move(tuples));
       recv_buf[si] = TupleBuffer{};
+      recv_live[si] = false;
       ctx.m_rss.set_max(static_cast<double>(util::current_rss_bytes()));
       span_end(tr, "Pass", pass_t0[si]);
     }
@@ -1378,6 +1429,7 @@ void run_passes_compressed(PassCtx& ctx, const CompressPlan& cplan,
   scratch.wide = wide;
 
   for (int s0 = 0; s0 < S; s0 += group_sz) {
+    util::throw_if_cancelled(ctx.config.cancel_token, "compressed pass group");
     const int npasses = std::min(group_sz, S - s0);
     std::array<double, 2> pass_t0{span_begin(tr), -1.0};
     const std::uint32_t g0lo = cplan.pass[static_cast<std::size_t>(s0)].lo;
@@ -1854,6 +1906,17 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
   const std::uint32_t R = index.total_reads;
   const int m = index.mer_hist.m;
 
+  // Session plumbing: when the config names per-session observability
+  // instances, install them as this thread's overrides for the whole run.
+  // Everything below resolves sinks through obs::*::current(), and the
+  // overrides propagate to ThreadTeam workers and mpsim rank threads, so a
+  // null config keeps the historical global-singleton behaviour exactly.
+  util::SessionContext session_ctx = util::SessionContext::capture();
+  if (config.trace_session != nullptr) session_ctx.trace = config.trace_session;
+  if (config.metrics_registry != nullptr) session_ctx.metrics = config.metrics_registry;
+  if (config.mem_registry != nullptr) session_ctx.mem = config.mem_registry;
+  const util::ScopedSessionContext session_bind(session_ctx);
+
   // Memory-model input, shared by pass derivation (S == 0) and the
   // attribution report's predicted-vs-actual reconciliation.
   MemoryModelInput mm;
@@ -1891,7 +1954,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
       mreg.set_enabled(were_enabled);
     }
     if (!config.trace_out.empty()) {
-      obs::TraceSession& trs = obs::TraceSession::global();
+      obs::TraceSession& trs = obs::TraceSession::current();
       const bool was_enabled = trs.enabled();
       trs.clear();
       trs.write_chrome_json(config.trace_out);
@@ -1940,10 +2003,11 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     obs::mem_charge("bloom", bloom_bytes);
   }
 
-  // Observability: when the config names output files, this run owns the
-  // global tracer/metrics (cleared + enabled here, exported after the run).
+  // Observability: when the config names output files, this run owns its
+  // session's tracer/metrics (cleared + enabled here, exported after the
+  // run); with no session installed that is still the process globals.
   // attr_out needs the span data, so it forces tracing like trace_out.
-  obs::TraceSession& tr = obs::TraceSession::global();
+  obs::TraceSession& tr = obs::TraceSession::current();
   const bool trace_was_enabled = tr.enabled();
   const bool want_trace = !config.trace_out.empty() || !config.attr_out.empty();
   if (want_trace) {
@@ -1958,7 +2022,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
   // Memory attribution rides with tracing: its subsystem high-water marks
   // feed the same report, and its cost discipline is the same one-relaxed-
   // load-when-off, so untraced runs are unaffected.
-  obs::MemRegistry& memreg = obs::MemRegistry::global();
+  obs::MemRegistry& memreg = obs::MemRegistry::current();
   const bool mem_was_enabled = memreg.enabled();
   const bool traced_run = tr.enabled();
   if (traced_run && !mem_was_enabled) {
@@ -2077,6 +2141,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     }
 
     // ---- MergeCC (§3.6): combine rank-local component arrays. ----
+    util::throw_if_cancelled(config.cancel_token, "MergeCC");
     progress_phase(ctx, "MergeCC");
     std::vector<std::uint32_t> parents = local_cc.parents();
     if (config.merge_strategy == MergeStrategy::kPairwiseTree) {
@@ -2321,6 +2386,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
         };
 
         for (std::uint32_t c = ca.thread_begin(p, t); c < ca.thread_end(p, t); ++c) {
+          util::throw_if_cancelled(config.cancel_token, "CC-I/O chunk");
           const ChunkRecord& chunk = index.part.chunks[c];
           const auto buffer =
               io::read_file_range(index.files[chunk.file], chunk.offset, chunk.size);
@@ -2505,7 +2571,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
     // "pool" have no model term and report measured-only.
     const MemoryBreakdown pred = estimate_memory(mm);
     const auto up = static_cast<std::uint64_t>(P);
-    for (const auto& [name, usage] : obs::MemRegistry::global().snapshot()) {
+    for (const auto& [name, usage] : memreg.snapshot()) {
       obs::MemSubsystem ms;
       ms.name = name;
       ms.high_water_bytes =
@@ -2567,6 +2633,7 @@ PipelineResult run_metaprep(const DatasetIndex& index, const MetaprepConfig& con
                         result.message_matrix, comm_skew);
     }
     if (!config.trace_out.empty()) tr.write_chrome_json(config.trace_out);
+    tr.flush();  // no-op unless the session has an armed flush path
     if (want_trace && !trace_was_enabled) tr.disable();
     if (traced_run && !mem_was_enabled) memreg.set_enabled(false);
   }

@@ -12,13 +12,13 @@ namespace {
 /// Hot-path metric handles, resolved once per process.  With metrics
 /// disabled each probe is a relaxed atomic load and a branch.
 obs::Histogram& find_path_histogram() {
-  static obs::Histogram& h = obs::metrics().histogram("dsu.find_path_length");
-  return h;
+  static thread_local obs::HistogramHandle h;
+  return h.of(obs::metrics(), "dsu.find_path_length");
 }
 
 obs::Counter& unions_counter() {
-  static obs::Counter& c = obs::metrics().counter("dsu.unions_total");
-  return c;
+  static thread_local obs::CounterHandle c;
+  return c.of(obs::metrics(), "dsu.unions_total");
 }
 
 }  // namespace

@@ -18,18 +18,18 @@ namespace {
 constexpr std::size_t kReadBufferSize = 1 << 20;
 
 obs::Counter& bytes_read_counter() {
-  static obs::Counter& c = obs::metrics().counter("io.bytes_read");
-  return c;
+  static thread_local obs::CounterHandle c;
+  return c.of(obs::metrics(), "io.bytes_read");
 }
 
 obs::Counter& retries_counter() {
-  static obs::Counter& c = obs::metrics().counter("io.retries");
-  return c;
+  static thread_local obs::CounterHandle c;
+  return c.of(obs::metrics(), "io.retries");
 }
 
 obs::Counter& skipped_counter() {
-  static obs::Counter& c = obs::metrics().counter("io.records_skipped");
-  return c;
+  static thread_local obs::CounterHandle c;
+  return c.of(obs::metrics(), "io.records_skipped");
 }
 
 const util::RetryPolicy& io_retry_policy() {
@@ -215,8 +215,8 @@ void FastqWriter::close() {
   if (file_ == nullptr) return;
   std::FILE* f = file_;
   file_ = nullptr;  // the handle is gone even if the flush fails
-  static obs::Counter& written = obs::metrics().counter("io.bytes_written");
-  written.add(bytes_);
+  static thread_local obs::CounterHandle written;
+  written.of(obs::metrics(), "io.bytes_written").add(bytes_);
   if (std::fclose(f) != 0) {
     const int err = errno;
     throw util::io_error("close failed, buffered data may be lost", path_, bytes_, err);
@@ -369,8 +369,8 @@ BufferParseStats for_each_record_in_buffer(
     record_start = pos;
     alive = next_line(line);
   }
-  static obs::Counter& parsed = obs::metrics().counter("io.records_parsed");
-  parsed.add(stats.records);
+  static thread_local obs::CounterHandle parsed;
+  parsed.of(obs::metrics(), "io.records_parsed").add(stats.records);
   return stats;
 }
 

@@ -10,6 +10,7 @@
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/retry.hpp"
+#include "util/session.hpp"
 
 namespace metaprep::mpsim {
 
@@ -61,9 +62,19 @@ void World::run(const std::function<void(Comm&)>& fn) {
   if (num_ranks_ == 1) {
     body(0);
   } else {
+    // Rank threads are spawned fresh per run, so they inherit nothing:
+    // install the caller's session context (per-session obs/check/log
+    // overrides) in each one so a World driven from a pipeline session
+    // records into that session's sinks.  Rank 0 runs on the caller's
+    // thread, which already has the context.
+    const util::SessionContext ctx = util::SessionContext::capture();
+    auto rank_body = [&, ctx](int rank) {
+      const util::ScopedSessionContext bind(ctx);
+      body(rank);
+    };
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(num_ranks_ - 1));
-    for (int rank = 1; rank < num_ranks_; ++rank) threads.emplace_back(body, rank);
+    for (int rank = 1; rank < num_ranks_; ++rank) threads.emplace_back(rank_body, rank);
     body(0);
     for (auto& t : threads) t.join();
   }
@@ -121,8 +132,8 @@ void World::deliver(int src, int dest, int tag, const void* data, std::size_t by
   {
     util::FaultPlan& plan = util::FaultPlan::global();
     if (plan.armed() && plan.inject_comm_delay()) {
-      static obs::Counter& m_delays = obs::metrics().counter("mpsim.deliveries_delayed");
-      m_delays.add(1);
+      static thread_local obs::CounterHandle m_delays;
+      m_delays.of(obs::metrics(), "mpsim.deliveries_delayed").add(1);
     }
   }
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
@@ -137,7 +148,7 @@ void World::deliver(int src, int dest, int tag, const void* data, std::size_t by
   // DAG edges.  One relaxed load when tracing is off; self-sends need no
   // edge (same-thread program order already covers them).
   if (src != dest) {
-    obs::TraceSession& tr = obs::TraceSession::global();
+    obs::TraceSession& tr = obs::TraceSession::current();
     if (tr.enabled()) {
       msg.flow = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
       tr.flow_marker("msg", msg.flow, /*is_send=*/true);
@@ -166,12 +177,13 @@ void World::deliver(int src, int dest, int tag, const void* data, std::size_t by
     // Cross-rank edge metrics: same quantities as the traffic matrix, but
     // accumulated process-wide across Worlds so a whole bench run snapshots
     // into one metrics file.
-    static obs::Counter& m_msgs = obs::metrics().counter("mpsim.messages_total");
-    static obs::Counter& m_bytes = obs::metrics().counter("mpsim.bytes_total");
-    static obs::Histogram& m_size = obs::metrics().histogram("mpsim.message_bytes");
-    m_msgs.add(1);
-    m_bytes.add(bytes);
-    m_size.record(bytes);
+    static thread_local obs::CounterHandle m_msgs;
+    static thread_local obs::CounterHandle m_bytes;
+    static thread_local obs::HistogramHandle m_size;
+    obs::MetricsRegistry& reg = obs::metrics();
+    m_msgs.of(reg, "mpsim.messages_total").add(1);
+    m_bytes.of(reg, "mpsim.bytes_total").add(bytes);
+    m_size.of(reg, "mpsim.message_bytes").record(bytes);
   }
 }
 
@@ -219,7 +231,7 @@ World::Message World::take(int src, int dest, int tag) {
   if (checker_) checker_->on_recv(src, dest, tag, msg.seq);
   // Close the flow edge on the receiver thread (see the deliver() marker).
   if (msg.flow != 0) {
-    obs::TraceSession& tr = obs::TraceSession::global();
+    obs::TraceSession& tr = obs::TraceSession::current();
     if (tr.enabled()) tr.flow_marker("msg", msg.flow, /*is_send=*/false);
   }
   return msg;
@@ -242,15 +254,15 @@ void Comm::send(int dest, int tag, const void* data, std::size_t bytes) {
         world_->deliver(rank_, dest, tag, data, bytes);
       },
       [](int /*attempt*/, const util::Error& /*error*/) {
-        static obs::Counter& m_retries = obs::metrics().counter("mpsim.send_retries");
-        m_retries.add(1);
+        static thread_local obs::CounterHandle m_retries;
+        m_retries.of(obs::metrics(), "mpsim.send_retries").add(1);
       });
 }
 
 void World::note_async_posted() {
   const std::int64_t now = async_inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
-  static obs::Gauge& g_inflight = obs::metrics().gauge("mpsim.async_inflight");
-  g_inflight.set_max(static_cast<double>(now));
+  static thread_local obs::GaugeHandle g_inflight;
+  g_inflight.of(obs::metrics(), "mpsim.async_inflight").set_max(static_cast<double>(now));
 }
 
 void World::note_async_completed() noexcept {
@@ -444,8 +456,8 @@ void Comm::scatterv(const void* sendbuf, std::span<const std::uint64_t> offsets,
       }
     }
     if (cross_bytes > 0) {
-      static obs::Counter& m_scatter = obs::metrics().counter("mpsim.scatter_bytes");
-      m_scatter.add(cross_bytes);
+      static thread_local obs::CounterHandle m_scatter;
+      m_scatter.of(obs::metrics(), "mpsim.scatter_bytes").add(cross_bytes);
     }
   } else if (lengths[static_cast<std::size_t>(rank_)] > 0) {
     recv(root, kScatterTag, recvbuf, lengths[static_cast<std::size_t>(rank_)]);

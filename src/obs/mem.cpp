@@ -15,6 +15,9 @@ struct TagStack {
 
 thread_local TagStack tag_stack;
 
+/// Calling thread's registry override; nullptr = inherit the global default.
+thread_local MemRegistry* tls_current = nullptr;
+
 }  // namespace
 
 MemRegistry& MemRegistry::global() {
@@ -22,6 +25,19 @@ MemRegistry& MemRegistry::global() {
   static MemRegistry* instance = new MemRegistry();  // never destroyed
   return *instance;
 }
+
+MemRegistry& MemRegistry::current() noexcept {
+  MemRegistry* r = tls_current;
+  return r != nullptr ? *r : global();
+}
+
+MemRegistry* MemRegistry::exchange_current(MemRegistry* registry) noexcept {
+  MemRegistry* prev = tls_current;
+  tls_current = registry;
+  return prev;
+}
+
+MemRegistry* MemRegistry::current_override() noexcept { return tls_current; }
 
 void MemRegistry::charge(const char* subsystem, std::uint64_t bytes) {
   if (!enabled()) return;

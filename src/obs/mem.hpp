@@ -37,8 +37,20 @@ struct MemUsage {
 
 class MemRegistry {
  public:
-  /// The process-wide registry used by all instrumented allocation sites.
+  /// The process-wide registry used as the default sink.
   static MemRegistry& global();
+
+  /// The registry instrumented allocation sites charge: the calling
+  /// thread's override when one is installed (util::SessionContext does
+  /// this for pipeline sessions), otherwise global().
+  static MemRegistry& current() noexcept;
+
+  /// Install @p registry as the calling thread's charge target (nullptr
+  /// restores the global default).  Returns the previous override.
+  static MemRegistry* exchange_current(MemRegistry* registry) noexcept;
+
+  /// The calling thread's override, nullptr when inheriting the global.
+  [[nodiscard]] static MemRegistry* current_override() noexcept;
 
   MemRegistry() = default;
   MemRegistry(const MemRegistry&) = delete;
@@ -74,18 +86,18 @@ class MemRegistry {
   std::map<std::string, MemUsage> usage_;
 };
 
-/// Convenience forwarders against the global registry.  One relaxed load
-/// when the registry is disabled.
+/// Convenience forwarders against the current registry.  One TLS access and
+/// one relaxed load when the registry is disabled.
 inline void mem_charge(const char* subsystem, std::uint64_t bytes) {
-  MemRegistry& r = MemRegistry::global();
+  MemRegistry& r = MemRegistry::current();
   if (r.enabled()) r.charge(subsystem, bytes);
 }
 inline void mem_credit(const char* subsystem, std::uint64_t bytes) {
-  MemRegistry& r = MemRegistry::global();
+  MemRegistry& r = MemRegistry::current();
   if (r.enabled()) r.credit(subsystem, bytes);
 }
 inline void mem_set_current(const char* subsystem, std::uint64_t bytes) {
-  MemRegistry& r = MemRegistry::global();
+  MemRegistry& r = MemRegistry::current();
   if (r.enabled()) r.set_current(subsystem, bytes);
 }
 
@@ -110,24 +122,26 @@ class MemScope {
 };
 
 /// RAII charge: charges @p bytes to @p subsystem on construction, credits
-/// the same amount on destruction.  The charge/credit pair is decided at
-/// construction time so a registry toggled mid-scope stays balanced.
+/// the same amount on destruction.  Both the registry and the charge/credit
+/// pair are decided at construction time, so a registry toggled — or a
+/// thread override swapped — mid-scope stays balanced.
 class MemCharge {
  public:
   MemCharge(const char* subsystem, std::uint64_t bytes) noexcept
-      : subsystem_(subsystem), bytes_(bytes),
-        active_(MemRegistry::global().enabled()) {
-    if (active_) MemRegistry::global().charge(subsystem_, bytes_);
+      : subsystem_(subsystem), bytes_(bytes), registry_(&MemRegistry::current()),
+        active_(registry_->enabled()) {
+    if (active_) registry_->charge(subsystem_, bytes_);
   }
   MemCharge(const MemCharge&) = delete;
   MemCharge& operator=(const MemCharge&) = delete;
   ~MemCharge() {
-    if (active_) MemRegistry::global().credit(subsystem_, bytes_);
+    if (active_) registry_->credit(subsystem_, bytes_);
   }
 
  private:
   const char* subsystem_;
   std::uint64_t bytes_;
+  MemRegistry* registry_;
   bool active_;
 };
 

@@ -16,13 +16,36 @@ std::string json_number(double v) {
   return buf;
 }
 
+std::uint64_t next_registry_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Calling thread's registry override; nullptr = inherit the global default.
+thread_local MetricsRegistry* tls_current = nullptr;
+
 }  // namespace
+
+MetricsRegistry::MetricsRegistry() : id_(next_registry_id()) {}
 
 MetricsRegistry& MetricsRegistry::global() {
   // NOLINT(metaprep-no-naked-new): intentionally leaked process-lifetime singleton
   static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
   return *instance;
 }
+
+MetricsRegistry& MetricsRegistry::current() noexcept {
+  MetricsRegistry* r = tls_current;
+  return r != nullptr ? *r : global();
+}
+
+MetricsRegistry* MetricsRegistry::exchange_current(MetricsRegistry* registry) noexcept {
+  MetricsRegistry* prev = tls_current;
+  tls_current = registry;
+  return prev;
+}
+
+MetricsRegistry* MetricsRegistry::current_override() noexcept { return tls_current; }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard lock(mutex_);

@@ -9,10 +9,15 @@
 // enough to leave compiled into the per-tuple paths (DSU finds, radix
 // passes, mailbox deliveries).
 //
-// Metric objects are created on first use and live for the process lifetime,
-// so call sites may cache references (function-local statics in the hot
-// paths).  Snapshots export as JSONL: one self-describing JSON object per
-// line, embedding cleanly into the bench harness output.
+// Metric objects are created on first use and live as long as their
+// registry.  For the process-wide global() registry that is the process
+// lifetime, so call sites bound to it may cache references.  Hot paths that
+// must follow the *current* (possibly per-session) registry instead cache a
+// thread_local CounterHandle/GaugeHandle/HistogramHandle, which re-resolves
+// by name whenever the current registry changes — one TLS access plus an id
+// compare per call, and never dereferences a metric from a dead registry.
+// Snapshots export as JSONL: one self-describing JSON object per line,
+// embedding cleanly into the bench harness output.
 #pragma once
 
 #include <atomic>
@@ -119,8 +124,26 @@ class Histogram {
 /// hot loop); the returned references stay valid for the process lifetime.
 class MetricsRegistry {
  public:
-  /// The process-wide registry used by all built-in instrumentation.
+  /// The process-wide registry used as the default sink.
   static MetricsRegistry& global();
+
+  /// The registry built-in instrumentation records into: the calling
+  /// thread's override when one is installed (util::SessionContext does
+  /// this for pipeline sessions), otherwise global().
+  static MetricsRegistry& current() noexcept;
+
+  /// Install @p registry as the calling thread's recording target (nullptr
+  /// restores the global default).  Returns the previous override.
+  static MetricsRegistry* exchange_current(MetricsRegistry* registry) noexcept;
+
+  /// The calling thread's override, nullptr when inheriting the global.
+  [[nodiscard]] static MetricsRegistry* current_override() noexcept;
+
+  MetricsRegistry();
+
+  /// Process-unique, never recycled; keys the handle caches below so a new
+  /// registry allocated at a dead registry's address cannot alias them.
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
 
   void set_enabled(bool on) noexcept {
     enabled_.store(on, std::memory_order_relaxed);
@@ -165,6 +188,7 @@ class MetricsRegistry {
     std::vector<std::uint64_t> buckets;
   };
 
+  const std::uint64_t id_;
   mutable std::mutex mutex_;
   std::atomic<bool> enabled_{false};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
@@ -174,7 +198,63 @@ class MetricsRegistry {
   std::map<std::string, HistBaseline> histogram_baseline_;
 };
 
-/// Shorthand for MetricsRegistry::global().
-inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
+/// Shorthand for MetricsRegistry::current(): the calling thread's session
+/// registry when one is installed, else the process-wide default.
+inline MetricsRegistry& metrics() { return MetricsRegistry::current(); }
+
+/// Call-site caches for hot paths that must track the *current* registry.
+/// Usage (the pattern replacing the old `static Counter&` caches):
+///
+///   static thread_local obs::CounterHandle h;
+///   h.of(obs::metrics(), "dsu.finds").add();
+///
+/// of() re-resolves the metric by name when the registry's id differs from
+/// the cached one; the common case is one TLS access plus an integer
+/// compare.  A stale cache is never dereferenced, so a handle outliving a
+/// session registry is safe.
+class CounterHandle {
+ public:
+  Counter& of(MetricsRegistry& registry, const char* name) {
+    if (cached_ == nullptr || registry_id_ != registry.id()) {
+      cached_ = &registry.counter(name);
+      registry_id_ = registry.id();
+    }
+    return *cached_;
+  }
+
+ private:
+  Counter* cached_ = nullptr;
+  std::uint64_t registry_id_ = 0;
+};
+
+class GaugeHandle {
+ public:
+  Gauge& of(MetricsRegistry& registry, const char* name) {
+    if (cached_ == nullptr || registry_id_ != registry.id()) {
+      cached_ = &registry.gauge(name);
+      registry_id_ = registry.id();
+    }
+    return *cached_;
+  }
+
+ private:
+  Gauge* cached_ = nullptr;
+  std::uint64_t registry_id_ = 0;
+};
+
+class HistogramHandle {
+ public:
+  Histogram& of(MetricsRegistry& registry, const char* name) {
+    if (cached_ == nullptr || registry_id_ != registry.id()) {
+      cached_ = &registry.histogram(name);
+      registry_id_ = registry.id();
+    }
+    return *cached_;
+  }
+
+ private:
+  Histogram* cached_ = nullptr;
+  std::uint64_t registry_id_ = 0;
+};
 
 }  // namespace metaprep::obs

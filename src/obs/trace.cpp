@@ -12,9 +12,14 @@ namespace metaprep::obs {
 namespace {
 
 /// Per-thread recording state.  The buffer pointer is owned by the session
-/// (it outlives the thread); generation detects a clear() between uses.
+/// (it outlives the thread); session_id + generation detect a switch to a
+/// different session (or a clear()) between uses, so a thread that records
+/// into several sessions over its lifetime never touches a stale buffer —
+/// the id is process-unique, never recycled, so a new session allocated at
+/// a dead session's address cannot alias the cache.
 struct ThreadState {
   void* buffer = nullptr;
+  std::uint64_t session_id = ~0ull;
   std::uint64_t generation = ~0ull;
   int pid = 0;
   int tid = -1;  // -1 = not yet assigned; auto-assigned on first record
@@ -22,12 +27,17 @@ struct ThreadState {
 
 thread_local ThreadState tls;
 
-std::string g_atexit_path;  // set once before std::atexit registration
+/// Calling thread's session override; nullptr = inherit the global default.
+thread_local TraceSession* tls_current = nullptr;
 
-void write_trace_at_exit() {
-  if (g_atexit_path.empty()) return;
+std::uint64_t next_session_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void flush_trace_at_exit() {
   try {
-    TraceSession::global().write_chrome_json(g_atexit_path);
+    TraceSession::global().flush();
   } catch (...) {
     // Exit path: nothing useful to do beyond not crashing.
   }
@@ -54,7 +64,8 @@ void append_escaped(std::ostringstream& out, const std::string& s) {
 
 }  // namespace
 
-TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+TraceSession::TraceSession()
+    : id_(next_session_id()), epoch_(std::chrono::steady_clock::now()) {}
 
 TraceSession& TraceSession::global() {
   static TraceSession* instance = [] {
@@ -64,14 +75,27 @@ TraceSession& TraceSession::global() {
     if (env != nullptr && std::strcmp(env, "0") != 0) {
       s->enable();
       if (std::strcmp(env, "1") != 0) {
-        g_atexit_path = env;
-        std::atexit(write_trace_at_exit);
+        s->set_flush_path(env);
+        std::atexit(flush_trace_at_exit);
       }
     }
     return s;
   }();
   return *instance;
 }
+
+TraceSession& TraceSession::current() noexcept {
+  TraceSession* s = tls_current;
+  return s != nullptr ? *s : global();
+}
+
+TraceSession* TraceSession::exchange_current(TraceSession* session) noexcept {
+  TraceSession* prev = tls_current;
+  tls_current = session;
+  return prev;
+}
+
+TraceSession* TraceSession::current_override() noexcept { return tls_current; }
 
 void TraceSession::set_thread_identity(int pid, int tid) noexcept {
   tls.pid = pid;
@@ -80,10 +104,11 @@ void TraceSession::set_thread_identity(int pid, int tid) noexcept {
 
 TraceSession::Buffer& TraceSession::local_buffer() {
   const std::uint64_t gen = generation_.load(std::memory_order_acquire);
-  if (tls.buffer == nullptr || tls.generation != gen) {
+  if (tls.buffer == nullptr || tls.session_id != id_ || tls.generation != gen) {
     std::lock_guard lock(mutex_);
     buffers_.push_back(std::make_unique<Buffer>());
     tls.buffer = buffers_.back().get();
+    tls.session_id = id_;
     tls.generation = generation_.load(std::memory_order_relaxed);
   }
   return *static_cast<Buffer*>(tls.buffer);
@@ -246,6 +271,34 @@ std::string TraceSession::to_chrome_json() const {
   }
   out << "]}";
   return out.str();
+}
+
+void TraceSession::set_flush_path(std::string path) {
+  std::lock_guard lock(flush_mutex_);
+  flush_path_ = std::move(path);
+  flushed_once_ = false;
+  flushed_count_ = 0;
+}
+
+std::string TraceSession::flush_path() const {
+  std::lock_guard lock(flush_mutex_);
+  return flush_path_;
+}
+
+bool TraceSession::flush() {
+  // flush_mutex_ is held across the export; event_count() and
+  // write_chrome_json() take mutex_ internally (flush_mutex_ -> mutex_ is
+  // the only ordering, so no deadlock).  Idempotent: a second flush with no
+  // new events is a no-op, which is what makes the atexit hook on the
+  // global session free once a run has flushed explicitly.
+  std::lock_guard lock(flush_mutex_);
+  if (flush_path_.empty()) return false;
+  const std::size_t n = event_count();
+  if (flushed_once_ && flushed_count_ == n) return false;
+  write_chrome_json(flush_path_);
+  flushed_once_ = true;
+  flushed_count_ = n;
+  return true;
 }
 
 void TraceSession::write_chrome_json(const std::string& path) const {

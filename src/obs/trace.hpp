@@ -48,11 +48,26 @@ struct TraceEvent {
 
 class TraceSession {
  public:
-  /// The process-wide session used by all built-in instrumentation.  On
-  /// first access it honors the METAPREP_TRACE environment variable: unset
-  /// or "0" leaves tracing off; "1" enables recording; any other value
-  /// enables recording *and* writes the trace to that path at process exit.
+  /// The process-wide session used as the default sink.  On first access it
+  /// honors the METAPREP_TRACE environment variable: unset or "0" leaves
+  /// tracing off; "1" enables recording; any other value enables recording,
+  /// sets it as the flush path, and registers a last-resort atexit flush
+  /// (explicit flush() beforehand makes the atexit hook a no-op).
   static TraceSession& global();
+
+  /// The session built-in instrumentation records into: the calling
+  /// thread's override when one is installed (util::SessionContext does this
+  /// for pipeline sessions), otherwise global().  Precedence: thread
+  /// override > METAPREP_TRACE-configured global default.
+  static TraceSession& current() noexcept;
+
+  /// Install @p session as the calling thread's recording target (nullptr
+  /// restores the global default).  Returns the previous override so callers
+  /// can restore it RAII-style.
+  static TraceSession* exchange_current(TraceSession* session) noexcept;
+
+  /// The calling thread's override, nullptr when inheriting the global.
+  [[nodiscard]] static TraceSession* current_override() noexcept;
 
   TraceSession();
 
@@ -104,6 +119,19 @@ class TraceSession {
   /// Write to_chrome_json() to @p path (truncates).  Throws on I/O failure.
   void write_chrome_json(const std::string& path) const;
 
+  /// Where flush() writes.  Setting a new path re-arms flush() even if the
+  /// event count is unchanged.
+  void set_flush_path(std::string path);
+  [[nodiscard]] std::string flush_path() const;
+
+  /// Idempotent export: write the trace to the flush path if one is set and
+  /// events were recorded since the last flush.  Returns true when a file
+  /// was (re)written.  Safe to call any number of times per session; the
+  /// atexit hook on the global session calls this as a last resort, so a
+  /// session explicitly flushed (or with no flush path) costs nothing at
+  /// exit.  Quiescent use only.
+  bool flush();
+
  private:
   struct Buffer {
     std::vector<TraceEvent> events;
@@ -116,17 +144,23 @@ class TraceSession {
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<int> next_auto_tid_{100000};  // clear of real rank/thread ids
+  const std::uint64_t id_;  // process-unique; keys the per-thread buffer cache
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Buffer>> buffers_;
   std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex flush_mutex_;
+  std::string flush_path_;
+  bool flushed_once_ = false;
+  std::size_t flushed_count_ = 0;
 };
 
-/// RAII span against the global session: records [construction, destruction)
-/// under the name given.  The name must outlive the span (string literals).
+/// RAII span against the current session: records [construction,
+/// destruction) under the name given.  The name must outlive the span
+/// (string literals).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) noexcept {
-    TraceSession& s = TraceSession::global();
+    TraceSession& s = TraceSession::current();
     if (s.enabled()) {
       session_ = &s;
       name_ = name;

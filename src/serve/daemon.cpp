@@ -1,0 +1,132 @@
+#include "serve/daemon.hpp"
+
+#include <filesystem>
+
+#include "serve/proto.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+
+namespace metaprep::serve {
+
+namespace {
+
+[[nodiscard]] JobQueueOptions queue_options(const DaemonOptions& options) {
+  JobQueueOptions qo;
+  qo.mem_budget_bytes = options.mem_budget_bytes;
+  qo.max_threads = options.max_threads;
+  qo.job_dir = options.job_dir;
+  if (qo.job_dir.empty()) {
+    const std::filesystem::path parent =
+        std::filesystem::path(options.socket_path).parent_path();
+    qo.job_dir = parent.empty() ? "." : parent.string();
+  }
+  return qo;
+}
+
+[[nodiscard]] std::uint64_t job_id_of(const util::JsonValue& req, const char* cmd) {
+  const util::JsonValue* id = req.find("job");
+  if (id == nullptr)
+    throw util::config_error(std::string(cmd) + ": missing required field 'job'");
+  return id->as_uint();
+}
+
+[[nodiscard]] std::string ok_response(const std::string& cmd) {
+  JsonLineWriter w;
+  w.field("ok", true);
+  w.field("cmd", cmd);
+  return w.finish();
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)), queue_(queue_options(options_)) {}
+
+std::string Daemon::handle_request(const std::string& line) {
+  std::string cmd;
+  try {
+    const util::JsonValue req = util::parse_json(line);
+    const util::JsonValue* cmd_field = req.find("cmd");
+    if (cmd_field == nullptr)
+      throw util::config_error("request is missing the 'cmd' field");
+    cmd = cmd_field->as_string();
+
+    if (cmd == "ping") return ok_response(cmd);
+    if (cmd == "submit") {
+      const std::uint64_t id = queue_.submit(parse_submit(line));
+      return job_to_json(queue_.status(id), /*with_manifest=*/false);
+    }
+    if (cmd == "status") {
+      return job_to_json(queue_.status(job_id_of(req, "status")), /*with_manifest=*/false);
+    }
+    if (cmd == "fetch") {
+      const JobInfo info = queue_.status(job_id_of(req, "fetch"));
+      if (info.state != JobState::kDone)
+        throw util::config_error("fetch: job " + std::to_string(info.id) + " is " +
+                                 to_string(info.state) + ", not done");
+      return job_to_json(info, /*with_manifest=*/true);
+    }
+    if (cmd == "cancel") {
+      const std::uint64_t id = job_id_of(req, "cancel");
+      JsonLineWriter w;
+      w.field("ok", true);
+      w.field("cmd", cmd);
+      w.field("job", id);
+      w.field("cancelled", queue_.cancel(id));
+      return w.finish();
+    }
+    if (cmd == "list") {
+      std::string jobs = "[";
+      bool first = true;
+      for (const JobInfo& info : queue_.list()) {
+        if (!first) jobs += ',';
+        first = false;
+        jobs += job_to_json(info, /*with_manifest=*/false);
+      }
+      jobs += ']';
+      JsonLineWriter w;
+      w.field("ok", true);
+      w.field("cmd", cmd);
+      w.field_raw("jobs", jobs);
+      return w.finish();
+    }
+    if (cmd == "pause") {
+      queue_.pause();
+      return ok_response(cmd);
+    }
+    if (cmd == "resume") {
+      queue_.resume();
+      return ok_response(cmd);
+    }
+    if (cmd == "shutdown") {
+      shutdown_requested_ = true;
+      return ok_response(cmd);
+    }
+    throw util::config_error("unknown cmd '" + cmd + "'");
+  } catch (const std::exception& e) {
+    return error_response(cmd, e.what());
+  }
+}
+
+void Daemon::serve() {
+  util::UnixListener listener(options_.socket_path);
+  LOG_INFO("metaprepd listening on " << options_.socket_path);
+  while (!shutdown_requested_) {
+    util::SocketConn conn = listener.accept();
+    std::string line;
+    try {
+      if (!conn.recv_line(line)) continue;  // client connected and went away
+      conn.send_line(handle_request(line));
+    } catch (const util::Error& e) {
+      // A broken client connection must not take the daemon down.
+      LOG_WARN("metaprepd: client connection error: " << e.what());
+    }
+  }
+  // shutdown() cancels the running job and joins the worker before the
+  // listener unlinks the socket, so a post-shutdown path check sees neither
+  // a live process artifact nor a stale socket file.
+  queue_.shutdown();
+}
+
+}  // namespace metaprep::serve

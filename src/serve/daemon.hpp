@@ -1,0 +1,50 @@
+// metaprepd: the job-queue daemon's accept loop.
+//
+// One blocking accept loop over a UnixListener; each accepted connection
+// carries exactly one request line and gets exactly one response line (see
+// serve/proto.hpp).  Requests are short — the actual pipeline work runs on
+// the JobQueue's worker thread — so the single-threaded control plane never
+// blocks a client behind a running job.  "shutdown" drains the queue
+// (cancelling the running job cooperatively), answers, and returns from
+// serve(); the listener's destructor unlinks the socket file, which the
+// tier-1 smoke leg checks for leaks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/queue.hpp"
+#include "util/socket.hpp"
+
+namespace metaprep::serve {
+
+struct DaemonOptions {
+  std::string socket_path;            ///< AF_UNIX path to bind
+  std::uint64_t mem_budget_bytes = 0; ///< admission budget (0 = unlimited)
+  int max_threads = 0;                ///< shared P*T allowance (0 = unlimited)
+  std::string job_dir;                ///< per-job artifacts; default: socket's directory
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+
+  /// Accept-and-respond until a shutdown request arrives.  Throws
+  /// util::io_error if the socket cannot be bound (e.g. a live daemon
+  /// already owns the path).
+  void serve();
+
+  /// Handle one request line, returning the response line.  Public so unit
+  /// tests can exercise the protocol without a socket.
+  [[nodiscard]] std::string handle_request(const std::string& line);
+
+  [[nodiscard]] JobQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] const std::string& socket_path() const noexcept { return options_.socket_path; }
+
+ private:
+  DaemonOptions options_;
+  JobQueue queue_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace metaprep::serve

@@ -1,0 +1,35 @@
+#include "serve/session.hpp"
+
+#include "util/error.hpp"
+
+namespace metaprep::serve {
+
+core::PipelineResult PipelineSession::run(const core::DatasetIndex& index,
+                                          core::MetaprepConfig config) {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+    throw util::config_error(
+        "PipelineSession::run: session already running (one run at a time per session)");
+  }
+  config.trace_session = &trace_;
+  config.metrics_registry = &metrics_;
+  config.mem_registry = &mem_;
+  config.cancel_token = &cancel_;
+  try {
+    core::PipelineResult result = core::run_metaprep(index, config);
+    running_.store(false, std::memory_order_release);
+    return result;
+  } catch (...) {
+    // Best-effort trace flush on the failure path too, so a cancelled job's
+    // partial trace is still on disk for inspection (no-op without an armed
+    // flush path; flush() itself never throws out of here).
+    try {
+      trace_.flush();
+    } catch (...) {  // NOLINT(bugprone-empty-catch) — unwind must win
+    }
+    running_.store(false, std::memory_order_release);
+    throw;
+  }
+}
+
+}  // namespace metaprep::serve

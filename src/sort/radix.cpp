@@ -12,10 +12,11 @@ namespace metaprep::sort {
 namespace {
 
 void count_sort_metrics(std::size_t keys, int passes) {
-  static obs::Counter& m_keys = obs::metrics().counter("sort.keys_sorted");
-  static obs::Counter& m_passes = obs::metrics().counter("sort.radix_passes");
-  m_keys.add(keys);
-  m_passes.add(static_cast<std::uint64_t>(passes));
+  static thread_local obs::CounterHandle m_keys;
+  static thread_local obs::CounterHandle m_passes;
+  obs::MetricsRegistry& reg = obs::metrics();
+  m_keys.of(reg, "sort.keys_sorted").add(keys);
+  m_passes.of(reg, "sort.radix_passes").add(static_cast<std::uint64_t>(passes));
 }
 
 /// One LSD counting pass: stable-scatter (keys, vals) into (out_keys,

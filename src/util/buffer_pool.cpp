@@ -150,6 +150,11 @@ std::size_t BufferPool::buffers_held() const {
   return free64_.size() + free32_.size();
 }
 
+std::size_t BufferPool::outstanding_leases() const {
+  std::lock_guard lock(mutex_);
+  return leases64_.size() + leases32_.size();
+}
+
 void BufferPool::trim() {
   std::lock_guard lock(mutex_);
   free64_.clear();
@@ -159,8 +164,13 @@ void BufferPool::trim() {
 }
 
 void BufferPool::publish_gauges_locked() const {
-  static obs::Gauge& g_bytes = obs::metrics().gauge("pool.bytes_held");
-  static obs::Gauge& g_hits = obs::metrics().gauge("pool.reuse_hits");
+  // Deliberately pinned to the *global* registry: a pool can be shared
+  // across sessions (the daemon's jobs all lease from one pool), so its
+  // footprint is process-level state, and pinning keeps these static refs
+  // safe — they must never bind a session registry that can die first.
+  // Per-session pool accounting goes through bytes_held() accessors.
+  static obs::Gauge& g_bytes = obs::MetricsRegistry::global().gauge("pool.bytes_held");
+  static obs::Gauge& g_hits = obs::MetricsRegistry::global().gauge("pool.reuse_hits");
   g_bytes.set(static_cast<double>(bytes_held_));
   g_hits.set(static_cast<double>(reuse_hits_));
   // Bytes parked on the free list are the pool's own footprint (leased bytes

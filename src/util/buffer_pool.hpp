@@ -62,6 +62,9 @@ class BufferPool {
   [[nodiscard]] std::uint64_t reuse_hits() const;
   /// Buffers currently on the free lists.
   [[nodiscard]] std::size_t buffers_held() const;
+  /// Live (acquired, not yet released) leases.  Only tracked while
+  /// check::enabled(); the cancelled-run tests assert this drains to zero.
+  [[nodiscard]] std::size_t outstanding_leases() const;
 
   /// Drop every held buffer (bytes_held returns to 0; hits are kept).
   void trim();

@@ -1,0 +1,50 @@
+// Cooperative cancellation for pipeline sessions.
+//
+// A CancelToken is a single atomic flag shared between a controller (the
+// daemon's cancel handler, a test) and the workers executing a run.  The
+// pipeline polls it at pass and chunk boundaries — never mid-kernel — so a
+// cancel costs one relaxed load per poll and takes effect at the next
+// boundary, unwinding via util::cancelled_error().  The throw on one rank
+// poisons the mpsim World, which unblocks the remaining ranks with comm
+// errors; World::run then rethrows the cancellation as the first exception.
+#pragma once
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace metaprep::util {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request cancellation.  Idempotent; safe from any thread.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Re-arm a token for reuse across runs.  Quiescent use only.
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Boundary poll: throws util::cancelled_error when cancellation was
+  /// requested, else returns.  @p where names the boundary for the error.
+  void throw_if_cancelled(const char* where) const {
+    if (cancelled()) throw cancelled_error(std::string("cancelled at ") + where);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Boundary poll through a possibly-null token pointer (the pipeline's
+/// config carries `const CancelToken*`, null when nobody can cancel).
+inline void throw_if_cancelled(const CancelToken* token, const char* where) {
+  if (token != nullptr) token->throw_if_cancelled(where);
+}
+
+}  // namespace metaprep::util

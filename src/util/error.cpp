@@ -14,6 +14,8 @@ std::string_view to_string(ErrorCategory category) noexcept {
       return "comm";
     case ErrorCategory::kConfig:
       return "config";
+    case ErrorCategory::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -74,6 +76,10 @@ Error comm_error(std::string detail, bool transient) {
 
 Error config_error(std::string detail) {
   return Error(ErrorCategory::kConfig, std::move(detail));
+}
+
+Error cancelled_error(std::string detail) {
+  return Error(ErrorCategory::kCancelled, std::move(detail));
 }
 
 }  // namespace metaprep::util

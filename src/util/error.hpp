@@ -18,10 +18,11 @@
 namespace metaprep::util {
 
 enum class ErrorCategory {
-  kIo,      ///< open/read/write/seek/close failures
-  kParse,   ///< malformed FASTQ/FASTA/binary-index content
-  kComm,    ///< mpsim messaging failures (poisoned world, size mismatch)
-  kConfig,  ///< invalid run configuration or CLI arguments
+  kIo,         ///< open/read/write/seek/close failures
+  kParse,      ///< malformed FASTQ/FASTA/binary-index content
+  kComm,       ///< mpsim messaging failures (poisoned world, size mismatch)
+  kConfig,     ///< invalid run configuration or CLI arguments
+  kCancelled,  ///< cooperative cancellation observed at a pass/chunk boundary
 };
 
 [[nodiscard]] std::string_view to_string(ErrorCategory category) noexcept;
@@ -65,5 +66,6 @@ class Error : public std::runtime_error {
                                 std::uint64_t offset = Error::kNoOffset);
 [[nodiscard]] Error comm_error(std::string detail, bool transient = false);
 [[nodiscard]] Error config_error(std::string detail);
+[[nodiscard]] Error cancelled_error(std::string detail);
 
 }  // namespace metaprep::util

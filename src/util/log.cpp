@@ -24,6 +24,9 @@ LogLevel initial_level() {
 std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_mutex;
 
+// Per-thread override (-1 inherit); see log.hpp.
+thread_local int tls_level = -1;
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -39,7 +42,19 @@ const char* level_name(LogLevel level) {
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() {
+  const int o = tls_level;
+  if (o >= 0) return static_cast<LogLevel>(o);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+int exchange_thread_log_level(int level) noexcept {
+  const int prev = tls_level;
+  tls_level = (level < 0 || level > static_cast<int>(LogLevel::kOff)) ? -1 : level;
+  return prev;
+}
+
+int thread_log_level_override() noexcept { return tls_level; }
 
 void log_line(LogLevel level, const std::string& message) {
   std::lock_guard lock(g_mutex);

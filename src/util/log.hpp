@@ -12,6 +12,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Per-thread override of the process-wide level, used by pipeline sessions
+/// so concurrent jobs can log at different verbosities.  Pass -1 to inherit
+/// the process level (set_log_level / METAPREP_LOG), or the integer value of
+/// a LogLevel to pin this thread.  Returns the previous override so callers
+/// can restore it.  Precedence: thread override > set_log_level >
+/// METAPREP_LOG environment variable (read once as the initial level).
+int exchange_thread_log_level(int level) noexcept;
+
+/// The calling thread's override, -1 when inheriting the process level.
+[[nodiscard]] int thread_log_level_override() noexcept;
+
 /// Emit a single log line if @p level passes the current threshold.
 void log_line(LogLevel level, const std::string& message);
 

@@ -1,0 +1,77 @@
+// Per-thread session context: which observability sinks and gates a thread
+// records into.
+//
+// run_metaprep historically wrote through process-global singletons
+// (TraceSession/MetricsRegistry/MemRegistry::global(), the METAPREP_CHECK /
+// METAPREP_LOG getenv caches), which made two concurrent in-process runs
+// corrupt each other's observability.  The fix is thread-scoped overrides on
+// each singleton (obs::*::exchange_current, check::exchange_thread_override,
+// util::exchange_thread_log_level) plus this bundle, which captures a
+// thread's complete override set and re-installs it on another thread —
+// that is how a session's identity crosses into ThreadTeam workers and
+// mpsim rank threads, whose pools outlive any one session.
+//
+// Propagation contract: ThreadTeam::run and mpsim::World::run capture the
+// *caller's* context and install it (RAII) in every worker/rank thread for
+// the duration of the region, so instrumentation below them transparently
+// lands in the calling session's sinks.  Inline fast paths (T == 1, P == 1)
+// already run on the caller's thread and need no install.
+#pragma once
+
+#include "check/check.hpp"
+#include "obs/mem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace metaprep::util {
+
+/// Value snapshot of the calling thread's override set.  Null pointers /
+/// -1 mean "inherit the process-wide default", which is also what a
+/// default-constructed context carries — installing it is a reset.
+struct SessionContext {
+  obs::TraceSession* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::MemRegistry* mem = nullptr;
+  int check_override = -1;
+  int log_override = -1;
+
+  /// The calling thread's current override set.
+  [[nodiscard]] static SessionContext capture() noexcept {
+    SessionContext ctx;
+    ctx.trace = obs::TraceSession::current_override();
+    ctx.metrics = obs::MetricsRegistry::current_override();
+    ctx.mem = obs::MemRegistry::current_override();
+    ctx.check_override = check::thread_override();
+    ctx.log_override = thread_log_level_override();
+    return ctx;
+  }
+};
+
+/// RAII install of a SessionContext on the calling thread; the destructor
+/// restores whatever was installed before.  Exception-safe by construction:
+/// unwinding through the scope restores the previous context.
+class ScopedSessionContext {
+ public:
+  explicit ScopedSessionContext(const SessionContext& ctx) noexcept {
+    prev_.trace = obs::TraceSession::exchange_current(ctx.trace);
+    prev_.metrics = obs::MetricsRegistry::exchange_current(ctx.metrics);
+    prev_.mem = obs::MemRegistry::exchange_current(ctx.mem);
+    prev_.check_override = check::exchange_thread_override(ctx.check_override);
+    prev_.log_override = exchange_thread_log_level(ctx.log_override);
+  }
+  ScopedSessionContext(const ScopedSessionContext&) = delete;
+  ScopedSessionContext& operator=(const ScopedSessionContext&) = delete;
+  ~ScopedSessionContext() {
+    obs::TraceSession::exchange_current(prev_.trace);
+    obs::MetricsRegistry::exchange_current(prev_.metrics);
+    obs::MemRegistry::exchange_current(prev_.mem);
+    check::exchange_thread_override(prev_.check_override);
+    exchange_thread_log_level(prev_.log_override);
+  }
+
+ private:
+  SessionContext prev_;
+};
+
+}  // namespace metaprep::util

@@ -1,0 +1,178 @@
+#include "util/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace metaprep::util {
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw io_error("unix socket path too long", path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+SocketConn::SocketConn(SocketConn&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), pending_(std::move(other.pending_)) {}
+
+SocketConn& SocketConn::operator=(SocketConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    pending_ = std::move(other.pending_);
+  }
+  return *this;
+}
+
+SocketConn::~SocketConn() { close(); }
+
+void SocketConn::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_.clear();
+}
+
+void SocketConn::send_line(const std::string& line) {
+  if (fd_ < 0) throw io_error("send_line on closed socket");
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw io_error("socket send failed", {}, Error::kNoOffset, errno,
+                     /*transient=*/errno == EAGAIN);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool SocketConn::recv_line(std::string& line) {
+  if (fd_ < 0) throw io_error("recv_line on closed socket");
+  for (;;) {
+    const std::size_t nl = pending_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(pending_, 0, nl);
+      pending_.erase(0, nl + 1);
+      return true;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw io_error("socket recv failed", {}, Error::kNoOffset, errno);
+    }
+    if (n == 0) {
+      if (pending_.empty()) return false;
+      throw io_error("socket closed mid-line");
+    }
+    pending_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+UnixListener::UnixListener(std::string path) : path_(std::move(path)) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw io_error("socket() failed", path_, Error::kNoOffset, errno);
+  sockaddr_un addr = make_addr(path_);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    // A stale socket file from a dead daemon is the one case worth healing:
+    // if nothing answers a connect, unlink and retry the bind once.
+    if (errno == EADDRINUSE) {
+      const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      const bool live =
+          probe >= 0 &&
+          ::connect(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0;
+      if (probe >= 0) ::close(probe);
+      if (!live && ::unlink(path_.c_str()) == 0 &&
+          ::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+        // healed; fall through to listen
+      } else {
+        const int saved = live ? EADDRINUSE : errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw io_error(live ? "daemon already listening" : "bind() failed", path_,
+                       Error::kNoOffset, saved);
+      }
+    } else {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw io_error("bind() failed", path_, Error::kNoOffset, saved);
+    }
+  }
+  if (::listen(fd_, 16) != 0) {
+    const int saved = errno;
+    close();
+    throw io_error("listen() failed", path_, Error::kNoOffset, saved);
+  }
+}
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+UnixListener::~UnixListener() { close(); }
+
+void UnixListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+SocketConn UnixListener::accept() {
+  if (fd_ < 0) throw io_error("accept on closed listener", path_);
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) return SocketConn(conn);
+    if (errno == EINTR) continue;
+    throw io_error("accept() failed", path_, Error::kNoOffset, errno);
+  }
+}
+
+SocketConn connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw io_error("socket() failed", path, Error::kNoOffset, errno);
+  sockaddr_un addr = make_addr(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw io_error("connect() failed (is metaprepd running?)", path,
+                   Error::kNoOffset, saved);
+  }
+  return SocketConn(fd);
+}
+
+}  // namespace metaprep::util

@@ -1,0 +1,69 @@
+// Minimal Unix-domain stream sockets for the metaprepd control plane.
+//
+// The daemon's wire protocol is line-oriented (one JSON object per line in
+// each direction), so this wrapper only needs blocking listeners, blocking
+// connects, and newline-framed send/recv.  Local-socket-only by design: the
+// daemon serves same-host clients, and an AF_UNIX path under the run
+// directory doubles as the liveness marker the smoke test checks for leaks.
+#pragma once
+
+#include <string>
+
+namespace metaprep::util {
+
+/// One accepted or dialed connection.  Move-only; closes on destruction.
+class SocketConn {
+ public:
+  SocketConn() = default;
+  explicit SocketConn(int fd) noexcept : fd_(fd) {}
+  SocketConn(SocketConn&& other) noexcept;
+  SocketConn& operator=(SocketConn&& other) noexcept;
+  SocketConn(const SocketConn&) = delete;
+  SocketConn& operator=(const SocketConn&) = delete;
+  ~SocketConn();
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Write @p line plus a trailing '\n' (the line must not contain one).
+  /// Throws util::io_error on failure.
+  void send_line(const std::string& line);
+
+  /// Read up to the next '\n' (stripped).  Returns false on clean EOF
+  /// before any byte; throws util::io_error on failure or EOF mid-line.
+  bool recv_line(std::string& line);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string pending_;  // bytes read past the last newline
+};
+
+/// Listening AF_UNIX socket bound to @p path.  The constructor refuses to
+/// bind over an existing file unless it is a stale socket left by a dead
+/// process; the destructor closes and unlinks.  Move-only.
+class UnixListener {
+ public:
+  explicit UnixListener(std::string path);
+  UnixListener(UnixListener&& other) noexcept;
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+  ~UnixListener();
+
+  /// Block until a client connects.  Throws util::io_error on failure.
+  [[nodiscard]] SocketConn accept();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Dial the daemon at @p path.  Throws util::io_error when nothing listens.
+[[nodiscard]] SocketConn connect_unix(const std::string& path);
+
+}  // namespace metaprep::util

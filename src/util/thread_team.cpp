@@ -35,13 +35,19 @@ void ThreadTeam::execute(int tid) {
 void ThreadTeam::worker_loop(int tid) {
   std::uint64_t seen_generation = 0;
   for (;;) {
+    SessionContext ctx;
     {
       std::unique_lock lock(mutex_);
       cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
       if (stop_) return;
       seen_generation = generation_;
+      ctx = job_ctx_;
     }
-    execute(tid);
+    {
+      // Record into the launching session's sinks for this region only.
+      const ScopedSessionContext bind(ctx);
+      execute(tid);
+    }
     {
       std::lock_guard lock(mutex_);
       if (--pending_ == 0) cv_done_.notify_one();
@@ -57,6 +63,7 @@ void ThreadTeam::run(const std::function<void(int)>& fn) {
   {
     std::lock_guard lock(mutex_);
     job_ = &fn;
+    job_ctx_ = SessionContext::capture();
     pending_ = num_threads_ - 1;
     first_exception_ = nullptr;
     ++generation_;

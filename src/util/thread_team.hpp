@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/session.hpp"
+
 namespace metaprep::util {
 
 class ThreadTeam {
@@ -32,7 +34,11 @@ class ThreadTeam {
 
   /// Run fn(tid) for tid in [0, size()) concurrently; blocks until all
   /// workers finish.  If any worker throws, one of the exceptions is
-  /// rethrown on the caller after all workers have completed.
+  /// rethrown on the caller after all workers have completed.  The caller's
+  /// SessionContext (per-session obs/check/log overrides) is captured and
+  /// installed in every worker for the region, so a region launched from a
+  /// pipeline session records into that session's sinks even though the
+  /// worker threads are persistent and session-agnostic.
   void run(const std::function<void(int)>& fn);
 
   /// Barrier usable by workers inside a run() region.  All size() workers
@@ -50,6 +56,7 @@ class ThreadTeam {
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   const std::function<void(int)>* job_ = nullptr;
+  SessionContext job_ctx_;  // caller's override set for the current region
   std::uint64_t generation_ = 0;
   int pending_ = 0;
   bool stop_ = false;

@@ -1,0 +1,42 @@
+// metaprepd: METAPREP preprocessing as a local service.
+//
+//   metaprepd --socket=PATH [--mem-budget-mb=N] [--max-threads=N]
+//             [--job-dir=DIR]
+//
+// Binds an AF_UNIX socket and serves the line-oriented JSON protocol in
+// serve/proto.hpp until a {"cmd":"shutdown"} request arrives.  Jobs run one
+// at a time (priority then FIFO) inside per-job PipelineSessions; per-job
+// trace/metrics artifacts land in --job-dir (default: the socket's
+// directory).  --mem-budget-mb caps admission by the paper's §3.7 per-task
+// memory model; --max-threads caps each job's simulated P*T.  Submit and
+// poll with `metaprep_cli daemon ...`.
+#include <cstdio>
+
+#include "serve/daemon.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+
+int main(int argc, char** argv) {
+  using namespace metaprep;
+  const util::Args args(argc, argv);
+  if (!args.has("socket")) {
+    std::fprintf(stderr,
+                 "usage: metaprepd --socket=PATH [--mem-budget-mb=N] [--max-threads=N] "
+                 "[--job-dir=DIR]\n");
+    return 2;
+  }
+  serve::DaemonOptions opt;
+  opt.socket_path = args.get("socket", "");
+  opt.mem_budget_bytes =
+      static_cast<std::uint64_t>(args.get_double("mem-budget-mb", 0.0) * 1e6);
+  opt.max_threads = static_cast<int>(args.get_int("max-threads", 0));
+  opt.job_dir = args.get("job-dir", "");
+  try {
+    serve::Daemon daemon(std::move(opt));
+    daemon.serve();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metaprepd: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
