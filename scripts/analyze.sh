@@ -1,44 +1,106 @@
 #!/usr/bin/env bash
-# clang-tidy static analysis over the exported compile database.
+# Static analysis over first-party sources: clang-tidy (compile-database
+# driven) plus the clang -Wthread-safety capability-annotation proof.
 #
-#   scripts/analyze.sh [build-dir] [-- extra clang-tidy args]
+#   scripts/analyze.sh [build-dir] [--thread-safety-only] [-- extra clang-tidy args]
 #
-# Uses the repo .clang-tidy profile (bugprone-*, concurrency-*,
-# performance-*, narrowing).  Needs a configured build directory
-# (CMAKE_EXPORT_COMPILE_COMMANDS is always on; any `cmake -B build -S .`
-# produces build/compile_commands.json).
+# Legs:
+#   1. clang-tidy with the repo .clang-tidy profile (bugprone-*,
+#      concurrency-*, performance-*, narrowing) over src/.  Needs a
+#      configured build directory (CMAKE_EXPORT_COMPILE_COMMANDS is always
+#      on; any `cmake -B build -S .` produces build/compile_commands.json).
+#   2. clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety-analysis
+#      over src/ + tools/: turns the util/sync.hpp capability annotations
+#      (GUARDED_BY, REQUIRES, SCOPED_CAPABILITY, ...) into a compile-time
+#      proof of the lock discipline.  See DESIGN.md "Static concurrency
+#      safety" for how to read a failure.
 #
-# Environments without clang-tidy (this repo's CI container ships only the
-# gcc toolchain) skip with exit 0 so tier1.sh can include this leg
-# unconditionally; install clang-tidy to make the leg bite.
+# --thread-safety-only skips the (slower) clang-tidy leg for fast local
+# iteration on annotations.  Each leg skips with a notice (exit 0) when its
+# tool is absent — this repo's CI container ships only the gcc toolchain, so
+# tier1.sh includes both legs unconditionally and they bite wherever clang
+# is installed.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
-shift $(( $# > 0 ? 1 : 0 )) || true
-if [[ "${1:-}" == "--" ]]; then shift; fi
+BUILD_DIR="build"
+THREAD_SAFETY_ONLY=0
+PRINT_CONFIG=0
+EXTRA_ARGS=()
+seen_build_dir=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --thread-safety-only) THREAD_SAFETY_ONLY=1; shift ;;
+    --print-config) PRINT_CONFIG=1; shift ;;  # smoke-test hook: dump parse, no analysis
+    --) shift; EXTRA_ARGS=("$@"); break ;;
+    -*) echo "analyze.sh: unknown option $1" >&2; exit 2 ;;
+    *)
+      if [[ "$seen_build_dir" -eq 0 ]]; then
+        BUILD_DIR="$1"; seen_build_dir=1; shift
+      else
+        echo "analyze.sh: unexpected positional argument $1" >&2; exit 2
+      fi ;;
+  esac
+done
 
+if [[ "$PRINT_CONFIG" -eq 1 ]]; then
+  echo "build_dir=$BUILD_DIR thread_safety_only=$THREAD_SAFETY_ONLY extra=${EXTRA_ARGS[*]:-}"
+  exit 0
+fi
+
+# --- Leg 2 helper: clang -Wthread-safety capability proof -----------------
+run_thread_safety() {
+  local clangxx="${CLANGXX:-}"
+  if [[ -z "$clangxx" ]]; then
+    for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 clang++-16 clang++-15; do
+      if command -v "$candidate" >/dev/null 2>&1; then clangxx="$candidate"; break; fi
+    done
+  fi
+  if [[ -z "$clangxx" ]]; then
+    echo "analyze.sh: clang++ not found; skipping -Wthread-safety capability analysis (install clang to enable)" >&2
+    return 0
+  fi
+  local files
+  mapfile -t files < <(find src tools -name '*.cpp' | sort)
+  echo "analyze.sh: $clangxx -fsyntax-only -Wthread-safety over ${#files[@]} files"
+  local fail=0 f
+  for f in "${files[@]}"; do
+    "$clangxx" -std=c++20 -fsyntax-only -I src -I tools \
+      -Wthread-safety -Werror=thread-safety-analysis "$f" || fail=1
+  done
+  if [[ "$fail" -ne 0 ]]; then
+    echo "analyze.sh: -Wthread-safety FAILED (fix the lock discipline; do not suppress — see DESIGN.md)" >&2
+    return 1
+  fi
+  echo "analyze.sh: -Wthread-safety clean"
+}
+
+if [[ "$THREAD_SAFETY_ONLY" -eq 1 ]]; then
+  run_thread_safety
+  exit $?
+fi
+
+# --- Leg 1: clang-tidy over the compile database --------------------------
 TIDY="${CLANG_TIDY:-}"
 if [[ -z "$TIDY" ]]; then
-  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
     if command -v "$candidate" >/dev/null 2>&1; then TIDY="$candidate"; break; fi
   done
 fi
 if [[ -z "$TIDY" ]]; then
   echo "analyze.sh: clang-tidy not found; skipping static analysis (install clang-tidy to enable)" >&2
-  exit 0
+else
+  if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    echo "analyze.sh: $BUILD_DIR/compile_commands.json missing; run: cmake -B $BUILD_DIR -S ." >&2
+    exit 2
+  fi
+  # First-party sources only: the compile database also covers tests/ and
+  # bench/, which are gtest/gbenchmark macro soup clang-tidy dislikes.
+  mapfile -t FILES < <(find src -name '*.cpp' | sort)
+  echo "analyze.sh: $TIDY over ${#FILES[@]} files (profile: .clang-tidy)"
+  "$TIDY" -p "$BUILD_DIR" --quiet ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"} "${FILES[@]}"
+  echo "analyze.sh: clang-tidy clean"
 fi
 
-if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
-  echo "analyze.sh: $BUILD_DIR/compile_commands.json missing; run: cmake -B $BUILD_DIR -S ." >&2
-  exit 2
-fi
-
-# First-party sources only: the compile database also covers tests/ and
-# bench/, which are gtest/gbenchmark macro soup clang-tidy dislikes.
-mapfile -t FILES < <(find src -name '*.cpp' | sort)
-
-echo "analyze.sh: $TIDY over ${#FILES[@]} files (profile: .clang-tidy)"
-"$TIDY" -p "$BUILD_DIR" --quiet "$@" "${FILES[@]}"
-echo "analyze.sh: clean"
+run_thread_safety

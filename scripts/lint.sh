@@ -1,26 +1,40 @@
 #!/usr/bin/env bash
-# Repo-idiom lint for first-party sources (src/), no toolchain required.
+# Repo-idiom lint for first-party sources (src/ + tools/).
 #
 #   scripts/lint.sh
 #
-# Rules (suppress a finding by putting `// NOLINT(metaprep-<rule>): <why>`
-# on the offending line or the line directly above it — the justification
-# is mandatory):
-#   metaprep-no-adhoc-throw   `throw std::runtime_error` anywhere except
-#                             src/util/error.* — use the util::Error
-#                             factories (io_error/parse_error/comm_error/
-#                             config_error) so failures stay typed.
-#   metaprep-no-naked-new     `new T(...)` outside a smart-pointer factory —
-#                             the only blessed uses are intentionally leaked
-#                             process-lifetime singletons and private-ctor
-#                             registries, each NOLINT-justified inline.
-#   metaprep-pragma-once      every header under src/ starts its include
-#                             guard with `#pragma once`.
-#   metaprep-no-using-namespace-header
-#                             no `using namespace` at file scope in headers.
+# Thin driver for tools/metaprep-lint: builds the analyzer on demand through
+# the normal CMake target (incremental, pure-std, so a cold build is cheap)
+# and runs it over the repo.  The analyzer is comment/string/raw-string
+# aware and checks eight rules — run `metaprep-lint --list-rules` or see
+# DESIGN.md "Static concurrency safety" for the catalogue and the NOLINT
+# suppression contract (`// NOLINT(metaprep-<rule>): <why>` on the offending
+# line or the line directly above; the justification is mandatory).
+#
+# Environments with no usable cmake/compiler fall back to the legacy awk
+# scan with a notice.  The fallback covers only the four original rules
+# (no-adhoc-throw, no-naked-new, pragma-once, no-using-namespace-header)
+# and only src/ — a pass there is weaker than the analyzer's.
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
+
+BUILD_DIR="${METAPREP_LINT_BUILD_DIR:-build}"
+BIN="$BUILD_DIR/tools/metaprep-lint"
+
+build_lint() {
+  command -v cmake >/dev/null 2>&1 || return 1
+  if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+    cmake -B "$BUILD_DIR" -S . >/dev/null 2>&1 || return 1
+  fi
+  cmake --build "$BUILD_DIR" --target metaprep_lint >/dev/null 2>&1
+}
+
+if build_lint && [[ -x "$BIN" ]]; then
+  exec "$BIN"
+fi
+
+echo "lint: metaprep-lint unavailable (cmake or compiler missing); falling back to the awk scan (4 of 8 rules, src/ only)" >&2
 
 fail=0
 
@@ -82,4 +96,4 @@ if [[ "$fail" -ne 0 ]]; then
   echo "lint: FAILED (see findings above; suppress only with an inline justification)" >&2
   exit 1
 fi
-echo "lint: clean (src/: $(find src -name '*.cpp' -o -name '*.hpp' | wc -l) files)"
+echo "lint: clean (awk fallback, src/: $(find src -name '*.cpp' -o -name '*.hpp' | wc -l) files)"

@@ -22,10 +22,12 @@
 #      completion, fetch the partition manifest, cancel a queued job under
 #      pause, shut down cleanly — failing on a leaked child process or
 #      socket file.
-#   5. Correctness tooling: repo-idiom lint (scripts/lint.sh), clang-tidy
-#      static analysis when available (scripts/analyze.sh), and the src/check
-#      verification layer live (METAPREP_CHECK=1) over the seeded-violation
-#      suite plus a checked differential slice.
+#   5. Correctness tooling: the metaprep-lint analyzer (scripts/lint.sh
+#      builds and drives tools/metaprep-lint), clang-tidy static analysis
+#      plus the clang -Wthread-safety capability-annotation proof when clang
+#      is available (scripts/analyze.sh; both skip with a notice otherwise),
+#      and the src/check verification layer live (METAPREP_CHECK=1) over the
+#      seeded-violation suite plus a checked differential slice.
 #
 # Usage: scripts/tier1.sh [-jN]   (default -j$(nproc))
 set -euo pipefail
@@ -33,7 +35,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:--j$(nproc)}"
 
-echo "=== tier 1: repo-idiom lint (scripts/lint.sh) ==="
+echo "=== tier 1: metaprep-lint repo-idiom analyzer (scripts/lint.sh) ==="
 scripts/lint.sh
 
 echo "=== tier 1: configure + build (default preset) ==="
@@ -43,7 +45,7 @@ cmake --build --preset default "${JOBS}"
 echo "=== tier 1: full test suite ==="
 ctest --preset default "${JOBS}"
 
-echo "=== tier 1: clang-tidy static analysis (skips when clang-tidy absent) ==="
+echo "=== tier 1: clang-tidy + clang -Wthread-safety capability proof (each skips when its tool is absent) ==="
 scripts/analyze.sh build
 
 echo "=== tier 1: checked mode (METAPREP_CHECK=1 seeded violations + differential slice) ==="

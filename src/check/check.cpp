@@ -1,8 +1,8 @@
 #include "check/check.hpp"
 
-#include <cstdlib>
-#include <cstring>
 #include <sstream>
+
+#include "util/env.hpp"
 
 namespace metaprep::check {
 
@@ -10,12 +10,7 @@ namespace {
 
 #if METAPREP_CHECKED
 bool env_enabled() {
-  static const bool value = [] {
-    const char* v = std::getenv("METAPREP_CHECK");
-    if (v == nullptr) return false;
-    return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
-           std::strcmp(v, "true") == 0;
-  }();
+  static const bool value = util::env_bool("METAPREP_CHECK");
   return value;
 }
 #endif

@@ -18,7 +18,7 @@ namespace {
 ProtocolChecker::ProtocolChecker(int num_ranks) : num_ranks_(num_ranks) { reset(); }
 
 void ProtocolChecker::reset() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   vc_.assign(static_cast<std::size_t>(num_ranks_),
              std::vector<std::uint64_t>(static_cast<std::size_t>(num_ranks_), 0));
   send_seq_.clear();
@@ -35,7 +35,7 @@ void ProtocolChecker::reset() {
 
 std::uint64_t ProtocolChecker::on_send(int src, int dst, int tag, std::size_t bytes) {
   (void)bytes;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& my_vc = vc_[static_cast<std::size_t>(src)];
   ++my_vc[static_cast<std::size_t>(src)];
   const Key key{src, dst, tag};
@@ -44,7 +44,7 @@ std::uint64_t ProtocolChecker::on_send(int src, int dst, int tag, std::size_t by
 }
 
 void ProtocolChecker::on_recv(int src, int dst, int tag, std::uint64_t seq) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const Key key{src, dst, tag};
   const std::uint64_t expected = recv_seq_[key]++;
   auto& my_vc = vc_[static_cast<std::size_t>(dst)];
@@ -73,13 +73,13 @@ void ProtocolChecker::on_recv(int src, int dst, int tag, std::uint64_t seq) {
 }
 
 std::uint64_t ProtocolChecker::on_post_recv(int rank, int src, int tag) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++outstanding_recv_[static_cast<std::size_t>(rank)];
   return post_seq_[Key{rank, src, tag}]++;
 }
 
 void ProtocolChecker::on_wait_recv(int rank, int src, int tag, std::uint64_t post_seq) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (outstanding_recv_[static_cast<std::size_t>(rank)] > 0) {
     --outstanding_recv_[static_cast<std::size_t>(rank)];
   }
@@ -118,7 +118,7 @@ void ProtocolChecker::on_double_wait(int rank, int peer, int tag, const char* ki
 }
 
 void ProtocolChecker::block_recv(int rank, int src, int tag, const char* op) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Blocked& b = blocked_[static_cast<std::size_t>(rank)];
   b.active = true;
   b.barrier = false;
@@ -128,7 +128,7 @@ void ProtocolChecker::block_recv(int rank, int src, int tag, const char* op) {
 }
 
 void ProtocolChecker::block_barrier(int rank) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Blocked& b = blocked_[static_cast<std::size_t>(rank)];
   b.active = true;
   b.barrier = true;
@@ -138,12 +138,12 @@ void ProtocolChecker::block_barrier(int rank) {
 }
 
 void ProtocolChecker::unblock(int rank) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   blocked_[static_cast<std::size_t>(rank)].active = false;
 }
 
 void ProtocolChecker::on_barrier_arrive(int rank) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto& my_vc = vc_[static_cast<std::size_t>(rank)];
   for (std::size_t i = 0; i < barrier_join_.size(); ++i) {
     barrier_join_[i] = std::max(barrier_join_[i], my_vc[i]);
@@ -178,7 +178,7 @@ void ProtocolChecker::detect_deadlock(
   // contention — handled by the caller returning true).
   std::vector<Blocked> snap;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     snap = blocked_;
   }
   // adj[r] = ranks r is waiting on.  A recv edge only counts while the
@@ -228,7 +228,7 @@ void ProtocolChecker::detect_deadlock(
   v.kind = ViolationKind::kDeadlock;
   v.ranks = cycle;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (int r = 0; r < num_ranks_; ++r) {
       if (blocked_[static_cast<std::size_t>(r)].active) {
         v.blocked.push_back(blocked_trace_locked(r));
@@ -245,7 +245,7 @@ void ProtocolChecker::detect_deadlock(
 
 void ProtocolChecker::note_unmatched_send(int src, int dst, int tag, std::uint64_t count,
                                           std::uint64_t bytes) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Violation v;
   v.kind = ViolationKind::kUnmatchedSend;
   v.src = src;
@@ -263,7 +263,7 @@ void ProtocolChecker::note_unmatched_send(int src, int dst, int tag, std::uint64
 }
 
 CheckReport ProtocolChecker::take_final_report() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (int r = 0; r < num_ranks_; ++r) {
     const std::uint64_t n = outstanding_recv_[static_cast<std::size_t>(r)];
     if (n == 0) continue;
@@ -284,7 +284,7 @@ CheckReport ProtocolChecker::take_final_report() {
 }
 
 std::uint64_t ProtocolChecker::clock(int rank) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return vc_[static_cast<std::size_t>(rank)][static_cast<std::size_t>(rank)];
 }
 

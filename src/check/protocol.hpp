@@ -30,13 +30,13 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "check/check.hpp"
+#include "util/sync.hpp"
 
 namespace metaprep::check {
 
@@ -109,21 +109,21 @@ class ProtocolChecker {
 
   using Key = std::tuple<int, int, int>;  // (src, dst, tag)
 
-  [[nodiscard]] BlockedOp blocked_trace_locked(int rank) const;
+  [[nodiscard]] BlockedOp blocked_trace_locked(int rank) const REQUIRES(mutex_);
 
   int num_ranks_;
-  mutable std::mutex mutex_;
-  std::vector<std::vector<std::uint64_t>> vc_;       ///< vc_[rank][component]
-  std::map<Key, std::uint64_t> send_seq_;
-  std::map<Key, std::uint64_t> recv_seq_;
-  std::map<Key, std::deque<std::vector<std::uint64_t>>> msg_clocks_;
-  std::map<Key, std::uint64_t> post_seq_;            ///< (rank, src, tag)
-  std::map<Key, std::uint64_t> wait_seq_;            ///< (rank, src, tag)
-  std::vector<std::uint64_t> outstanding_recv_;      ///< per rank
-  std::vector<Blocked> blocked_;
-  std::vector<std::uint64_t> barrier_join_;
-  int barrier_arrivals_ = 0;
-  CheckReport deferred_;
+  mutable util::Mutex mutex_;
+  std::vector<std::vector<std::uint64_t>> vc_ GUARDED_BY(mutex_);  ///< vc_[rank][comp]
+  std::map<Key, std::uint64_t> send_seq_ GUARDED_BY(mutex_);
+  std::map<Key, std::uint64_t> recv_seq_ GUARDED_BY(mutex_);
+  std::map<Key, std::deque<std::vector<std::uint64_t>>> msg_clocks_ GUARDED_BY(mutex_);
+  std::map<Key, std::uint64_t> post_seq_ GUARDED_BY(mutex_);  ///< (rank, src, tag)
+  std::map<Key, std::uint64_t> wait_seq_ GUARDED_BY(mutex_);  ///< (rank, src, tag)
+  std::vector<std::uint64_t> outstanding_recv_ GUARDED_BY(mutex_);  ///< per rank
+  std::vector<Blocked> blocked_ GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> barrier_join_ GUARDED_BY(mutex_);
+  int barrier_arrivals_ GUARDED_BY(mutex_) = 0;
+  CheckReport deferred_ GUARDED_BY(mutex_);
 };
 
 /// Validates the P+1-entry block-offset contract of the staged all-to-all:

@@ -33,26 +33,26 @@ World::~World() = default;
 void World::run(const std::function<void(Comm&)>& fn) {
   // Clear any poison left by a previous failed run.
   for (auto& mb : mailboxes_) {
-    std::lock_guard lock(mb->mutex);
+    util::MutexLock lock(mb->mutex);
     mb->poisoned = false;
     mb->queues.clear();
   }
   {
-    std::lock_guard lock(barrier_mutex_);
+    util::MutexLock lock(barrier_mutex_);
     barrier_poisoned_ = false;
     barrier_count_ = 0;
   }
   if (checker_) checker_->reset();
 
   std::exception_ptr first_exception;
-  std::mutex exception_mutex;
+  util::Mutex exception_mutex;
   auto body = [&](int rank) {
     Comm comm(*this, rank);
     try {
       fn(comm);
     } catch (...) {
       {
-        std::lock_guard lock(exception_mutex);
+        util::MutexLock lock(exception_mutex);
         if (!first_exception) first_exception = std::current_exception();
       }
       poison_all();
@@ -88,7 +88,7 @@ void World::finalize_check() {
   // never found its recv.
   for (int dest = 0; dest < num_ranks_; ++dest) {
     Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
-    std::lock_guard lock(mb.mutex);
+    util::MutexLock lock(mb.mutex);
     for (const auto& [key, queue] : mb.queues) {
       if (queue.empty()) continue;
       std::uint64_t bytes = 0;
@@ -103,17 +103,20 @@ void World::finalize_check() {
 bool World::mailbox_has(int dest, int src, int tag) {
   if (dest < 0 || dest >= num_ranks_) return true;
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
-  std::unique_lock lock(mb.mutex, std::try_to_lock);
-  if (!lock.owns_lock()) return true;  // contended: owner is active, no edge
-  if (mb.poisoned) return true;        // about to wake with comm_error, no edge
-  auto it = mb.queues.find({src, tag});
-  return it != mb.queues.end() && !it->second.empty();
+  // Bare try_lock/unlock rather than a scoped lock: the analysis proves the
+  // branch-on-try_lock pattern directly, and nothing in between can throw
+  // (map::find with a nothrow comparator, plain reads).
+  if (!mb.mutex.try_lock()) return true;  // contended: owner is active, no edge
+  const bool has = mb.ready({src, tag});  // poisoned counts as "has": about to
+                                          // wake with comm_error, no edge
+  mb.mutex.unlock();
+  return has;
 }
 
 void World::poison_all() {
   for (auto& mb : mailboxes_) {
     {
-      std::lock_guard lock(mb->mutex);
+      util::MutexLock lock(mb->mutex);
       mb->poisoned = true;
     }
     mb->cv.notify_all();
@@ -122,7 +125,7 @@ void World::poison_all() {
   // flags; without it a failure elsewhere would leave them waiting forever
   // on a phase change that can no longer happen.
   {
-    std::lock_guard lock(barrier_mutex_);
+    util::MutexLock lock(barrier_mutex_);
     barrier_poisoned_ = true;
   }
   barrier_cv_.notify_all();
@@ -155,7 +158,7 @@ void World::deliver(int src, int dest, int tag, const void* data, std::size_t by
     }
   }
   {
-    std::lock_guard lock(mb.mutex);
+    util::MutexLock lock(mb.mutex);
     mb.queues[{src, tag}].push_back(std::move(msg));
   }
   mb.cv.notify_all();
@@ -165,7 +168,7 @@ void World::deliver(int src, int dest, int tag, const void* data, std::size_t by
   // copy).
   if (src != dest) {
     {
-      std::lock_guard lock(cost_mutex_);
+      util::MutexLock lock(cost_mutex_);
       sim_comm_seconds_[static_cast<std::size_t>(dest)] +=
           cost_.latency_s + static_cast<double>(bytes) / cost_.link_bandwidth_Bps;
       traffic_bytes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_ranks_) +
@@ -189,14 +192,9 @@ void World::deliver(int src, int dest, int tag, const void* data, std::size_t by
 
 World::Message World::take(int src, int dest, int tag) {
   Mailbox& mb = *mailboxes_[static_cast<std::size_t>(dest)];
-  std::unique_lock lock(mb.mutex);
+  util::MutexLock lock(mb.mutex);
   const std::pair<int, int> key{src, tag};
-  const auto ready = [&] {
-    if (mb.poisoned) return true;
-    auto it = mb.queues.find(key);
-    return it != mb.queues.end() && !it->second.empty();
-  };
-  if (checker_ && !ready()) {
+  if (checker_ && !mb.ready(key)) {
     // Checked blocking path: register as blocked, poll with a short timeout,
     // and probe the wait-for graph on each timeout so a cross-rank deadlock
     // becomes a structured CheckError instead of a hung test run.  Lock
@@ -204,13 +202,13 @@ World::Message World::take(int src, int dest, int tag) {
     // mailboxes only through try_lock, outside the checker mutex.
     checker_->block_recv(dest, src, tag, "recv");
     try {
-      while (!ready()) {
-        if (mb.cv.wait_for(lock, std::chrono::milliseconds(10)) ==
+      while (!mb.ready(key)) {
+        if (mb.cv.wait_for(mb.mutex, lock, std::chrono::milliseconds(10)) ==
             std::cv_status::timeout) {
-          lock.unlock();
+          lock.Unlock();
           checker_->detect_deadlock(
               [this](int d, int s, int t) { return mailbox_has(d, s, t); });
-          lock.lock();
+          lock.Lock();
         }
       }
     } catch (...) {
@@ -219,13 +217,13 @@ World::Message World::take(int src, int dest, int tag) {
     }
     checker_->unblock(dest);
   } else if (!checker_) {
-    mb.cv.wait(lock, ready);
+    while (!mb.ready(key)) mb.cv.wait(mb.mutex, lock);
   }
   if (mb.poisoned) throw util::comm_error("mpsim: world poisoned by a failed rank");
   auto it = mb.queues.find(key);
   Message msg = std::move(it->second.front());
   it->second.pop_front();
-  lock.unlock();
+  lock.Unlock();
   // Verify mailbox FIFO and join the sender's vector clock.  Safe outside
   // the mailbox lock: this rank's thread is the stream's only consumer.
   if (checker_) checker_->on_recv(src, dest, tag, msg.seq);
@@ -383,7 +381,7 @@ std::vector<std::byte> Comm::recv_any_size(int src, int tag) {
 void Comm::barrier() {
   if (size() == 1) return;
   check::ProtocolChecker* checker = world_->checker_.get();
-  std::unique_lock lock(world_->barrier_mutex_);
+  util::MutexLock lock(world_->barrier_mutex_);
   if (world_->barrier_poisoned_)
     throw util::comm_error("mpsim: world poisoned by a failed rank");
   if (checker) checker->on_barrier_arrive(rank_);
@@ -396,12 +394,13 @@ void Comm::barrier() {
     checker->block_barrier(rank_);
     try {
       while (world_->barrier_phase_ == phase && !world_->barrier_poisoned_) {
-        if (world_->barrier_cv_.wait_for(lock, std::chrono::milliseconds(10)) ==
+        if (world_->barrier_cv_.wait_for(world_->barrier_mutex_, lock,
+                                         std::chrono::milliseconds(10)) ==
             std::cv_status::timeout) {
-          lock.unlock();
+          lock.Unlock();
           checker->detect_deadlock(
               [w = world_](int d, int s, int t) { return w->mailbox_has(d, s, t); });
-          lock.lock();
+          lock.Lock();
         }
       }
     } catch (...) {
@@ -414,9 +413,8 @@ void Comm::barrier() {
   } else {
     // A rank failing elsewhere can never advance the phase, so the wait
     // also watches the poison flag (set by poison_all) to avoid hanging.
-    world_->barrier_cv_.wait(lock, [&] {
-      return world_->barrier_phase_ != phase || world_->barrier_poisoned_;
-    });
+    while (world_->barrier_phase_ == phase && !world_->barrier_poisoned_)
+      world_->barrier_cv_.wait(world_->barrier_mutex_, lock);
     if (world_->barrier_phase_ == phase && world_->barrier_poisoned_)
       throw util::comm_error("mpsim: world poisoned while in barrier");
   }
@@ -527,19 +525,19 @@ void Comm::alltoallv_staged(const void* sendbuf, std::span<const std::uint64_t> 
 double Comm::simulated_comm_seconds() const { return world_->simulated_comm_seconds(rank_); }
 
 double World::simulated_comm_seconds(int rank) const {
-  std::lock_guard lock(cost_mutex_);
+  util::MutexLock lock(cost_mutex_);
   return sim_comm_seconds_[static_cast<std::size_t>(rank)];
 }
 
 double World::max_simulated_comm_seconds() const {
-  std::lock_guard lock(cost_mutex_);
+  util::MutexLock lock(cost_mutex_);
   double mx = 0.0;
   for (double v : sim_comm_seconds_) mx = std::max(mx, v);
   return mx;
 }
 
 void World::reset_cost_model() {
-  std::lock_guard lock(cost_mutex_);
+  util::MutexLock lock(cost_mutex_);
   for (auto& v : sim_comm_seconds_) v = 0.0;
   for (auto& v : traffic_bytes_) v = 0;
   for (auto& v : traffic_msgs_) v = 0;
@@ -547,24 +545,24 @@ void World::reset_cost_model() {
 }
 
 std::vector<std::uint64_t> World::traffic_matrix() const {
-  std::lock_guard lock(cost_mutex_);
+  util::MutexLock lock(cost_mutex_);
   return traffic_bytes_;
 }
 
 std::vector<std::uint64_t> World::message_matrix() const {
-  std::lock_guard lock(cost_mutex_);
+  util::MutexLock lock(cost_mutex_);
   return traffic_msgs_;
 }
 
 std::uint64_t World::total_traffic_bytes() const {
-  std::lock_guard lock(cost_mutex_);
+  util::MutexLock lock(cost_mutex_);
   std::uint64_t total = 0;
   for (auto v : traffic_bytes_) total += v;
   return total;
 }
 
 std::uint64_t World::message_count() const {
-  std::lock_guard lock(cost_mutex_);
+  util::MutexLock lock(cost_mutex_);
   return message_count_;
 }
 

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -24,11 +23,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "check/check.hpp"
+#include "util/sync.hpp"
 
 namespace metaprep::check {
 class ProtocolChecker;
@@ -229,10 +228,20 @@ class World {
   };
 
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::map<std::pair<int, int>, std::deque<Message>> queues;  // (src, tag)
-    bool poisoned = false;
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::map<std::pair<int, int>, std::deque<Message>> queues GUARDED_BY(mutex);  // (src, tag)
+    bool poisoned GUARDED_BY(mutex) = false;
+
+    /// take()'s wake condition: poisoned (about to throw comm_error) or a
+    /// queued (src, tag) message.  A named member rather than a lambda at the
+    /// wait site so the guarded reads stay visible to the thread-safety
+    /// analysis (lambda bodies are opaque to it).
+    [[nodiscard]] bool ready(const std::pair<int, int>& key) const REQUIRES(mutex) {
+      if (poisoned) return true;
+      auto it = queues.find(key);
+      return it != queues.end() && !it->second.empty();
+    }
   };
 
   void deliver(int src, int dest, int tag, const void* data, std::size_t bytes);
@@ -254,20 +263,23 @@ class World {
   int num_ranks_;
   CostModelParams cost_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::vector<double> sim_comm_seconds_;
-  std::vector<std::uint64_t> traffic_bytes_;  ///< P x P, row-major (src, dest)
-  std::vector<std::uint64_t> traffic_msgs_;   ///< P x P, row-major (src, dest)
-  std::uint64_t message_count_ = 0;
-  mutable std::mutex cost_mutex_;
+  mutable util::Mutex cost_mutex_;
+  std::vector<double> sim_comm_seconds_ GUARDED_BY(cost_mutex_);
+  /// P x P, row-major (src, dest).
+  std::vector<std::uint64_t> traffic_bytes_ GUARDED_BY(cost_mutex_);
+  /// P x P, row-major (src, dest).
+  std::vector<std::uint64_t> traffic_msgs_ GUARDED_BY(cost_mutex_);
+  std::uint64_t message_count_ GUARDED_BY(cost_mutex_) = 0;
   std::atomic<std::int64_t> async_inflight_{0};
   std::atomic<std::uint64_t> next_flow_id_{1};  ///< trace flow ids (never 0)
 
   // Barrier state.
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_count_ = 0;
-  std::uint64_t barrier_phase_ = 0;
-  bool barrier_poisoned_ = false;  ///< set by poison_all to free parked ranks
+  util::Mutex barrier_mutex_;
+  util::CondVar barrier_cv_;
+  int barrier_count_ GUARDED_BY(barrier_mutex_) = 0;
+  std::uint64_t barrier_phase_ GUARDED_BY(barrier_mutex_) = 0;
+  /// Set by poison_all to free parked ranks.
+  bool barrier_poisoned_ GUARDED_BY(barrier_mutex_) = false;
 
   /// Protocol checker; non-null only when check::enabled() at construction.
   std::unique_ptr<check::ProtocolChecker> checker_;

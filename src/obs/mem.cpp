@@ -41,7 +41,7 @@ MemRegistry* MemRegistry::current_override() noexcept { return tls_current; }
 
 void MemRegistry::charge(const char* subsystem, std::uint64_t bytes) {
   if (!enabled()) return;
-  std::lock_guard lock(mutex_);
+  util::WriterLock lock(mutex_);
   MemUsage& u = usage_[subsystem];
   u.current += static_cast<std::int64_t>(bytes);
   u.high_water = std::max(u.high_water, u.current);
@@ -49,20 +49,20 @@ void MemRegistry::charge(const char* subsystem, std::uint64_t bytes) {
 
 void MemRegistry::credit(const char* subsystem, std::uint64_t bytes) {
   if (!enabled()) return;
-  std::lock_guard lock(mutex_);
+  util::WriterLock lock(mutex_);
   usage_[subsystem].current -= static_cast<std::int64_t>(bytes);
 }
 
 void MemRegistry::set_current(const char* subsystem, std::uint64_t bytes) {
   if (!enabled()) return;
-  std::lock_guard lock(mutex_);
+  util::WriterLock lock(mutex_);
   MemUsage& u = usage_[subsystem];
   u.current = static_cast<std::int64_t>(bytes);
   u.high_water = std::max(u.high_water, u.current);
 }
 
 std::vector<std::pair<std::string, MemUsage>> MemRegistry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::ReaderLock lock(mutex_);
   std::vector<std::pair<std::string, MemUsage>> out;
   out.reserve(usage_.size());
   for (const auto& [name, u] : usage_) {
@@ -74,7 +74,7 @@ std::vector<std::pair<std::string, MemUsage>> MemRegistry::snapshot() const {
 }
 
 void MemRegistry::reset() {
-  std::lock_guard lock(mutex_);
+  util::WriterLock lock(mutex_);
   usage_.clear();
 }
 

@@ -23,9 +23,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace metaprep::obs {
 
@@ -74,16 +75,24 @@ class MemRegistry {
   /// that already know their exact byte total).  No-op when disabled.
   void set_current(const char* subsystem, std::uint64_t bytes);
 
-  /// Per-subsystem usage, sorted by name.  Quiescent use only.
+  /// Per-subsystem usage, sorted by name.  Takes the reader side of the
+  /// registry lock, so a live snapshot never blocks concurrent snapshots —
+  /// charge/credit writers still serialise against it.
   [[nodiscard]] std::vector<std::pair<std::string, MemUsage>> snapshot() const;
 
   /// Drop all counts and high-water marks.
   void reset();
 
+  /// This registry's capability, for lock-order declarations in other
+  /// layers (see util/sync.hpp).
+  [[nodiscard]] util::SharedMutex& mu() const RETURN_CAPABILITY(mutex_) {
+    return mutex_;
+  }
+
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::map<std::string, MemUsage> usage_;
+  mutable util::SharedMutex mutex_;
+  std::map<std::string, MemUsage> usage_ GUARDED_BY(mutex_);
 };
 
 /// Convenience forwarders against the current registry.  One TLS access and

@@ -48,7 +48,7 @@ MetricsRegistry* MetricsRegistry::exchange_current(MetricsRegistry* registry) no
 MetricsRegistry* MetricsRegistry::current_override() noexcept { return tls_current; }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  util::WriterLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     // NOLINT(metaprep-no-naked-new): Counter ctor is private; make_unique cannot reach it
@@ -58,7 +58,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  util::WriterLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     // NOLINT(metaprep-no-naked-new): Gauge ctor is private; make_unique cannot reach it
@@ -68,7 +68,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard lock(mutex_);
+  util::WriterLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     // NOLINT(metaprep-no-naked-new): Histogram ctor is private; make_unique cannot reach it
@@ -78,7 +78,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 }
 
 void MetricsRegistry::reset_values() {
-  std::lock_guard lock(mutex_);
+  util::WriterLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
@@ -87,7 +87,7 @@ void MetricsRegistry::reset_values() {
 }
 
 std::string MetricsRegistry::snapshot_delta() {
-  std::lock_guard lock(mutex_);
+  util::WriterLock lock(mutex_);
   std::ostringstream out;
   out << '[';
   bool first = true;
@@ -141,7 +141,7 @@ std::string MetricsRegistry::snapshot_delta() {
 }
 
 std::string MetricsRegistry::to_jsonl() const {
-  std::lock_guard lock(mutex_);
+  util::ReaderLock lock(mutex_);
   std::ostringstream out;
   for (const auto& [name, c] : counters_) {
     out << "{\"name\":\"" << name << "\",\"type\":\"counter\",\"value\":" << c->value()
@@ -179,7 +179,7 @@ void MetricsRegistry::write_jsonl(const std::string& path) const {
 }
 
 std::vector<std::string> MetricsRegistry::names() const {
-  std::lock_guard lock(mutex_);
+  util::ReaderLock lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [name, c] : counters_) out.push_back(name);
   for (const auto& [name, g] : gauges_) out.push_back(name);

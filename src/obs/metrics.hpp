@@ -24,9 +24,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace metaprep::obs {
 
@@ -181,6 +182,12 @@ class MetricsRegistry {
   /// Distinct metric names registered so far.
   [[nodiscard]] std::vector<std::string> names() const;
 
+  /// This registry's capability, for lock-order declarations in other
+  /// layers (see util/sync.hpp).
+  [[nodiscard]] util::SharedMutex& mu() const RETURN_CAPABILITY(mutex_) {
+    return mutex_;
+  }
+
  private:
   /// Baseline captured by the previous snapshot_delta() call.
   struct HistBaseline {
@@ -188,14 +195,17 @@ class MetricsRegistry {
     std::vector<std::uint64_t> buckets;
   };
 
+  // Reader/writer registry lock: to_jsonl()/names() exports take the shared
+  // side, metric registration and delta baselines take the exclusive side.
+  // Metric *values* are relaxed atomics and never need it.
   const std::uint64_t id_;
-  mutable std::mutex mutex_;
+  mutable util::SharedMutex mutex_;
   std::atomic<bool> enabled_{false};
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::uint64_t> counter_baseline_;
-  std::map<std::string, HistBaseline> histogram_baseline_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mutex_);
+  std::map<std::string, std::uint64_t> counter_baseline_ GUARDED_BY(mutex_);
+  std::map<std::string, HistBaseline> histogram_baseline_ GUARDED_BY(mutex_);
 };
 
 /// Shorthand for MetricsRegistry::current(): the calling thread's session

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/env.hpp"
 
 namespace metaprep::obs {
 
@@ -65,13 +66,14 @@ void append_escaped(std::ostringstream& out, const std::string& s) {
 }  // namespace
 
 TraceSession::TraceSession()
-    : id_(next_session_id()), epoch_(std::chrono::steady_clock::now()) {}
+    : id_(next_session_id()),
+      epoch_ticks_(std::chrono::steady_clock::now().time_since_epoch().count()) {}
 
 TraceSession& TraceSession::global() {
   static TraceSession* instance = [] {
     // NOLINT(metaprep-no-naked-new): intentionally leaked process-lifetime singleton
     auto* s = new TraceSession();  // never destroyed
-    const char* env = std::getenv("METAPREP_TRACE");
+    const char* env = util::env_get("METAPREP_TRACE");
     if (env != nullptr && std::strcmp(env, "0") != 0) {
       s->enable();
       if (std::strcmp(env, "1") != 0) {
@@ -105,7 +107,7 @@ void TraceSession::set_thread_identity(int pid, int tid) noexcept {
 TraceSession::Buffer& TraceSession::local_buffer() {
   const std::uint64_t gen = generation_.load(std::memory_order_acquire);
   if (tls.buffer == nullptr || tls.session_id != id_ || tls.generation != gen) {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     buffers_.push_back(std::make_unique<Buffer>());
     tls.buffer = buffers_.back().get();
     tls.session_id = id_;
@@ -145,14 +147,15 @@ void TraceSession::flow_marker(const char* name, std::uint64_t flow_id, bool is_
 }
 
 void TraceSession::clear() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   buffers_.clear();
   generation_.fetch_add(1, std::memory_order_release);
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_ticks_.store(std::chrono::steady_clock::now().time_since_epoch().count(),
+                     std::memory_order_relaxed);
 }
 
 std::size_t TraceSession::event_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& b : buffers_) n += b->events.size();
   return n;
@@ -160,7 +163,7 @@ std::size_t TraceSession::event_count() const {
 
 std::vector<TraceEvent> TraceSession::snapshot() const {
   std::vector<TraceEvent> all;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const auto& b : buffers_) all.insert(all.end(), b->events.begin(), b->events.end());
   return all;
 }
@@ -172,7 +175,7 @@ std::string TraceSession::to_chrome_json() const {
   // order (post-order), which we convert to chronological begin order.
   std::vector<TraceEvent> all;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const auto& b : buffers_)
       all.insert(all.end(), b->events.begin(), b->events.end());
   }
@@ -274,14 +277,14 @@ std::string TraceSession::to_chrome_json() const {
 }
 
 void TraceSession::set_flush_path(std::string path) {
-  std::lock_guard lock(flush_mutex_);
+  util::MutexLock lock(flush_mutex_);
   flush_path_ = std::move(path);
   flushed_once_ = false;
   flushed_count_ = 0;
 }
 
 std::string TraceSession::flush_path() const {
-  std::lock_guard lock(flush_mutex_);
+  util::MutexLock lock(flush_mutex_);
   return flush_path_;
 }
 
@@ -291,7 +294,7 @@ bool TraceSession::flush() {
   // the only ordering, so no deadlock).  Idempotent: a second flush with no
   // new events is a no-op, which is what makes the atexit hook on the
   // global session free once a run has flushed explicitly.
-  std::lock_guard lock(flush_mutex_);
+  util::MutexLock lock(flush_mutex_);
   if (flush_path_.empty()) return false;
   const std::size_t n = event_count();
   if (flushed_once_ && flushed_count_ == n) return false;

@@ -21,9 +21,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace metaprep::obs {
 
@@ -82,11 +83,14 @@ class TraceSession {
   /// threads record under pid 0 with a unique auto-assigned tid.
   static void set_thread_identity(int pid, int tid) noexcept;
 
-  /// Microseconds since the session epoch (steady clock).
+  /// Microseconds since the session epoch (steady clock).  Lock-free: the
+  /// epoch is an atomic tick count so concurrent recorders never synchronise
+  /// here (clear() rewrites it only at quiescent points).
   [[nodiscard]] double now_us() const noexcept {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - epoch_)
-        .count();
+    const std::chrono::steady_clock::duration since{
+        std::chrono::steady_clock::now().time_since_epoch().count() -
+        epoch_ticks_.load(std::memory_order_relaxed)};
+    return std::chrono::duration<double, std::micro>(since).count();
   }
 
   /// Append a closed span to the calling thread's buffer.  No-op when
@@ -132,6 +136,10 @@ class TraceSession {
   /// exit.  Quiescent use only.
   bool flush();
 
+  /// This session's buffer-registry capability, for lock-order declarations
+  /// in other layers (see util/sync.hpp).
+  [[nodiscard]] util::Mutex& mu() const RETURN_CAPABILITY(mutex_) { return mutex_; }
+
  private:
   struct Buffer {
     std::vector<TraceEvent> events;
@@ -145,13 +153,20 @@ class TraceSession {
   std::atomic<std::uint64_t> generation_{0};
   std::atomic<int> next_auto_tid_{100000};  // clear of real rank/thread ids
   const std::uint64_t id_;  // process-unique; keys the per-thread buffer cache
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Buffer>> buffers_;
-  std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex flush_mutex_;
-  std::string flush_path_;
-  bool flushed_once_ = false;
-  std::size_t flushed_count_ = 0;
+  /// Session epoch as steady-clock ticks.  Atomic rather than GUARDED_BY:
+  /// now_us() runs on every recording thread with no lock held, while
+  /// clear() rewrites the epoch under mutex_ — an atomic makes the pair safe
+  /// even if the quiescence contract around clear() is ever violated.
+  std::atomic<std::chrono::steady_clock::rep> epoch_ticks_;
+  /// Export-side lock.  flush() holds it across event_count() and
+  /// write_chrome_json(), both of which take mutex_, hence the declared
+  /// flush_mutex_ -> mutex_ order below.
+  mutable util::Mutex flush_mutex_;
+  mutable util::Mutex mutex_ ACQUIRED_AFTER(flush_mutex_);
+  std::vector<std::unique_ptr<Buffer>> buffers_ GUARDED_BY(mutex_);
+  std::string flush_path_ GUARDED_BY(flush_mutex_);
+  bool flushed_once_ GUARDED_BY(flush_mutex_) = false;
+  std::size_t flushed_count_ GUARDED_BY(flush_mutex_) = 0;
 };
 
 /// RAII span against the current session: records [construction,

@@ -92,7 +92,7 @@ std::uint64_t JobQueue::submit(JobSpec spec) {
   spec.config.buffer_pool =
       options_.buffer_pool != nullptr ? options_.buffer_pool : &util::BufferPool::global();
 
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (stop_) throw util::config_error("submit: queue is shut down");
   const std::uint64_t id = next_id_++;
   // Per-job observability artifacts, scoped by job id unless the spec names
@@ -122,7 +122,7 @@ std::uint64_t JobQueue::submit(JobSpec spec) {
 }
 
 JobInfo JobQueue::status(std::uint64_t id) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end())
     throw util::config_error("status: unknown job " + std::to_string(id));
@@ -130,7 +130,7 @@ JobInfo JobQueue::status(std::uint64_t id) const {
 }
 
 std::vector<JobInfo> JobQueue::list() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<JobInfo> out;
   out.reserve(jobs_.size());
   for (const auto& [id, job] : jobs_) out.push_back(job.info);
@@ -138,7 +138,7 @@ std::vector<JobInfo> JobQueue::list() const {
 }
 
 bool JobQueue::cancel(std::uint64_t id) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;
   Job& job = it->second;
@@ -158,37 +158,40 @@ bool JobQueue::cancel(std::uint64_t id) {
 }
 
 bool JobQueue::wait(std::uint64_t id, double timeout_seconds) const {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end()) throw util::config_error("wait: unknown job " + std::to_string(id));
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                             std::chrono::duration<double>(timeout_seconds));
-  return cv_done_.wait_until(lock, deadline,
-                             [&] { return terminal(jobs_.at(id).info.state); });
+  while (!terminal(jobs_.at(id).info.state)) {
+    if (cv_done_.wait_until(mutex_, lock, deadline) == std::cv_status::timeout)
+      return terminal(jobs_.at(id).info.state);
+  }
+  return true;
 }
 
 void JobQueue::pause() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   paused_ = true;
 }
 
 void JobQueue::resume() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     paused_ = false;
   }
   cv_work_.notify_one();
 }
 
 bool JobQueue::paused() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return paused_;
 }
 
 void JobQueue::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (stop_) return;
     stop_ = true;
     for (const std::uint64_t id : queue_) {
@@ -226,8 +229,8 @@ void JobQueue::worker_loop() {
     core::MetaprepConfig config;
     PipelineSession session;
     {
-      std::unique_lock lock(mutex_);
-      cv_work_.wait(lock, [&] { return stop_ || (!paused_ && !queue_.empty()); });
+      util::MutexLock lock(mutex_);
+      while (!stop_ && (paused_ || queue_.empty())) cv_work_.wait(mutex_, lock);
       if (stop_) return;
       id = pick_next_locked();
       queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
@@ -258,7 +261,7 @@ void JobQueue::worker_loop() {
       error = e.what();
     }
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       Job& job = jobs_.at(id);
       job.session = nullptr;
       job.index.reset();

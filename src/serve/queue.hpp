@@ -21,20 +21,22 @@
 // survives cancelled and failed jobs alike.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/indices.hpp"
 #include "core/pipeline.hpp"
+#include "obs/mem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/session.hpp"
 #include "util/buffer_pool.hpp"
+#include "util/sync.hpp"
 
 namespace metaprep::serve {
 
@@ -117,6 +119,10 @@ class JobQueue {
   /// worker.  Idempotent; the destructor calls it.
   void shutdown();
 
+  /// This queue's capability, for lock-order declarations in other layers
+  /// (see util/sync.hpp).
+  [[nodiscard]] util::Mutex& mu() const RETURN_CAPABILITY(mutex_) { return mutex_; }
+
  private:
   struct Job {
     JobSpec spec;
@@ -126,17 +132,25 @@ class JobQueue {
   };
 
   void worker_loop();
-  [[nodiscard]] std::uint64_t pick_next_locked() const;  ///< 0 = none ready
+  [[nodiscard]] std::uint64_t pick_next_locked() const REQUIRES(mutex_);  ///< 0 = none
 
   JobQueueOptions options_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_work_;        ///< submit/resume/shutdown -> worker
-  mutable std::condition_variable cv_done_;  ///< job reached terminal state
-  std::map<std::uint64_t, Job> jobs_;
-  std::deque<std::uint64_t> queue_;  ///< submit order; priority applied at pick
-  std::uint64_t next_id_ = 1;
-  bool paused_ = false;
-  bool stop_ = false;
+  /// Outermost lock in the declared global order (see util/sync.hpp): while
+  /// a job runs, the worker publishes into the session registries and leases
+  /// from the shared BufferPool, so those capabilities are only ever taken
+  /// after (never around) this one.
+  mutable util::Mutex mutex_ ACQUIRED_BEFORE(obs::TraceSession::global().mu(),
+                                             obs::MetricsRegistry::global().mu(),
+                                             obs::MemRegistry::global().mu(),
+                                             util::BufferPool::global().mu());
+  util::CondVar cv_work_;          ///< submit/resume/shutdown -> worker
+  mutable util::CondVar cv_done_;  ///< job reached terminal state
+  std::map<std::uint64_t, Job> jobs_ GUARDED_BY(mutex_);
+  /// Submit order; priority applied at pick.
+  std::deque<std::uint64_t> queue_ GUARDED_BY(mutex_);
+  std::uint64_t next_id_ GUARDED_BY(mutex_) = 1;
+  bool paused_ GUARDED_BY(mutex_) = false;
+  bool stop_ GUARDED_BY(mutex_) = false;
   std::thread worker_;
 };
 

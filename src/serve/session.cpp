@@ -25,7 +25,7 @@ core::PipelineResult PipelineSession::run(const core::DatasetIndex& index,
     // flush path; flush() itself never throws out of here).
     try {
       trace_.flush();
-    } catch (...) {  // NOLINT(bugprone-empty-catch) — unwind must win
+    } catch (...) {  // NOLINT(bugprone-empty-catch): unwind must win
     }
     running_.store(false, std::memory_order_release);
     throw;

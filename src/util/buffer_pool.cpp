@@ -39,7 +39,7 @@ BufferPool& BufferPool::global() {
 
 template <typename T>
 std::vector<T> BufferPool::acquire_from(std::vector<FreeEntry<T>>& list, LeaseMap& leases,
-                                        std::size_t n, T poison) {
+                                        std::size_t n, T poison, bool* reused) {
   const bool checked = check::enabled();
   // Best fit: smallest capacity that still holds n, so one oversized buffer
   // is not burned on a tiny request.
@@ -57,7 +57,7 @@ std::vector<T> BufferPool::acquire_from(std::vector<FreeEntry<T>>& list, LeaseMa
     list.pop_back();
     bytes_held_ -= entry.buf.capacity() * sizeof(T);
     ++reuse_hits_;
-    publish_gauges_locked();
+    *reused = true;
     if (checked && entry.poisoned) {
       // Release filled size()==capacity() with poison; any break means a
       // caller wrote through a dangling handle while we held the storage.
@@ -77,17 +77,12 @@ std::vector<T> BufferPool::acquire_from(std::vector<FreeEntry<T>>& list, LeaseMa
     if (out.capacity() == 0) out.reserve(1);
     leases[out.data()] = next_generation_++;
   }
-  // Memory attribution: leased bytes belong to the caller's subsystem (the
-  // pipeline tags tuple leases with MemScope("tuples")); acquire and release
-  // sites must agree on the tag for the charge to balance.
-  obs::mem_charge(obs::MemScope::current("pool"), out.capacity() * sizeof(T));
   return out;
 }
 
 template <typename T>
 void BufferPool::release_into(std::vector<FreeEntry<T>>& list, LeaseMap& leases,
                               std::vector<T>&& v, T poison) {
-  obs::mem_credit(obs::MemScope::current("pool"), v.capacity() * sizeof(T));
   if (check::enabled()) {
     if (v.capacity() == 0) {
       // An empty/moved-from vector is the signature of re-releasing a lease
@@ -112,58 +107,112 @@ void BufferPool::release_into(std::vector<FreeEntry<T>>& list, LeaseMap& leases,
     bytes_held_ += v.capacity() * sizeof(T);
     list.push_back(FreeEntry<T>{std::move(v), /*poisoned=*/false});
   }
-  publish_gauges_locked();
 }
 
+// The public entry points hold mutex_ only across the free-list/lease state
+// change, then run the observability side effects (registry locks) after
+// releasing it: the pool lock is declared a leaf, so holding it across
+// obs::mem_charge / gauge publication would invert the global lock order.
+// The charge may therefore land a moment after a concurrent release's
+// credit for the same storage; the balance is unchanged and the high-water
+// mark errs high (never low).
+
 std::vector<std::uint64_t> BufferPool::acquire_u64(std::size_t n) {
-  std::lock_guard lock(mutex_);
-  return acquire_from(free64_, leases64_, n, kPoison64);
+  std::vector<std::uint64_t> out;
+  std::uint64_t bytes = 0;
+  std::uint64_t hits = 0;
+  bool reused = false;
+  {
+    MutexLock lock(mutex_);
+    out = acquire_from(free64_, leases64_, n, kPoison64, &reused);
+    bytes = bytes_held_;
+    hits = reuse_hits_;
+  }
+  // Memory attribution: leased bytes belong to the caller's subsystem (the
+  // pipeline tags tuple leases with MemScope("tuples")); acquire and release
+  // sites must agree on the tag for the charge to balance.
+  obs::mem_charge(obs::MemScope::current("pool"), out.capacity() * sizeof(std::uint64_t));
+  if (reused) publish_gauges(bytes, hits);
+  return out;
 }
 
 std::vector<std::uint32_t> BufferPool::acquire_u32(std::size_t n) {
-  std::lock_guard lock(mutex_);
-  return acquire_from(free32_, leases32_, n, kPoison32);
+  std::vector<std::uint32_t> out;
+  std::uint64_t bytes = 0;
+  std::uint64_t hits = 0;
+  bool reused = false;
+  {
+    MutexLock lock(mutex_);
+    out = acquire_from(free32_, leases32_, n, kPoison32, &reused);
+    bytes = bytes_held_;
+    hits = reuse_hits_;
+  }
+  obs::mem_charge(obs::MemScope::current("pool"), out.capacity() * sizeof(std::uint32_t));
+  if (reused) publish_gauges(bytes, hits);
+  return out;
 }
 
 void BufferPool::release(std::vector<std::uint64_t>&& v) {
-  std::lock_guard lock(mutex_);
-  release_into(free64_, leases64_, std::move(v), kPoison64);
+  const std::uint64_t credited = v.capacity() * sizeof(std::uint64_t);
+  std::uint64_t bytes = 0;
+  std::uint64_t hits = 0;
+  {
+    MutexLock lock(mutex_);
+    release_into(free64_, leases64_, std::move(v), kPoison64);
+    bytes = bytes_held_;
+    hits = reuse_hits_;
+  }
+  obs::mem_credit(obs::MemScope::current("pool"), credited);
+  publish_gauges(bytes, hits);
 }
 
 void BufferPool::release(std::vector<std::uint32_t>&& v) {
-  std::lock_guard lock(mutex_);
-  release_into(free32_, leases32_, std::move(v), kPoison32);
+  const std::uint64_t credited = v.capacity() * sizeof(std::uint32_t);
+  std::uint64_t bytes = 0;
+  std::uint64_t hits = 0;
+  {
+    MutexLock lock(mutex_);
+    release_into(free32_, leases32_, std::move(v), kPoison32);
+    bytes = bytes_held_;
+    hits = reuse_hits_;
+  }
+  obs::mem_credit(obs::MemScope::current("pool"), credited);
+  publish_gauges(bytes, hits);
 }
 
 std::uint64_t BufferPool::bytes_held() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return bytes_held_;
 }
 
 std::uint64_t BufferPool::reuse_hits() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return reuse_hits_;
 }
 
 std::size_t BufferPool::buffers_held() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return free64_.size() + free32_.size();
 }
 
 std::size_t BufferPool::outstanding_leases() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return leases64_.size() + leases32_.size();
 }
 
 void BufferPool::trim() {
-  std::lock_guard lock(mutex_);
-  free64_.clear();
-  free32_.clear();
-  bytes_held_ = 0;
-  publish_gauges_locked();
+  std::uint64_t hits = 0;
+  {
+    MutexLock lock(mutex_);
+    free64_.clear();
+    free32_.clear();
+    bytes_held_ = 0;
+    hits = reuse_hits_;
+  }
+  publish_gauges(0, hits);
 }
 
-void BufferPool::publish_gauges_locked() const {
+void BufferPool::publish_gauges(std::uint64_t bytes_held, std::uint64_t reuse_hits) const {
   // Deliberately pinned to the *global* registry: a pool can be shared
   // across sessions (the daemon's jobs all lease from one pool), so its
   // footprint is process-level state, and pinning keeps these static refs
@@ -171,11 +220,11 @@ void BufferPool::publish_gauges_locked() const {
   // Per-session pool accounting goes through bytes_held() accessors.
   static obs::Gauge& g_bytes = obs::MetricsRegistry::global().gauge("pool.bytes_held");
   static obs::Gauge& g_hits = obs::MetricsRegistry::global().gauge("pool.reuse_hits");
-  g_bytes.set(static_cast<double>(bytes_held_));
-  g_hits.set(static_cast<double>(reuse_hits_));
+  g_bytes.set(static_cast<double>(bytes_held));
+  g_hits.set(static_cast<double>(reuse_hits));
   // Bytes parked on the free list are the pool's own footprint (leased bytes
   // are attributed to the acquiring subsystem above).
-  obs::mem_set_current("pool", bytes_held_);
+  obs::mem_set_current("pool", bytes_held);
 }
 
 }  // namespace metaprep::util

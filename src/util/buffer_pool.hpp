@@ -32,8 +32,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
+
+#include "obs/mem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/sync.hpp"
 
 namespace metaprep::util {
 
@@ -69,6 +73,10 @@ class BufferPool {
   /// Drop every held buffer (bytes_held returns to 0; hits are kept).
   void trim();
 
+  /// This pool's capability, for lock-order declarations in other layers
+  /// (see util/sync.hpp).
+  [[nodiscard]] Mutex& mu() const RETURN_CAPABILITY(mutex_) { return mutex_; }
+
  private:
   /// Free-list entry; `poisoned` records whether checked-mode release filled
   /// the storage with the poison pattern (a buffer released while checking
@@ -83,20 +91,29 @@ class BufferPool {
 
   template <typename T>
   std::vector<T> acquire_from(std::vector<FreeEntry<T>>& list, LeaseMap& leases,
-                              std::size_t n, T poison);
+                              std::size_t n, T poison, bool* reused) REQUIRES(mutex_);
   template <typename T>
   void release_into(std::vector<FreeEntry<T>>& list, LeaseMap& leases,
-                    std::vector<T>&& v, T poison);
-  void publish_gauges_locked() const;
+                    std::vector<T>&& v, T poison) REQUIRES(mutex_);
+  /// Mirror a pool-state snapshot into the obs gauges and the "pool" memory
+  /// row.  Called with mutex_ released: the pool lock is a leaf in the
+  /// declared order and must never be held across a registry lock.
+  void publish_gauges(std::uint64_t bytes_held, std::uint64_t reuse_hits) const
+      EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<FreeEntry<std::uint64_t>> free64_;
-  std::vector<FreeEntry<std::uint32_t>> free32_;
-  LeaseMap leases64_;
-  LeaseMap leases32_;
-  std::uint64_t next_generation_ = 1;
-  std::uint64_t bytes_held_ = 0;
-  std::uint64_t reuse_hits_ = 0;
+  /// Leaf lock in the declared global order (see util/sync.hpp): acquired
+  /// after the JobQueue and session-registry mutexes — the globals below
+  /// stand in for every registry instance — and nothing is taken under it.
+  mutable Mutex mutex_ ACQUIRED_AFTER(obs::TraceSession::global().mu(),
+                                      obs::MetricsRegistry::global().mu(),
+                                      obs::MemRegistry::global().mu());
+  std::vector<FreeEntry<std::uint64_t>> free64_ GUARDED_BY(mutex_);
+  std::vector<FreeEntry<std::uint32_t>> free32_ GUARDED_BY(mutex_);
+  LeaseMap leases64_ GUARDED_BY(mutex_);
+  LeaseMap leases32_ GUARDED_BY(mutex_);
+  std::uint64_t next_generation_ GUARDED_BY(mutex_) = 1;
+  std::uint64_t bytes_held_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t reuse_hits_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace metaprep::util

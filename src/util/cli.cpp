@@ -41,13 +41,4 @@ double Args::get_double(const std::string& name, double fallback) const {
   return std::stod(it->second);
 }
 
-double env_double(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(value, &end);
-  if (end == value) return fallback;
-  return parsed;
-}
-
 }  // namespace metaprep::util

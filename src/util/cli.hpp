@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/env.hpp"  // env_double and friends moved to the blessed env layer
+
 namespace metaprep::util {
 
 class Args {
@@ -26,9 +28,5 @@ class Args {
   std::map<std::string, std::string> named_;
   std::vector<std::string> positional_;
 };
-
-/// Reads an environment variable as double, returning fallback when unset or
-/// malformed.  Bench binaries use METAPREP_BENCH_SCALE to grow workloads.
-double env_double(const char* name, double fallback);
 
 }  // namespace metaprep::util

@@ -1,0 +1,51 @@
+#pragma once
+
+/// The blessed environment layer.
+///
+/// This header is the ONLY place in src/ and tools/ allowed to touch
+/// `std::getenv` (enforced by the `metaprep-no-env-outside-config` lint
+/// rule).  Funnelling every environment read through one file keeps the
+/// process-global configuration surface auditable: each `METAPREP_*` knob a
+/// subsystem consumes is visible as an `env_*` call site, and the thread-local
+/// session overrides (util::Session) can reason about exactly which globals
+/// they must shadow.
+///
+/// Header-only on purpose: `obs/` and `check/` sit below `mp_util` in the
+/// link order and still need environment reads.
+
+#include <cstdlib>
+#include <cstring>
+
+namespace metaprep::util {
+
+/// Raw environment read; nullptr when unset.  Prefer the typed helpers.
+[[nodiscard]] inline const char* env_get(const char* name) noexcept {
+  return std::getenv(name);
+}
+
+/// String read with fallback; empty values fall back.
+[[nodiscard]] inline const char* env_string(const char* name,
+                                            const char* fallback) noexcept {
+  const char* value = env_get(name);
+  return (value == nullptr || *value == '\0') ? fallback : value;
+}
+
+/// Boolean read: "1", "on", and "true" enable; anything else (or unset) is
+/// the fallback.
+[[nodiscard]] inline bool env_bool(const char* name, bool fallback = false) noexcept {
+  const char* value = env_get(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strcmp(value, "1") == 0 || std::strcmp(value, "on") == 0 ||
+         std::strcmp(value, "true") == 0;
+}
+
+/// Double read with fallback; unparsable values fall back.
+[[nodiscard]] inline double env_double(const char* name, double fallback) noexcept {
+  const char* value = env_get(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end == value ? fallback : parsed;
+}
+
+}  // namespace metaprep::util

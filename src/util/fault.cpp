@@ -45,7 +45,7 @@ FaultPlan& FaultPlan::global() {
 
 void FaultPlan::arm(const FaultPlanConfig& config) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     config_ = config;
     read_site_attempts_.clear();
   }
@@ -56,7 +56,7 @@ void FaultPlan::arm(const FaultPlanConfig& config) {
 
 void FaultPlan::disarm() {
   armed_.store(false, std::memory_order_relaxed);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   read_site_attempts_.clear();
 }
 
@@ -69,7 +69,7 @@ bool FaultPlan::draw(std::uint64_t hash, double rate) const {
 
 bool FaultPlan::inject_read_fault(std::string_view path, std::uint64_t offset) {
   if (!armed()) return false;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (!draw(site_hash(config_.seed, kTagRead, fnv1a(path), offset),
             config_.transient_read_rate))
     return false;
@@ -86,7 +86,7 @@ bool FaultPlan::corrupt_fastq_chunk(std::string_view path, std::uint64_t offset,
   std::uint64_t seed;
   double rate;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     seed = config_.seed;
     rate = config_.corrupt_rate;
   }
@@ -122,7 +122,7 @@ bool FaultPlan::inject_comm_drop() {
   std::uint64_t seed;
   double rate;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     seed = config_.seed;
     rate = config_.comm_drop_rate;
   }
@@ -138,7 +138,7 @@ bool FaultPlan::inject_comm_delay() {
   double rate;
   std::chrono::microseconds delay;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     seed = config_.seed;
     rate = config_.comm_delay_rate;
     delay = config_.comm_delay;

@@ -22,11 +22,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "util/sync.hpp"
 
 namespace metaprep::util {
 
@@ -93,11 +94,11 @@ class FaultPlan {
   [[nodiscard]] bool draw(std::uint64_t site_hash, double rate) const;
 
   std::atomic<bool> armed_{false};
-  mutable std::mutex mutex_;
-  FaultPlanConfig config_;
+  mutable Mutex mutex_;
+  FaultPlanConfig config_ GUARDED_BY(mutex_);
   /// Failed-attempt count per transiently-faulted read site, keyed
   /// "path@offset"; lets sites heal so retries succeed.
-  std::unordered_map<std::string, int> read_site_attempts_;
+  std::unordered_map<std::string, int> read_site_attempts_ GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> comm_seq_{0};
 
   std::atomic<std::uint64_t> n_read_faults_{0};

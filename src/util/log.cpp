@@ -2,16 +2,17 @@
 
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "util/env.hpp"
+#include "util/sync.hpp"
 
 namespace metaprep::util {
 
 namespace {
 
 LogLevel initial_level() {
-  const char* env = std::getenv("METAPREP_LOG");
+  const char* env = env_get("METAPREP_LOG");
   if (env == nullptr) return LogLevel::kWarn;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
@@ -22,7 +23,7 @@ LogLevel initial_level() {
 }
 
 std::atomic<LogLevel> g_level{initial_level()};
-std::mutex g_mutex;
+Mutex g_mutex;  // serialises the stderr fprintf so lines never interleave
 
 // Per-thread override (-1 inherit); see log.hpp.
 thread_local int tls_level = -1;
@@ -57,7 +58,7 @@ int exchange_thread_log_level(int level) noexcept {
 int thread_log_level_override() noexcept { return tls_level; }
 
 void log_line(LogLevel level, const std::string& message) {
-  std::lock_guard lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[metaprep %s] %s\n", level_name(level), message.c_str());
 }
 

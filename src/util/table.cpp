@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <sstream>
+
+#include "util/env.hpp"
 
 namespace metaprep::util {
 
@@ -94,8 +95,8 @@ std::string TablePrinter::csv() const {
 
 void TablePrinter::print() const {
   std::fputs(str().c_str(), stdout);
-  const char* dir = std::getenv("METAPREP_TABLE_CSV_DIR");
-  if (dir == nullptr || *dir == '\0') return;
+  const char* dir = env_string("METAPREP_TABLE_CSV_DIR", nullptr);
+  if (dir == nullptr) return;
   static std::atomic<int> counter{0};
   const std::string path = std::string(dir) + "/" + program_name() + "_" +
                            std::to_string(counter.fetch_add(1)) + ".csv";

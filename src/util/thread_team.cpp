@@ -16,18 +16,18 @@ ThreadTeam::ThreadTeam(int num_threads) : num_threads_(num_threads) {
 
 ThreadTeam::~ThreadTeam() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_start_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
-void ThreadTeam::execute(int tid) {
+void ThreadTeam::execute(const std::function<void(int)>& fn, int tid) {
   try {
-    (*job_)(tid);
+    fn(tid);
   } catch (...) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (!first_exception_) first_exception_ = std::current_exception();
   }
 }
@@ -36,20 +36,24 @@ void ThreadTeam::worker_loop(int tid) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     SessionContext ctx;
+    const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock lock(mutex_);
-      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen_generation) cv_start_.wait(mutex_, lock);
       if (stop_) return;
       seen_generation = generation_;
       ctx = job_ctx_;
+      // Copy the job pointer out while holding the lock: run() keeps it
+      // valid until every worker has decremented pending_.
+      job = job_;
     }
     {
       // Record into the launching session's sinks for this region only.
       const ScopedSessionContext bind(ctx);
-      execute(tid);
+      execute(*job, tid);
     }
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (--pending_ == 0) cv_done_.notify_one();
     }
   }
@@ -61,7 +65,7 @@ void ThreadTeam::run(const std::function<void(int)>& fn) {
     return;
   }
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     job_ctx_ = SessionContext::capture();
     pending_ = num_threads_ - 1;
@@ -69,10 +73,10 @@ void ThreadTeam::run(const std::function<void(int)>& fn) {
     ++generation_;
   }
   cv_start_.notify_all();
-  execute(0);  // Caller participates as tid 0.
+  execute(fn, 0);  // Caller participates as tid 0.
   {
-    std::unique_lock lock(mutex_);
-    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    MutexLock lock(mutex_);
+    while (pending_ != 0) cv_done_.wait(mutex_, lock);
     job_ = nullptr;
     if (first_exception_) std::rethrow_exception(first_exception_);
   }
@@ -80,14 +84,14 @@ void ThreadTeam::run(const std::function<void(int)>& fn) {
 
 void ThreadTeam::arrive_and_wait() {
   if (num_threads_ == 1) return;
-  std::unique_lock lock(barrier_mutex_);
+  MutexLock lock(barrier_mutex_);
   const std::uint64_t phase = barrier_phase_;
   if (++barrier_count_ == num_threads_) {
     barrier_count_ = 0;
     ++barrier_phase_;
     barrier_cv_.notify_all();
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_phase_ != phase; });
+    while (barrier_phase_ == phase) barrier_cv_.wait(barrier_mutex_, lock);
   }
 }
 

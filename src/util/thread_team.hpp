@@ -9,15 +9,14 @@
 // the pipeline enters hundreds of parallel regions per pass.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/session.hpp"
+#include "util/sync.hpp"
 
 namespace metaprep::util {
 
@@ -47,26 +46,29 @@ class ThreadTeam {
 
  private:
   void worker_loop(int tid);
-  void execute(int tid);
+  /// Runs fn(tid), funnelling any exception into first_exception_.  Workers
+  /// pass the job pointer they copied under mutex_ rather than re-reading
+  /// the guarded job_ field outside the lock.
+  void execute(const std::function<void(int)>& fn, int tid);
 
   int num_threads_;
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const std::function<void(int)>* job_ = nullptr;
-  SessionContext job_ctx_;  // caller's override set for the current region
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_exception_;
+  Mutex mutex_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  const std::function<void(int)>* job_ GUARDED_BY(mutex_) = nullptr;
+  SessionContext job_ctx_ GUARDED_BY(mutex_);  // caller's overrides for the region
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  int pending_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_exception_ GUARDED_BY(mutex_);
 
   // In-region barrier state (sense-reversing).
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  int barrier_count_ = 0;
-  std::uint64_t barrier_phase_ = 0;
+  Mutex barrier_mutex_;
+  CondVar barrier_cv_;
+  int barrier_count_ GUARDED_BY(barrier_mutex_) = 0;
+  std::uint64_t barrier_phase_ GUARDED_BY(barrier_mutex_) = 0;
 };
 
 /// Chunked parallel for over [begin, end): splits the range into size()

@@ -1,0 +1,6 @@
+// Seeded violation: ad-hoc std::runtime_error outside the error taxonomy.
+#include <stdexcept>
+
+void fail_badly() {
+  throw std::runtime_error("boom");  // expect metaprep-no-adhoc-throw @5
+}

@@ -1,0 +1,6 @@
+// Seeded violation: getenv outside the blessed env layer (util/env.hpp).
+#include <cstdlib>
+
+const char* log_level() {
+  return std::getenv("DEMO_LOG");  // expect metaprep-no-env-outside-config @5
+}

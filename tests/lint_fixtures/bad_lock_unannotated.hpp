@@ -1,0 +1,18 @@
+#pragma once
+// Seeded violation: a class with a util::Mutex member but no member marked
+// GUARDED_BY anything — the lock guards nothing the analysis can see.
+
+namespace demo {
+
+class Cache {
+ public:
+  void put(int key, int value);
+  int hits() const;
+
+ private:
+  mutable util::Mutex mutex_;  // expect metaprep-lock-unannotated @13
+  int hits_ = 0;
+  int misses_ = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,2 @@
+// Seeded violation: header without #pragma once (expect metaprep-pragma-once @1).
+inline int nine() { return 9; }

@@ -1,0 +1,8 @@
+// Seeded violation: naked new outside a smart-pointer factory.
+struct Widget {
+  int x = 0;
+};
+
+Widget* make_widget() {
+  return new Widget();  // expect metaprep-no-naked-new @7
+}

@@ -1,0 +1,6 @@
+// Seeded violation: the NOLINT suppresses its rule, but the mandatory
+// ": <why>" justification is missing — exactly one finding should remain
+// (metaprep-nolint-justified), not two.
+int* make_seven() {
+  return new int(7);  // NOLINT(metaprep-no-naked-new)
+}

@@ -1,0 +1,8 @@
+// Seeded violations: raw std synchronization primitives outside util/sync.hpp.
+#include <mutex>
+
+std::mutex g_lock;  // expect metaprep-no-raw-mutex @4
+
+void critical() {
+  std::lock_guard<std::mutex> lock(g_lock);  // expect metaprep-no-raw-mutex @7
+}

@@ -1,0 +1,7 @@
+#pragma once
+// Seeded violation: file-scope using-directive in a header.
+#include <vector>
+
+using namespace std;  // expect metaprep-no-using-namespace-header @5
+
+inline vector<int> empty_vec() { return {}; }

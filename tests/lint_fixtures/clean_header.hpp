@@ -1,0 +1,17 @@
+#pragma once
+// Clean header: the mutex guards named members, so metaprep-lock-unannotated
+// stays quiet; no other rule has anything to say.  Expected findings: none.
+
+namespace demo {
+
+/// Properly annotated lock state.
+class Guarded {
+ public:
+  int get() const;
+
+ private:
+  mutable util::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace demo

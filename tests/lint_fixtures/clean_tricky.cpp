@@ -1,0 +1,45 @@
+// Clean file: every rule-looking pattern below sits in a context the lexer
+// must ignore (comment, string, char, raw string), or carries a justified
+// suppression.  Expected findings: none.
+#include <cstdint>
+#include <string>
+
+namespace demo {
+
+// Comment text is not code: throw std::runtime_error("nope") must not fire,
+// and neither must std::mutex or getenv("HOME") in prose.
+
+inline std::string rule_text() {
+  // String literal contents are not code either.
+  std::string s = "throw std::runtime_error(\"boom\")";
+  s += "std::mutex inside a string";
+  s += "getenv(\"HOME\")";
+  return s;
+}
+
+inline std::string raw_rule_text() {
+  // Raw strings too, including multi-line ones with custom delimiters.
+  return R"lint(
+    throw std::runtime_error("boom");
+    std::lock_guard<std::mutex> lock(m);
+    // NOLINT(metaprep-no-raw-mutex)   <- inert: inside a raw string
+  )lint";
+}
+
+inline std::uint64_t separators() {
+  const std::uint64_t big = 1'000'000;  // digit separators are not char literals
+  const char quote = '"';               // and a quoted quote opens no string
+  return big + static_cast<std::uint64_t>(quote);
+}
+
+// NOLINT(metaprep-no-naked-new): previous-line suppression with justification
+inline int* suppressed_prev_line() { return new int(1); }
+
+inline int* suppressed_same_line() {
+  return new int(2);  // NOLINT(metaprep-no-naked-new): same-line suppression
+}
+
+// NOLINTNEXTLINE(metaprep-no-naked-new): the next-line-only marker form
+inline int* suppressed_nextline() { return new int(3); }
+
+}  // namespace demo

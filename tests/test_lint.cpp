@@ -1,0 +1,260 @@
+// metaprep-lint: lexer and rule-engine tests, driven both by inline sources
+// and by the seeded-violation / clean corpus under tests/lint_fixtures/.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+
+namespace {
+
+using metaprep::lint::Finding;
+using metaprep::lint::lex;
+using metaprep::lint::run_rules;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(METAPREP_LINT_FIXTURES) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<Finding> lint_fixture(const std::string& name) {
+  return run_rules("tests/lint_fixtures/" + name, read_fixture(name));
+}
+
+/// "rule@line" labels for compact whole-result assertions.
+std::vector<std::string> labels(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings)
+    out.push_back(f.rule + "@" + std::to_string(f.line));
+  return out;
+}
+
+// --- lexer ----------------------------------------------------------------
+
+TEST(LintLexer, SplitsCodeAndComment) {
+  const auto lines = lex("int x = 1;  // trailing note\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].code.substr(0, 10), "int x = 1;");
+  EXPECT_EQ(lines[0].code.find("trailing"), std::string::npos);
+  EXPECT_NE(lines[0].comment.find("trailing note"), std::string::npos);
+}
+
+TEST(LintLexer, BlanksStringContentsButKeepsQuotes) {
+  const auto lines = lex("auto s = \"throw std::runtime_error\";\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].code.find("runtime_error"), std::string::npos);
+  EXPECT_NE(lines[0].code.find('"'), std::string::npos);
+  // Columns are preserved: the terminating `;` stays at its source column.
+  EXPECT_EQ(lines[0].code.size(), std::string("auto s = \"throw std::runtime_error\";").size());
+}
+
+TEST(LintLexer, EscapedQuoteDoesNotCloseString) {
+  const auto lines = lex("auto s = \"a\\\"b std::mutex\";\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].code.find("std::mutex"), std::string::npos);
+}
+
+TEST(LintLexer, BlockCommentSpansLines) {
+  const auto lines = lex("int a; /* std::mutex\n getenv(\"X\") */ int b;\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].code.find("std::mutex"), std::string::npos);
+  EXPECT_EQ(lines[1].code.find("getenv"), std::string::npos);
+  EXPECT_NE(lines[1].code.find("int b;"), std::string::npos);
+  EXPECT_NE(lines[0].comment.find("std::mutex"), std::string::npos);
+}
+
+TEST(LintLexer, RawStringWithDelimiter) {
+  const auto lines = lex("auto s = R\"x(new Widget() )\" )x\";\nint tail;\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].code.find("Widget"), std::string::npos);
+  // The inner `)"` must not terminate the raw string early.
+  EXPECT_NE(lines[1].code.find("int tail;"), std::string::npos);
+}
+
+TEST(LintLexer, DigitSeparatorIsNotACharLiteral) {
+  const auto lines = lex("auto n = 1'000'000; // std::mutex\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].code.find("1'000'000"), std::string::npos);
+  EXPECT_EQ(lines[0].code.find("std::mutex"), std::string::npos);
+}
+
+TEST(LintLexer, CharLiteralWithQuoteInside) {
+  const auto lines = lex("char q = '\"'; auto s = \"std::mutex\";\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].code.find("std::mutex"), std::string::npos);
+}
+
+// --- seeded-violation fixtures --------------------------------------------
+
+TEST(LintFixtures, AdhocThrow) {
+  EXPECT_EQ(labels(lint_fixture("bad_adhoc_throw.cpp")),
+            std::vector<std::string>{"metaprep-no-adhoc-throw@5"});
+}
+
+TEST(LintFixtures, NakedNew) {
+  EXPECT_EQ(labels(lint_fixture("bad_naked_new.cpp")),
+            std::vector<std::string>{"metaprep-no-naked-new@7"});
+}
+
+TEST(LintFixtures, MissingPragmaOnce) {
+  EXPECT_EQ(labels(lint_fixture("bad_missing_pragma.hpp")),
+            std::vector<std::string>{"metaprep-pragma-once@1"});
+}
+
+TEST(LintFixtures, UsingNamespaceHeader) {
+  EXPECT_EQ(labels(lint_fixture("bad_using_namespace.hpp")),
+            std::vector<std::string>{"metaprep-no-using-namespace-header@5"});
+}
+
+TEST(LintFixtures, LockUnannotated) {
+  EXPECT_EQ(labels(lint_fixture("bad_lock_unannotated.hpp")),
+            std::vector<std::string>{"metaprep-lock-unannotated@13"});
+}
+
+TEST(LintFixtures, RawMutex) {
+  EXPECT_EQ(labels(lint_fixture("bad_raw_mutex.cpp")),
+            (std::vector<std::string>{"metaprep-no-raw-mutex@4",
+                                      "metaprep-no-raw-mutex@7"}));
+}
+
+TEST(LintFixtures, EnvOutsideConfig) {
+  EXPECT_EQ(labels(lint_fixture("bad_env.cpp")),
+            std::vector<std::string>{"metaprep-no-env-outside-config@5"});
+}
+
+TEST(LintFixtures, NolintUnjustified) {
+  // The suppression still works (no naked-new finding); the missing ": why"
+  // is the one finding left.
+  EXPECT_EQ(labels(lint_fixture("bad_nolint_unjustified.cpp")),
+            std::vector<std::string>{"metaprep-nolint-justified@5"});
+}
+
+TEST(LintFixtures, CleanTrickyIsClean) {
+  EXPECT_EQ(labels(lint_fixture("clean_tricky.cpp")), std::vector<std::string>{});
+}
+
+TEST(LintFixtures, CleanHeaderIsClean) {
+  EXPECT_EQ(labels(lint_fixture("clean_header.hpp")), std::vector<std::string>{});
+}
+
+// --- rule-engine behaviors on inline sources ------------------------------
+
+TEST(LintRules, ExemptFilesAreSkipped) {
+  EXPECT_TRUE(run_rules("src/util/sync.hpp",
+                        "#pragma once\nstd::mutex mu_;\n")
+                  .empty());
+  EXPECT_TRUE(run_rules("src/util/env.hpp",
+                        "#pragma once\nauto* v = std::getenv(\"X\");\n")
+                  .empty());
+  EXPECT_TRUE(run_rules("src/util/error.cpp",
+                        "void f() { throw std::runtime_error(\"x\"); }\n")
+                  .empty());
+  // The same contents elsewhere do fire.
+  EXPECT_EQ(run_rules("src/core/x.cpp",
+                      "void f() { throw std::runtime_error(\"x\"); }\n")
+                .size(),
+            1u);
+}
+
+TEST(LintRules, HeaderOnlyRulesIgnoreSources) {
+  const std::string src = "using namespace std;\nint x;\n";
+  EXPECT_TRUE(run_rules("src/a.cpp", src).empty());  // no pragma/using rules
+  const auto found = run_rules("src/a.hpp", src);
+  ASSERT_EQ(found.size(), 2u);  // missing pragma once + using-directive
+}
+
+TEST(LintRules, NolintOnPreviousLineSuppresses) {
+  const std::string src =
+      "// NOLINT(metaprep-no-naked-new): singleton\n"
+      "auto* p = new int(1);\n";
+  EXPECT_TRUE(run_rules("src/a.cpp", src).empty());
+}
+
+TEST(LintRules, NolintNextlineDoesNotCoverItsOwnLine) {
+  const std::string src =
+      "auto* p = new int(1);  // NOLINTNEXTLINE(metaprep-no-naked-new): wrong form\n";
+  const auto found = run_rules("src/a.cpp", src);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].rule, "metaprep-no-naked-new");
+}
+
+TEST(LintRules, NolintListCoversMultipleRules) {
+  const std::string src =
+      "auto* p = new int(1);  "
+      "// NOLINT(metaprep-no-naked-new, metaprep-no-adhoc-throw): both\n";
+  EXPECT_TRUE(run_rules("src/a.cpp", src).empty());
+}
+
+TEST(LintRules, NolintInStringDoesNotSuppress) {
+  const std::string src =
+      "auto* s = \"NOLINT(metaprep-no-naked-new): nope\";\n"
+      "auto* p = new int(1);\n";
+  const auto found = run_rules("src/a.cpp", src);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].rule, "metaprep-no-naked-new");
+  EXPECT_EQ(found[0].line, 2);
+}
+
+TEST(LintRules, ProseNolintWithoutParensIsInert) {
+  EXPECT_TRUE(run_rules("src/a.cpp",
+                        "// Suppressions use NOLINT markers with a rule list.\n"
+                        "int x;\n")
+                  .empty());
+}
+
+TEST(LintRules, LockUnannotatedSeesGuardedMembers) {
+  const std::string bad =
+      "class C {\n"
+      "  util::Mutex mutex_;\n"
+      "  int x_ = 0;\n"
+      "};\n";
+  const auto found = run_rules("src/a.hpp", bad);
+  // pragma-once fires too; filter to the lock rule.
+  EXPECT_EQ(std::count_if(found.begin(), found.end(),
+                          [](const Finding& f) {
+                            return f.rule == "metaprep-lock-unannotated";
+                          }),
+            1);
+
+  const std::string good =
+      "#pragma once\n"
+      "class C {\n"
+      "  util::Mutex mutex_;\n"
+      "  int x_ GUARDED_BY(mutex_) = 0;\n"
+      "};\n";
+  EXPECT_TRUE(run_rules("src/a.hpp", good).empty());
+}
+
+TEST(LintRules, LockUnannotatedHandlesNestedClasses) {
+  // The inner struct is annotated; the outer class's mutex guards nothing.
+  const std::string src =
+      "#pragma once\n"
+      "class Outer {\n"
+      "  struct Inner {\n"
+      "    util::Mutex mu;\n"
+      "    int q GUARDED_BY(mu) = 0;\n"
+      "  };\n"
+      "  util::SharedMutex mutex_;\n"
+      "  int naked_ = 0;\n"
+      "};\n";
+  const auto found = run_rules("src/a.hpp", src);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].rule, "metaprep-lock-unannotated");
+  EXPECT_EQ(found[0].line, 7);
+}
+
+TEST(LintRules, RuleNamesListsAllEight) {
+  EXPECT_EQ(metaprep::lint::rule_names().size(), 8u);
+}
+
+}  // namespace

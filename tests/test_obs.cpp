@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <fstream>
 #include <map>
@@ -16,14 +17,17 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/index_create.hpp"
 #include "core/pipeline.hpp"
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/read_sim.hpp"
 #include "test_support.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/thread_team.hpp"
 
 namespace metaprep::obs {
@@ -470,6 +474,78 @@ TEST(Trace, ClearDropsEventsAndRecordingResumes) {
   EXPECT_EQ(names.count("before"), 0u);
   s.disable();
   s.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency regressions pinned by the thread-safety-annotation audit.
+// These are hammers: their assertions are weak on purpose — the real oracle
+// is the TSan tier-1 leg (data race / lock-order-inversion reports).
+// ---------------------------------------------------------------------------
+
+// Regression: TraceSession's epoch used to be a plain field written by
+// clear() while now_us() read it lock-free on recording threads.  The epoch
+// is now an atomic tick count, so the pair is race-free even when the
+// quiescence contract around clear() is stretched.
+TEST(Trace, NowUsIsRaceFreeAgainstConcurrentClear) {
+  TraceSession session;  // private session: no interference with global state
+  std::atomic<bool> done{false};
+  std::atomic<int> bogus{0};
+  std::vector<std::thread> readers;
+  readers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        const double us = session.now_us();
+        // After any clear() the epoch is in the past, so now_us() stays
+        // non-negative (modulo scheduler noise, bounded well above -1s).
+        if (us < -1e6 || !std::isfinite(us)) ++bogus;
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) session.clear();
+  done = true;
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(bogus.load(), 0);
+}
+
+// Regression: BufferPool used to publish its gauges *while holding* its own
+// mutex, taking the metrics/mem registry locks under the pool lock — an
+// inversion of the declared order (registries before pool; the pool is a
+// leaf).  publish_gauges() now runs after the pool lock drops; exercising
+// pool traffic against concurrent registry exports lets the TSan leg prove
+// the inversion stays gone.
+TEST(BufferPool, GaugePublishDoesNotInvertRegistryLockOrder) {
+  MetricsEnabledGuard guard(true);
+  MemRegistry::global().set_enabled(true);
+  util::BufferPool pool;
+  std::atomic<bool> done{false};
+  std::thread exporter([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)metrics().to_jsonl();
+      (void)MemRegistry::global().snapshot();
+    }
+  });
+  std::thread prober([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)pool.bytes_held();
+      (void)pool.reuse_hits();
+      (void)pool.buffers_held();
+    }
+  });
+  for (int i = 0; i < 500; ++i) {
+    auto a = pool.acquire_u64(1024);
+    auto b = pool.acquire_u32(2048);
+    pool.release(std::move(a));
+    pool.release(std::move(b));
+  }
+  done = true;
+  exporter.join();
+  prober.join();
+  MemRegistry::global().set_enabled(false);
+  EXPECT_GT(pool.reuse_hits(), 0u);
+  EXPECT_GT(pool.bytes_held(), 0u);
+  pool.trim();
+  EXPECT_EQ(pool.bytes_held(), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,174 @@
+// util/sync.hpp: behavioral tests for the capability-annotated wrappers.
+// The annotations themselves are checked by the clang -Wthread-safety leg in
+// scripts/analyze.sh; here we prove the wrappers behave like the std
+// primitives they shim (locking, try-lock, relock, shared access, waits).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/sync.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+namespace util = metaprep::util;
+
+TEST(Sync, MutexTryLockReflectsContention) {
+  util::Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  // A second holder must fail while we hold it (probe from another thread;
+  // same-thread relock of a std::mutex would be UB).
+  std::atomic<int> result{-1};
+  std::thread probe([&] { result = mu.try_lock() ? 1 : 0; });
+  probe.join();
+  EXPECT_EQ(result.load(), 0);
+  mu.unlock();
+  std::thread probe2([&] {
+    if (mu.try_lock()) {
+      result = 2;
+      mu.unlock();
+    }
+  });
+  probe2.join();
+  EXPECT_EQ(result.load(), 2);
+}
+
+TEST(Sync, MutexLockExcludesOtherThreads) {
+  util::Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) {
+        util::MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 80'000);
+}
+
+TEST(Sync, MutexLockDeferThenLock) {
+  util::Mutex mu;
+  util::MutexLock lock(mu, util::defer_lock);
+  EXPECT_FALSE(lock.owns_lock());
+  lock.Lock();
+  EXPECT_TRUE(lock.owns_lock());
+  lock.Unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  // Destructor must not unlock again (would be UB on an unheld std::mutex);
+  // reacquire to prove the mutex is still healthy.
+  EXPECT_TRUE(lock.TryLock());
+}
+
+TEST(Sync, MutexLockTryToLock) {
+  util::Mutex mu;
+  {
+    util::MutexLock held(mu);
+    std::atomic<bool> acquired{true};
+    std::thread probe([&] {
+      util::MutexLock probe_lock(mu, util::try_to_lock);
+      acquired = probe_lock.owns_lock();
+    });
+    probe.join();
+    EXPECT_FALSE(acquired.load());
+  }
+  util::MutexLock now(mu, util::try_to_lock);
+  EXPECT_TRUE(now.owns_lock());
+}
+
+TEST(Sync, SharedMutexAllowsConcurrentReaders) {
+  util::SharedMutex mu;
+  std::atomic<int> readers_inside{0};
+  std::atomic<int> max_inside{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      util::ReaderLock lock(mu);
+      const int now = ++readers_inside;
+      int prev = max_inside.load();
+      while (now > prev && !max_inside.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(20ms);
+      --readers_inside;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GE(max_inside.load(), 2) << "readers never overlapped";
+}
+
+TEST(Sync, WriterLockExcludesReaders) {
+  util::SharedMutex mu;
+  int value = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(6);
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 5'000; ++i) {
+        util::WriterLock lock(mu);
+        ++value;
+      }
+    });
+  }
+  std::atomic<bool> torn{false};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2'000; ++i) {
+        util::ReaderLock lock(mu);
+        if (value < 0 || value > 10'000) torn = true;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(value, 10'000);
+  EXPECT_FALSE(torn.load());
+}
+
+TEST(Sync, CondVarWakesWaiter) {
+  util::Mutex mu;
+  util::CondVar cv;
+  bool ready = false;
+  std::atomic<bool> observed{false};
+  std::thread waiter([&] {
+    util::MutexLock lock(mu);
+    while (!ready) cv.wait(mu, lock);
+    observed = true;
+  });
+  {
+    util::MutexLock lock(mu);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(observed.load());
+}
+
+TEST(Sync, CondVarWaitForTimesOut) {
+  util::Mutex mu;
+  util::CondVar cv;
+  util::MutexLock lock(mu);
+  EXPECT_EQ(cv.wait_for(mu, lock, 5ms), std::cv_status::timeout);
+  // The lock is reacquired after the timed-out wait: a contending thread
+  // must see the mutex held.
+  std::atomic<int> result{-1};
+  std::thread probe([&] { result = mu.try_lock() ? 1 : 0; });
+  probe.join();
+  EXPECT_EQ(result.load(), 0);
+}
+
+TEST(Sync, CondVarWaitUntilHonorsDeadline) {
+  util::Mutex mu;
+  util::CondVar cv;
+  util::MutexLock lock(mu);
+  const auto deadline = std::chrono::steady_clock::now() + 5ms;
+  EXPECT_EQ(cv.wait_until(mu, lock, deadline), std::cv_status::timeout);
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+}  // namespace

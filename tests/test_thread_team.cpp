@@ -61,6 +61,27 @@ TEST(ThreadTeam, ReusableAcrossManyRegions) {
   EXPECT_EQ(total.load(), 200);
 }
 
+// Regression pinned by the thread-safety-annotation audit: workers used to
+// re-read the guarded job_ field after dropping the team mutex, so a worker
+// finishing late could race the leader publishing the *next* region's
+// function.  execute() now takes the function pointer copied under the lock.
+// Back-to-back regions with distinct closures make a stale read visible as a
+// wrong-region write; the TSan tier-1 leg sees the race itself.
+TEST(ThreadTeam, BackToBackRegionsNeverRunAStaleJob) {
+  ThreadTeam team(4);
+  std::vector<std::atomic<int>> region_of_tid(4);
+  for (auto& r : region_of_tid) r.store(-1);
+  for (int region = 0; region < 2'000; ++region) {
+    team.run([&, region](int tid) {
+      region_of_tid[static_cast<std::size_t>(tid)].store(region,
+                                                         std::memory_order_relaxed);
+    });
+    for (auto& r : region_of_tid) {
+      ASSERT_EQ(r.load(std::memory_order_relaxed), region);
+    }
+  }
+}
+
 TEST(ThreadTeam, BarrierSynchronizesPhases) {
   ThreadTeam team(4);
   std::atomic<int> phase1{0};

@@ -1,0 +1,143 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace metaprep::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Does a quote at position i open a raw string?  True when the identifier
+/// characters immediately before it form one of the raw-string prefixes.
+[[nodiscard]] bool is_raw_string_prefix(std::string_view src, std::size_t i) {
+  std::size_t begin = i;
+  while (begin > 0 && is_ident_char(src[begin - 1])) --begin;
+  const std::string_view prefix = src.substr(begin, i - begin);
+  return prefix == "R" || prefix == "u8R" || prefix == "uR" || prefix == "UR" ||
+         prefix == "LR";
+}
+
+/// Is the quote at position i a digit separator (`1'000`) rather than the
+/// start of a char literal?  A separator follows a digit or a pp-number
+/// continuation; a char-literal prefix identifier (u, U, L, u8) still opens
+/// a literal.
+[[nodiscard]] bool is_digit_separator(std::string_view src, std::size_t i) {
+  if (i == 0) return false;
+  const char prev = src[i - 1];
+  if (!is_ident_char(prev)) return false;
+  std::size_t begin = i;
+  while (begin > 0 && is_ident_char(src[begin - 1])) --begin;
+  const std::string_view word = src.substr(begin, i - begin);
+  if (word == "u" || word == "U" || word == "L" || word == "u8") return false;
+  // Any other identifier-like token directly before a quote is a pp-number
+  // (starts with a digit) or user-defined-literal tail; either way the quote
+  // separates digits, it does not open a literal.
+  return true;
+}
+
+}  // namespace
+
+std::vector<LexedLine> lex(std::string_view src) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+
+  std::vector<LexedLine> lines;
+  LexedLine cur;
+  State state = State::kCode;
+  std::string raw_close;  // ")delim\"" that terminates the active raw string
+
+  auto end_line = [&] {
+    lines.push_back(std::move(cur));
+    cur = LexedLine{};
+  };
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      end_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+          state = State::kLineComment;
+          cur.comment += "//";
+          cur.code += "  ";
+          ++i;
+        } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+          state = State::kBlockComment;
+          cur.comment += "/*";
+          cur.code += "  ";
+          ++i;
+        } else if (c == '"' && is_raw_string_prefix(src, i)) {
+          // R"delim( ... )delim" — capture the close sequence up front.
+          std::size_t p = i + 1;
+          std::string delim;
+          while (p < src.size() && src[p] != '(') delim += src[p++];
+          raw_close = ")" + delim + "\"";
+          cur.code += '"';
+          cur.code.append(p < src.size() ? p - i : 0, ' ');  // delim + '('
+          i = p;  // now positioned at '(' (or end)
+          state = State::kRawString;
+        } else if (c == '"') {
+          cur.code += '"';
+          state = State::kString;
+        } else if (c == '\'' && !is_digit_separator(src, i)) {
+          cur.code += '\'';
+          state = State::kChar;
+        } else {
+          cur.code += c;
+        }
+        break;
+      }
+      case State::kLineComment:
+        cur.comment += c;
+        cur.code += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < src.size() && src[i + 1] == '/') {
+          cur.comment += "*/";
+          cur.code += "  ";
+          ++i;
+          state = State::kCode;
+        } else {
+          cur.comment += c;
+          cur.code += ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char close = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < src.size()) {
+          cur.code += "  ";
+          ++i;
+          if (src[i] == '\n') end_line();  // escaped newline inside a literal
+        } else if (c == close) {
+          cur.code += close;
+          state = State::kCode;
+        } else {
+          cur.code += ' ';
+        }
+        break;
+      }
+      case State::kRawString: {
+        if (src.compare(i, raw_close.size(), raw_close) == 0) {
+          cur.code.append(raw_close.size() - 1, ' ');
+          cur.code += '"';
+          i += raw_close.size() - 1;
+          state = State::kCode;
+        } else {
+          cur.code += ' ';
+        }
+        break;
+      }
+    }
+  }
+  if (!cur.code.empty() || !cur.comment.empty() || lines.empty()) end_line();
+  return lines;
+}
+
+}  // namespace metaprep::lint

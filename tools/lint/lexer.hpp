@@ -1,0 +1,37 @@
+// Token-level C++ lexer for metaprep-lint.
+//
+// The analyzer's rules are line-oriented regex/substring checks, but they
+// must never fire on rule-looking text inside comments, string literals,
+// char literals, or raw strings — and NOLINT suppressions live *only* in
+// comments.  This lexer splits each physical line into exactly those two
+// views:
+//
+//   code:    the line with comment text and literal *contents* blanked to
+//            spaces (quotes are kept, so `"throw std::runtime_error"` lexes
+//            as an empty string literal).  Columns are preserved.
+//   comment: the concatenated text of every comment on the line, including
+//            the body of a block comment that spans it.
+//
+// Handled: `//` line comments, `/* */` block comments (multi-line),
+// string/char literals with escapes, raw strings `R"delim(...)delim"`
+// (multi-line, any prefix u8R/uR/UR/LR), and digit separators (`1'000'000`
+// does not open a char literal).  No preprocessor awareness beyond that —
+// the rules operate on what the programmer sees, not the translation unit.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metaprep::lint {
+
+struct LexedLine {
+  std::string code;     ///< comment/literal-content chars blanked to spaces
+  std::string comment;  ///< every comment character on this line
+};
+
+/// Lex @p source into per-line code/comment views.  A trailing line without
+/// a final newline is still emitted.
+[[nodiscard]] std::vector<LexedLine> lex(std::string_view source);
+
+}  // namespace metaprep::lint

@@ -1,0 +1,92 @@
+// metaprep-lint: the repo-idiom analyzer behind scripts/lint.sh.
+//
+//   metaprep-lint                 lint src/ and tools/ under the cwd
+//   metaprep-lint FILE...         lint exactly the named files
+//   metaprep-lint --list-rules    print one rule name per line
+//
+// Findings go to stderr as `lint: file:line: [rule] message` (the same
+// contract the historical awk scanner printed, so drivers and CI greps keep
+// working); exit status is 1 when anything fired, with a final summary line
+// either way.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+[[nodiscard]] std::vector<std::string> discover() {
+  std::vector<std::string> files;
+  for (const char* root : {"src", "tools"}) {
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file() && lintable(it->path()))
+        files.push_back(it->path().generic_string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& name : metaprep::lint::rule_names())
+        std::cout << name << "\n";
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: metaprep-lint [--list-rules] [file...]\n"
+                   "Lints src/ and tools/ (or the named files) against the "
+                   "metaprep-* idiom rules.\n";
+      return 0;
+    }
+    files.push_back(arg);
+  }
+  if (files.empty()) files = discover();
+
+  bool failed = false;
+  int linted = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "lint: " << file << ":1: [metaprep-lint] cannot read file\n";
+      failed = true;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    ++linted;
+    for (const metaprep::lint::Finding& f :
+         metaprep::lint::run_rules(file, buf.str())) {
+      std::cerr << "lint: " << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+      failed = true;
+    }
+  }
+  if (failed) {
+    std::cerr << "lint: FAILED (see findings above; suppress only with an inline "
+                 "justification)\n";
+    return 1;
+  }
+  std::cout << "lint: clean (" << linted << " files)\n";
+  return 0;
+}

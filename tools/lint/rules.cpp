@@ -1,0 +1,295 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+#include "lint/lexer.hpp"
+
+namespace metaprep::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// NOLINT suppression parsing (comment text only).
+
+struct Nolint {
+  bool nextline = false;            ///< NOLINTNEXTLINE: applies to line+1 only
+  std::vector<std::string> rules;   ///< listed rule names
+  bool justified = false;           ///< carries ": <why>" with non-empty why
+};
+
+/// Extract NOLINT markers from one line's comment text.  Only the
+/// parenthesized forms count — NOLINT or NOLINTNEXTLINE followed immediately
+/// by a rule list in parentheses — so prose that merely mentions the word
+/// NOLINT is inert, and there is no bare suppress-everything spelling.
+[[nodiscard]] std::vector<Nolint> parse_nolints(std::string_view comment) {
+  std::vector<Nolint> out;
+  std::size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string_view::npos) {
+    Nolint n;
+    std::size_t p = pos + 6;
+    pos += 6;
+    if (comment.compare(p, 8, "NEXTLINE") == 0) {
+      n.nextline = true;
+      p += 8;
+    }
+    if (p >= comment.size() || comment[p] != '(') continue;  // prose, not a marker
+    const std::size_t close = comment.find(')', p);
+    if (close == std::string_view::npos) continue;  // malformed, not a marker
+    std::string name;
+    for (std::size_t i = p + 1; i <= close; ++i) {
+      const char c = comment[i];
+      if (c == ',' || c == ')') {
+        while (!name.empty() && name.back() == ' ') name.pop_back();
+        if (!name.empty()) n.rules.push_back(name);
+        name.clear();
+      } else if (c != ' ') {
+        name += c;
+      }
+    }
+    p = close + 1;
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    if (p < comment.size() && comment[p] == ':') {
+      ++p;
+      while (p < comment.size() &&
+             std::isspace(static_cast<unsigned char>(comment[p])) != 0)
+        ++p;
+      n.justified = p < comment.size();
+    }
+    out.push_back(std::move(n));
+  }
+  return out;
+}
+
+class Suppressions {
+ public:
+  explicit Suppressions(const std::vector<LexedLine>& lines) {
+    per_line_.resize(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      per_line_[i] = parse_nolints(lines[i].comment);
+  }
+
+  /// Is @p rule suppressed at 1-based @p line?  Same-line NOLINT, or a
+  /// NOLINT / NOLINTNEXTLINE on the line above.
+  [[nodiscard]] bool suppressed(const std::string& rule, int line) const {
+    const auto covers = [&](const Nolint& n) {
+      return std::find(n.rules.begin(), n.rules.end(), rule) != n.rules.end();
+    };
+    const std::size_t idx = static_cast<std::size_t>(line - 1);
+    if (idx < per_line_.size()) {
+      for (const Nolint& n : per_line_[idx])
+        if (!n.nextline && covers(n)) return true;
+    }
+    if (line >= 2) {
+      for (const Nolint& n : per_line_[idx - 1])
+        if (covers(n)) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const std::vector<std::vector<Nolint>>& per_line() const {
+    return per_line_;
+  }
+
+ private:
+  std::vector<std::vector<Nolint>> per_line_;
+};
+
+// ---------------------------------------------------------------------------
+// Path helpers.  Reports use @p file verbatim; exemptions match on the
+// normalized tail so absolute and repo-relative invocations agree.
+
+[[nodiscard]] std::string normalized(const std::string& file) {
+  std::string s = file;
+  std::replace(s.begin(), s.end(), '\\', '/');
+  return s;
+}
+
+[[nodiscard]] bool path_is(const std::string& norm, std::string_view tail) {
+  if (norm.size() < tail.size()) return false;
+  if (norm.compare(norm.size() - tail.size(), tail.size(), tail) != 0) return false;
+  return norm.size() == tail.size() || norm[norm.size() - tail.size() - 1] == '/';
+}
+
+[[nodiscard]] bool is_header(const std::string& norm) {
+  return norm.size() >= 4 && norm.compare(norm.size() - 4, 4, ".hpp") == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Class-scope tracker for metaprep-lock-unannotated.  Heuristic brace/keyword
+// scanner over the code view: a scope opened while a class/struct/union head
+// is pending is a class scope; when it closes, a class that declared a
+// util::Mutex / util::SharedMutex member but annotated no member GUARDED_BY /
+// PT_GUARDED_BY gets one finding per mutex member.
+
+struct ClassScope {
+  bool is_class = false;
+  int guarded = 0;
+  std::vector<int> mutex_lines;
+};
+
+void scan_lock_annotations(const std::string& file, const std::vector<LexedLine>& lines,
+                           const Suppressions& nolint, std::vector<Finding>& findings) {
+  static const std::regex kMutexMember(
+      R"((^|[^\w:<])(util::)?(Mutex|SharedMutex)\s+[A-Za-z_]\w*)");
+  static const std::regex kGuarded(R"(\b(PT_)?GUARDED_BY\s*\()");
+
+  std::vector<ClassScope> stack;
+  bool pending_class = false;
+  std::string prev_word;
+
+  auto emit = [&](const ClassScope& scope) {
+    if (!scope.is_class || scope.mutex_lines.empty() || scope.guarded > 0) return;
+    for (const int line : scope.mutex_lines) {
+      if (nolint.suppressed("metaprep-lock-unannotated", line)) continue;
+      findings.push_back({file, line, "metaprep-lock-unannotated",
+                          "class declares a mutex but no member is GUARDED_BY it; "
+                          "annotate the guarded state (util/sync.hpp)"});
+    }
+  };
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    // Member-pattern checks run against the scope state at the start of the
+    // line; declarations never share a line with their class's braces here.
+    if (!stack.empty() && stack.back().is_class) {
+      if (std::regex_search(code, kMutexMember))
+        stack.back().mutex_lines.push_back(static_cast<int>(li) + 1);
+      if (std::regex_search(code, kGuarded)) ++stack.back().guarded;
+    }
+    std::string word;
+    for (const char c : code) {
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        word += c;
+        continue;
+      }
+      if (!word.empty()) {
+        if ((word == "class" || word == "struct" || word == "union") &&
+            prev_word != "enum")
+          pending_class = true;
+        prev_word = word;
+        word.clear();
+      }
+      // A class head survives attribute parens only via macros without
+      // arguments; `)` also cancels the false pending state a template
+      // parameter list's `class` leaves behind.
+      if (c == ';' || c == '=' || c == ')') pending_class = false;
+      if (c == '{') {
+        stack.push_back(ClassScope{pending_class, 0, {}});
+        pending_class = false;
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          emit(stack.back());
+          stack.pop_back();
+        }
+      }
+    }
+    if (!word.empty()) {
+      if ((word == "class" || word == "struct" || word == "union") && prev_word != "enum")
+        pending_class = true;
+      prev_word = word;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> rule_names() {
+  return {
+      "metaprep-no-adhoc-throw",    "metaprep-no-naked-new",
+      "metaprep-pragma-once",       "metaprep-no-using-namespace-header",
+      "metaprep-lock-unannotated",  "metaprep-no-raw-mutex",
+      "metaprep-no-env-outside-config", "metaprep-nolint-justified",
+  };
+}
+
+std::vector<Finding> run_rules(const std::string& file, std::string_view source) {
+  const std::vector<LexedLine> lines = lex(source);
+  const Suppressions nolint(lines);
+  const std::string norm = normalized(file);
+  std::vector<Finding> findings;
+
+  auto scan = [&](const std::regex& re, const char* rule, const char* msg,
+                  bool headers_only = false) {
+    if (headers_only && !is_header(norm)) return;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (!std::regex_search(lines[i].code, re)) continue;
+      const int line = static_cast<int>(i) + 1;
+      if (nolint.suppressed(rule, line)) continue;
+      findings.push_back({file, line, rule, msg});
+    }
+  };
+
+  // --- metaprep-no-adhoc-throw (exempt: the error taxonomy itself) --------
+  static const std::regex kAdhocThrow(R"(throw\s+std::runtime_error)");
+  if (!path_is(norm, "src/util/error.hpp") && !path_is(norm, "src/util/error.cpp")) {
+    scan(kAdhocThrow, "metaprep-no-adhoc-throw",
+         "use a util::Error factory (io_error/parse_error/comm_error/config_error)");
+  }
+
+  // --- metaprep-no-naked-new ----------------------------------------------
+  static const std::regex kNakedNew(
+      R"([^_A-Za-z0-9]new\s+[A-Za-z_:][A-Za-z0-9_:<>, ]*[({\[])");
+  scan(kNakedNew, "metaprep-no-naked-new",
+       "prefer std::make_unique/containers; NOLINT-justify intentional singletons");
+
+  // --- metaprep-pragma-once -----------------------------------------------
+  if (is_header(norm)) {
+    static const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
+    const bool has = std::any_of(lines.begin(), lines.end(), [&](const LexedLine& l) {
+      return std::regex_search(l.code, kPragmaOnce);
+    });
+    if (!has && !nolint.suppressed("metaprep-pragma-once", 1)) {
+      findings.push_back({file, 1, "metaprep-pragma-once",
+                          "header is missing #pragma once"});
+    }
+  }
+
+  // --- metaprep-no-using-namespace-header ---------------------------------
+  static const std::regex kUsingNamespace(R"(^\s*using\s+namespace\s)");
+  scan(kUsingNamespace, "metaprep-no-using-namespace-header",
+       "using-directives in headers leak into every includer", /*headers_only=*/true);
+
+  // --- metaprep-lock-unannotated ------------------------------------------
+  scan_lock_annotations(file, lines, nolint, findings);
+
+  // --- metaprep-no-raw-mutex (exempt: the wrapper layer itself) -----------
+  static const std::regex kRawMutex(
+      R"(\bstd::(mutex|recursive_mutex|timed_mutex|shared_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable|condition_variable_any)\b)");
+  if (!path_is(norm, "src/util/sync.hpp")) {
+    scan(kRawMutex, "metaprep-no-raw-mutex",
+         "raw std synchronization primitive; use the util::Mutex wrappers "
+         "(util/sync.hpp) so the thread-safety analysis can see the lock");
+  }
+
+  // --- metaprep-no-env-outside-config (exempt: the blessed env layer) -----
+  static const std::regex kGetenv(R"(\bgetenv\s*\()");
+  if (!path_is(norm, "src/util/env.hpp")) {
+    scan(kGetenv, "metaprep-no-env-outside-config",
+         "getenv outside the blessed env layer; use util::env_* (util/env.hpp)");
+  }
+
+  // --- metaprep-nolint-justified ------------------------------------------
+  {
+    const char* rule = "metaprep-nolint-justified";
+    const auto& per_line = nolint.per_line();
+    for (std::size_t i = 0; i < per_line.size(); ++i) {
+      const int line = static_cast<int>(i) + 1;
+      for (const Nolint& n : per_line[i]) {
+        if (n.justified) continue;
+        if (nolint.suppressed(rule, line)) continue;
+        findings.push_back({file, line, rule,
+                            "NOLINT without a justification; write "
+                            "NOLINT(metaprep-<rule>): <why>"});
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return findings;
+}
+
+}  // namespace metaprep::lint

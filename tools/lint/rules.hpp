@@ -1,0 +1,43 @@
+// Rule engine for metaprep-lint.
+//
+// Rules operate on the lexed code/comment views (lint/lexer.hpp), so rule
+// text inside string literals or comments never fires, and NOLINT
+// suppressions are honored only where they belong: in comments.
+//
+// Suppression contract (same as the historical awk scanner, now enforced
+// with a mandatory justification):
+//
+//   // NOLINT(metaprep-<rule>): <why>          same line or the line above
+//   // NOLINTNEXTLINE(metaprep-<rule>): <why>  the line below only
+//
+// Only the parenthesized forms are markers: a rule is suppressed when its
+// name is listed, prose mentioning the word is inert, and there is no bare
+// suppress-everything spelling.  A marker whose justification is missing is
+// itself a finding (metaprep-nolint-justified) — suppression still applies,
+// so a bad suppression produces exactly one actionable finding, not two.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metaprep::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< full name, e.g. "metaprep-no-raw-mutex"
+  std::string message;
+};
+
+/// Names of every implemented rule, in report order.
+[[nodiscard]] std::vector<std::string> rule_names();
+
+/// Run every rule over @p source, reporting findings under @p file (used
+/// verbatim in reports, and matched against the per-rule path exemptions:
+/// util/error.* for no-adhoc-throw, util/sync.hpp for no-raw-mutex,
+/// util/env.hpp for no-env-outside-config).
+[[nodiscard]] std::vector<Finding> run_rules(const std::string& file,
+                                             std::string_view source);
+
+}  // namespace metaprep::lint
